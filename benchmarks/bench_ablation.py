@@ -1,0 +1,110 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* **Master graphs** (Section III-H): similarity against one master
+  graph versus against every stored VMI graph individually — the
+  paper's stated reason for master graphs is cutting this cost.
+* **Package-level dedup on export** (Figure 4b's variant): cumulative
+  publish time with and without semantic dedup.
+* **Base image selection**: repository size with and without the
+  base-replacement machinery when fat and lean bases mix.
+"""
+
+import pytest
+
+from repro.core.system import Expelliarmus
+from repro.experiments.reporting import ExperimentResult, Series
+from repro.similarity.graph import graph_similarity
+from repro.workloads.generator import standard_corpus
+from repro.workloads.vmi_specs import TABLE_II_ORDER
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return standard_corpus()
+
+
+NAMES = TABLE_II_ORDER[:8]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_master_graph_vs_pairwise_similarity(benchmark, corpus):
+    """One master-graph comparison vs N per-VMI comparisons."""
+    graphs = [corpus.build(n).semantic_graph() for n in NAMES]
+    master_like = graphs[0].copy()
+    for g in graphs[1:]:
+        master_like.union_update(g)
+    probe = corpus.build("Elastic Stack").semantic_graph()
+
+    def pairwise():
+        return [graph_similarity(probe, g) for g in graphs]
+
+    def against_master():
+        return graph_similarity(probe, master_like)
+
+    import time
+
+    t0 = time.perf_counter()
+    pairwise()
+    pairwise_s = time.perf_counter() - t0
+
+    benchmark(against_master)
+    master_s = benchmark.stats["mean"]
+    benchmark.extra_info["pairwise_s"] = round(pairwise_s, 4)
+    benchmark.extra_info["speedup"] = round(pairwise_s / master_s, 1)
+    # one comparison beats eight
+    assert master_s < pairwise_s
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_export_dedup_saves_publish_time(benchmark, report_result):
+    """Cumulative simulated publish seconds, dedup on vs off."""
+
+    def run():
+        corpus = standard_corpus()
+        with_dedup = Expelliarmus(dedup_packages=True)
+        without = Expelliarmus(dedup_packages=False)
+        totals = {"with": 0.0, "without": 0.0}
+        for name in NAMES:
+            totals["with"] += with_dedup.publish(
+                corpus.build(name)
+            ).publish_time
+            totals["without"] += without.publish(
+                corpus.build(name)
+            ).publish_time
+        return totals
+
+    totals = benchmark.pedantic(run, rounds=1, iterations=1)
+    report_result(
+        ExperimentResult(
+            experiment_id="Ablation",
+            title="Cumulative publish time, export dedup on vs off",
+            columns=("variant", "total [s]"),
+            rows=(
+                ("Expelliarmus", round(totals["with"], 2)),
+                ("Semantic decomposition", round(totals["without"], 2)),
+            ),
+            series=(
+                Series("with-dedup", (totals["with"],)),
+                Series("without-dedup", (totals["without"],)),
+            ),
+        )
+    )
+    assert totals["with"] < totals["without"]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_storage_identical_with_and_without_export_dedup(benchmark):
+    """The variant wastes time, not bytes: the content-addressed store
+    ends at the same footprint either way."""
+
+    def run():
+        corpus = standard_corpus()
+        a = Expelliarmus(dedup_packages=True)
+        b = Expelliarmus(dedup_packages=False)
+        for name in NAMES:
+            a.publish(corpus.build(name))
+            b.publish(corpus.build(name))
+        return a.repository_size, b.repository_size
+
+    size_a, size_b = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert size_a == size_b

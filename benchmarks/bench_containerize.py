@@ -1,0 +1,61 @@
+"""Bench: VMI containerization (the paper's future-work extension).
+
+Measures conversion + registry push of the full corpus, and quantifies
+the layer-sharing payoff: every container derived from the same base
+image mounts (not re-uploads) the base layer.
+"""
+
+import pytest
+
+from repro.containerize import ContainerRegistry
+from repro.core.system import Expelliarmus
+from repro.units import GB
+from repro.workloads.generator import standard_corpus
+
+NAMES = ("Mini", "Redis", "Tomcat", "Jenkins", "Elastic Stack")
+
+
+@pytest.fixture(scope="module")
+def populated_system():
+    corpus = standard_corpus()
+    system = Expelliarmus()
+    for name in NAMES:
+        system.publish(corpus.build(name))
+    return system
+
+
+@pytest.mark.benchmark(group="extension")
+def test_containerize_corpus(benchmark, populated_system):
+    """Convert + push every published VMI; layers dedup across images."""
+
+    def run():
+        registry = ContainerRegistry()
+        containerizer = populated_system.containerizer()
+        reports = [
+            registry.push(containerizer.containerize(name))
+            for name in NAMES
+        ]
+        return registry, reports
+
+    registry, reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    # first image uploads its base; every later one mounts it
+    assert reports[0].mounted_layers == 0
+    assert all(r.mounted_layers >= 1 for r in reports[1:])
+    benchmark.extra_info["registry_gb"] = round(
+        registry.total_bytes / GB, 2
+    )
+    benchmark.extra_info["layers"] = registry.stored_layers
+
+
+@pytest.mark.benchmark(group="extension")
+def test_service_split(benchmark, populated_system):
+    """Per-service containers share the base layer."""
+
+    def run():
+        containerizer = populated_system.containerizer()
+        return containerizer.containerize_services("Elastic Stack")
+
+    images = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(images) == 3  # elasticsearch, logstash, kibana
+    base_digests = {img.layers[0].digest for img in images}
+    assert len(base_digests) == 1

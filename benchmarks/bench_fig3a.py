@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 3a (repository growth, 4 VMIs)."""
+
+import pytest
+
+from benchmarks.conftest import attach_series
+from repro.experiments.fig3 import run_fig3a
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3a(benchmark, report_result):
+    result = benchmark.pedantic(run_fig3a, rounds=1, iterations=1)
+    report_result(result)
+    attach_series(benchmark, result)
+    finals = {s.label: s.final() for s in result.series}
+    assert finals["Expelliarmus"] == min(finals.values())
+    assert finals["Qcow2"] == max(finals.values())

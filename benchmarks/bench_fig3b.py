@@ -1,0 +1,21 @@
+"""Bench: regenerate Figure 3b (repository growth, 19 VMIs)."""
+
+import pytest
+
+from benchmarks.conftest import attach_series
+from repro.experiments.fig3 import run_fig3b
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3b(benchmark, report_result):
+    result = benchmark.pedantic(run_fig3b, rounds=1, iterations=1)
+    report_result(result)
+    attach_series(benchmark, result)
+    finals = {s.label: s.final() for s in result.series}
+    # paper ordering: Expelliarmus < Mirage/Hemera < Gzip < Qcow2
+    assert (
+        finals["Expelliarmus"]
+        < finals["Mirage"]
+        < finals["Qcow2 + Gzip"]
+        < finals["Qcow2"]
+    )

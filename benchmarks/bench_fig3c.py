@@ -1,0 +1,24 @@
+"""Bench: regenerate Figure 3c (repository growth, 40 IDE builds).
+
+The paper's headline storage result: Expelliarmus ends 2.2x below
+Mirage/Hemera and 16x below Qcow2+Gzip.
+"""
+
+import pytest
+
+from benchmarks.conftest import attach_series
+from repro.experiments.fig3 import run_fig3c
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3c(benchmark, report_result):
+    result = benchmark.pedantic(run_fig3c, rounds=1, iterations=1)
+    report_result(result)
+    attach_series(benchmark, result)
+    finals = {s.label: s.final() for s in result.series}
+    vs_mirage = finals["Mirage"] / finals["Expelliarmus"]
+    vs_gzip = finals["Qcow2 + Gzip"] / finals["Expelliarmus"]
+    benchmark.extra_info["factor_vs_mirage"] = round(vs_mirage, 2)
+    benchmark.extra_info["factor_vs_gzip"] = round(vs_gzip, 2)
+    assert 1.8 <= vs_mirage <= 3.2  # paper: 2.2x
+    assert 12 <= vs_gzip <= 26  # paper: 16x

@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 4a (publish time, 4 VMIs)."""
+
+import pytest
+
+from benchmarks.conftest import attach_series
+from repro.experiments.fig4 import run_fig4a
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4a(benchmark, report_result):
+    result = benchmark.pedantic(run_fig4a, rounds=1, iterations=1)
+    report_result(result)
+    attach_series(benchmark, result)
+    exp = result.series_by_label("Expelliarmus").values
+    mirage = result.series_by_label("Mirage").values
+    assert all(e < m for e, m in zip(exp, mirage))

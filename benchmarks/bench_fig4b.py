@@ -1,0 +1,19 @@
+"""Bench: regenerate Figure 4b (publish time, 19 VMIs + variant)."""
+
+import pytest
+
+from benchmarks.conftest import attach_series
+from repro.experiments.fig4 import run_fig4b
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4b(benchmark, report_result):
+    result = benchmark.pedantic(run_fig4b, rounds=1, iterations=1)
+    report_result(result)
+    attach_series(benchmark, result)
+    exp = result.series_by_label("Expelliarmus")
+    # paper: Desktop is the slowest Expelliarmus publish
+    assert result.x_labels[exp.argmax()] == "Desktop"
+    # paper: Elastic Stack is the slowest Mirage publish
+    mirage = result.series_by_label("Mirage")
+    assert result.x_labels[mirage.argmax()] == "Elastic Stack"

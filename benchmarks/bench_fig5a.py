@@ -1,0 +1,21 @@
+"""Bench: regenerate Figure 5a (Expelliarmus retrieval breakdown)."""
+
+import pytest
+
+from benchmarks.conftest import attach_series
+from repro.experiments.fig5 import run_fig5a
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5a(benchmark, report_result):
+    result = benchmark.pedantic(run_fig5a, rounds=1, iterations=1)
+    report_result(result)
+    attach_series(benchmark, result)
+    # copy/handle/reset nearly constant; import varies (paper text)
+    for label in (
+        "Base image copy",
+        "Libguestfs handler creation",
+        "VMI reset",
+    ):
+        values = result.series_by_label(label).values
+        assert max(values) - min(values) < 0.5

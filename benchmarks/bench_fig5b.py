@@ -1,0 +1,24 @@
+"""Bench: regenerate Figure 5b (retrieval time comparison)."""
+
+import pytest
+
+from benchmarks.conftest import attach_series
+from repro.experiments.fig5 import run_fig5b
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5b(benchmark, report_result):
+    result = benchmark.pedantic(run_fig5b, rounds=1, iterations=1)
+    report_result(result)
+    attach_series(benchmark, result)
+    idx = result.x_labels.index("Elastic Stack")
+    exp = result.series_by_label("Expelliarmus").values[idx]
+    hemera = result.series_by_label("Hemera").values[idx]
+    mirage = result.series_by_label("Mirage").values
+    # paper anchors: Expelliarmus beats Hemera on Elastic Stack and
+    # Mirage is the slowest retriever everywhere
+    assert exp < hemera
+    assert all(
+        mirage[i] > result.series_by_label("Hemera").values[i]
+        for i in range(len(mirage))
+    )

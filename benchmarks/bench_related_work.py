@@ -1,0 +1,27 @@
+"""Bench: the Section-II related-work comparison (extension).
+
+Quantifies the redundancy-elimination progression the paper narrates:
+compression < block-level dedup ≈ file-level dedup < semantic
+decomposition.
+"""
+
+import pytest
+
+from benchmarks.conftest import attach_series
+from repro.experiments.related_work import run_related_work
+
+
+@pytest.mark.benchmark(group="extension")
+def test_related_work(benchmark, report_result):
+    result = benchmark.pedantic(
+        run_related_work, rounds=1, iterations=1
+    )
+    report_result(result)
+    attach_series(benchmark, result)
+    sizes = {s.label: s.final() for s in result.series}
+    assert (
+        sizes["Expelliarmus"]
+        < sizes["Block (fixed)"]
+        < sizes["Qcow2 + Gzip"]
+        < sizes["Qcow2"]
+    )

@@ -1,0 +1,21 @@
+"""Bench: regenerate Table II (VMI characteristics).
+
+Uploads the 19 evaluation images in row order into one Expelliarmus
+repository and retrieves each; prints the measured-vs-paper table.
+"""
+
+import pytest
+
+from benchmarks.conftest import attach_series
+from repro.experiments.table2 import run_table2
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2(benchmark, report_result):
+    result = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    report_result(result)
+    benchmark.extra_info["experiment"] = result.experiment_id
+    # paper-shape sanity: 19 rows, Desktop slowest publish
+    assert len(result.rows) == 19
+    publish = {row[1]: row[8] for row in result.rows}
+    assert max(publish, key=publish.get) == "Desktop"

@@ -1,0 +1,37 @@
+"""Benchmark fixtures.
+
+Each ``bench_*`` module regenerates one table/figure of the paper.  The
+``benchmark`` fixture measures the wall-clock of the whole harness
+(workload generation + all schemes + accounting); the *simulated*
+durations and sizes the paper reports are printed through
+``report_result`` and attached to ``benchmark.extra_info`` so the JSON
+output carries measured-vs-paper values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.reporting import ExperimentResult
+
+
+@pytest.fixture
+def report_result(capsys):
+    """Print an ExperimentResult around the captured benchmark output."""
+
+    def _report(result: ExperimentResult) -> None:
+        with capsys.disabled():
+            print()
+            print(result.render())
+
+    return _report
+
+
+def attach_series(benchmark, result: ExperimentResult) -> None:
+    """Store final series values in the benchmark's extra info."""
+    benchmark.extra_info["experiment"] = result.experiment_id
+    for series in result.series:
+        if series.values:
+            benchmark.extra_info[series.label] = round(
+                series.final(), 3
+            )

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Quickstart: publish two images, inspect the repository, retrieve one.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Expelliarmus, standard_corpus
+from repro.units import fmt_gb, fmt_seconds
+
+
+def main() -> None:
+    corpus = standard_corpus()
+    system = Expelliarmus()
+
+    # -- publish the minimal image: first upload stores the base ------
+    mini = corpus.build("Mini")
+    print(f"uploading Mini ({fmt_gb(mini.mounted_size)}, "
+          f"{mini.n_files} files)")
+    report = system.publish(mini)
+    print(f"  published in {fmt_seconds(report.publish_time)}; "
+          f"stored new base: {report.stored_new_base}")
+
+    # -- publish Redis: nearly everything dedups against the base -----
+    redis = corpus.build("Redis")
+    report = system.publish(redis)
+    print(f"uploading Redis: similarity {report.similarity:.2f}, "
+          f"exported {list(report.exported_packages)}, "
+          f"took {fmt_seconds(report.publish_time)}")
+
+    # -- what does the repository actually hold? ----------------------
+    print(f"repository: {fmt_gb(system.repository_size)} total")
+    for kind, size in system.repository_breakdown().items():
+        print(f"  {kind:<12} {fmt_gb(size)}")
+    print(f"  (the two uploads together mounted "
+          f"{fmt_gb(mini.mounted_size + redis.mounted_size)})")
+
+    # -- retrieve Redis back -------------------------------------------
+    result = system.retrieve("Redis")
+    vmi = result.vmi
+    print(f"retrieved Redis in {fmt_seconds(result.retrieval_time)}:")
+    for label in ("base-copy", "handle", "reset", "import"):
+        print(f"  {label:<10} {fmt_seconds(result.component(label))}")
+    assert vmi.has_package("redis-server")
+    print(f"  redis-server installed at version "
+          f"{vmi.installed('redis-server').package.version}")
+
+
+if __name__ == "__main__":
+    main()

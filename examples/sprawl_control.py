@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Sprawl control: delete images, garbage-collect, containerize.
+
+VMI sprawl is the problem statement of the paper's introduction: images
+accumulate, most of them stale.  Because Expelliarmus stores *semantic
+parts* with cross-image sharing, deleting an image is an index
+operation and a mark-and-sweep pass reclaims exactly the content no
+surviving image references.  And since a published VMI is already
+decomposed, converting survivors into per-service containers (the
+paper's stated future work) is a relabelling of stored content.
+
+Run:  python examples/sprawl_control.py
+"""
+
+from repro import Expelliarmus, standard_corpus
+from repro.containerize import ContainerRegistry
+from repro.units import fmt_gb
+
+
+def main() -> None:
+    corpus = standard_corpus()
+    system = Expelliarmus()
+
+    kept = ("Mini", "Tomcat", "Elastic Stack")
+    stale = ("Redis", "PostgreSql", "Jenkins", "MongoDb")
+    for name in kept + stale:
+        system.publish(corpus.build(name))
+    print(f"published {len(kept) + len(stale)} images; repository "
+          f"{fmt_gb(system.repository_size)}")
+
+    # -- retire the stale images ---------------------------------------
+    for name in stale:
+        system.delete(name)
+    print(f"deleted {len(stale)} stale images "
+          f"(index only; still {fmt_gb(system.repository_size)})")
+
+    report = system.garbage_collect()
+    print(f"garbage collection: -{report.removed_packages} packages, "
+          f"-{report.removed_user_data} data payloads, "
+          f"reclaimed {fmt_gb(report.reclaimed_bytes)}")
+    print(f"repository now {fmt_gb(system.repository_size)}")
+
+    # openjdk survived: Tomcat still needs it even though Jenkins left
+    assert system.repo.packages_named("openjdk-8-jre-headless")
+    survivors = ", ".join(system.published_names())
+    print(f"surviving images: {survivors}")
+
+    # -- containerize the survivors -------------------------------------
+    print("\ncontainerizing survivors (one container per service):")
+    containerizer = system.containerizer()
+    registry = ContainerRegistry()
+    for name in ("Tomcat", "Elastic Stack"):
+        for image in containerizer.containerize_services(name):
+            push = registry.push(image)
+            print(f"  pushed {image.name:<32} "
+                  f"new layers: {push.new_layers}, "
+                  f"mounted (shared): {push.mounted_layers}")
+    print(f"registry holds {registry.stored_layers} layers, "
+          f"{fmt_gb(registry.total_bytes)} — every container shares "
+          f"the one base layer")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so the
+package installs in environments whose setuptools is too old to build
+PEP-660 editable wheels without the ``wheel`` package (as in the offline
+evaluation container: ``pip install -e . --no-build-isolation`` or
+``python setup.py develop`` both work).
+"""
+
+from setuptools import setup
+
+setup()

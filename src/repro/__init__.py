@@ -1,0 +1,63 @@
+"""Expelliarmus — semantics-aware VMI management (IPDPS 2019 repro).
+
+Reproduction of Saurabh et al., "Semantics-aware Virtual Machine Image
+Management in IaaS Clouds" (IPDPS 2019): the Expelliarmus system, the
+comparison schemes it is evaluated against (Qcow2, Qcow2+Gzip, IBM
+Mirage, Hemera), the full synthetic substrate (guest OS, package
+manager, disk images, deterministic performance model), and one
+experiment harness per table/figure of the paper's evaluation.
+
+Quickstart
+----------
+
+>>> from repro import Expelliarmus, standard_corpus
+>>> system = Expelliarmus()
+>>> corpus = standard_corpus()
+>>> report = system.publish(corpus.build("Redis"))
+>>> result = system.retrieve("Redis")
+>>> result.vmi.has_package("redis-server")
+True
+
+See ``examples/`` for runnable scenarios, ``repro.experiments`` for the
+paper's tables and figures, and DESIGN.md for the system inventory.
+"""
+
+from repro.core.system import Expelliarmus
+from repro.model.attributes import BaseImageAttrs, PackageAttrs
+from repro.model.graph import PackageRole, SemanticGraph
+from repro.model.package import DependencySpec, Package, make_package
+from repro.model.versions import Version
+from repro.model.vmi import BaseImage, UserData, VirtualMachineImage
+from repro.similarity import (
+    base_similarity,
+    graph_similarity,
+    is_compatible,
+    package_similarity,
+    semantic_compatibility,
+)
+from repro.workloads.generator import Corpus, standard_corpus
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Expelliarmus",
+    "BaseImageAttrs",
+    "PackageAttrs",
+    "PackageRole",
+    "SemanticGraph",
+    "DependencySpec",
+    "Package",
+    "make_package",
+    "Version",
+    "BaseImage",
+    "UserData",
+    "VirtualMachineImage",
+    "base_similarity",
+    "graph_similarity",
+    "is_compatible",
+    "package_similarity",
+    "semantic_compatibility",
+    "Corpus",
+    "standard_corpus",
+    "__version__",
+]

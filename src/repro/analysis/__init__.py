@@ -1,0 +1,30 @@
+"""Semantic analysis utilities over VMI corpora.
+
+The related work the paper builds on groups similar VMIs to speed up
+dedup index lookups (Crab's k-means, Xu et al.) and to schedule
+co-located provisioning (Coriolis, Campello et al.).  Expelliarmus's
+semantic graphs make such grouping cheap: this subpackage computes
+pairwise SimG matrices over a corpus and clusters images with a
+deterministic k-medoids, exposing the structure the master-graph design
+exploits (images sharing a software stack cluster together).
+"""
+
+from repro.analysis.clustering import (
+    ClusterResult,
+    k_medoids,
+    similarity_matrix,
+)
+from repro.analysis.storage_report import (
+    PackageUsage,
+    StorageReport,
+    storage_report,
+)
+
+__all__ = [
+    "ClusterResult",
+    "k_medoids",
+    "similarity_matrix",
+    "PackageUsage",
+    "StorageReport",
+    "storage_report",
+]

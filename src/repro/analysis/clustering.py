@@ -1,0 +1,110 @@
+"""Pairwise SimG matrices and k-medoids clustering over VMI corpora.
+
+Distances are ``1 - SimG`` over semantic graphs.  k-medoids (PAM-style
+alternating assignment/update) is used instead of k-means because SimG
+is a similarity on graphs, not a vector-space embedding — only medoids
+(actual images) make sense as cluster centres.  Everything is
+deterministic: initial medoids are the k most dissimilar images picked
+greedily from the first image, and ties break by index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.graph import SemanticGraph
+from repro.similarity.graph import graph_similarity
+
+__all__ = ["similarity_matrix", "ClusterResult", "k_medoids"]
+
+
+def similarity_matrix(graphs: list[SemanticGraph]) -> np.ndarray:
+    """Symmetric pairwise SimG matrix with unit diagonal."""
+    n = len(graphs)
+    m = np.eye(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            s = graph_similarity(graphs[i], graphs[j])
+            m[i, j] = m[j, i] = s
+    return m
+
+
+@dataclass(frozen=True)
+class ClusterResult:
+    """A clustering over ``n`` items."""
+
+    #: medoid index of each cluster
+    medoids: tuple[int, ...]
+    #: cluster id (index into medoids) per item
+    assignment: tuple[int, ...]
+
+    @property
+    def k(self) -> int:
+        return len(self.medoids)
+
+    def members(self, cluster: int) -> list[int]:
+        """Item indices assigned to one cluster.
+
+        Raises:
+            IndexError: cluster id out of range.
+        """
+        if not 0 <= cluster < self.k:
+            raise IndexError(f"no cluster {cluster}")
+        return [
+            i for i, c in enumerate(self.assignment) if c == cluster
+        ]
+
+    def cluster_of(self, item: int) -> int:
+        return self.assignment[item]
+
+
+def _greedy_init(distance: np.ndarray, k: int) -> list[int]:
+    """k spread-out seeds: start at 0, then farthest-point traversal."""
+    medoids = [0]
+    while len(medoids) < k:
+        d_to_nearest = np.min(distance[:, medoids], axis=1)
+        d_to_nearest[medoids] = -1.0  # never re-pick a medoid
+        medoids.append(int(np.argmax(d_to_nearest)))
+    return medoids
+
+
+def k_medoids(
+    similarity: np.ndarray, k: int, max_iter: int = 50
+) -> ClusterResult:
+    """Deterministic PAM over a similarity matrix.
+
+    Raises:
+        ValueError: non-square matrix, or ``k`` outside ``[1, n]``.
+    """
+    sim = np.asarray(similarity, dtype=np.float64)
+    if sim.ndim != 2 or sim.shape[0] != sim.shape[1]:
+        raise ValueError("similarity must be a square matrix")
+    n = sim.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+
+    distance = 1.0 - sim
+    medoids = _greedy_init(distance, k)
+
+    for _ in range(max_iter):
+        # assign each item to its nearest medoid
+        assignment = np.argmin(distance[:, medoids], axis=1)
+        # update: each cluster's medoid minimises intra-cluster distance
+        new_medoids = list(medoids)
+        for c in range(k):
+            members = np.flatnonzero(assignment == c)
+            if members.size == 0:
+                continue
+            intra = distance[np.ix_(members, members)].sum(axis=1)
+            new_medoids[c] = int(members[int(np.argmin(intra))])
+        if new_medoids == medoids:
+            break
+        medoids = new_medoids
+
+    assignment = np.argmin(distance[:, medoids], axis=1)
+    return ClusterResult(
+        medoids=tuple(medoids),
+        assignment=tuple(int(a) for a in assignment),
+    )

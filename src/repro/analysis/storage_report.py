@@ -1,0 +1,103 @@
+"""Storage attribution: where the repository's bytes come from.
+
+The operator question behind Figure 3: which stored objects carry the
+repository, and how widely is each shared?  Because Expelliarmus stores
+*semantic parts*, attribution is exact — every blob is a base image, a
+package or a user-data payload, and the VMI records say who references
+what.  (Whole-image or chunk stores can only approximate this.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.repository.repo import Repository
+
+__all__ = ["PackageUsage", "StorageReport", "storage_report"]
+
+
+@dataclass(frozen=True)
+class PackageUsage:
+    """One stored package and its sharing across published VMIs."""
+
+    name: str
+    version: str
+    deb_size: int
+    #: how many published VMIs reference this exact package
+    ref_count: int
+
+    @property
+    def amortized_size(self) -> float:
+        """Bytes per referencing VMI (0 refs: the full size, orphan)."""
+        return self.deb_size / self.ref_count if self.ref_count else (
+            float(self.deb_size)
+        )
+
+
+@dataclass(frozen=True)
+class StorageReport:
+    """A full attribution of the repository's bytes."""
+
+    total_bytes: int
+    base_bytes: int
+    package_bytes: int
+    data_bytes: int
+    n_vmis: int
+    packages: tuple[PackageUsage, ...]
+
+    def top_packages(self, n: int = 10) -> list[PackageUsage]:
+        """The ``n`` largest stored packages."""
+        return sorted(
+            self.packages, key=lambda p: p.deb_size, reverse=True
+        )[:n]
+
+    def most_shared(self, n: int = 10) -> list[PackageUsage]:
+        """The ``n`` most widely referenced packages."""
+        return sorted(
+            self.packages,
+            key=lambda p: (p.ref_count, p.deb_size),
+            reverse=True,
+        )[:n]
+
+    def orphans(self) -> list[PackageUsage]:
+        """Stored packages no published VMI references (GC candidates)."""
+        return [p for p in self.packages if p.ref_count == 0]
+
+    @property
+    def sharing_factor(self) -> float:
+        """Mean references per stored package (1.0 = no sharing)."""
+        if not self.packages:
+            return 0.0
+        return sum(p.ref_count for p in self.packages) / len(
+            self.packages
+        )
+
+
+def storage_report(repo: Repository) -> StorageReport:
+    """Attribute every stored byte and count cross-VMI sharing."""
+    kinds = repo.bytes_by_kind()
+
+    # reference counts from the VMI->package join table
+    refs: dict[int, int] = {}
+    records = repo.vmi_records()
+    for record in records:
+        for key in repo.db.vmi_package_keys(record.name):
+            refs[key] = refs.get(key, 0) + 1
+
+    packages = tuple(
+        PackageUsage(
+            name=row.name,
+            version=row.version,
+            deb_size=row.deb_size,
+            ref_count=refs.get(row.blob_key, 0),
+        )
+        for row in repo.db.all_packages()
+    )
+    return StorageReport(
+        total_bytes=repo.total_bytes(),
+        base_bytes=kinds["base-image"],
+        package_bytes=kinds["package"],
+        data_bytes=kinds["user-data"],
+        n_vmis=len(records),
+        packages=packages,
+    )

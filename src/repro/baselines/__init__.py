@@ -1,0 +1,51 @@
+"""The storage schemes Expelliarmus is evaluated against (Section VI).
+
+* :class:`~repro.baselines.qcow2_store.Qcow2Store` — raw qcow2 files;
+* :class:`~repro.baselines.gzip_store.GzipStore` — gzip-compressed
+  qcow2 files;
+* :class:`~repro.baselines.mirage.MirageStore` — IBM Mirage's MIF
+  format: per-image manifests over a file-level dedup data store;
+* :class:`~repro.baselines.hemera.HemeraStore` — Hemera's hybrid
+  store: file-level dedup with small files in a database and large
+  files on the filesystem;
+* :class:`~repro.baselines.expelliarmus_scheme.ExpelliarmusScheme` —
+  the paper's system behind the same interface;
+* :func:`~repro.baselines.semantic_decomposition.semantic_decomposition_scheme`
+  — the Figure 4b variant that exports every package regardless of
+  repository state.
+
+All schemes implement :class:`~repro.baselines.scheme.StorageScheme`,
+so the experiment harnesses iterate them uniformly.
+"""
+
+from repro.baselines.block_dedup import (
+    FixedBlockStore,
+    VariableBlockStore,
+)
+from repro.baselines.expelliarmus_scheme import ExpelliarmusScheme
+from repro.baselines.gzip_store import GzipStore
+from repro.baselines.hemera import HemeraStore
+from repro.baselines.mirage import MirageStore
+from repro.baselines.qcow2_store import Qcow2Store
+from repro.baselines.scheme import (
+    SchemePublishReport,
+    SchemeRetrievalReport,
+    StorageScheme,
+)
+from repro.baselines.semantic_decomposition import (
+    semantic_decomposition_scheme,
+)
+
+__all__ = [
+    "FixedBlockStore",
+    "VariableBlockStore",
+    "ExpelliarmusScheme",
+    "GzipStore",
+    "HemeraStore",
+    "MirageStore",
+    "Qcow2Store",
+    "SchemePublishReport",
+    "SchemeRetrievalReport",
+    "StorageScheme",
+    "semantic_decomposition_scheme",
+]

@@ -1,0 +1,60 @@
+"""Expelliarmus behind the uniform StorageScheme interface.
+
+The experiment harnesses iterate one loop over every scheme; this
+adapter forwards to the real :class:`~repro.core.system.Expelliarmus`
+facade while translating its rich reports into the common ones.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.scheme import (
+    SchemePublishReport,
+    SchemeRetrievalReport,
+    StorageScheme,
+)
+from repro.core.system import Expelliarmus
+from repro.model.vmi import VirtualMachineImage
+from repro.sim.costmodel import CostParams
+
+__all__ = ["ExpelliarmusScheme"]
+
+
+class ExpelliarmusScheme(StorageScheme):
+    """Adapter: the semantic system as a StorageScheme."""
+
+    name = "Expelliarmus"
+
+    def __init__(
+        self,
+        params: CostParams | None = None,
+        *,
+        dedup_packages: bool = True,
+    ) -> None:
+        super().__init__(params)
+        self.system = Expelliarmus(
+            params=params, dedup_packages=dedup_packages
+        )
+        # share one clock so scheme-level and system-level accounting agree
+        self.clock = self.system.clock
+        self.cost = self.system.cost
+
+    def publish(self, vmi: VirtualMachineImage) -> SchemePublishReport:
+        report = self.system.publish(vmi)
+        return SchemePublishReport(
+            vmi_name=report.vmi_name,
+            duration=report.publish_time,
+            bytes_added=report.bytes_added,
+            repo_bytes_after=report.repo_bytes_after,
+        )
+
+    def retrieve(self, name: str) -> SchemeRetrievalReport:
+        report = self.system.retrieve(name)
+        return SchemeRetrievalReport(
+            vmi_name=name,
+            duration=report.retrieval_time,
+            bytes_read=report.vmi.mounted_size,
+        )
+
+    @property
+    def repository_bytes(self) -> int:
+        return self.system.repository_size

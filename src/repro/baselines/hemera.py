@@ -1,0 +1,125 @@
+"""Hemera — declarative, data-centric VMI management (Liu et al.).
+
+Hemera also treats images as structured data with file-level dedup, but
+stores content through a *hybrid* backend: files below 1 MB go into a
+database (which handles many small objects far better than a
+filesystem), larger files go to the filesystem store.  VMI operations
+become SQL queries.  The paper finds Hemera's storage identical to
+Mirage's and its retrieval much faster — except when an image carries
+an extreme number of files (Elastic Stack: 129.8 s vs Expelliarmus's
+99.9 s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.scheme import (
+    SchemePublishReport,
+    SchemeRetrievalReport,
+    StorageScheme,
+)
+from repro.errors import DuplicateEntryError, NotInRepositoryError
+from repro.image.manifest import SMALL_FILE_THRESHOLD, FileManifest
+from repro.model.vmi import VirtualMachineImage
+
+__all__ = ["HemeraStore"]
+
+#: per-file row overhead of the database index
+_DB_ROW_BYTES = 120
+
+
+@dataclass(frozen=True)
+class _ImageRow:
+    n_small: int
+    small_bytes: int
+    n_large: int
+    large_bytes: int
+
+    @property
+    def n_files(self) -> int:
+        return self.n_small + self.n_large
+
+    @property
+    def total_bytes(self) -> int:
+        return self.small_bytes + self.large_bytes
+
+
+class HemeraStore(StorageScheme):
+    """File-level dedup with a DB/filesystem hybrid backend."""
+
+    name = "Hemera"
+
+    def __init__(self, params=None) -> None:
+        super().__init__(params)
+        self._images: dict[str, _ImageRow] = {}
+        self._known_ids: np.ndarray = np.empty(0, dtype=np.uint64)
+        self._stored_bytes = 0
+        self._index_bytes = 0
+
+    def publish(self, vmi: VirtualMachineImage) -> SchemePublishReport:
+        if vmi.name in self._images:
+            raise DuplicateEntryError(f"{vmi.name!r} already stored")
+        manifest = vmi.full_manifest()
+        before = self.repository_bytes
+        with self.clock.measure() as breakdown:
+            self.clock.advance(
+                self.cost.hash_and_index_files(
+                    manifest.n_files, manifest.total_size
+                ),
+                "index",
+            )
+            new = manifest.new_against(self._known_ids)
+            if new.n_files:
+                merged = np.concatenate(
+                    [self._known_ids, new.content_ids]
+                )
+                merged.sort()
+                self._known_ids = merged
+                self._stored_bytes += new.total_size
+            self.clock.advance(
+                self.cost.write_bytes(new.total_size), "write"
+            )
+        self._index_bytes += manifest.n_files * _DB_ROW_BYTES
+        small_mask = manifest.small_file_mask(SMALL_FILE_THRESHOLD)
+        small = manifest.select(small_mask)
+        large = manifest.select(~small_mask)
+        self._images[vmi.name] = _ImageRow(
+            n_small=small.n_files,
+            small_bytes=small.total_size,
+            n_large=large.n_files,
+            large_bytes=large.total_size,
+        )
+        return SchemePublishReport(
+            vmi_name=vmi.name,
+            duration=breakdown.total,
+            bytes_added=self.repository_bytes - before,
+            repo_bytes_after=self.repository_bytes,
+        )
+
+    def retrieve(self, name: str) -> SchemeRetrievalReport:
+        try:
+            row = self._images[name]
+        except KeyError:
+            raise NotInRepositoryError("hemera image", name) from None
+        with self.clock.measure() as breakdown:
+            self.clock.advance(
+                self.cost.hybrid_store_read(
+                    row.n_large,
+                    row.large_bytes,
+                    row.n_small,
+                    row.small_bytes,
+                ),
+                "read",
+            )
+        return SchemeRetrievalReport(
+            vmi_name=name,
+            duration=breakdown.total,
+            bytes_read=row.total_bytes,
+        )
+
+    @property
+    def repository_bytes(self) -> int:
+        return self._stored_bytes + self._index_bytes

@@ -1,0 +1,128 @@
+"""IBM Mirage (MIF) — file-level deduplicated image library.
+
+Mirage represents each image as a *manifest* of content descriptors
+while file payloads live in a global content-addressed data store
+(Reimer et al. VEE'08, Ammons et al. HotCloud'11).  Publishing hashes
+and indexes every file and stores only content the data store lacks;
+retrieval materialises the image by reading every file back
+individually — which the paper identifies as Mirage's weakness: "(1) it
+retrieves more data by reading many files instead of reading linearly
+through one file, and (2) it is inefficient in reading small files
+(below 1 MB)".
+
+The dedup set is maintained as a sorted numpy array of content ids, so
+publishing the 40-build IDE corpus (~3 M file records) runs vectorised
+set operations instead of Python-level loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.scheme import (
+    SchemePublishReport,
+    SchemeRetrievalReport,
+    StorageScheme,
+)
+from repro.errors import DuplicateEntryError, NotInRepositoryError
+from repro.image.manifest import SMALL_FILE_THRESHOLD, FileManifest
+from repro.model.vmi import VirtualMachineImage
+
+__all__ = ["MirageStore", "ManifestEntry"]
+
+#: bytes of manifest metadata Mirage keeps per file descriptor
+MANIFEST_ENTRY_BYTES = 96
+
+
+@dataclass(frozen=True)
+class ManifestEntry:
+    """Per-image manifest statistics needed at retrieval time."""
+
+    n_files: int
+    total_bytes: int
+    n_small_files: int
+
+
+class MirageStore(StorageScheme):
+    """Manifests over a global file-level dedup store."""
+
+    name = "Mirage"
+
+    def __init__(self, params=None) -> None:
+        super().__init__(params)
+        self._manifests: dict[str, ManifestEntry] = {}
+        self._known_ids: np.ndarray = np.empty(0, dtype=np.uint64)
+        self._stored_bytes = 0
+        self._manifest_bytes = 0
+
+    # ------------------------------------------------------------------
+
+    def _absorb(self, manifest: FileManifest) -> int:
+        """Store content the data store lacks; returns new bytes."""
+        new = manifest.new_against(self._known_ids)
+        if new.n_files:
+            merged = np.concatenate([self._known_ids, new.content_ids])
+            merged.sort()
+            self._known_ids = merged
+            self._stored_bytes += new.total_size
+        return new.total_size
+
+    def publish(self, vmi: VirtualMachineImage) -> SchemePublishReport:
+        if vmi.name in self._manifests:
+            raise DuplicateEntryError(f"{vmi.name!r} already stored")
+        manifest = vmi.full_manifest()
+        before = self.repository_bytes
+        with self.clock.measure() as breakdown:
+            # hash + index every file of the incoming image
+            self.clock.advance(
+                self.cost.hash_and_index_files(
+                    manifest.n_files, manifest.total_size
+                ),
+                "index",
+            )
+            new_bytes = self._absorb(manifest)
+            self.clock.advance(self.cost.write_bytes(new_bytes), "write")
+        self._manifest_bytes += manifest.n_files * MANIFEST_ENTRY_BYTES
+        small = int(manifest.small_file_mask(SMALL_FILE_THRESHOLD).sum())
+        self._manifests[vmi.name] = ManifestEntry(
+            n_files=manifest.n_files,
+            total_bytes=manifest.total_size,
+            n_small_files=small,
+        )
+        return SchemePublishReport(
+            vmi_name=vmi.name,
+            duration=breakdown.total,
+            bytes_added=self.repository_bytes - before,
+            repo_bytes_after=self.repository_bytes,
+        )
+
+    def retrieve(self, name: str) -> SchemeRetrievalReport:
+        try:
+            entry = self._manifests[name]
+        except KeyError:
+            raise NotInRepositoryError("mirage manifest", name) from None
+        with self.clock.measure() as breakdown:
+            self.clock.advance(
+                self.cost.fs_store_read(
+                    entry.n_files, entry.total_bytes, entry.n_small_files
+                ),
+                "read",
+            )
+        return SchemeRetrievalReport(
+            vmi_name=name,
+            duration=breakdown.total,
+            bytes_read=entry.total_bytes,
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def repository_bytes(self) -> int:
+        return self._stored_bytes + self._manifest_bytes
+
+    @property
+    def unique_files(self) -> int:
+        """Distinct file contents in the global data store."""
+        return int(self._known_ids.size)

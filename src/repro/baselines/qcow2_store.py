@@ -1,0 +1,60 @@
+"""Raw qcow2 repository — the paper's first comparison encoding.
+
+Each published image is kept as its own (sparse) qcow2 file: zero
+cross-image sharing, so the repository grows by the full image size on
+every upload.  This is the reference line every other scheme is
+normalised against in Figure 3.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.scheme import (
+    SchemePublishReport,
+    SchemeRetrievalReport,
+    StorageScheme,
+)
+from repro.errors import DuplicateEntryError, NotInRepositoryError
+from repro.image.qcow2 import Qcow2Image
+from repro.model.vmi import VirtualMachineImage
+
+__all__ = ["Qcow2Store"]
+
+
+class Qcow2Store(StorageScheme):
+    """One qcow2 file per image, no dedup, no compression."""
+
+    name = "Qcow2"
+
+    def __init__(self, params=None) -> None:
+        super().__init__(params)
+        self._images: dict[str, Qcow2Image] = {}
+
+    def publish(self, vmi: VirtualMachineImage) -> SchemePublishReport:
+        if vmi.name in self._images:
+            raise DuplicateEntryError(f"{vmi.name!r} already stored")
+        qcow = Qcow2Image(name=vmi.name, manifest=vmi.full_manifest())
+        before = self.repository_bytes
+        with self.clock.measure() as breakdown:
+            self.clock.advance(self.cost.write_bytes(qcow.size), "write")
+        self._images[vmi.name] = qcow
+        return SchemePublishReport(
+            vmi_name=vmi.name,
+            duration=breakdown.total,
+            bytes_added=qcow.size,
+            repo_bytes_after=before + qcow.size,
+        )
+
+    def retrieve(self, name: str) -> SchemeRetrievalReport:
+        try:
+            qcow = self._images[name]
+        except KeyError:
+            raise NotInRepositoryError("qcow2 image", name) from None
+        with self.clock.measure() as breakdown:
+            self.clock.advance(self.cost.read_bytes(qcow.size), "read")
+        return SchemeRetrievalReport(
+            vmi_name=name, duration=breakdown.total, bytes_read=qcow.size
+        )
+
+    @property
+    def repository_bytes(self) -> int:
+        return sum(q.size for q in self._images.values())

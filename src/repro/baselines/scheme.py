@@ -1,0 +1,64 @@
+"""Uniform interface over all evaluated storage schemes.
+
+Every scheme supports exactly the two operations the experiments
+measure — publish an image into the repository, retrieve it back — and
+exposes its repository footprint in bytes.  Durations are simulated
+seconds from the shared cost model.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.model.vmi import VirtualMachineImage
+from repro.sim.clock import SimulatedClock
+from repro.sim.costmodel import CostModel, CostParams
+
+__all__ = ["SchemePublishReport", "SchemeRetrievalReport", "StorageScheme"]
+
+
+@dataclass(frozen=True)
+class SchemePublishReport:
+    """One publish: duration and byte delta."""
+
+    vmi_name: str
+    duration: float
+    bytes_added: int
+    repo_bytes_after: int
+
+
+@dataclass(frozen=True)
+class SchemeRetrievalReport:
+    """One retrieval: duration (and bytes read where meaningful)."""
+
+    vmi_name: str
+    duration: float
+    bytes_read: int
+
+
+class StorageScheme(abc.ABC):
+    """A VMI repository encoding scheme under evaluation."""
+
+    #: display name used in experiment tables (matches the paper legend)
+    name: str = "abstract"
+
+    def __init__(self, params: CostParams | None = None) -> None:
+        self.clock = SimulatedClock()
+        self.cost = CostModel(params)
+
+    @abc.abstractmethod
+    def publish(self, vmi: VirtualMachineImage) -> SchemePublishReport:
+        """Store one uploaded image; returns duration + byte delta."""
+
+    @abc.abstractmethod
+    def retrieve(self, name: str) -> SchemeRetrievalReport:
+        """Reconstruct one stored image; returns duration."""
+
+    @property
+    @abc.abstractmethod
+    def repository_bytes(self) -> int:
+        """Current on-disk footprint of the repository."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} bytes={self.repository_bytes}>"

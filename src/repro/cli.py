@@ -1,0 +1,155 @@
+"""Command-line interface: ``expelliarmus`` / ``python -m repro``.
+
+Subcommands:
+
+* ``experiments [ids...]`` — run the paper's tables/figures (default:
+  all) and print measured-vs-paper rows;
+* ``publish <names...>`` — publish corpus images into a fresh
+  repository and report per-image publish statistics;
+* ``corpus`` — list the evaluation images and their characteristics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments.runner import ALL_EXPERIMENTS
+from repro.units import GB, fmt_gb, fmt_seconds
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="expelliarmus",
+        description=(
+            "Semantics-aware VMI management (IPDPS 2019 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    exp = sub.add_parser(
+        "experiments", help="run the paper's tables and figures"
+    )
+    exp.add_argument(
+        "ids",
+        nargs="*",
+        choices=[*ALL_EXPERIMENTS, []],
+        help=f"subset to run (default: all of {', '.join(ALL_EXPERIMENTS)})",
+    )
+    exp.add_argument(
+        "--figures",
+        action="store_true",
+        help="also render ASCII charts for figure-style results",
+    )
+
+    pub = sub.add_parser(
+        "publish", help="publish corpus images into a fresh repository"
+    )
+    pub.add_argument("names", nargs="+", help="corpus image names")
+
+    sub.add_parser("corpus", help="list the evaluation corpus")
+
+    stats = sub.add_parser(
+        "stats",
+        help="publish corpus images, then attribute repository storage",
+    )
+    stats.add_argument(
+        "names", nargs="*", help="corpus images (default: all 19)"
+    )
+    return parser
+
+
+def _cmd_experiments(ids: Sequence[str], figures: bool = False) -> int:
+    chosen = list(ids) or list(ALL_EXPERIMENTS)
+    for key in chosen:
+        result = ALL_EXPERIMENTS[key]()
+        print(result.render())
+        if figures and result.series:
+            print()
+            print(result.render_figure())
+        print()
+    return 0
+
+
+def _cmd_publish(names: Sequence[str]) -> int:
+    from repro.core.system import Expelliarmus
+    from repro.workloads.generator import standard_corpus
+
+    corpus = standard_corpus()
+    system = Expelliarmus()
+    for name in names:
+        report = system.publish(corpus.build(name))
+        print(
+            f"{name}: published in {fmt_seconds(report.publish_time)}, "
+            f"similarity {report.similarity:.2f}, "
+            f"exported {len(report.exported_packages)} packages, "
+            f"deduplicated {len(report.deduplicated_packages)}, "
+            f"repository now {fmt_gb(system.repository_size)}"
+        )
+    return 0
+
+
+def _cmd_corpus() -> int:
+    from repro.workloads.generator import standard_corpus
+    from repro.workloads.vmi_specs import TABLE_II_ORDER
+
+    corpus = standard_corpus()
+    print(f"{'name':<15} {'primaries':>9} {'mounted':>9} {'files':>8}")
+    for name in TABLE_II_ORDER:
+        vmi = corpus.build(name)
+        spec = corpus.spec(name)
+        print(
+            f"{name:<15} {len(spec.primaries):>9} "
+            f"{vmi.mounted_size / GB:>8.3f}G {vmi.n_files:>8}"
+        )
+    return 0
+
+
+def _cmd_stats(names: Sequence[str]) -> int:
+    from repro.analysis.storage_report import storage_report
+    from repro.core.system import Expelliarmus
+    from repro.workloads.generator import standard_corpus
+    from repro.workloads.vmi_specs import TABLE_II_ORDER
+
+    corpus = standard_corpus()
+    system = Expelliarmus()
+    for name in names or TABLE_II_ORDER:
+        system.publish(corpus.build(name))
+    report = storage_report(system.repo)
+
+    print(f"repository: {fmt_gb(report.total_bytes)} across "
+          f"{report.n_vmis} published VMIs")
+    print(f"  base images : {fmt_gb(report.base_bytes)}")
+    print(f"  packages    : {fmt_gb(report.package_bytes)} "
+          f"({len(report.packages)} stored, sharing factor "
+          f"{report.sharing_factor:.2f})")
+    print(f"  user data   : {fmt_gb(report.data_bytes)}")
+    print("\nlargest stored packages:")
+    for pkg in report.top_packages(8):
+        print(f"  {pkg.name:<28} {pkg.deb_size / 1e6:8.1f} MB  "
+              f"referenced by {pkg.ref_count} VMI(s)")
+    print("\nmost shared packages:")
+    for pkg in report.most_shared(8):
+        print(f"  {pkg.name:<28} x{pkg.ref_count:<3} "
+              f"amortized {pkg.amortized_size / 1e6:.1f} MB/VMI")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "experiments":
+        return _cmd_experiments(args.ids, figures=args.figures)
+    if args.command == "publish":
+        return _cmd_publish(args.names)
+    if args.command == "corpus":
+        return _cmd_corpus()
+    if args.command == "stats":
+        return _cmd_stats(args.names)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Automated VMI containerization (the paper's stated future work).
+
+Section VII: "We also plan in the future to extend Expelliarmus to
+support automated containerization of a VMI with multiple container
+service functionality."  The semantic decomposition makes this almost
+free: a published VMI already *is* a base image plus per-primary
+package subgraphs plus user data — exactly a layered container image.
+
+* :class:`~repro.containerize.layers.Layer` /
+  :class:`~repro.containerize.layers.ContainerImage` — an OCI-style
+  layered image over file manifests;
+* :class:`~repro.containerize.registry.ContainerRegistry` — a
+  layer-deduplicating registry (layers shared across images are stored
+  once, like blob-mounted OCI layers);
+* :class:`~repro.containerize.converter.Containerizer` — builds one
+  container per VMI, or one *service container per primary package*
+  ("multiple container service functionality").
+"""
+
+from repro.containerize.converter import Containerizer
+from repro.containerize.layers import ContainerImage, Layer
+from repro.containerize.registry import ContainerRegistry
+
+__all__ = ["Containerizer", "ContainerImage", "Layer", "ContainerRegistry"]

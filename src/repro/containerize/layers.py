@@ -1,0 +1,98 @@
+"""OCI-style layered container images over file manifests.
+
+A layer is content-addressed: its digest derives from *what produced
+it* (the base image identity, a sorted set of package identities, or a
+user-data label), so two containers built from the same packages share
+layers byte-for-byte — the property registries exploit with blob
+mounting and the property our containerization experiment measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ids import combine
+from repro.image.manifest import FileManifest
+
+__all__ = ["Layer", "ContainerImage"]
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One filesystem layer of a container image."""
+
+    #: human-readable provenance ("base:ubuntu-16.04", "pkg:redis...")
+    label: str
+    #: content digest — equal digests mean byte-identical layers
+    digest: int
+    manifest: FileManifest
+
+    @property
+    def size(self) -> int:
+        """Uncompressed layer bytes."""
+        return self.manifest.total_size
+
+    @property
+    def compressed_size(self) -> int:
+        """Bytes shipped over the wire (layers travel gzipped)."""
+        return self.manifest.compressed_size()
+
+    @property
+    def n_files(self) -> int:
+        return self.manifest.n_files
+
+    @classmethod
+    def from_parts(
+        cls, label: str, identity_parts: tuple, manifest: FileManifest
+    ) -> "Layer":
+        return cls(
+            label=label,
+            digest=combine("layer", *identity_parts),
+            manifest=manifest,
+        )
+
+
+@dataclass(frozen=True)
+class ContainerImage:
+    """An ordered stack of layers plus an entrypoint annotation."""
+
+    name: str
+    layers: tuple[Layer, ...]
+    #: the primary package the container serves (None for full-VMI
+    #: conversions carrying several services)
+    entrypoint: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ValueError(f"container {self.name!r} needs >= 1 layer")
+        digests = [layer.digest for layer in self.layers]
+        if len(set(digests)) != len(digests):
+            raise ValueError(
+                f"container {self.name!r} has duplicate layers"
+            )
+
+    @property
+    def total_size(self) -> int:
+        """Sum of uncompressed layer bytes (flattened rootfs size)."""
+        return sum(layer.size for layer in self.layers)
+
+    @property
+    def wire_size(self) -> int:
+        """Compressed bytes a cold pull would transfer."""
+        return sum(layer.compressed_size for layer in self.layers)
+
+    def layer_digests(self) -> tuple[int, ...]:
+        return tuple(layer.digest for layer in self.layers)
+
+    def find_layer(self, label_prefix: str) -> Layer | None:
+        """First layer whose label starts with ``label_prefix``."""
+        for layer in self.layers:
+            if layer.label.startswith(label_prefix):
+                return layer
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<ContainerImage {self.name!r} layers={len(self.layers)} "
+            f"size={self.total_size}>"
+        )

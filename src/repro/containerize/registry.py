@@ -1,0 +1,144 @@
+"""A layer-deduplicating container registry.
+
+Pushing an image stores only layers the registry has never seen
+(content-addressed by digest); pulls transfer only layers the client
+lacks.  Both operations are charged to the shared simulated clock so
+containerization can be compared against VMI publish/retrieve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.containerize.layers import ContainerImage, Layer
+from repro.errors import DuplicateEntryError, NotInRepositoryError
+from repro.sim.clock import SimulatedClock
+from repro.sim.costmodel import CostModel, CostParams
+
+__all__ = ["ContainerRegistry", "PushReport", "PullReport"]
+
+
+@dataclass(frozen=True)
+class PushReport:
+    image: str
+    duration: float
+    #: layers actually uploaded (digest misses)
+    new_layers: int
+    #: layers skipped because the registry already had them
+    mounted_layers: int
+    bytes_added: int
+
+
+@dataclass(frozen=True)
+class PullReport:
+    image: str
+    duration: float
+    bytes_transferred: int
+
+
+class ContainerRegistry:
+    """Digest-addressed layer store + image index."""
+
+    def __init__(self, params: CostParams | None = None) -> None:
+        self.clock = SimulatedClock()
+        self.cost = CostModel(params)
+        self._layers: dict[int, Layer] = {}
+        self._images: dict[str, ContainerImage] = {}
+
+    # ------------------------------------------------------------------
+
+    def push(self, image: ContainerImage) -> PushReport:
+        """Store an image; identical layers are blob-mounted for free.
+
+        Raises:
+            DuplicateEntryError: image tag already pushed.
+        """
+        if image.name in self._images:
+            raise DuplicateEntryError(
+                f"image {image.name!r} already pushed"
+            )
+        new = mounted = added = 0
+        with self.clock.measure() as breakdown:
+            for layer in image.layers:
+                if layer.digest in self._layers:
+                    mounted += 1
+                    self.clock.advance(
+                        self.cost.metadata_update(), "mount"
+                    )
+                    continue
+                # upload travels compressed
+                self.clock.advance(
+                    self.cost.gzip_bytes(layer.size), "compress"
+                )
+                self.clock.advance(
+                    self.cost.write_bytes(layer.compressed_size),
+                    "upload",
+                )
+                self._layers[layer.digest] = layer
+                new += 1
+                added += layer.compressed_size
+        self._images[image.name] = image
+        return PushReport(
+            image=image.name,
+            duration=breakdown.total,
+            new_layers=new,
+            mounted_layers=mounted,
+            bytes_added=added,
+        )
+
+    def pull(
+        self, name: str, cached_digests: frozenset[int] = frozenset()
+    ) -> PullReport:
+        """Transfer an image to a client holding ``cached_digests``.
+
+        Raises:
+            NotInRepositoryError: unknown image tag.
+        """
+        image = self.get(name)
+        transferred = 0
+        with self.clock.measure() as breakdown:
+            for layer in image.layers:
+                if layer.digest in cached_digests:
+                    continue
+                self.clock.advance(
+                    self.cost.read_bytes(layer.compressed_size),
+                    "download",
+                )
+                self.clock.advance(
+                    self.cost.gzip_bytes(layer.size) / 3.0, "extract"
+                )
+                transferred += layer.compressed_size
+        return PullReport(
+            image=name,
+            duration=breakdown.total,
+            bytes_transferred=transferred,
+        )
+
+    # ------------------------------------------------------------------
+
+    def get(self, name: str) -> ContainerImage:
+        """Raises NotInRepositoryError for unknown tags."""
+        try:
+            return self._images[name]
+        except KeyError:
+            raise NotInRepositoryError("container image", name) from None
+
+    def images(self) -> list[str]:
+        return sorted(self._images)
+
+    @property
+    def stored_layers(self) -> int:
+        return len(self._layers)
+
+    @property
+    def total_bytes(self) -> int:
+        """Registry footprint (compressed layer bytes)."""
+        return sum(
+            layer.compressed_size for layer in self._layers.values()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<ContainerRegistry images={len(self._images)} "
+            f"layers={self.stored_layers} bytes={self.total_bytes}>"
+        )

@@ -1,0 +1,32 @@
+"""Semantic-centric VMI management (Section IV) — the paper's core.
+
+* :class:`~repro.core.analyzer.SemanticAnalyzer` — builds semantic
+  graphs for uploads and computes similarity against master graphs;
+* :func:`~repro.core.base_selection.select_base_image` — Algorithm 2;
+* :class:`~repro.core.publisher.VMIPublisher` — Algorithm 1;
+* :class:`~repro.core.assembler.VMIAssembler` — Algorithm 3;
+* :class:`~repro.core.system.Expelliarmus` — the end-to-end facade of
+  Figure 2 (upload -> analyze -> decompose -> store; request ->
+  assemble -> deliver).
+"""
+
+from repro.core.analyzer import AnalysisResult, SemanticAnalyzer
+from repro.core.assembler import RetrievalReport, VMIAssembler
+from repro.core.base_selection import BaseSelection, select_base_image
+from repro.core.master_graph import MasterGraph, base_subgraph_of
+from repro.core.publisher import PublishReport, VMIPublisher
+from repro.core.system import Expelliarmus
+
+__all__ = [
+    "AnalysisResult",
+    "SemanticAnalyzer",
+    "RetrievalReport",
+    "VMIAssembler",
+    "BaseSelection",
+    "select_base_image",
+    "MasterGraph",
+    "base_subgraph_of",
+    "PublishReport",
+    "VMIPublisher",
+    "Expelliarmus",
+]

@@ -1,0 +1,167 @@
+"""Base image selection — Algorithm 2 of the paper.
+
+Given the base image ``BI`` left over after decomposition, its subgraph
+``GI[BI]`` and the upload's primary subgraph ``GI[PS]``, choose which
+base image the repository should keep: ``BI`` itself, or an
+already-stored, semantically similar base that is compatible with the
+upload's primaries — and compute the *replace list* of stored bases the
+chosen one makes obsolete.
+
+Candidate generation (paper lines 1-12): the candidate set is ``BI``
+plus every stored base whose attribute quadruple matches
+(``simBI = 1``), each paired with the primary subgraphs its master
+graph carries.
+
+Replaceability (paper lines 13-19): base ``X`` can replace base ``Y``
+when ``X ≠ Y`` and ``X`` is semantically compatible with the primary
+subgraphs associated with ``Y``.  The paper's listing tests pairwise
+triples; we require compatibility with *all* of ``Y``'s primary
+subgraphs, since replacing ``Y`` migrates every one of its member VMIs
+(a base compatible with only some members would break the others).
+This is the evident intent; the difference only shows on bases with
+heterogeneous members.  (Line 16 of the listing also has a ``← i`` /
+``← j`` typo which we fix — see DESIGN.md.)
+
+Ranking (paper line 27): quadruples sort by (1) longer replace list,
+(2) smaller total base-subgraph package size, (3) base already stored
+in the repository (no unnecessary storage).
+
+Equality between base images is *content* equality (same attribute
+quadruple and same package population — i.e. the same stored blob), so
+re-uploading a VMI built on an already-stored base selects the stored
+copy instead of storing bytes twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.model.graph import SemanticGraph
+from repro.model.vmi import BaseImage
+from repro.repository.master_graphs import base_subgraph_of
+from repro.repository.repo import Repository
+from repro.similarity.base import same_base_attrs
+from repro.similarity.compatibility import is_compatible
+
+__all__ = ["BaseSelection", "select_base_image"]
+
+
+@dataclass(frozen=True)
+class _Candidate:
+    """One base image under consideration, with its member subgraphs."""
+
+    base: BaseImage
+    base_subgraph: SemanticGraph
+    #: the primary subgraphs this base must keep serving
+    primary_subgraphs: tuple[SemanticGraph, ...]
+    #: True when this is the freshly decomposed (not yet stored) base
+    is_new: bool
+
+    @property
+    def key(self) -> int:
+        return self.base.blob_key()
+
+
+@dataclass(frozen=True)
+class BaseSelection:
+    """Result of Algorithm 2."""
+
+    #: the base image to keep (may be ``BI`` itself or a stored one)
+    base: BaseImage
+    #: stored bases made obsolete by the selection (to merge + delete)
+    replace: tuple[BaseImage, ...] = ()
+    #: True when ``base`` is the freshly decomposed image (must be stored)
+    is_new: bool = True
+
+    def replaced_keys(self) -> list[int]:
+        return [b.blob_key() for b in self.replace]
+
+
+def select_base_image(
+    bi: BaseImage,
+    gi_bi: SemanticGraph,
+    gi_ps: SemanticGraph,
+    repo: Repository,
+) -> BaseSelection:
+    """Algorithm 2: pick the base to keep and the bases it replaces."""
+    # -- lines 1-12: candidate set -------------------------------------
+    candidates: list[_Candidate] = [
+        _Candidate(
+            base=bi,
+            base_subgraph=gi_bi,
+            primary_subgraphs=(gi_ps,),
+            is_new=True,
+        )
+    ]
+    new_key = bi.blob_key()
+    for stored in repo.base_images():
+        if not same_base_attrs(bi.attrs, stored.attrs):
+            continue  # simBI < 1: different family, never replaceable
+        stored_key = stored.blob_key()
+        if repo.has_master_graph(stored_key):
+            master = repo.get_master_graph(stored_key)
+            subs = tuple(
+                master.extract_primary_subgraph(p.name, str(p.version))
+                for p in master.primary_packages()
+            )
+            base_sub = master.base_subgraph
+        else:
+            subs = ()
+            base_sub = base_subgraph_of(stored)
+        candidates.append(
+            _Candidate(
+                base=stored,
+                base_subgraph=base_sub,
+                primary_subgraphs=subs,
+                is_new=False,
+            )
+        )
+
+    # -- lines 13-26: replaceability + quadruples ------------------------
+    quadruples: list[tuple[_Candidate, list[BaseImage], int]] = []
+    for cand in candidates:
+        replace: list[BaseImage] = []
+        seen_keys = {cand.key}
+        for other in candidates:
+            if other.key in seen_keys:
+                continue
+            if all(
+                is_compatible(cand.base_subgraph, sub)
+                for sub in other.primary_subgraphs
+            ):
+                replace.append(other.base)
+                seen_keys.add(other.key)
+        if replace:
+            base_pkg_size = sum(
+                p.installed_size for p in cand.base_subgraph.packages()
+            )
+            quadruples.append((cand, replace, base_pkg_size))
+
+    # -- line 27: sort by the three criteria ------------------------------
+    quadruples.sort(
+        key=lambda q: (
+            -len(q[1]),  # more replaced bases first
+            q[2],  # smaller base-package footprint first
+            q[0].is_new,  # prefer bases already in the repository
+        )
+    )
+
+    # -- lines 28-32: first quadruple naming BI or replacing it -----------
+    for cand, replace, _ in quadruples:
+        replace_keys = {b.blob_key() for b in replace}
+        if cand.key == new_key or new_key in replace_keys:
+            # drop the new (never-stored) base from the replace list:
+            # there is nothing to delete or migrate for it
+            stored_replacements = tuple(
+                b for b in replace if b.blob_key() != new_key
+            )
+            return BaseSelection(
+                base=cand.base,
+                replace=stored_replacements,
+                is_new=cand.is_new and not repo.blobs.contains(cand.key),
+            )
+
+    # -- line 33: keep the new base, nothing replaced ----------------------
+    return BaseSelection(
+        base=bi, replace=(), is_new=not repo.blobs.contains(new_key)
+    )

@@ -1,0 +1,13 @@
+"""Master graphs (Section III-H) — canonical implementation re-export.
+
+The :class:`~repro.repository.master_graphs.MasterGraph` class lives in
+:mod:`repro.repository.master_graphs` because master graphs are
+repository state (Figure 2 stores "VMIs and semantic graphs" in the VMI
+repository) and the repository facade must construct them without
+importing the algorithm layer.  This module re-exports it under the
+location DESIGN.md's contribution inventory lists.
+"""
+
+from repro.repository.master_graphs import MasterGraph, base_subgraph_of
+
+__all__ = ["MasterGraph", "base_subgraph_of"]

@@ -1,0 +1,126 @@
+"""The Expelliarmus system facade (Figure 2).
+
+Wires the semantic analyzer, decomposer (publisher) and assembler to
+one repository, one simulated clock and one cost model, and exposes the
+two user-facing operations of the paper's use case: *publish* an
+uploaded VMI and *retrieve* a requested one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.analyzer import SemanticAnalyzer
+from repro.core.assembler import RetrievalReport, VMIAssembler
+from repro.core.publisher import PublishReport, VMIPublisher
+from repro.model.vmi import VirtualMachineImage
+from repro.repository.repo import Repository
+from repro.sim.clock import SimulatedClock
+from repro.sim.costmodel import CostModel, CostParams
+
+__all__ = ["Expelliarmus"]
+
+
+class Expelliarmus:
+    """Semantics-aware VMI management system.
+
+    >>> from repro.workloads import standard_corpus
+    >>> corpus = standard_corpus()
+    >>> system = Expelliarmus()
+    >>> report = system.publish(corpus.build("Mini"))
+    >>> round(report.similarity, 2)
+    0.0
+    >>> result = system.retrieve("Mini")
+    >>> result.vmi.name
+    'Mini'
+    """
+
+    def __init__(
+        self,
+        *,
+        params: CostParams | None = None,
+        db_path: str = ":memory:",
+        dedup_packages: bool = True,
+    ) -> None:
+        self.clock = SimulatedClock()
+        self.cost = CostModel(params)
+        self.repo = Repository(db_path)
+        self.analyzer = SemanticAnalyzer(self.clock, self.cost)
+        self.publisher = VMIPublisher(
+            self.repo,
+            self.clock,
+            self.cost,
+            self.analyzer,
+            dedup_packages=dedup_packages,
+        )
+        self.assembler = VMIAssembler(self.repo, self.clock, self.cost)
+
+    # ------------------------------------------------------------------
+    # the two user-facing operations of Figure 2
+    # ------------------------------------------------------------------
+
+    def publish(self, vmi: VirtualMachineImage) -> PublishReport:
+        """Steps 1-3 of Figure 2: upload, analyze, decompose, store."""
+        return self.publisher.publish(vmi)
+
+    def retrieve(self, name: str) -> RetrievalReport:
+        """Steps 4-5 of Figure 2: request, assemble, deliver."""
+        return self.assembler.retrieve(name)
+
+    def assemble_custom(
+        self, name: str, base_key: int, primary_names: tuple[str, ...],
+        data_label: str | None = None,
+    ) -> RetrievalReport:
+        """Assemble a composition that was never uploaded as-is."""
+        return self.assembler.assemble(
+            name, base_key, primary_names, data_label
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle management (sprawl control)
+    # ------------------------------------------------------------------
+
+    def delete(self, name: str) -> None:
+        """Unpublish a VMI; shared content stays until garbage collection.
+
+        Raises:
+            NotInRepositoryError: unpublished name.
+        """
+        self.repo.delete_vmi_record(name)
+
+    def garbage_collect(self):
+        """Reclaim packages / data / bases no published VMI references.
+
+        Returns the :class:`~repro.repository.gc.GCReport` of the pass.
+        """
+        from repro.repository.gc import GarbageCollector
+
+        return GarbageCollector(self.repo).collect()
+
+    def containerizer(self):
+        """A :class:`~repro.containerize.converter.Containerizer` over
+        this repository (the paper's future-work extension)."""
+        from repro.containerize.converter import Containerizer
+
+        return Containerizer(self.repo)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def repository_size(self) -> int:
+        """Bytes on the repository disk (the Figure 3 metric)."""
+        return self.repo.total_bytes()
+
+    def repository_breakdown(self) -> dict[str, int]:
+        return self.repo.bytes_by_kind()
+
+    def published_names(self) -> list[str]:
+        return [r.name for r in self.repo.vmi_records()]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Expelliarmus vmis={len(self.published_names())} "
+            f"bytes={self.repository_size}>"
+        )

@@ -1,0 +1,112 @@
+"""Exception hierarchy for the Expelliarmus reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch one base class.  Sub-hierarchies mirror the major
+subsystems: the guest-OS substrate, the disk-image substrate, the
+repository, and the semantic management core.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "CatalogError",
+    "UnknownPackageError",
+    "DependencyError",
+    "PackageStateError",
+    "ImageError",
+    "HandleStateError",
+    "RepositoryError",
+    "NotInRepositoryError",
+    "DuplicateEntryError",
+    "PublishError",
+    "RetrievalError",
+    "IncompatibleImageError",
+    "GraphModelError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+# ---------------------------------------------------------------------------
+# guest OS substrate
+# ---------------------------------------------------------------------------
+
+
+class CatalogError(ReproError):
+    """Problems with the synthetic package catalog."""
+
+
+class UnknownPackageError(CatalogError):
+    """A package name was not found in the catalog or the guest."""
+
+    def __init__(self, name: str, where: str = "catalog") -> None:
+        super().__init__(f"package {name!r} not found in {where}")
+        self.name = name
+        self.where = where
+
+
+class DependencyError(CatalogError):
+    """Dependency resolution failed (missing or contradictory Depends)."""
+
+
+class PackageStateError(ReproError):
+    """An install/remove operation conflicts with the guest package state."""
+
+
+# ---------------------------------------------------------------------------
+# disk image substrate
+# ---------------------------------------------------------------------------
+
+
+class ImageError(ReproError):
+    """Problems manipulating a (synthetic) disk image."""
+
+
+class HandleStateError(ImageError):
+    """A guestfs handle was used in the wrong lifecycle state."""
+
+
+# ---------------------------------------------------------------------------
+# repository
+# ---------------------------------------------------------------------------
+
+
+class RepositoryError(ReproError):
+    """Problems with the VMI repository."""
+
+
+class NotInRepositoryError(RepositoryError):
+    """A requested object does not exist in the repository."""
+
+    def __init__(self, kind: str, key: object) -> None:
+        super().__init__(f"{kind} {key!r} is not stored in the repository")
+        self.kind = kind
+        self.key = key
+
+
+class DuplicateEntryError(RepositoryError):
+    """An object with the same identity is already stored."""
+
+
+# ---------------------------------------------------------------------------
+# semantic management core
+# ---------------------------------------------------------------------------
+
+
+class PublishError(ReproError):
+    """VMI publishing (Algorithm 1) failed."""
+
+
+class RetrievalError(ReproError):
+    """VMI retrieval (Algorithm 3) failed."""
+
+
+class IncompatibleImageError(RetrievalError):
+    """Requested packages are not semantically compatible with any base."""
+
+
+class GraphModelError(ReproError):
+    """A semantic graph violates the model of Section III."""

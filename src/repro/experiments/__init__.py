@@ -1,0 +1,36 @@
+"""Experiment harnesses — one per table / figure of Section VI.
+
+Each ``run_*`` function executes the full workload deterministically
+and returns a structured result carrying both the measured series and
+the paper's reference values; ``render()`` on any result prints the
+same rows/series the paper reports.
+
+| Function                 | Paper artefact                             |
+|--------------------------|--------------------------------------------|
+| ``run_table2``           | Table II — VMI characteristics             |
+| ``run_fig3a/b/c``        | Figure 3 — repository size growth          |
+| ``run_fig4a/b``          | Figure 4 — publish times                   |
+| ``run_fig5a/b``          | Figure 5 — retrieval times                 |
+| ``run_all``              | everything, in paper order                 |
+"""
+
+from repro.experiments.fig3 import run_fig3a, run_fig3b, run_fig3c
+from repro.experiments.fig4 import run_fig4a, run_fig4b
+from repro.experiments.fig5 import run_fig5a, run_fig5b
+from repro.experiments.reporting import ExperimentResult, Series
+from repro.experiments.runner import run_all
+from repro.experiments.table2 import run_table2
+
+__all__ = [
+    "run_fig3a",
+    "run_fig3b",
+    "run_fig3c",
+    "run_fig4a",
+    "run_fig4b",
+    "run_fig5a",
+    "run_fig5b",
+    "ExperimentResult",
+    "Series",
+    "run_all",
+    "run_table2",
+]

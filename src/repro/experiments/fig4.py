@@ -1,0 +1,114 @@
+"""Figure 4 — VMI publishing time.
+
+* 4a: sequential publish of the four study images (Expelliarmus vs
+  Mirage vs Hemera);
+* 4b: the 19 Table II images, adding the *semantic decomposition*
+  variant that exports every required package regardless of
+  repository state.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.baselines.expelliarmus_scheme import ExpelliarmusScheme
+from repro.baselines.hemera import HemeraStore
+from repro.baselines.mirage import MirageStore
+from repro.baselines.scheme import StorageScheme
+from repro.baselines.semantic_decomposition import (
+    semantic_decomposition_scheme,
+)
+from repro.experiments.reporting import ExperimentResult, Series
+from repro.sim.costmodel import CostParams
+from repro.workloads.generator import Corpus, standard_corpus
+from repro.workloads.vmi_specs import FOUR_VMI_NAMES, TABLE_II_ORDER
+
+__all__ = ["publish_times", "run_fig4a", "run_fig4b"]
+
+
+def publish_times(
+    schemes: Sequence[StorageScheme],
+    corpus: Corpus,
+    names: Sequence[str],
+) -> list[Series]:
+    """Per-image publish durations for every scheme."""
+    series: list[Series] = []
+    for scheme in schemes:
+        times = [
+            scheme.publish(corpus.build(name)).duration for name in names
+        ]
+        series.append(Series(label=scheme.name, values=tuple(times)))
+    return series
+
+
+def _result(
+    experiment_id: str,
+    title: str,
+    names: Sequence[str],
+    series: list[Series],
+    notes: Sequence[str] = (),
+) -> ExperimentResult:
+    columns = ("VMI", *(f"{s.label} [s]" for s in series))
+    rows = tuple(
+        (names[i], *(round(s.values[i], 2) for s in series))
+        for i in range(len(names))
+    )
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        columns=columns,
+        rows=rows,
+        x_labels=tuple(names),
+        series=tuple(series),
+        notes=tuple(notes),
+    )
+
+
+def run_fig4a(
+    corpus: Corpus | None = None, params: CostParams | None = None
+) -> ExperimentResult:
+    """Figure 4a: publishing time of the 4 study images."""
+    corpus = corpus or standard_corpus()
+    schemes: list[StorageScheme] = [
+        ExpelliarmusScheme(params),
+        MirageStore(params),
+        HemeraStore(params),
+    ]
+    series = publish_times(schemes, corpus, FOUR_VMI_NAMES)
+    return _result(
+        "Figure 4a",
+        "VMI publishing time, 4 VMIs",
+        FOUR_VMI_NAMES,
+        series,
+        notes=(
+            "paper: Expelliarmus publishes every image faster than "
+            "Mirage and Hemera; its cost tracks exported installation "
+            "size, theirs tracks mounted size and file count",
+        ),
+    )
+
+
+def run_fig4b(
+    corpus: Corpus | None = None, params: CostParams | None = None
+) -> ExperimentResult:
+    """Figure 4b: publishing time of the 19 Table II images."""
+    corpus = corpus or standard_corpus()
+    schemes: list[StorageScheme] = [
+        ExpelliarmusScheme(params),
+        semantic_decomposition_scheme(params),
+        MirageStore(params),
+        HemeraStore(params),
+    ]
+    series = publish_times(schemes, corpus, TABLE_II_ORDER)
+    return _result(
+        "Figure 4b",
+        "VMI publishing time, 19 VMIs",
+        TABLE_II_ORDER,
+        series,
+        notes=(
+            "paper: Desktop is the slowest Expelliarmus publish "
+            "(126 exported packages) followed by Elastic Stack; "
+            "Elastic Stack is the slowest for Mirage/Hemera "
+            "(>100k files) and for the semantic-decomposition variant",
+        ),
+    )

@@ -1,0 +1,103 @@
+"""Related-work comparison (Section II, quantified).
+
+The paper positions Expelliarmus against three generations of
+redundancy elimination: whole-image compression, block-level dedup
+(Jin & Miller, Liquid — "reduce redundant content by up to 80 %"),
+and file-level dedup with semantic metadata (Mirage, Hemera).  This
+extension experiment runs all of them over one image sequence so the
+progression is visible in a single table:
+
+  compression < block dedup ≈ file dedup < semantic decomposition
+
+It also reports the block stores' chunk populations, reproducing the
+Jin & Miller observation that fixed-size chunking needs more chunks
+than content-defined chunking at the same target size (alignment vs
+boundary-shift resilience).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.block_dedup import FixedBlockStore, VariableBlockStore
+from repro.baselines.expelliarmus_scheme import ExpelliarmusScheme
+from repro.baselines.gzip_store import GzipStore
+from repro.baselines.mirage import MirageStore
+from repro.baselines.qcow2_store import Qcow2Store
+from repro.experiments.reporting import ExperimentResult, Series
+from repro.sim.costmodel import CostParams
+from repro.units import GB, kb
+from repro.workloads.generator import Corpus, standard_corpus
+
+__all__ = ["run_related_work", "RELATED_WORK_NAMES"]
+
+#: a slice of the corpus large enough to exercise cross-image dedup,
+#: small enough for chunk-level simulation to stay snappy
+RELATED_WORK_NAMES: tuple[str, ...] = (
+    "Mini",
+    "Redis",
+    "Base",
+    "Tomcat",
+    "Jenkins",
+)
+
+
+def run_related_work(
+    corpus: Corpus | None = None,
+    params: CostParams | None = None,
+    chunk_size: int = kb(8),
+) -> ExperimentResult:
+    """Repository size across all related-work generations."""
+    corpus = corpus or standard_corpus()
+    schemes = [
+        Qcow2Store(params),
+        GzipStore(params),
+        FixedBlockStore(params, chunk_size=chunk_size),
+        VariableBlockStore(params, chunk_size=chunk_size),
+        MirageStore(params),
+        ExpelliarmusScheme(params),
+    ]
+    raw_total = 0
+    for name in RELATED_WORK_NAMES:
+        raw_total += corpus.build(name).mounted_size
+        for scheme in schemes:
+            scheme.publish(corpus.build(name))
+
+    rows = []
+    series = []
+    for scheme in schemes:
+        size = scheme.repository_bytes
+        savings = 1.0 - size / raw_total
+        rows.append(
+            (
+                scheme.name,
+                round(size / GB, 2),
+                f"{savings * 100:.0f}%",
+            )
+        )
+        series.append(Series(label=scheme.name, values=(size / GB,)))
+
+    fixed = next(
+        s for s in schemes if isinstance(s, FixedBlockStore)
+    )
+    variable = next(
+        s for s in schemes if isinstance(s, VariableBlockStore)
+    )
+    notes = (
+        f"uploads mounted {raw_total / GB:.2f} GB in total",
+        "paper Section II: block-level dedup removes up to ~80% of "
+        "redundant content but cannot extract reusable functionality",
+        f"chunk populations at {chunk_size // 1000} KB target: "
+        f"fixed={fixed.unique_chunks}, "
+        f"variable={variable.unique_chunks}",
+    )
+    return ExperimentResult(
+        experiment_id="Related work",
+        title=(
+            "Repository size across redundancy-elimination generations "
+            f"({len(RELATED_WORK_NAMES)} VMIs)"
+        ),
+        columns=("scheme", "repo [GB]", "savings vs raw"),
+        rows=tuple(rows),
+        x_labels=(RELATED_WORK_NAMES[-1],),
+        series=tuple(series),
+        notes=notes,
+    )

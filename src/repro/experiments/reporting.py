@@ -1,0 +1,179 @@
+"""Structured experiment results and text rendering.
+
+Every experiment returns an :class:`ExperimentResult`: an id (the
+paper's table/figure number), a title, column headers and rows — plus,
+for figure-style experiments, the measured :class:`Series` so tests and
+downstream analysis can assert on numbers instead of parsing text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["Series", "ExperimentResult", "format_table", "ascii_chart"]
+
+
+@dataclass(frozen=True)
+class Series:
+    """One plotted line: a label and y-values over shared x labels."""
+
+    label: str
+    values: tuple[float, ...]
+
+    def final(self) -> float:
+        """The last y value (e.g. final repository size)."""
+        if not self.values:
+            raise ValueError(f"series {self.label!r} is empty")
+        return self.values[-1]
+
+    def max(self) -> float:
+        return max(self.values)
+
+    def argmax(self) -> int:
+        return max(range(len(self.values)), key=self.values.__getitem__)
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """A rendered-ready experiment outcome."""
+
+    experiment_id: str
+    title: str
+    columns: tuple[str, ...]
+    rows: tuple[tuple[object, ...], ...]
+    #: x-axis labels shared by all series (figure-style results)
+    x_labels: tuple[str, ...] = ()
+    series: tuple[Series, ...] = ()
+    notes: tuple[str, ...] = ()
+
+    def series_by_label(self, label: str) -> Series:
+        """Fetch one plotted line.
+
+        Raises:
+            KeyError: unknown label.
+        """
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(f"no series labelled {label!r}")
+
+    def render(self) -> str:
+        """The experiment as printable text (paper-style rows)."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        if self.rows:
+            lines.append(format_table(self.columns, self.rows))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def render_figure(self, width: int = 64, height: int = 16) -> str:
+        """An ASCII chart of the measured series (figure experiments).
+
+        Raises:
+            ValueError: when the result carries no series.
+        """
+        if not self.series:
+            raise ValueError(
+                f"{self.experiment_id} has no series to chart"
+            )
+        chart = ascii_chart(
+            self.series, width=width, height=height
+        )
+        return f"== {self.experiment_id}: {self.title} ==\n{chart}"
+
+
+def format_table(
+    columns: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    rendered_rows = [
+        [_cell(v) for v in row] for row in rows
+    ]
+    widths = [
+        max(len(str(col)), *(len(r[i]) for r in rendered_rows))
+        if rendered_rows
+        else len(str(col))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(
+        str(col).ljust(widths[i]) for i, col in enumerate(columns)
+    )
+    sep = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(
+            cell.rjust(widths[i]) if _numericish(cell) else
+            cell.ljust(widths[i])
+            for i, cell in enumerate(row)
+        )
+        for row in rendered_rows
+    ]
+    return "\n".join([header, sep, *body])
+
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_chart(
+    series: Sequence[Series], width: int = 64, height: int = 16
+) -> str:
+    """Plot series as an ASCII line chart with a shared y-scale.
+
+    Each series gets one marker character; overlapping points show the
+    later series' marker.  The y-axis is labelled with the value range,
+    the x-axis spans the series index range.
+
+    Raises:
+        ValueError: empty series list or non-positive dimensions.
+    """
+    series = [s for s in series if s.values]
+    if not series:
+        raise ValueError("nothing to chart")
+    if width < 8 or height < 4:
+        raise ValueError("chart too small to be legible")
+
+    y_max = max(s.max() for s in series)
+    y_min = min(min(s.values) for s in series)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    n_points = max(len(s.values) for s in series)
+
+    grid = [[" "] * width for _ in range(height)]
+    for s_idx, s in enumerate(series):
+        marker = _MARKERS[s_idx % len(_MARKERS)]
+        for i, value in enumerate(s.values):
+            x = (
+                0
+                if n_points == 1
+                else round(i * (width - 1) / (n_points - 1))
+            )
+            frac = (value - y_min) / (y_max - y_min)
+            y = (height - 1) - round(frac * (height - 1))
+            grid[y][x] = marker
+
+    left = f"{y_max:,.1f} "
+    pad = len(left)
+    lines = []
+    for row_idx, row in enumerate(grid):
+        prefix = left if row_idx == 0 else (
+            f"{y_min:,.1f} ".rjust(pad) if row_idx == height - 1
+            else " " * pad
+        )
+        lines.append(prefix + "|" + "".join(row))
+    lines.append(" " * pad + "+" + "-" * width)
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={s.label}"
+        for i, s in enumerate(series)
+    )
+    lines.append(" " * pad + " " + legend)
+    return "\n".join(lines)
+
+
+def _cell(v: object) -> str:
+    if isinstance(v, float):
+        return f"{v:.2f}"
+    return str(v)
+
+
+def _numericish(cell: str) -> bool:
+    return bool(cell) and cell.replace(".", "").replace("-", "").isdigit()

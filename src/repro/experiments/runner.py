@@ -1,0 +1,45 @@
+"""Run every experiment of Section VI, in paper order."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments.fig3 import run_fig3a, run_fig3b, run_fig3c
+from repro.experiments.fig4 import run_fig4a, run_fig4b
+from repro.experiments.fig5 import run_fig5a, run_fig5b
+from repro.experiments.related_work import run_related_work
+from repro.experiments.reporting import ExperimentResult
+from repro.experiments.table2 import run_table2
+from repro.sim.costmodel import CostParams
+
+__all__ = ["ALL_EXPERIMENTS", "run_all"]
+
+#: experiment id -> harness, in the paper's presentation order
+#: (``related`` is this reproduction's Section-II extension)
+ALL_EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "table2": run_table2,
+    "fig3a": run_fig3a,
+    "fig3b": run_fig3b,
+    "fig3c": run_fig3c,
+    "fig4a": run_fig4a,
+    "fig4b": run_fig4b,
+    "fig5a": run_fig5a,
+    "fig5b": run_fig5b,
+    "related": run_related_work,
+}
+
+
+def run_all(
+    params: CostParams | None = None,
+    *,
+    echo: Callable[[str], None] | None = None,
+) -> dict[str, ExperimentResult]:
+    """Execute every harness; optionally print each as it completes."""
+    results: dict[str, ExperimentResult] = {}
+    for key, harness in ALL_EXPERIMENTS.items():
+        result = harness(params=params)
+        results[key] = result
+        if echo is not None:
+            echo(result.render())
+            echo("")
+    return results

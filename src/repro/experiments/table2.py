@@ -1,0 +1,125 @@
+"""Table II — experimental VMI characteristics.
+
+Uploads the 19 images in the paper's row order into one Expelliarmus
+repository (initially empty), then retrieves each, reporting per image:
+mounted size, file count, semantic similarity at upload time, publish
+time and retrieval time — next to the paper's reference values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.system import Expelliarmus
+from repro.experiments.reporting import ExperimentResult
+from repro.sim.costmodel import CostParams
+from repro.units import GB
+from repro.workloads.generator import Corpus, standard_corpus
+
+__all__ = ["Table2Row", "run_table2"]
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One VMI's measured characteristics plus paper references."""
+
+    number: int
+    name: str
+    mounted_gb: float
+    n_files: int
+    similarity: float
+    publish_s: float
+    retrieval_s: float
+    paper_mounted_gb: float
+    paper_n_files: int
+    paper_similarity: float
+    paper_publish_s: float
+    paper_retrieval_s: float
+
+
+def run_table2(
+    corpus: Corpus | None = None, params: CostParams | None = None
+) -> ExperimentResult:
+    """Run the Table II workload; returns measured-vs-paper rows."""
+    corpus = corpus or standard_corpus()
+    system = Expelliarmus(params=params)
+
+    rows: list[Table2Row] = []
+    # publish in table order, capturing upload-time characteristics
+    for number, name in enumerate(corpus.table_ii_names(), start=1):
+        vmi = corpus.build(name)
+        spec = corpus.spec(name)
+        mounted = vmi.mounted_size
+        n_files = vmi.n_files
+        publish = system.publish(vmi)
+        rows.append(
+            Table2Row(
+                number=number,
+                name=name,
+                mounted_gb=mounted / GB,
+                n_files=n_files,
+                similarity=publish.similarity,
+                publish_s=publish.publish_time,
+                retrieval_s=0.0,  # filled below
+                paper_mounted_gb=spec.paper_mounted_gb,
+                paper_n_files=spec.paper_n_files,
+                paper_similarity=spec.paper_similarity,
+                paper_publish_s=spec.paper_publish_s,
+                paper_retrieval_s=spec.paper_retrieval_s,
+            )
+        )
+    # retrieval pass over the fully populated repository
+    final_rows: list[Table2Row] = []
+    for row in rows:
+        retrieval = system.retrieve(row.name)
+        final_rows.append(
+            Table2Row(
+                **{
+                    **row.__dict__,
+                    "retrieval_s": retrieval.retrieval_time,
+                }
+            )
+        )
+
+    columns = (
+        "#",
+        "VMI name",
+        "size[GB]",
+        "size(paper)",
+        "files",
+        "files(paper)",
+        "SimG",
+        "SimG(paper)",
+        "publish[s]",
+        "publish(paper)",
+        "retrieve[s]",
+        "retrieve(paper)",
+    )
+    table_rows = tuple(
+        (
+            r.number,
+            r.name,
+            round(r.mounted_gb, 3),
+            round(r.paper_mounted_gb, 3),
+            r.n_files,
+            r.paper_n_files,
+            round(r.similarity, 2),
+            round(r.paper_similarity, 2),
+            round(r.publish_s, 2),
+            round(r.paper_publish_s, 2),
+            round(r.retrieval_s, 2),
+            round(r.paper_retrieval_s, 2),
+        )
+        for r in final_rows
+    )
+    return ExperimentResult(
+        experiment_id="Table II",
+        title="Experimental VMI characteristics (measured vs paper)",
+        columns=columns,
+        rows=table_rows,
+        notes=(
+            "similarity is SimG of the upload against the master graph "
+            "at upload time; absolute seconds come from the calibrated "
+            "cost model (see DESIGN.md substitution 3)",
+        ),
+    )

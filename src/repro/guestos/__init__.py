@@ -1,0 +1,29 @@
+"""Synthetic guest-OS substrate.
+
+The paper's implementation shells into real Ubuntu guests through
+libguestfs and drives APT/dpkg.  This subpackage is the laptop-scale
+equivalent: a deterministic package :class:`~repro.guestos.catalog.Catalog`
+(the distribution archive), a :class:`~repro.guestos.manager.PackageManager`
+with APT semantics (dependency resolution, auto/manual marks,
+autoremove), and deterministic per-package file manifests
+(:func:`~repro.guestos.filesystem.package_manifest`).
+"""
+
+from repro.guestos.catalog import Catalog, InstallPlan
+from repro.guestos.filesystem import (
+    GuestFilesystem,
+    package_manifest,
+    skeleton_manifest,
+)
+from repro.guestos.manager import PackageManager
+from repro.guestos.pkgdb import PackageQuery
+
+__all__ = [
+    "Catalog",
+    "InstallPlan",
+    "GuestFilesystem",
+    "package_manifest",
+    "skeleton_manifest",
+    "PackageManager",
+    "PackageQuery",
+]

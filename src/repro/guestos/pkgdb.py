@@ -1,0 +1,79 @@
+"""Read-only dpkg-style queries over a guest image.
+
+``PackageQuery`` is the reproduction's ``dpkg -l`` / ``dpkg -L`` /
+``apt-mark showauto``: the semantic analyzer uses it to fetch the
+information the paper extracts by executing package-management commands
+through libguestfs (Section V-2).
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnknownPackageError
+from repro.image.manifest import FileManifest
+from repro.guestos.filesystem import package_manifest
+from repro.model.graph import PackageRole
+from repro.model.vmi import InstalledPackage, VirtualMachineImage
+
+__all__ = ["PackageQuery"]
+
+
+class PackageQuery:
+    """dpkg/apt-mark style introspection of one guest."""
+
+    def __init__(self, vmi: VirtualMachineImage) -> None:
+        self.vmi = vmi
+
+    def list_installed(self) -> list[InstalledPackage]:
+        """``dpkg -l``: every installed package record."""
+        return self.vmi.installed_packages()
+
+    def status(self, name: str) -> InstalledPackage:
+        """``dpkg -s NAME``.
+
+        Raises:
+            UnknownPackageError: when not installed.
+        """
+        rec = self.vmi.installed(name)
+        if rec is None:
+            raise UnknownPackageError(name, where="guest")
+        return rec
+
+    def owned_files(self, name: str) -> FileManifest:
+        """``dpkg -L NAME``: the file population owned by a package."""
+        return package_manifest(self.status(name).package)
+
+    def show_auto(self) -> list[str]:
+        """``apt-mark showauto``: auto-installed package names."""
+        return sorted(
+            rec.name
+            for rec in self.vmi.installed_packages()
+            if rec.auto
+        )
+
+    def show_manual(self) -> list[str]:
+        """``apt-mark showmanual``."""
+        return sorted(
+            rec.name
+            for rec in self.vmi.installed_packages()
+            if not rec.auto
+        )
+
+    def primaries(self) -> list[str]:
+        """Names with the primary role (the user-facing package set)."""
+        return sorted(self.vmi.primary_names())
+
+    def base_members(self) -> list[str]:
+        """Names shipped by the base OS."""
+        return sorted(
+            rec.name
+            for rec in self.vmi.installed_packages()
+            if rec.role is PackageRole.BASE_MEMBER
+        )
+
+    def dependencies(self) -> list[str]:
+        """Names installed purely as dependencies (the set ``DS``)."""
+        return sorted(
+            rec.name
+            for rec in self.vmi.installed_packages()
+            if rec.role is PackageRole.DEPENDENCY
+        )

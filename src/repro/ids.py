@@ -1,0 +1,53 @@
+"""Deterministic content identifiers.
+
+The synthetic substrate never materialises multi-gigabyte file payloads;
+instead every distinct file *content* is represented by a stable 64-bit
+identifier derived from a seed string (package name, version, path, build
+number ...).  Two files collide exactly when their seeds are equal, which
+is precisely the behaviour content-addressed stores (Mirage's global data
+store, Hemera's hybrid store, our blob store) rely on.
+
+blake2b is used rather than ``hash()`` so identifiers are stable across
+processes and Python versions, which keeps every experiment fully
+deterministic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+__all__ = ["content_id", "content_ids", "hex_id", "combine"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def content_id(seed: str) -> int:
+    """Return the deterministic 64-bit content id for ``seed``.
+
+    >>> content_id("libc6/2.23/usr/lib/libc.so.6") == content_id(
+    ...     "libc6/2.23/usr/lib/libc.so.6")
+    True
+    """
+    digest = hashlib.blake2b(seed.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def content_ids(seeds: Iterable[str]) -> list[int]:
+    """Vector form of :func:`content_id`."""
+    return [content_id(s) for s in seeds]
+
+
+def hex_id(cid: int) -> str:
+    """Render a content id the way a store would name its blob file."""
+    return f"{cid & _MASK64:016x}"
+
+
+def combine(*parts: object) -> int:
+    """Combine heterogeneous parts into one deterministic id.
+
+    Useful for identities that are naturally composite, e.g. the blob key
+    of a package is ``combine("pkg", name, version, arch)``.
+    """
+    seed = "\x1f".join(str(p) for p in parts)
+    return content_id(seed)

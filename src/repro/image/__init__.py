@@ -1,0 +1,57 @@
+"""Disk-image substrate.
+
+The paper manipulates real qcow2 images through libguestfs.  This
+subpackage provides the laptop-scale equivalents:
+
+* :class:`~repro.image.manifest.FileManifest` — the content of a file
+  tree as numpy arrays of (content id, size, gzip ratio).  Every storage
+  scheme in the paper is a pure function of this information.
+* :class:`~repro.image.qcow2.Qcow2Image` — a qcow2 container model with
+  raw and gzip-compressed encodings.
+* :class:`~repro.image.guestfs.GuestfsHandle` — the libguestfs stand-in
+  (launch / mount / command / shutdown lifecycle, charged to the
+  simulated clock).
+* :class:`~repro.image.builder.ImageBuilder` — the virt-builder stand-in
+  that assembles :class:`~repro.model.vmi.VirtualMachineImage` objects
+  from a base template plus package lists.
+* :func:`~repro.image.sysprep.sysprep` — the virt-sysprep stand-in that
+  resets a VMI to first-boot state.
+
+Heavyweight members are imported lazily (module ``__getattr__``) because
+``repro.model.vmi`` needs :class:`FileManifest` while the builder needs
+the model — laziness breaks the package-level cycle without hiding any
+public name.
+"""
+
+from repro.image.manifest import FileManifest
+from repro.image.qcow2 import Qcow2Image
+
+__all__ = [
+    "BaseTemplate",
+    "BuildRecipe",
+    "ImageBuilder",
+    "GuestfsHandle",
+    "FileManifest",
+    "Qcow2Image",
+    "sysprep",
+]
+
+_LAZY = {
+    "BaseTemplate": ("repro.image.builder", "BaseTemplate"),
+    "BuildRecipe": ("repro.image.builder", "BuildRecipe"),
+    "ImageBuilder": ("repro.image.builder", "ImageBuilder"),
+    "GuestfsHandle": ("repro.image.guestfs", "GuestfsHandle"),
+    "sysprep": ("repro.image.sysprep", "sysprep"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

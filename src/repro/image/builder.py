@@ -1,0 +1,152 @@
+"""virt-builder stand-in: assembling VMIs from recipes.
+
+The paper creates its evaluation images with ``virt-builder`` — a base
+template plus a package list plus user payload.  :class:`ImageBuilder`
+does the same against the synthetic catalog: resolve the base template's
+package set, create the base image, install the recipe's primary
+packages (dependencies pulled in automatically), and attach user data.
+
+Build determinism matters twice: identical recipes must produce
+byte-identical images (so dedup sees them as identical), while the
+``build_id`` of successive builds (Figure 3c's 40 IDE builds) perturbs
+only the build-residue part of the user payload — mirroring rebuilt
+images that differ in logs, caches and timestamps but not in packages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.guestos.catalog import Catalog
+from repro.guestos.filesystem import skeleton_manifest
+from repro.guestos.manager import PackageManager
+from repro.image.manifest import FileManifest
+from repro.image.qcow2 import Qcow2Image
+from repro.model.attributes import BaseImageAttrs
+from repro.model.graph import PackageRole
+from repro.model.vmi import BaseImage, UserData, VirtualMachineImage
+
+__all__ = [
+    "BaseTemplate",
+    "BuildRecipe",
+    "ImageBuilder",
+    "INSTANCE_NOISE_SIZE",
+    "INSTANCE_NOISE_FILES",
+]
+
+#: Every *built instance* accumulates content the package manager does
+#: not own and the user-data model does not claim: logs, apt lists, a
+#: rebuilt initramfs, regenerated caches.  It is unique per instance, so
+#: whole-image schemes (Qcow2, Gzip, Mirage, Hemera) store it for every
+#: image while Expelliarmus's decomposition cleans it up — one of the
+#: two structural advantages Section VI-B credits for the storage gap.
+INSTANCE_NOISE_SIZE: int = 85_000_000
+INSTANCE_NOISE_FILES: int = 1_100
+
+
+@dataclass(frozen=True)
+class BaseTemplate:
+    """A virt-builder OS template (e.g. ``ubuntu-16.04``)."""
+
+    attrs: BaseImageAttrs
+    #: names of packages the minimal install ships (resolved w/ deps)
+    package_names: tuple[str, ...]
+    #: files owned by no package (installer state, /etc, boot payload)
+    skeleton_files: int = 4_000
+    skeleton_size: int = 120_000_000
+
+
+@dataclass(frozen=True)
+class BuildRecipe:
+    """One image to build: primaries + user payload on a base template."""
+
+    name: str
+    primaries: tuple[str, ...] = ()
+    #: opaque user payload (home dirs etc.)
+    user_data_size: int = 25_000_000
+    user_data_files: int = 400
+    #: perturbs instance noise and user data — successive builds of the
+    #: same recipe share all packages but not this content (Figure 3c)
+    build_id: int = 0
+    #: extra residue rebuilt images accumulate (build logs, caches)
+    build_residue_size: int = 0
+    build_residue_files: int = 0
+    #: per-instance unowned content (see INSTANCE_NOISE_SIZE)
+    instance_noise_size: int = INSTANCE_NOISE_SIZE
+    instance_noise_files: int = INSTANCE_NOISE_FILES
+
+
+class ImageBuilder:
+    """Builds :class:`VirtualMachineImage` objects from recipes."""
+
+    def __init__(self, catalog: Catalog, template: BaseTemplate) -> None:
+        self.catalog = catalog
+        self.template = template
+        self._base: BaseImage | None = None
+
+    def base_image(self) -> BaseImage:
+        """The template's base image (computed once, then shared).
+
+        Resolution pulls the full dependency closure of the template's
+        package list, so the base is always a self-consistent OS.
+        """
+        if self._base is None:
+            plan = self.catalog.resolve(self.template.package_names)
+            self._base = BaseImage(
+                attrs=self.template.attrs,
+                packages=tuple(plan.packages()),
+                skeleton=skeleton_manifest(
+                    self.template.attrs,
+                    self.template.skeleton_files,
+                    self.template.skeleton_size,
+                ),
+            )
+        return self._base
+
+    def build(self, recipe: BuildRecipe) -> VirtualMachineImage:
+        """Run one build: base + primaries + user data."""
+        vmi = VirtualMachineImage(recipe.name, self.base_image())
+        if recipe.primaries:
+            manager = PackageManager(self.catalog, vmi)
+            manager.install(recipe.primaries, role=PackageRole.PRIMARY)
+        vmi.attach_user_data(self._user_data(recipe))
+        residue_parts = []
+        if recipe.instance_noise_size > 0:
+            residue_parts.append(
+                FileManifest.synthesize(
+                    seed=f"noise/{recipe.name}#{recipe.build_id}",
+                    n_files=recipe.instance_noise_files,
+                    total_size=recipe.instance_noise_size,
+                    gzip_ratio=0.40,
+                )
+            )
+        if recipe.build_residue_size > 0:
+            residue_parts.append(
+                FileManifest.synthesize(
+                    seed=f"residue/{recipe.name}#{recipe.build_id}",
+                    n_files=recipe.build_residue_files,
+                    total_size=recipe.build_residue_size,
+                    gzip_ratio=0.55,
+                )
+            )
+        if residue_parts:
+            vmi.attach_residue(FileManifest.concat(residue_parts))
+        return vmi
+
+    def _user_data(self, recipe: BuildRecipe) -> UserData:
+        """Stable user payload; per-build home-directory drift is keyed
+        by ``build_id`` so successive builds store distinct user data."""
+        label = f"{recipe.name}#build{recipe.build_id}"
+        return UserData(
+            label=label,
+            manifest=FileManifest.synthesize(
+                seed=f"userdata/{label}",
+                n_files=recipe.user_data_files,
+                total_size=recipe.user_data_size,
+                gzip_ratio=0.45,
+            ),
+        )
+
+    def to_qcow2(self, vmi: VirtualMachineImage) -> Qcow2Image:
+        """Serialise a built image as qcow2 (the upload format)."""
+        return Qcow2Image(name=vmi.name, manifest=vmi.full_manifest())

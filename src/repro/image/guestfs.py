@@ -1,0 +1,100 @@
+"""libguestfs stand-in.
+
+The paper accesses guests through a ``guestfs`` handle: configure,
+launch the qemu appliance, mount the image, run package-management
+commands, shut down.  :class:`GuestfsHandle` mirrors that lifecycle and
+charges the launch latency to the simulated clock, because handle
+creation is one of the four retrieval-time components of Figure 5a.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import HandleStateError
+from repro.guestos.pkgdb import PackageQuery
+from repro.model.vmi import VirtualMachineImage
+from repro.sim.clock import SimulatedClock
+from repro.sim.costmodel import CostModel
+
+__all__ = ["GuestfsHandle", "HandleState"]
+
+
+class HandleState(enum.Enum):
+    CONFIGURED = "configured"
+    LAUNCHED = "launched"
+    MOUNTED = "mounted"
+    CLOSED = "closed"
+
+
+class GuestfsHandle:
+    """One guestfs appliance session over one VMI."""
+
+    def __init__(
+        self,
+        clock: SimulatedClock,
+        cost: CostModel,
+        *,
+        label: str = "guestfs-handle",
+    ) -> None:
+        self._clock = clock
+        self._cost = cost
+        self._label = label
+        self._state = HandleState.CONFIGURED
+        self._vmi: VirtualMachineImage | None = None
+
+    @property
+    def state(self) -> HandleState:
+        return self._state
+
+    def launch(self) -> None:
+        """Boot the appliance (charged: guestfs launch latency).
+
+        Raises:
+            HandleStateError: if not freshly configured.
+        """
+        if self._state is not HandleState.CONFIGURED:
+            raise HandleStateError(f"cannot launch from {self._state}")
+        self._clock.advance(self._cost.guestfs_launch(), self._label)
+        self._state = HandleState.LAUNCHED
+
+    def mount(self, vmi: VirtualMachineImage) -> None:
+        """Attach and mount a guest image.
+
+        Raises:
+            HandleStateError: if the appliance is not launched.
+        """
+        if self._state is not HandleState.LAUNCHED:
+            raise HandleStateError(f"cannot mount from {self._state}")
+        self._vmi = vmi
+        self._state = HandleState.MOUNTED
+
+    @property
+    def vmi(self) -> VirtualMachineImage:
+        """The mounted guest.
+
+        Raises:
+            HandleStateError: if nothing is mounted.
+        """
+        if self._state is not HandleState.MOUNTED or self._vmi is None:
+            raise HandleStateError("no guest mounted")
+        return self._vmi
+
+    def query(self) -> PackageQuery:
+        """dpkg/apt-mark access to the mounted guest (Section V-2)."""
+        return PackageQuery(self.vmi)
+
+    def shutdown(self) -> None:
+        """Unmount and close; the handle cannot be reused."""
+        self._vmi = None
+        self._state = HandleState.CLOSED
+
+    def __enter__(self) -> "GuestfsHandle":
+        self.launch()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<GuestfsHandle state={self._state.value}>"

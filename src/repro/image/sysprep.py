@@ -1,0 +1,25 @@
+"""virt-sysprep stand-in.
+
+Retrieval (Algorithm 3 line 4) resets a copy of the stored base image to
+first-boot state before user data and packages are imported.  On the
+synthetic substrate the reset drops any user payload and build residue,
+leaving only the base OS; the (substantial) wall-clock cost of the real
+virt-sysprep run is charged by the assembler via the cost model.
+"""
+
+from __future__ import annotations
+
+from repro.model.vmi import UserData, VirtualMachineImage
+
+__all__ = ["sysprep"]
+
+
+def sysprep(vmi: VirtualMachineImage) -> UserData | None:
+    """Reset ``vmi`` to first-boot state; returns removed user data.
+
+    Drops both the user payload and any build residue (logs, caches,
+    machine ids — what the real virt-sysprep scrubs).  Idempotent:
+    resetting an already-clean image is a no-op returning ``None``.
+    """
+    vmi.clear_residue()
+    return vmi.detach_user_data()

@@ -1,0 +1,38 @@
+"""Semantic VMI model (Section III of the paper).
+
+This subpackage defines the vocabulary every other layer speaks:
+
+* :class:`~repro.model.versions.Version` — Debian-policy version ordering,
+* :class:`~repro.model.attributes.BaseImageAttrs` /
+  :class:`~repro.model.attributes.PackageAttrs` — the attribute tuples of
+  Section III-C,
+* :class:`~repro.model.package.Package` /
+  :class:`~repro.model.package.DependencySpec` — software packages and
+  their dependency constraints,
+* :class:`~repro.model.graph.SemanticGraph` — the directed (cyclic) VMI
+  semantic graph of Section III-B together with its induced base-image and
+  primary-package subgraphs,
+* :class:`~repro.model.vmi.VirtualMachineImage` — the quadruple
+  ``I = (BI, PS, DS, Data)`` of Section III-A.
+"""
+
+from repro.model.attributes import ARCH_ALL, BaseImageAttrs, PackageAttrs
+from repro.model.graph import NodeKind, PackageRole, SemanticGraph
+from repro.model.package import DependencySpec, Package
+from repro.model.versions import Version
+from repro.model.vmi import BaseImage, UserData, VirtualMachineImage
+
+__all__ = [
+    "ARCH_ALL",
+    "BaseImageAttrs",
+    "PackageAttrs",
+    "NodeKind",
+    "PackageRole",
+    "SemanticGraph",
+    "DependencySpec",
+    "Package",
+    "Version",
+    "BaseImage",
+    "UserData",
+    "VirtualMachineImage",
+]

@@ -1,0 +1,165 @@
+"""Software packages and dependency constraints.
+
+A :class:`Package` is the unit the decomposer extracts, the blob store
+deduplicates, and the semantic graph uses as a vertex.  It corresponds to
+one versioned binary package of the guest distribution (one ``.deb``).
+
+Sizes follow the distinction the paper leans on in Section VI-C:
+
+* ``installed_size`` — bytes the package occupies once installed on the
+  guest filesystem (drives install/import time and mounted image size);
+* ``deb_size`` — bytes of the packaged ``.deb`` archive (drives repository
+  storage and export/copy time), always smaller than the installed size.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+
+from repro.ids import combine
+from repro.model.attributes import ARCH_ALL, PackageAttrs
+from repro.model.versions import Version
+
+__all__ = ["DependencySpec", "Package", "make_package"]
+
+_OPS = {
+    ">=": operator.ge,
+    "<=": operator.le,
+    ">>": operator.gt,
+    "<<": operator.lt,
+    "=": operator.eq,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class DependencySpec:
+    """One entry of a package's ``Depends`` field.
+
+    ``DependencySpec("libc6", ">=", Version.parse("2.17"))`` states the
+    dependent needs libc6 at version 2.17 or newer; a bare
+    ``DependencySpec("libc6")`` accepts any version.
+    """
+
+    name: str
+    op: str | None = None
+    version: Version | None = None
+
+    def __post_init__(self) -> None:
+        if (self.op is None) != (self.version is None):
+            raise ValueError("op and version must be given together")
+        if self.op is not None and self.op not in _OPS:
+            raise ValueError(f"unknown dependency operator {self.op!r}")
+
+    def satisfied_by(self, version: Version) -> bool:
+        """Does ``version`` of the named package satisfy this constraint?"""
+        if self.op is None or self.version is None:
+            return True
+        return _OPS[self.op](version, self.version)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        if self.op is None:
+            return self.name
+        return f"{self.name} ({self.op} {self.version})"
+
+
+@dataclass(frozen=True)
+class Package:
+    """A versioned binary package of the synthetic guest distribution.
+
+    Attributes:
+        name: binary package name (``"postgresql-9.5"``).
+        version: Debian-style :class:`~repro.model.versions.Version`.
+        arch: CPU architecture, or ``"all"`` for portable packages.
+        installed_size: bytes on the guest filesystem once installed.
+        deb_size: bytes of the packaged archive stored in a repository.
+        n_files: number of files the package ships.
+        depends: dependency constraints (may form cycles at the catalog
+            level, mirroring libc6/dpkg/perl-base in Figure 1a).
+        section: archive section (``"libs"``, ``"database"``, ...).
+        essential: whether the package belongs to the minimal OS and may
+            never be autoremoved.
+        gzip_ratio: average compressed/uncompressed ratio of the
+            package's installed payload (drives the Qcow2+Gzip baseline).
+    """
+
+    name: str
+    version: Version
+    arch: str
+    installed_size: int
+    deb_size: int
+    n_files: int
+    depends: tuple[DependencySpec, ...] = ()
+    section: str = "misc"
+    essential: bool = False
+    gzip_ratio: float = 0.36
+
+    def __post_init__(self) -> None:
+        if self.installed_size < 0 or self.deb_size < 0:
+            raise ValueError("package sizes must be non-negative")
+        if self.n_files < 0:
+            raise ValueError("n_files must be non-negative")
+        if not (0.0 < self.gzip_ratio <= 1.0):
+            raise ValueError("gzip_ratio must be in (0, 1]")
+
+    @property
+    def attrs(self) -> PackageAttrs:
+        """The ``(pkg, ver, arch)`` attribute triple of Section III-E."""
+        return PackageAttrs(self.name, self.version, self.arch)
+
+    @property
+    def identity(self) -> tuple[str, str, str]:
+        """Hashable identity: (name, version string, arch)."""
+        return (self.name, str(self.version), self.arch)
+
+    def blob_key(self) -> int:
+        """Deterministic content id of the packaged ``.deb`` archive."""
+        return combine("pkg", self.name, self.version, self.arch)
+
+    def is_portable(self) -> bool:
+        """True for ``Architecture: all`` packages."""
+        return self.arch == ARCH_ALL
+
+    def dependency_names(self) -> tuple[str, ...]:
+        """Names of direct dependencies, in declaration order."""
+        return tuple(d.name for d in self.depends)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.name}={self.version}:{self.arch}"
+
+
+def make_package(
+    name: str,
+    version: str,
+    *,
+    arch: str = "amd64",
+    installed_size: int = 0,
+    deb_size: int | None = None,
+    n_files: int | None = None,
+    depends: tuple[DependencySpec, ...] | list[DependencySpec] = (),
+    section: str = "misc",
+    essential: bool = False,
+    gzip_ratio: float = 0.36,
+) -> Package:
+    """Convenience constructor used by the catalog builders.
+
+    ``deb_size`` defaults to 26 % of the installed size (typical for
+    xz-compressed Debian archives) and ``n_files`` to roughly one file
+    per 24 KiB of installed payload, floor one file.
+    """
+    if deb_size is None:
+        deb_size = max(1024, int(installed_size * 0.26))
+    if n_files is None:
+        n_files = max(1, installed_size // 24_576)
+    return Package(
+        name=name,
+        version=Version.parse(version),
+        arch=arch,
+        installed_size=installed_size,
+        deb_size=deb_size,
+        n_files=n_files,
+        depends=tuple(depends),
+        section=section,
+        essential=essential,
+        gzip_ratio=gzip_ratio,
+    )

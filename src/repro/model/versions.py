@@ -1,0 +1,227 @@
+"""Debian-policy package version parsing and comparison.
+
+The synthetic catalog uses Debian/Ubuntu-style version strings
+(``[epoch:]upstream[-revision]``, e.g. ``2:9.5.14-0ubuntu0.16.04``) and
+the similarity metrics of Section III-E need both a *total order* (does
+the base image provide a new enough libc?) and a *graded similarity*
+(how close are two versions of the same package?).
+
+The comparison implements the Debian policy algorithm: the version is
+split into epoch, upstream version and revision; upstream/revision are
+compared by alternating maximal non-digit and digit runs, with ``~``
+sorting before everything (including the empty string).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from functools import total_ordering
+
+__all__ = ["Version", "version_component_similarity"]
+
+_DIGITS = re.compile(r"\d+")
+
+
+def _char_order(c: str) -> int:
+    """Debian character ordering: ``~`` < end < letters < non-letters."""
+    if c == "~":
+        return -1
+    if c.isalpha():
+        return ord(c)
+    # non-alphanumeric characters sort after letters
+    return ord(c) + 256
+
+
+def _compare_nondigit(a: str, b: str) -> int:
+    """Compare two non-digit runs under Debian character ordering."""
+    for ca, cb in zip(a, b):
+        oa, ob = _char_order(ca), _char_order(cb)
+        if oa != ob:
+            return -1 if oa < ob else 1
+    if len(a) == len(b):
+        return 0
+    # the shorter string wins unless the longer continues with '~'
+    longer, sign = (b, -1) if len(a) < len(b) else (a, 1)
+    tail = longer[min(len(a), len(b))]
+    if tail == "~":
+        return -sign
+    return sign
+
+
+def _canonical_pairs(s: str) -> tuple[tuple[str, int], ...]:
+    """The comparison-relevant content of a Debian version string.
+
+    Alternating (non-digit run, numeric run) pairs with trailing
+    ``("", 0)`` phantoms stripped — exactly the pairs
+    :func:`_compare_debian_string` consumes, so two strings compare
+    equal iff their canonical pairs are equal.  Used to keep ``hash``
+    consistent with ``==`` (e.g. ``1.0`` equals ``1.0-0``).
+    """
+    pairs: list[tuple[str, int]] = []
+    i = 0
+    while i < len(s):
+        j = i
+        while j < len(s) and not s[j].isdigit():
+            j += 1
+        nondigit = s[i:j]
+        i = j
+        while j < len(s) and s[j].isdigit():
+            j += 1
+        number = int(s[i:j]) if j > i else 0
+        pairs.append((nondigit, number))
+        i = j
+    while pairs and pairs[-1] == ("", 0):
+        pairs.pop()
+    return tuple(pairs)
+
+
+def _compare_debian_string(a: str, b: str) -> int:
+    """Compare upstream-version or revision strings per Debian policy."""
+    ia = ib = 0
+    while ia < len(a) or ib < len(b):
+        # non-digit run
+        ja = ia
+        while ja < len(a) and not a[ja].isdigit():
+            ja += 1
+        jb = ib
+        while jb < len(b) and not b[jb].isdigit():
+            jb += 1
+        cmp = _compare_nondigit(a[ia:ja], b[ib:jb])
+        if cmp != 0:
+            return cmp
+        ia, ib = ja, jb
+        # digit run
+        ja = ia
+        while ja < len(a) and a[ja].isdigit():
+            ja += 1
+        jb = ib
+        while jb < len(b) and b[jb].isdigit():
+            jb += 1
+        na = int(a[ia:ja]) if ja > ia else 0
+        nb = int(b[ib:jb]) if jb > ib else 0
+        if na != nb:
+            return -1 if na < nb else 1
+        ia, ib = ja, jb
+    return 0
+
+
+@total_ordering
+@dataclass(frozen=True)
+class Version:
+    """An immutable, totally ordered Debian-style version.
+
+    >>> Version.parse("1:2.0-1") > Version.parse("3.0")
+    True
+    >>> Version.parse("2.0~rc1") < Version.parse("2.0")
+    True
+    """
+
+    epoch: int
+    upstream: str
+    revision: str
+    raw: str = field(compare=False, default="")
+
+    @classmethod
+    def parse(cls, text: str) -> "Version":
+        """Parse ``[epoch:]upstream[-revision]``.
+
+        Raises:
+            ValueError: for empty or malformed strings.
+        """
+        if not text or text != text.strip():
+            raise ValueError(f"malformed version string {text!r}")
+        raw = text
+        epoch = 0
+        if ":" in text:
+            head, _, text = text.partition(":")
+            if not head.isdigit():
+                raise ValueError(f"malformed epoch in {raw!r}")
+            epoch = int(head)
+        upstream, sep, revision = text.rpartition("-")
+        if not sep:
+            upstream, revision = text, ""
+        if not upstream:
+            raise ValueError(f"empty upstream version in {raw!r}")
+        return cls(epoch=epoch, upstream=upstream, revision=revision, raw=raw)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.raw or self._canonical()
+
+    def _canonical(self) -> str:
+        s = self.upstream
+        if self.epoch:
+            s = f"{self.epoch}:{s}"
+        if self.revision:
+            s = f"{s}-{self.revision}"
+        return s
+
+    def compare(self, other: "Version") -> int:
+        """Three-way Debian comparison: -1, 0 or +1."""
+        if self.epoch != other.epoch:
+            return -1 if self.epoch < other.epoch else 1
+        cmp = _compare_debian_string(self.upstream, other.upstream)
+        if cmp != 0:
+            return cmp
+        return _compare_debian_string(self.revision, other.revision)
+
+    def __lt__(self, other: object) -> bool:
+        if not isinstance(other, Version):
+            return NotImplemented
+        return self.compare(other) < 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Version):
+            return NotImplemented
+        return self.compare(other) == 0
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self.epoch,
+                _canonical_pairs(self.upstream),
+                _canonical_pairs(self.revision),
+            )
+        )
+
+    # -- numeric components (used by the similarity metric) ---------------
+
+    def numeric_components(self) -> tuple[int, ...]:
+        """All digit runs of the upstream version, in order.
+
+        ``"9.5.14"`` -> ``(9, 5, 14)``.  Used by
+        :func:`version_component_similarity`.
+        """
+        return tuple(int(m) for m in _DIGITS.findall(self.upstream))
+
+
+def version_component_similarity(v1: Version, v2: Version) -> float:
+    """Graded similarity between two versions in ``[0, 1]``.
+
+    The paper's package-similarity metric grades version proximity rather
+    than requiring strict equality.  We use the fraction of matching
+    *leading* numeric components (major, minor, patch, ...), which is 1.0
+    for identical versions, high for versions in the same release train
+    and 0.0 when even the major version differs:
+
+    >>> from repro.model.versions import Version as V
+    >>> version_component_similarity(V.parse("9.5.14"), V.parse("9.5.14"))
+    1.0
+    >>> version_component_similarity(V.parse("9.5.14"), V.parse("9.5.2"))
+    0.6666666666666666
+    >>> version_component_similarity(V.parse("9.5"), V.parse("10.1"))
+    0.0
+    """
+    if v1.compare(v2) == 0:
+        return 1.0
+    c1 = v1.numeric_components()
+    c2 = v2.numeric_components()
+    if not c1 or not c2:
+        return 0.0
+    depth = max(len(c1), len(c2))
+    matched = 0
+    for a, b in zip(c1, c2):
+        if a != b:
+            break
+        matched += 1
+    return matched / depth

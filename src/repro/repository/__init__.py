@@ -1,0 +1,26 @@
+"""The VMI repository (right-hand side of Figure 2).
+
+Three layers:
+
+* :class:`~repro.repository.blobstore.BlobStore` — content-addressed
+  payload storage for packaged ``.deb`` archives, base-image qcow2
+  files and user-data tarballs, with exact byte accounting;
+* :class:`~repro.repository.database.MetadataDatabase` — the SQLite
+  metadata store the paper uses ("self-contained, serverless,
+  zero-configuration", Section VI-A): VMI records, base-image records,
+  package index;
+* :class:`~repro.repository.repo.Repository` — the facade Algorithms
+  1-3 program against: packages, base images, user data, master graphs.
+"""
+
+from repro.repository.blobstore import BlobKind, BlobStore
+from repro.repository.database import MetadataDatabase
+from repro.repository.repo import Repository, VMIRecord
+
+__all__ = [
+    "BlobKind",
+    "BlobStore",
+    "MetadataDatabase",
+    "Repository",
+    "VMIRecord",
+]

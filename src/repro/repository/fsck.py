@@ -1,0 +1,173 @@
+"""Repository consistency checking (fsck).
+
+The repository holds three coupled views of the same state: the blob
+store (payload bytes), the SQLite metadata database (the durable
+index), and the in-memory object caches plus master graphs.  This
+module verifies they agree and that the semantic invariants hold —
+the check an operator runs after a crash, a restore, or a suspected
+bug, and what the failure-injection tests use to assert that damage
+is *detected* rather than silently served.
+
+Checks performed:
+
+* every indexed package/base row has a blob and a cached object,
+  and every blob of that kind has an index row (no orphans);
+* blob sizes match the package/base metadata they claim to carry;
+* every published VMI's base exists, has a master graph, and the
+  master graph contains every recorded primary;
+* every recorded user-data label resolves;
+* every master graph satisfies the Section III-H compatibility
+  invariant and belongs to a stored base.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.repository.blobstore import BlobKind
+from repro.repository.repo import Repository, base_image_qcow2
+
+__all__ = ["Inconsistency", "FsckReport", "check_repository"]
+
+
+@dataclass(frozen=True)
+class Inconsistency:
+    """One detected problem."""
+
+    #: machine-readable category ("orphan-blob", "missing-master", ...)
+    kind: str
+    #: what the problem is about (name, key, label)
+    subject: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"[{self.kind}] {self.subject}: {self.detail}"
+
+
+@dataclass(frozen=True)
+class FsckReport:
+    """Outcome of one consistency pass."""
+
+    findings: tuple[Inconsistency, ...]
+    checked_blobs: int
+    checked_vmis: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def by_kind(self, kind: str) -> list[Inconsistency]:
+        return [f for f in self.findings if f.kind == kind]
+
+
+def check_repository(repo: Repository) -> FsckReport:
+    """Run every consistency check; never mutates the repository."""
+    findings: list[Inconsistency] = []
+
+    # -- packages: db rows <-> blobs <-> cache --------------------------
+    indexed_pkg_keys = set()
+    for row in repo.db.all_packages():
+        indexed_pkg_keys.add(row.blob_key)
+        if not repo.blobs.contains(row.blob_key):
+            findings.append(Inconsistency(
+                "missing-blob", row.name,
+                f"package indexed but blob {row.blob_key:#x} absent",
+            ))
+            continue
+        blob = repo.blobs.get(row.blob_key)
+        if blob.size != row.deb_size:
+            findings.append(Inconsistency(
+                "size-mismatch", row.name,
+                f"blob holds {blob.size} B, index claims "
+                f"{row.deb_size} B",
+            ))
+        if row.blob_key not in repo._packages:
+            findings.append(Inconsistency(
+                "missing-object", row.name,
+                "package blob present but object cache lost it",
+            ))
+    for blob in repo.blobs.records(BlobKind.PACKAGE):
+        if blob.key not in indexed_pkg_keys:
+            findings.append(Inconsistency(
+                "orphan-blob", blob.label,
+                "package blob has no index row",
+            ))
+
+    # -- base images -------------------------------------------------------
+    indexed_base_keys = set()
+    for row in repo.db.base_images():
+        indexed_base_keys.add(row.blob_key)
+        if not repo.blobs.contains(row.blob_key):
+            findings.append(Inconsistency(
+                "missing-blob", f"base {row.blob_key:#x}",
+                "base image indexed but blob absent",
+            ))
+            continue
+        base = repo._bases.get(row.blob_key)
+        if base is None:
+            findings.append(Inconsistency(
+                "missing-object", f"base {row.blob_key:#x}",
+                "base blob present but object cache lost it",
+            ))
+        else:
+            expected = base_image_qcow2(base).size
+            if repo.blobs.get(row.blob_key).size != expected:
+                findings.append(Inconsistency(
+                    "size-mismatch", str(base.attrs),
+                    "stored qcow2 size disagrees with base content",
+                ))
+    for blob in repo.blobs.records(BlobKind.BASE_IMAGE):
+        if blob.key not in indexed_base_keys:
+            findings.append(Inconsistency(
+                "orphan-blob", blob.label,
+                "base-image blob has no index row",
+            ))
+
+    # -- VMI records ----------------------------------------------------------
+    records = repo.vmi_records()
+    for record in records:
+        if record.base_key not in indexed_base_keys:
+            findings.append(Inconsistency(
+                "dangling-base", record.name,
+                f"record points at unknown base {record.base_key:#x}",
+            ))
+            continue
+        if not repo.has_master_graph(record.base_key):
+            findings.append(Inconsistency(
+                "missing-master", record.name,
+                "record's base has no master graph",
+            ))
+            continue
+        master = repo.get_master_graph(record.base_key)
+        for primary in record.primary_names:
+            if not master.has_package(primary):
+                findings.append(Inconsistency(
+                    "missing-primary", record.name,
+                    f"primary {primary!r} absent from master graph",
+                ))
+        if record.data_label is not None:
+            if record.data_label not in repo._data:
+                findings.append(Inconsistency(
+                    "missing-data", record.name,
+                    f"user data {record.data_label!r} not stored",
+                ))
+
+    # -- master graphs ------------------------------------------------------------
+    for master in repo.master_graphs():
+        if master.base_key not in indexed_base_keys:
+            findings.append(Inconsistency(
+                "orphan-master", str(master.attrs),
+                "master graph's base is not stored",
+            ))
+        if not master.check_invariant():
+            findings.append(Inconsistency(
+                "invariant-violation", str(master.attrs),
+                "a member primary subgraph is incompatible with the "
+                "base (Section III-H invariant broken)",
+            ))
+
+    return FsckReport(
+        findings=tuple(findings),
+        checked_blobs=len(repo.blobs),
+        checked_vmis=len(records),
+    )

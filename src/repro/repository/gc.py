@@ -1,0 +1,124 @@
+"""Repository garbage collection.
+
+Deleting a published VMI only drops its index record; the packages,
+user data and base image it referenced may still serve other VMIs.
+:class:`GarbageCollector` computes liveness from the remaining records
+and reclaims everything unreachable:
+
+* master graphs are rebuilt to hold exactly the primary subgraphs of
+  still-published VMIs (the Section III-H invariant is re-established,
+  not patched);
+* a package blob survives iff it appears in some live subgraph;
+* user data survives iff some live record labels it;
+* a base image (and its master graph) survives iff a live record
+  points at it.
+
+The collector is the inverse of Algorithm 1's storage steps and keeps
+the blob-store byte accounting exact — the property the GC tests and
+the sprawl example rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.repository.master_graphs import MasterGraph
+from repro.repository.repo import Repository
+
+__all__ = ["GCReport", "GarbageCollector"]
+
+
+@dataclass(frozen=True)
+class GCReport:
+    """What one collection pass reclaimed."""
+
+    removed_packages: int
+    removed_user_data: int
+    removed_bases: int
+    reclaimed_bytes: int
+
+    @property
+    def removed_anything(self) -> bool:
+        return (
+            self.removed_packages
+            + self.removed_user_data
+            + self.removed_bases
+        ) > 0
+
+
+class GarbageCollector:
+    """Mark-and-sweep over the repository's reference graph."""
+
+    def __init__(self, repo: Repository) -> None:
+        self.repo = repo
+
+    def collect(self) -> GCReport:
+        """Run one full collection; returns what was reclaimed."""
+        bytes_before = self.repo.total_bytes()
+        records = self.repo.vmi_records()
+
+        # -- mark: live bases, live primaries per base, live data -------
+        live_base_keys = {r.base_key for r in records}
+        #: base_key -> {(primary name, version | None)}
+        live_primaries: dict[int, set[tuple[str, str | None]]] = {}
+        live_data = {
+            r.data_label for r in records if r.data_label is not None
+        }
+        for record in records:
+            marks = live_primaries.setdefault(record.base_key, set())
+            for pname in record.primary_names:
+                marks.add((pname, record.primary_version(pname)))
+
+        # -- rebuild master graphs around live members -------------------
+        live_package_keys: set[int] = set()
+        for master in list(self.repo.master_graphs()):
+            base_key = master.base_key
+            if base_key not in live_base_keys:
+                continue  # swept with its base below
+            rebuilt = MasterGraph.for_base(master.base)
+            for primary, version in sorted(
+                live_primaries.get(base_key, ()),
+                key=lambda pv: (pv[0], pv[1] or ""),
+            ):
+                if master.has_package(primary):
+                    rebuilt.add_primary_subgraph(
+                        master.extract_primary_subgraph(
+                            primary, version
+                        )
+                    )
+            rebuilt.member_vmis = [
+                r.name for r in records if r.base_key == base_key
+            ]
+            self.repo.put_master_graph(rebuilt)
+            base_names = master.base.package_names()
+            for pkg in rebuilt.package_graph.packages():
+                if pkg.name not in base_names:
+                    live_package_keys.add(pkg.blob_key())
+
+        # -- sweep: packages ------------------------------------------------
+        removed_packages = 0
+        for row in list(self.repo.db.all_packages()):
+            if row.blob_key not in live_package_keys:
+                self.repo.remove_package(row.blob_key)
+                removed_packages += 1
+
+        # -- sweep: user data -----------------------------------------------
+        removed_data = 0
+        for label in list(self.repo.user_data_labels()):
+            if label not in live_data:
+                self.repo.remove_user_data(label)
+                removed_data += 1
+
+        # -- sweep: bases (and their masters) ---------------------------------
+        removed_bases = 0
+        for base in list(self.repo.base_images()):
+            if base.blob_key() not in live_base_keys:
+                self.repo.remove_base_image(base.blob_key())
+                removed_bases += 1
+
+        return GCReport(
+            removed_packages=removed_packages,
+            removed_user_data=removed_data,
+            removed_bases=removed_bases,
+            reclaimed_bytes=bytes_before - self.repo.total_bytes(),
+        )

@@ -1,0 +1,163 @@
+"""VMI master graphs (Section III-H).
+
+A master graph represents *all* published VMIs that share one stored
+base image: the base-image subgraph plus the union of their primary
+package subgraphs.  Its purpose is performance — a new upload is
+compared against one master graph instead of against every stored VMI —
+and correctness: the invariant is that the base subgraph is semantically
+compatible (``comp = 1``) with every member primary subgraph.
+
+Master graphs are keyed by the *stored base image* (its blob key), not
+merely by the attribute quadruple: Algorithm 2 explicitly iterates
+multiple stored base images with identical ``(T, D, V, A)`` and merges
+their master graphs when one base can replace the others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import GraphModelError
+from repro.model.attributes import BaseImageAttrs
+from repro.model.graph import PackageRole, SemanticGraph
+from repro.model.package import Package
+from repro.model.vmi import BaseImage
+from repro.similarity.compatibility import is_compatible
+
+__all__ = ["MasterGraph", "base_subgraph_of"]
+
+
+def base_subgraph_of(base: BaseImage) -> SemanticGraph:
+    """Build ``GI[BI]`` for a stored base image.
+
+    Vertices: the base-image vertex plus every OS package; edges: the
+    Depends relation restricted to the base population.
+    """
+    g = SemanticGraph()
+    g.add_base_image(base.attrs)
+    keys: dict[str, str] = {}
+    for pkg in base.packages:
+        keys[pkg.name] = g.add_package(pkg, PackageRole.BASE_MEMBER)
+    for pkg in base.packages:
+        for dep in pkg.dependency_names():
+            if dep in keys:
+                g.add_dependency_edge(keys[pkg.name], keys[dep])
+    return g
+
+
+@dataclass
+class MasterGraph:
+    """One stored base image plus the union of member package subgraphs."""
+
+    base: BaseImage
+    base_subgraph: SemanticGraph
+    package_graph: SemanticGraph = field(default_factory=SemanticGraph)
+    #: names of VMIs whose primary subgraphs were merged in
+    member_vmis: list[str] = field(default_factory=list)
+
+    @classmethod
+    def for_base(cls, base: BaseImage) -> "MasterGraph":
+        return cls(base=base, base_subgraph=base_subgraph_of(base))
+
+    @property
+    def attrs(self) -> BaseImageAttrs:
+        return self.base.attrs
+
+    @property
+    def base_key(self) -> int:
+        return self.base.blob_key()
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+
+    def add_primary_subgraph(
+        self, subgraph: SemanticGraph, vmi_name: str | None = None
+    ) -> None:
+        """Union a primary package subgraph in (Algorithm 1 line 21).
+
+        Raises:
+            GraphModelError: if the subgraph is not semantically
+                compatible with the base — the master-graph invariant of
+                Section III-H would break.
+        """
+        if not is_compatible(self.base_subgraph, subgraph):
+            raise GraphModelError(
+                "primary subgraph is incompatible with master-graph base "
+                f"{self.base.attrs}"
+            )
+        self.package_graph.union_update(subgraph)
+        if vmi_name is not None and vmi_name not in self.member_vmis:
+            self.member_vmis.append(vmi_name)
+
+    def merge_from(self, other: "MasterGraph") -> None:
+        """Absorb another master graph's packages (base replacement).
+
+        Used by Algorithm 1 lines 22-27: when Algorithm 2 decides this
+        master's base can replace ``other``'s base, every primary
+        subgraph of ``other`` migrates here.
+
+        Raises:
+            GraphModelError: if any migrated primary subgraph is
+                incompatible with this base (Algorithm 2 guarantees it
+                never is; the check guards the invariant anyway).
+        """
+        for pkg in other.primary_packages():
+            sub = other.extract_primary_subgraph(
+                pkg.name, str(pkg.version)
+            )
+            self.add_primary_subgraph(sub)
+        for name in other.member_vmis:
+            if name not in self.member_vmis:
+                self.member_vmis.append(name)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def primary_packages(self) -> list[Package]:
+        """All primary packages merged into this master graph."""
+        return self.package_graph.primary_packages()
+
+    def extract_primary_subgraph(
+        self, name: str, version: str | None = None
+    ) -> SemanticGraph:
+        """``GI[P]`` of one member primary (Algorithm 2 line 9).
+
+        ``version`` disambiguates when several versions of the primary
+        were published over time (defaults to the newest).
+        """
+        return self.package_graph.extract_package_subgraph(name, version)
+
+    def full_graph(self) -> SemanticGraph:
+        """Base subgraph ∪ package graph — ``GM`` as Section III-H."""
+        g = self.base_subgraph.copy()
+        g.union_update(self.package_graph)
+        return g
+
+    def has_package(self, name: str) -> bool:
+        return self.package_graph.has_package(name)
+
+    def find_package(self, name: str) -> Package | None:
+        """A package by name, checking members first, then the base."""
+        pkg = self.package_graph.find_package(name)
+        if pkg is None:
+            pkg = self.base.find_package(name)
+        return pkg
+
+    def check_invariant(self) -> bool:
+        """Is every member primary subgraph compatible with the base?"""
+        return all(
+            is_compatible(
+                self.base_subgraph,
+                self.extract_primary_subgraph(p.name, str(p.version)),
+            )
+            for p in self.primary_packages()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<MasterGraph base={self.base.attrs} "
+            f"primaries={len(self.primary_packages())} "
+            f"members={len(self.member_vmis)}>"
+        )

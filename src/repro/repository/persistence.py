@@ -1,0 +1,82 @@
+"""Repository snapshots: save/close/reopen the whole store.
+
+The paper's repository survives process restarts (SQLite on an external
+SSD).  The reproduction keeps payload *accounting* in memory, so this
+module provides the equivalent durability: a snapshot captures every
+stored object (packages, base images, user data, master graphs, VMI
+records) and restores a fully functional repository — publish, retrieve
+and GC all work on the reloaded instance.
+
+Snapshots use pickle over the repository's plain-data state.  That is
+appropriate here because snapshots are produced and consumed by the
+same trusted application (never load snapshots from untrusted sources);
+the SQLite metadata is regenerated on load rather than serialised, so a
+snapshot cannot desynchronise the two views.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+
+from repro.repository.master_graphs import MasterGraph
+from repro.repository.repo import Repository, VMIRecord
+
+__all__ = ["save_repository", "load_repository"]
+
+_FORMAT_VERSION = 1
+
+
+def save_repository(repo: Repository, path: str | Path) -> int:
+    """Write a snapshot; returns the snapshot size in bytes."""
+    state = {
+        "version": _FORMAT_VERSION,
+        "packages": list(repo._packages.values()),
+        "bases": list(repo._bases.values()),
+        "data": list(repo._data.values()),
+        "masters": [
+            {
+                "base_key": m.base_key,
+                "package_graph": m.package_graph,
+                "member_vmis": list(m.member_vmis),
+            }
+            for m in repo.master_graphs()
+        ],
+        "records": [
+            (rec, repo.db.vmi_package_keys(rec.name))
+            for rec in repo.vmi_records()
+        ],
+    }
+    blob = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+    Path(path).write_bytes(blob)
+    return len(blob)
+
+
+def load_repository(path: str | Path) -> Repository:
+    """Rebuild a repository from a snapshot.
+
+    Raises:
+        ValueError: unknown snapshot format version.
+        FileNotFoundError: missing snapshot file.
+    """
+    state = pickle.loads(Path(path).read_bytes())
+    if state.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported snapshot version {state.get('version')!r}"
+        )
+    repo = Repository()
+    for base in state["bases"]:
+        repo.store_base_image(base)
+    for pkg in state["packages"]:
+        repo.store_package(pkg)
+    for data in state["data"]:
+        repo.store_user_data(data)
+    for m in state["masters"]:
+        base = repo.get_base_image(m["base_key"])
+        master = MasterGraph.for_base(base)
+        master.package_graph = m["package_graph"]
+        master.member_vmis = list(m["member_vmis"])
+        repo.put_master_graph(master)
+    for record, package_keys in state["records"]:
+        repo.record_vmi(record, package_keys=package_keys)
+    return repo

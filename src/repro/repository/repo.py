@@ -1,0 +1,320 @@
+"""The repository facade Algorithms 1-3 program against.
+
+Combines the blob store (payload bytes), the SQLite metadata database
+(the durable index) and the in-memory master graphs and object caches.
+All state-changing operations keep the three views consistent; time is
+*not* charged here — the algorithms charge the cost model explicitly so
+each figure can attribute durations to the operations the paper names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import NotInRepositoryError
+from repro.guestos.filesystem import package_manifest
+from repro.image.manifest import FileManifest
+from repro.image.qcow2 import Qcow2Image
+from repro.model.package import Package
+from repro.model.vmi import BaseImage, UserData
+from repro.repository.blobstore import BlobKind, BlobStore
+from repro.repository.database import (
+    BaseImageRow,
+    MetadataDatabase,
+    PackageRow,
+)
+from repro.repository.master_graphs import MasterGraph
+
+__all__ = ["Repository", "VMIRecord", "base_image_qcow2"]
+
+
+def base_image_qcow2(base: BaseImage) -> Qcow2Image:
+    """Serialise a base image as the qcow2 blob the repository stores."""
+    manifests = [package_manifest(p) for p in base.packages]
+    manifests.append(base.skeleton)
+    return Qcow2Image(
+        name=str(base.attrs), manifest=FileManifest.concat(manifests)
+    )
+
+
+@dataclass(frozen=True)
+class VMIRecord:
+    """What the repository remembers about one published VMI."""
+
+    name: str
+    base_key: int
+    primary_names: tuple[str, ...]
+    data_label: str | None
+    #: original upload footprint (Table II bookkeeping)
+    mounted_size: int
+    n_files: int
+    #: exact (name, version, arch) of each primary — disambiguates
+    #: when several versions of a primary were published over time
+    primary_identities: tuple[tuple[str, str, str], ...] = ()
+
+    def primary_version(self, name: str) -> str | None:
+        """The recorded version of one primary (None if unrecorded)."""
+        for pname, version, _ in self.primary_identities:
+            if pname == name:
+                return version
+        return None
+
+
+class Repository:
+    """Packages + base images + user data + master graphs + VMI index."""
+
+    def __init__(self, db_path: str = ":memory:") -> None:
+        self.blobs = BlobStore()
+        self.db = MetadataDatabase(db_path)
+        self._packages: dict[int, Package] = {}
+        self._bases: dict[int, BaseImage] = {}
+        self._data: dict[str, UserData] = {}
+        self._masters: dict[int, MasterGraph] = {}
+        self._vmi_records: dict[str, VMIRecord] = {}
+
+    # ------------------------------------------------------------------
+    # packages
+    # ------------------------------------------------------------------
+
+    def has_package(self, pkg: Package) -> bool:
+        """Does this exact (name, version, arch) package exist?"""
+        return self.blobs.contains(pkg.blob_key())
+
+    def store_package(self, pkg: Package) -> bool:
+        """Store a packaged ``.deb``; False when already present."""
+        key = pkg.blob_key()
+        if not self.blobs.put_if_absent(
+            key, BlobKind.PACKAGE, pkg.deb_size, str(pkg)
+        ):
+            return False
+        self._packages[key] = pkg
+        self.db.insert_package(
+            PackageRow(
+                blob_key=key,
+                name=pkg.name,
+                version=str(pkg.version),
+                arch=pkg.arch,
+                deb_size=pkg.deb_size,
+                installed_size=pkg.installed_size,
+            )
+        )
+        return True
+
+    def get_package(self, key: int) -> Package:
+        """Fetch a stored package object.
+
+        Raises:
+            NotInRepositoryError: unknown key.
+        """
+        try:
+            return self._packages[key]
+        except KeyError:
+            raise NotInRepositoryError("package", key) from None
+
+    def packages_named(self, name: str) -> list[Package]:
+        return [
+            self._packages[row.blob_key]
+            for row in self.db.packages_named(name)
+        ]
+
+    # ------------------------------------------------------------------
+    # user data
+    # ------------------------------------------------------------------
+
+    def store_user_data(self, data: UserData) -> bool:
+        """Store a user-data payload; False when already present."""
+        if not self.blobs.put_if_absent(
+            data.blob_key(), BlobKind.USER_DATA, data.size, data.label
+        ):
+            return False
+        self._data[data.label] = data
+        return True
+
+    def get_user_data(self, label: str) -> UserData:
+        """Raises NotInRepositoryError for unknown labels."""
+        try:
+            return self._data[label]
+        except KeyError:
+            raise NotInRepositoryError("user data", label) from None
+
+    def user_data_labels(self) -> list[str]:
+        return sorted(self._data)
+
+    # ------------------------------------------------------------------
+    # base images
+    # ------------------------------------------------------------------
+
+    def has_base_image(self, base: BaseImage) -> bool:
+        return self.blobs.contains(base.blob_key())
+
+    def store_base_image(self, base: BaseImage) -> bool:
+        """Store a base image qcow2; False when already present."""
+        key = base.blob_key()
+        qcow = base_image_qcow2(base)
+        if not self.blobs.put_if_absent(
+            key, BlobKind.BASE_IMAGE, qcow.size, str(base.attrs)
+        ):
+            return False
+        self._bases[key] = base
+        self.db.insert_base_image(
+            BaseImageRow(
+                blob_key=key,
+                os_type=base.attrs.os_type,
+                distro=base.attrs.distro,
+                version=base.attrs.version,
+                arch=base.attrs.arch,
+                size=qcow.size,
+                n_packages=len(base.packages),
+            )
+        )
+        return True
+
+    def remove_base_image(self, key: int) -> BaseImage:
+        """Delete an obsolete base (Algorithm 1 line 27) and its master.
+
+        Raises:
+            NotInRepositoryError: unknown key.
+        """
+        base = self._bases.pop(key, None)
+        if base is None:
+            raise NotInRepositoryError("base image", key)
+        self.blobs.remove(key)
+        self.db.delete_base_image(key)
+        self._masters.pop(key, None)
+        return base
+
+    def get_base_image(self, key: int) -> BaseImage:
+        """Raises NotInRepositoryError for unknown keys."""
+        try:
+            return self._bases[key]
+        except KeyError:
+            raise NotInRepositoryError("base image", key) from None
+
+    def base_images(self) -> list[BaseImage]:
+        """All stored bases, insertion order (Algorithm 2 line 3)."""
+        return [self._bases[row.blob_key] for row in self.db.base_images()]
+
+    def base_image_size(self, key: int) -> int:
+        """On-disk qcow2 bytes of a stored base."""
+        return self.blobs.get(key).size
+
+    # ------------------------------------------------------------------
+    # master graphs
+    # ------------------------------------------------------------------
+
+    def get_master_graph(self, base_key: int) -> MasterGraph:
+        """Raises NotInRepositoryError when the base has no master."""
+        try:
+            return self._masters[base_key]
+        except KeyError:
+            raise NotInRepositoryError("master graph", base_key) from None
+
+    def has_master_graph(self, base_key: int) -> bool:
+        return base_key in self._masters
+
+    def put_master_graph(self, master: MasterGraph) -> None:
+        self._masters[master.base_key] = master
+
+    def master_graphs(self) -> list[MasterGraph]:
+        return list(self._masters.values())
+
+    def masters_with_attrs(self, attrs) -> list[MasterGraph]:
+        """Masters whose base shares the (T, D, V, A) quadruple."""
+        return [
+            m for m in self._masters.values() if m.attrs.key() == attrs.key()
+        ]
+
+    # ------------------------------------------------------------------
+    # VMI records
+    # ------------------------------------------------------------------
+
+    def record_vmi(self, record: VMIRecord, package_keys: list[int]) -> None:
+        self._vmi_records[record.name] = record
+        self.db.insert_vmi(
+            record.name, record.base_key, record.data_label, package_keys
+        )
+
+    def get_vmi_record(self, name: str) -> VMIRecord:
+        """Raises NotInRepositoryError for unpublished names."""
+        try:
+            return self._vmi_records[name]
+        except KeyError:
+            raise NotInRepositoryError("VMI", name) from None
+
+    def vmi_records(self) -> list[VMIRecord]:
+        return [self._vmi_records[r.name] for r in self.db.vmis()]
+
+    def delete_vmi_record(self, name: str) -> VMIRecord:
+        """Drop a published VMI from the index (blobs stay until GC).
+
+        Raises:
+            NotInRepositoryError: unpublished name.
+        """
+        record = self.get_vmi_record(name)
+        self.db.delete_vmi(name)
+        del self._vmi_records[name]
+        return record
+
+    def remove_package(self, key: int) -> Package:
+        """Delete a stored package blob (garbage collection only).
+
+        Raises:
+            NotInRepositoryError: unknown key.
+        """
+        pkg = self._packages.pop(key, None)
+        if pkg is None:
+            raise NotInRepositoryError("package", key)
+        self.blobs.remove(key)
+        self.db.delete_package(key)
+        return pkg
+
+    def remove_user_data(self, label: str) -> UserData:
+        """Delete a stored user-data blob (garbage collection only).
+
+        Raises:
+            NotInRepositoryError: unknown label.
+        """
+        data = self._data.pop(label, None)
+        if data is None:
+            raise NotInRepositoryError("user data", label)
+        self.blobs.remove(data.blob_key())
+        return data
+
+    def repoint_vmis(self, old_base_key: int, new_base_key: int) -> int:
+        """Re-point published VMIs after a base replacement; returns count."""
+        n = 0
+        for name, rec in list(self._vmi_records.items()):
+            if rec.base_key == old_base_key:
+                updated = VMIRecord(
+                    name=rec.name,
+                    base_key=new_base_key,
+                    primary_names=rec.primary_names,
+                    data_label=rec.data_label,
+                    mounted_size=rec.mounted_size,
+                    n_files=rec.n_files,
+                    primary_identities=rec.primary_identities,
+                )
+                self._vmi_records[name] = updated
+                self.db.update_vmi_base(name, new_base_key)
+                n += 1
+        return n
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+
+    def total_bytes(self) -> int:
+        """Repository size — what Figure 3 plots for Expelliarmus."""
+        return self.blobs.total_bytes()
+
+    def bytes_by_kind(self) -> dict[str, int]:
+        return {
+            kind.value: self.blobs.total_bytes(kind) for kind in BlobKind
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Repository vmis={len(self._vmi_records)} "
+            f"bases={len(self._bases)} packages={len(self._packages)} "
+            f"bytes={self.total_bytes()}>"
+        )

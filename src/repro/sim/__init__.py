@@ -1,0 +1,16 @@
+"""Deterministic performance simulation.
+
+The paper reports wall-clock seconds measured on a quad-core machine
+with an external SSD.  The reproduction charges the same operations
+(byte movement, per-file metadata work, package repack/install, guestfs
+appliance launches) against a :class:`~repro.sim.costmodel.CostModel`
+with calibrated constants, accumulating simulated seconds on a
+:class:`~repro.sim.clock.SimulatedClock`.  Absolute numbers are models,
+not measurements; the *shape* of every figure reproduces because the
+same asymptotic drivers are charged.
+"""
+
+from repro.sim.clock import SimulatedClock, TimeBreakdown
+from repro.sim.costmodel import CostModel, CostParams
+
+__all__ = ["SimulatedClock", "TimeBreakdown", "CostModel", "CostParams"]

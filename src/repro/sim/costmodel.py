@@ -1,0 +1,209 @@
+"""The calibrated I/O and package-operation cost model.
+
+Every duration the experiments report is composed from these primitives.
+The constants are calibrated once (see the table below) against the
+anchor points the paper states explicitly, then *never* tuned per
+experiment — all figures are emergent from the same model.
+
+Calibration anchors (paper, Section VI):
+
+* publishing the first (Mini) image ≈ 39.5 s and is dominated by storing
+  the 1.9 GB base — repository write bandwidth ≈ 50 MB/s (an external
+  SSD over USB);
+* retrieving Mini ≈ 24.6 s with roughly equal copy / handle / reset
+  parts — repository read ≈ 150 MB/s, guestfs launch ≈ 4 s, sysprep
+  reset ≈ 5 s;
+* similarity computation "less than 100 ms per VMI";
+* Mirage/Hemera publishing "seconds to a few minutes" for ~80 k files —
+  per-file hash+index ≈ 1.8 ms;
+* Mirage reads many small files inefficiently; Hemera serves small files
+  from its database much faster (Elastic Stack: 129.8 s vs 99.9 s for
+  Expelliarmus).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.package import Package
+from repro.units import MB
+
+__all__ = ["CostParams", "CostModel"]
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """All tunable constants of the performance model."""
+
+    # -- repository I/O -------------------------------------------------
+    #: sequential write bandwidth to the repository disk (B/s)
+    repo_write_bw: float = 50 * MB
+    #: sequential read bandwidth from the repository disk (B/s)
+    repo_read_bw: float = 150 * MB
+
+    # -- libguestfs appliance --------------------------------------------
+    #: launching a guestfs handle (qemu appliance boot)
+    guestfs_launch_s: float = 4.0
+    #: virt-sysprep reset of a base image
+    vmi_reset_s: float = 5.0
+
+    # -- file-granular stores (Mirage / Hemera) --------------------------
+    #: hashing + indexing one file on publish
+    per_file_hash_s: float = 0.0025
+    #: per-file metadata overhead when reading from a filesystem store
+    fs_file_read_s: float = 0.0035
+    #: per-file overhead when reading small files from a database store
+    db_file_read_s: float = 0.0009
+    #: extra penalty factor Mirage pays on sub-megabyte files
+    small_file_penalty: float = 1.35
+
+    # -- package operations (Expelliarmus) --------------------------------
+    #: fixed cost of repacking one installed package into a .deb
+    deb_repack_fixed_s: float = 1.2
+    #: throughput of repacking installed bytes into a .deb (B/s);
+    #: dpkg-repack reads, tars and compresses the installed payload
+    deb_repack_bw: float = 10 * MB
+    #: per-file metadata cost while repacking (md5sums manifest, tar
+    #: headers) — why jar-exploded payloads (Elastic Stack: ~28 k files
+    #: in 3 packages) publish slowly despite the low package count
+    per_file_export_s: float = 0.003
+    #: fixed cost of installing one package (dpkg bookkeeping)
+    pkg_install_fixed_s: float = 0.35
+    #: throughput of unpacking installed bytes onto the guest (B/s);
+    #: calibrated from Elastic Stack retrieval = 99.9 s (Section VI-C)
+    pkg_install_bw: float = 9.5 * MB
+    #: removing one package during decomposition
+    pkg_remove_s: float = 0.05
+    #: cleaning cached repository files / build residue (B/s)
+    cleanup_bw: float = 200 * MB
+
+    # -- semantic layer ---------------------------------------------------
+    #: similarity computation against one master graph (paper: < 100 ms)
+    similarity_s: float = 0.08
+    #: creating/updating graph metadata in SQLite
+    metadata_update_s: float = 0.02
+
+    # -- compression (Qcow2 + Gzip baseline) ------------------------------
+    #: gzip compression throughput (B/s of uncompressed input)
+    gzip_bw: float = 90 * MB
+
+    def __post_init__(self) -> None:
+        for name in (
+            "repo_write_bw",
+            "repo_read_bw",
+            "deb_repack_bw",
+            "pkg_install_bw",
+            "gzip_bw",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+
+class CostModel:
+    """Duration calculators, all pure functions of :class:`CostParams`."""
+
+    def __init__(self, params: CostParams | None = None) -> None:
+        self.params = params or CostParams()
+
+    # -- raw byte movement ------------------------------------------------
+
+    def write_bytes(self, n: int) -> float:
+        """Sequential write of ``n`` bytes to the repository."""
+        return n / self.params.repo_write_bw
+
+    def read_bytes(self, n: int) -> float:
+        """Sequential read of ``n`` bytes from the repository."""
+        return n / self.params.repo_read_bw
+
+    def gzip_bytes(self, n: int) -> float:
+        """Compressing ``n`` uncompressed bytes."""
+        return n / self.params.gzip_bw
+
+    # -- appliance lifecycle ----------------------------------------------
+
+    def guestfs_launch(self) -> float:
+        return self.params.guestfs_launch_s
+
+    def vmi_reset(self) -> float:
+        return self.params.vmi_reset_s
+
+    # -- file-granular stores ----------------------------------------------
+
+    def hash_and_index_files(self, n_files: int, n_bytes: int) -> float:
+        """Publish-side dedup: hash every file, look it up, index it."""
+        return n_files * self.params.per_file_hash_s + self.read_bytes(
+            n_bytes
+        )
+
+    def fs_store_read(
+        self, n_files: int, n_bytes: int, n_small: int
+    ) -> float:
+        """Reading files back from a filesystem-backed store (Mirage).
+
+        Small files pay the extra penalty the paper calls out: "it is
+        inefficient in reading small files (below 1 MB)".
+        """
+        p = self.params
+        per_file = (
+            (n_files - n_small) * p.fs_file_read_s
+            + n_small * p.fs_file_read_s * p.small_file_penalty
+        )
+        return per_file + self.read_bytes(n_bytes)
+
+    def hybrid_store_read(
+        self,
+        n_large_files: int,
+        large_bytes: int,
+        n_small_files: int,
+        small_bytes: int,
+    ) -> float:
+        """Reading from Hemera's hybrid store: DB for small, FS for large."""
+        p = self.params
+        return (
+            n_large_files * p.fs_file_read_s
+            + n_small_files * p.db_file_read_s
+            + self.read_bytes(large_bytes + small_bytes)
+        )
+
+    # -- package operations --------------------------------------------------
+
+    def export_package(self, pkg: Package) -> float:
+        """Repack an installed package into a .deb and ship it to the repo.
+
+        Dominated by the *installed* size (dpkg-repack reads the
+        installed payload), plus writing the resulting archive.
+        """
+        p = self.params
+        return (
+            p.deb_repack_fixed_s
+            + pkg.installed_size / p.deb_repack_bw
+            + pkg.n_files * p.per_file_export_s
+            + self.write_bytes(pkg.deb_size)
+        )
+
+    def import_package(self, pkg: Package) -> float:
+        """Copy a .deb from the repo and install it on the guest."""
+        p = self.params
+        return (
+            p.pkg_install_fixed_s
+            + self.read_bytes(pkg.deb_size)
+            + pkg.installed_size / p.pkg_install_bw
+        )
+
+    def remove_package(self, pkg: Package) -> float:
+        """Purge one package from the guest during decomposition."""
+        return self.params.pkg_remove_s + pkg.installed_size / (
+            self.params.pkg_install_bw * 4
+        )
+
+    def cleanup_residue(self, n_bytes: int) -> float:
+        """Delete cached repository files / build residue (Section V-3)."""
+        return 0.5 + n_bytes / self.params.cleanup_bw
+
+    # -- semantic layer --------------------------------------------------------
+
+    def similarity_computation(self) -> float:
+        return self.params.similarity_s
+
+    def metadata_update(self) -> float:
+        return self.params.metadata_update_s

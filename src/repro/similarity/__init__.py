@@ -1,0 +1,36 @@
+"""Semantic similarity and compatibility metrics (Section III-E..G).
+
+* :func:`~repro.similarity.package.package_similarity` — ``simP``
+* :func:`~repro.similarity.base.base_similarity` — ``simBI``
+* :func:`~repro.similarity.size.size_similarity` — ``simsize``
+* :func:`~repro.similarity.graph.graph_similarity` — ``SimG``
+* :func:`~repro.similarity.compatibility.semantic_compatibility` — ``comp``
+
+All metrics map into ``[0, 1]``, are symmetric in their two package /
+graph arguments, and reach 1 exactly on semantic identity.
+"""
+
+from repro.similarity.base import base_similarity, same_base_attrs
+from repro.similarity.compatibility import (
+    is_compatible,
+    semantic_compatibility,
+)
+from repro.similarity.graph import graph_similarity
+from repro.similarity.package import (
+    arch_similarity,
+    package_similarity,
+    version_similarity,
+)
+from repro.similarity.size import size_similarity
+
+__all__ = [
+    "base_similarity",
+    "same_base_attrs",
+    "is_compatible",
+    "semantic_compatibility",
+    "graph_similarity",
+    "arch_similarity",
+    "package_similarity",
+    "version_similarity",
+    "size_similarity",
+]

@@ -1,0 +1,37 @@
+"""Base-image similarity ``simBI`` (Section III-E).
+
+Base images carry the quadruple ``(type, distro, ver, arch)``.  Hard
+attributes (OS type, distribution, architecture) either match or they
+don't; the release version is graded like package versions so Ubuntu
+16.04 vs 16.10 scores higher than 16.04 vs 18.04.
+
+Algorithm 2 and master-graph membership use the *strict* predicate
+``simBI = 1`` — identical quadruples — which :func:`same_base_attrs`
+exposes directly.
+"""
+
+from __future__ import annotations
+
+from repro.model.attributes import BaseImageAttrs
+from repro.model.versions import version_component_similarity
+from repro.similarity.package import arch_similarity
+
+__all__ = ["base_similarity", "same_base_attrs"]
+
+
+def base_similarity(b1: BaseImageAttrs, b2: BaseImageAttrs) -> float:
+    """``simBI`` in ``[0, 1]``; 1 exactly on identical quadruples."""
+    if b1.os_type != b2.os_type or b1.distro != b2.distro:
+        return 0.0
+    if arch_similarity(b1.arch, b2.arch) == 0.0:
+        return 0.0
+    if b1.version == b2.version:
+        return 1.0
+    return version_component_similarity(
+        b1.parsed_version(), b2.parsed_version()
+    )
+
+
+def same_base_attrs(b1: BaseImageAttrs, b2: BaseImageAttrs) -> bool:
+    """The strict ``simBI(BI, b) = 1`` test of Algorithm 2 line 7."""
+    return base_similarity(b1, b2) == 1.0

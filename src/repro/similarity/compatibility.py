@@ -1,0 +1,49 @@
+"""Semantic compatibility ``comp`` (Section III-G).
+
+``comp(GI[BI], GI[PS])`` decides whether a primary-package subgraph can
+be installed on a base-image subgraph: over every pair of packages with
+the *same name* (homonym ``pkg`` attribute) appearing in both subgraphs,
+multiply the package similarities::
+
+    comp = Π_{(P1,P2): pkg(P1)=pkg(P2)} simP(P1, P2)
+
+The product is 1 exactly when every shared package (typically the OS
+libraries the primaries depend on — libc6, openssl ...) is present in
+the base at a fully compatible version; any mismatch drives the product
+below 1 and the pair is declared incompatible ("if the semantic
+compatibility has a value of 1, the primary packages can be installed
+and used together with the base image; otherwise they are
+incompatible").
+
+Disjoint subgraphs (no homonyms) are vacuously compatible: the empty
+product is 1 — the base simply provides nothing the primaries constrain.
+"""
+
+from __future__ import annotations
+
+from repro.model.graph import SemanticGraph
+from repro.similarity.package import package_similarity
+
+__all__ = ["semantic_compatibility", "is_compatible"]
+
+
+def semantic_compatibility(
+    base_subgraph: SemanticGraph, primary_subgraph: SemanticGraph
+) -> float:
+    """``comp`` in ``[0, 1]``: product of homonym package similarities."""
+    base_pkgs = {p.name: p for p in base_subgraph.packages()}
+    value = 1.0
+    for pkg in primary_subgraph.packages():
+        counterpart = base_pkgs.get(pkg.name)
+        if counterpart is not None:
+            value *= package_similarity(counterpart, pkg)
+            if value == 0.0:
+                return 0.0
+    return value
+
+
+def is_compatible(
+    base_subgraph: SemanticGraph, primary_subgraph: SemanticGraph
+) -> bool:
+    """The strict ``comp = 1`` predicate the algorithms test."""
+    return semantic_compatibility(base_subgraph, primary_subgraph) == 1.0

@@ -1,0 +1,57 @@
+"""Package similarity ``simP`` (Section III-E).
+
+Two packages are compared attribute-wise on the triple
+``(pkg, ver, arch)``:
+
+* **name** — different names mean different software: similarity 0;
+* **version** — graded by matching leading numeric components, so
+  ``9.5.14`` vs ``9.5.2`` scores 2/3 while ``9.x`` vs ``10.x`` scores 0;
+* **architecture** — equal architectures match; ``"all"`` is portable
+  and matches anything (the paper: "an architecture attribute of 'all'
+  means that the package is portable and available on base images with
+  any architecture").
+
+``simP`` is the product of the three components, hence 1 exactly when
+the packages are interchangeable and 0 when any hard attribute differs.
+"""
+
+from __future__ import annotations
+
+from repro.model.attributes import ARCH_ALL, PackageAttrs
+from repro.model.package import Package
+from repro.model.versions import Version, version_component_similarity
+
+__all__ = ["package_similarity", "version_similarity", "arch_similarity"]
+
+
+def version_similarity(v1: Version, v2: Version) -> float:
+    """Graded version proximity in ``[0, 1]``."""
+    return version_component_similarity(v1, v2)
+
+
+def arch_similarity(a1: str, a2: str) -> float:
+    """1.0 when the architectures are interchangeable, else 0.0."""
+    if a1 == a2 or a1 == ARCH_ALL or a2 == ARCH_ALL:
+        return 1.0
+    return 0.0
+
+
+def package_similarity(p1: Package | PackageAttrs, p2: Package | PackageAttrs) -> float:
+    """``simP``: product of name, version and architecture similarity.
+
+    Accepts either :class:`~repro.model.package.Package` payloads or
+    bare attribute triples.
+
+    >>> from repro.model.package import make_package
+    >>> a = make_package("redis-server", "3.0.6", installed_size=1000)
+    >>> package_similarity(a, a)
+    1.0
+    """
+    a1 = p1.attrs if isinstance(p1, Package) else p1
+    a2 = p2.attrs if isinstance(p2, Package) else p2
+    if a1.pkg != a2.pkg:
+        return 0.0
+    return (
+        version_similarity(a1.version, a2.version)
+        * arch_similarity(a1.arch, a2.arch)
+    )

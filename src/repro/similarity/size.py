@@ -1,0 +1,42 @@
+"""Size similarity ``simsize`` (Section III-F).
+
+For a matched package pair the weight is the larger of the two package
+sizes normalised by the largest package across *both* VMIs::
+
+    simsize(P1, P2) = max(size(P1), size(P2)) / max_{P in V1 ∪ V2} size(P)
+
+This makes SimG a *weighted* Jaccard: agreeing on a 200 MB database
+server means more than agreeing on a 40 KB shell utility, which is what
+lets the metric separate images that share only the OS plumbing from
+images that share their actual payload.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.model.package import Package
+
+__all__ = ["size_similarity", "max_package_size"]
+
+
+def max_package_size(packages: Iterable[Package]) -> int:
+    """Largest installed size over a package population (0 if empty)."""
+    return max((p.installed_size for p in packages), default=0)
+
+
+def size_similarity(p1: Package, p2: Package, max_size: int) -> float:
+    """``simsize`` with a precomputed normaliser.
+
+    Raises:
+        ValueError: if ``max_size`` is smaller than either package — the
+            normaliser must come from the union population.
+    """
+    larger = max(p1.installed_size, p2.installed_size)
+    if max_size <= 0:
+        return 0.0
+    if larger > max_size:
+        raise ValueError(
+            "max_size must be the maximum over the union population"
+        )
+    return larger / max_size

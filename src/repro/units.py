@@ -1,0 +1,86 @@
+"""Byte and time unit helpers used throughout the reproduction.
+
+All sizes in the library are plain ``int`` byte counts and all simulated
+durations are ``float`` seconds.  This module centralises the conversion
+constants and the human-readable formatting used by the experiment
+reporters so that every table prints sizes the same way the paper does
+(GB with two decimals, seconds with two decimals).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "kb",
+    "mb",
+    "gb",
+    "fmt_bytes",
+    "fmt_gb",
+    "fmt_seconds",
+    "parse_size",
+]
+
+#: One kilobyte (decimal, as disk vendors and the paper use).
+KB: int = 1000
+#: One megabyte.
+MB: int = 1000 * KB
+#: One gigabyte.
+GB: int = 1000 * MB
+#: One terabyte.
+TB: int = 1000 * GB
+
+
+def kb(n: float) -> int:
+    """Return ``n`` kilobytes as an integer byte count."""
+    return int(n * KB)
+
+
+def mb(n: float) -> int:
+    """Return ``n`` megabytes as an integer byte count."""
+    return int(n * MB)
+
+
+def gb(n: float) -> int:
+    """Return ``n`` gigabytes as an integer byte count."""
+    return int(n * GB)
+
+
+def fmt_bytes(n: int) -> str:
+    """Format a byte count with an adaptive unit suffix.
+
+    >>> fmt_bytes(1536)
+    '1.54 KB'
+    >>> fmt_bytes(2_500_000_000)
+    '2.50 GB'
+    """
+    value = float(n)
+    for unit, scale in (("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB)):
+        if abs(value) >= scale:
+            return f"{value / scale:.2f} {unit}"
+    return f"{int(value)} B"
+
+
+def fmt_gb(n: int) -> str:
+    """Format a byte count in gigabytes, the unit used by Figure 3."""
+    return f"{n / GB:.2f} GB"
+
+
+def fmt_seconds(t: float) -> str:
+    """Format a simulated duration in seconds, as used by Figures 4-5."""
+    return f"{t:.2f} s"
+
+
+def parse_size(text: str) -> int:
+    """Parse a human size string (``"1.5GB"``, ``"300 MB"``, ``"42"``).
+
+    Raises:
+        ValueError: if the string is not a recognisable size.
+    """
+    s = text.strip().upper().replace(" ", "")
+    for unit, scale in (("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB), ("B", 1)):
+        if s.endswith(unit):
+            return int(float(s[: -len(unit)]) * scale)
+    return int(float(s))

@@ -1,0 +1,36 @@
+"""Synthetic VMI corpus (Section VI-A).
+
+The paper evaluates on 19 Ubuntu-based images built with virt-builder:
+the four images of the Mirage/Hemera studies (Mini, Base, Desktop, IDE)
+plus 15 AWS-marketplace-style appliance images, and — for Figure 3c —
+40 successive builds of the IDE image.
+
+This package provides the laptop-scale equivalent: a ~200-package
+synthetic Ubuntu 16.04 catalog (:mod:`~repro.workloads.catalog_data`),
+per-image recipes calibrated against Table II's mounted-size and
+file-count columns (:mod:`~repro.workloads.vmi_specs`), and corpus
+builders (:mod:`~repro.workloads.generator`,
+:mod:`~repro.workloads.ide_builds`).
+"""
+
+from repro.workloads.catalog_data import base_template, build_catalog
+from repro.workloads.generator import Corpus, standard_corpus
+from repro.workloads.ide_builds import ide_build_recipes
+from repro.workloads.vmi_specs import (
+    FOUR_VMI_NAMES,
+    TABLE_II_ORDER,
+    VMISpec,
+    spec_for,
+)
+
+__all__ = [
+    "base_template",
+    "build_catalog",
+    "Corpus",
+    "standard_corpus",
+    "ide_build_recipes",
+    "FOUR_VMI_NAMES",
+    "TABLE_II_ORDER",
+    "VMISpec",
+    "spec_for",
+]

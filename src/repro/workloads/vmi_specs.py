@@ -1,0 +1,175 @@
+"""Recipes for the 19 evaluation images of Table II.
+
+Each spec lists the image's *primary* packages (what the user asks
+for — dependencies are resolved by the package manager) plus its user
+payload.  The LAPP and LEMP appliance images carry their sample
+application content as user data, mirroring marketplace stacks whose
+bulk ships outside the package manager; their semantic similarity is
+correspondingly high (Table II: LEMP scores 0.97 — nearly everything it
+installs is already in the repository by upload #11).
+
+Upload order matters: Table II computes each image's similarity against
+the master graph as it stood when that image arrived, so the corpus
+preserves the row order of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import mb
+
+__all__ = ["VMISpec", "TABLE_II_ORDER", "FOUR_VMI_NAMES", "spec_for"]
+
+
+@dataclass(frozen=True)
+class VMISpec:
+    """One evaluation image: primaries + user payload."""
+
+    name: str
+    primaries: tuple[str, ...]
+    user_data_size: int = mb(6)
+    user_data_files: int = 120
+    #: Table II reference values (paper column -> reproduction target)
+    paper_mounted_gb: float = 0.0
+    paper_n_files: int = 0
+    paper_similarity: float = 0.0
+    paper_publish_s: float = 0.0
+    paper_retrieval_s: float = 0.0
+
+
+_LAMP = (
+    "apache2",
+    "libapache2-mod-php7.0",
+    "mysql-server-5.7",
+    "php7.0-mysql",
+)
+
+_DESKTOP_PRIMARIES = (
+    # X + desktop session
+    "xorg",
+    "xserver-xorg-core",
+    "xserver-xorg-video-all",
+    "xserver-xorg-input-all",
+    "lightdm",
+    "lightdm-gtk-greeter",
+    "gnome-session",
+    "gnome-settings-daemon",
+    "gnome-terminal",
+    "gnome-system-monitor",
+    "gnome-calculator",
+    "gnome-screenshot",
+    "gnome-disk-utility",
+    "nautilus",
+    "gedit",
+    "eog",
+    "evince",
+    "file-roller",
+    "network-manager-gnome",
+    "pulseaudio",
+    "alsa-utils",
+    "bluez",
+    "cups-daemon",
+    "update-manager",
+    "notify-osd",
+    "indicator-applet",
+    "indicator-sound",
+    # productivity
+    "libreoffice-writer",
+    "libreoffice-calc",
+    "firefox",
+    "thunderbird",
+    # FTP / NFS / email servers (Section VI-A item 3)
+    "vsftpd",
+    "nfs-kernel-server",
+    "postfix",
+    "dovecot-core",
+) + _LAMP
+
+_SPECS: tuple[VMISpec, ...] = (
+    VMISpec("Mini", (), paper_mounted_gb=1.913, paper_n_files=75749,
+            paper_similarity=0.0, paper_publish_s=39.52,
+            paper_retrieval_s=24.64),
+    VMISpec("Redis", ("redis-server",), paper_mounted_gb=1.914,
+            paper_n_files=75796, paper_similarity=0.97,
+            paper_publish_s=10.28, paper_retrieval_s=22.05),
+    VMISpec("PostgreSql", ("postgresql-9.5",), paper_mounted_gb=1.963,
+            paper_n_files=77497, paper_similarity=0.59,
+            paper_publish_s=39.699, paper_retrieval_s=33.91),
+    VMISpec("Django", ("python3-django", "python3-pip", "gunicorn"),
+            paper_mounted_gb=1.969, paper_n_files=79751,
+            paper_similarity=0.71, paper_publish_s=18.916,
+            paper_retrieval_s=27.30),
+    VMISpec("RabbitMQ", ("rabbitmq-server",), paper_mounted_gb=1.956,
+            paper_n_files=77596, paper_similarity=0.56,
+            paper_publish_s=25.620, paper_retrieval_s=33.87),
+    VMISpec("Base", _LAMP, paper_mounted_gb=1.986, paper_n_files=78471,
+            paper_similarity=0.89, paper_publish_s=42.236,
+            paper_retrieval_s=47.17),
+    VMISpec("CouchDB", ("couchdb",), paper_mounted_gb=1.965,
+            paper_n_files=77725, paper_similarity=0.70,
+            paper_publish_s=37.99, paper_retrieval_s=42.58),
+    VMISpec("Cassandra", ("cassandra",), paper_mounted_gb=2.531,
+            paper_n_files=79740, paper_similarity=0.71,
+            paper_publish_s=42.58, paper_retrieval_s=35.66),
+    VMISpec("Tomcat", ("tomcat8",), paper_mounted_gb=2.049,
+            paper_n_files=76356, paper_similarity=0.37,
+            paper_publish_s=60.65, paper_retrieval_s=36.37),
+    VMISpec("Lapp", ("apache2", "postgresql-9.5",
+                     "postgresql-contrib-9.5", "php7.0-pgsql",
+                     "libapache2-mod-php7.0"),
+            user_data_size=mb(118), user_data_files=320,
+            paper_mounted_gb=2.107, paper_n_files=77816,
+            paper_similarity=0.53, paper_publish_s=56.71,
+            paper_retrieval_s=61.79),
+    VMISpec("Lemp", ("nginx", "php7.0-fpm", "mysql-server-5.7",
+                     "php7.0-mysql"),
+            user_data_size=mb(130), user_data_files=300,
+            paper_mounted_gb=2.112, paper_n_files=77360,
+            paper_similarity=0.97, paper_publish_s=25.093,
+            paper_retrieval_s=57.11),
+    VMISpec("MongoDb", ("mongodb-org-server", "mongodb-org-shell"),
+            paper_mounted_gb=2.110, paper_n_files=75820,
+            paper_similarity=0.15, paper_publish_s=90.465,
+            paper_retrieval_s=29.33),
+    VMISpec("Own Cloud", ("owncloud-files",), paper_mounted_gb=2.378,
+            paper_n_files=90667, paper_similarity=0.76,
+            paper_publish_s=80.942, paper_retrieval_s=100.43),
+    VMISpec("Desktop", _DESKTOP_PRIMARIES, paper_mounted_gb=2.233,
+            paper_n_files=90338, paper_similarity=0.50,
+            paper_publish_s=201.721, paper_retrieval_s=102.34),
+    VMISpec("Apache Solr", ("apache-solr",), paper_mounted_gb=2.338,
+            paper_n_files=79161, paper_similarity=0.84,
+            paper_publish_s=71.555, paper_retrieval_s=92.57),
+    VMISpec("IDE", ("eclipse-platform", "maven", "python3-dev"),
+            paper_mounted_gb=2.727, paper_n_files=81200,
+            paper_similarity=0.52, paper_publish_s=135.333,
+            paper_retrieval_s=63.62),
+    VMISpec("Jenkins", ("jenkins",), paper_mounted_gb=2.515,
+            paper_n_files=79695, paper_similarity=0.87,
+            paper_publish_s=63.504, paper_retrieval_s=81.24),
+    VMISpec("Redmine", ("redmine",), paper_mounted_gb=2.363,
+            paper_n_files=95309, paper_similarity=0.79,
+            paper_publish_s=112.908, paper_retrieval_s=97.08),
+    VMISpec("Elastic Stack", ("elasticsearch", "logstash", "kibana"),
+            paper_mounted_gb=2.671, paper_n_files=103719,
+            paper_similarity=0.64, paper_publish_s=166.001,
+            paper_retrieval_s=99.91),
+)
+
+#: the 19 image names in Table II upload order
+TABLE_II_ORDER: tuple[str, ...] = tuple(s.name for s in _SPECS)
+
+#: the four images of the Mirage/Hemera studies (Figures 3a and 4a)
+FOUR_VMI_NAMES: tuple[str, ...] = ("Mini", "Base", "Desktop", "IDE")
+
+_BY_NAME = {s.name: s for s in _SPECS}
+
+
+def spec_for(name: str) -> VMISpec:
+    """The spec of one evaluation image.
+
+    Raises:
+        KeyError: for names outside the Table II corpus.
+    """
+    return _BY_NAME[name]

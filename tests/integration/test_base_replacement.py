@@ -1,0 +1,109 @@
+"""Integration: base-image replacement (Algorithm 2 end to end).
+
+Publishes images built on two *different* bases with identical
+attribute quadruples — a lean minimal base and a fat base with extra
+OS packages baked in — and checks that the repository converges to a
+single base image, that obsolete masters merge, and that every
+previously published VMI still retrieves correctly afterwards.
+"""
+
+import pytest
+
+from repro.core.system import Expelliarmus
+from repro.image.builder import BuildRecipe, ImageBuilder
+
+from tests.conftest import make_mini_catalog, make_mini_template
+
+
+@pytest.fixture
+def lean_builder():
+    return ImageBuilder(make_mini_catalog(), make_mini_template())
+
+
+@pytest.fixture
+def fat_builder():
+    return ImageBuilder(
+        make_mini_catalog(),
+        make_mini_template(extra=("portable-tool",)),
+    )
+
+
+def recipe(name, primaries=("redis-server",)):
+    return BuildRecipe(
+        name=name, primaries=primaries,
+        user_data_size=500_000, user_data_files=5,
+        instance_noise_size=1_000_000, instance_noise_files=10,
+    )
+
+
+class TestConvergence:
+    def test_fat_base_replaced_by_lean(self, lean_builder, fat_builder):
+        system = Expelliarmus()
+        # 1) fat-base image arrives first and is stored
+        system.publish(fat_builder.build(recipe("fat-redis")))
+        assert len(system.repo.base_images()) == 1
+        fat_key = system.repo.base_images()[0].blob_key()
+
+        # 2) lean-base image arrives; Algorithm 2 prefers the leaner
+        #    base and replaces the fat one
+        report = system.publish(lean_builder.build(recipe("lean-redis")))
+        assert report.replaced_bases == 1
+        bases = system.repo.base_images()
+        assert len(bases) == 1
+        assert bases[0].blob_key() != fat_key
+
+    def test_replaced_members_still_retrieve(
+        self, lean_builder, fat_builder
+    ):
+        system = Expelliarmus()
+        system.publish(fat_builder.build(recipe("fat-redis")))
+        system.publish(lean_builder.build(recipe("lean-nginx",
+                                                 primaries=("nginx",))))
+        # the fat image's record now points at the lean base
+        result = system.retrieve("fat-redis")
+        assert result.vmi.has_package("redis-server")
+        result2 = system.retrieve("lean-nginx")
+        assert result2.vmi.has_package("nginx")
+
+    def test_master_graphs_merged(self, lean_builder, fat_builder):
+        system = Expelliarmus()
+        system.publish(fat_builder.build(recipe("fat-redis")))
+        system.publish(lean_builder.build(recipe("lean-nginx",
+                                                 primaries=("nginx",))))
+        masters = system.repo.master_graphs()
+        assert len(masters) == 1
+        primaries = {p.name for p in masters[0].primary_packages()}
+        assert primaries == {"redis-server", "nginx"}
+        assert masters[0].check_invariant()
+
+    def test_storage_reclaimed(self, lean_builder, fat_builder):
+        system = Expelliarmus()
+        system.publish(fat_builder.build(recipe("fat-redis")))
+        after_fat = system.repository_size
+        system.publish(lean_builder.build(recipe("lean-redis")))
+        # the lean base is smaller than the fat one it replaced, so the
+        # repository shrinks modulo the new user data
+        assert system.repository_size < after_fat + 1_000_000
+
+
+class TestNoReplacementAcrossFamilies:
+    def test_different_release_bases_coexist(self, lean_builder):
+        from repro.model.attributes import BaseImageAttrs
+        from repro.image.builder import BaseTemplate
+        from tests.conftest import BASE_PACKAGE_NAMES
+
+        system = Expelliarmus()
+        system.publish(lean_builder.build(recipe("xenial-redis")))
+
+        bionic = ImageBuilder(
+            make_mini_catalog(),
+            BaseTemplate(
+                attrs=BaseImageAttrs("linux", "ubuntu", "18.04", "amd64"),
+                package_names=BASE_PACKAGE_NAMES,
+                skeleton_files=200,
+                skeleton_size=20_000_000,
+            ),
+        )
+        system.publish(bionic.build(recipe("bionic-redis")))
+        assert len(system.repo.base_images()) == 2
+        assert len(system.repo.master_graphs()) == 2

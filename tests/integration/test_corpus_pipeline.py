@@ -1,0 +1,77 @@
+"""Integration: cross-scheme consistency over the shared corpus.
+
+Runs every storage scheme over the same image sequence and checks the
+*relations* the paper's evaluation depends on, end to end.
+"""
+
+import pytest
+
+from repro.baselines.expelliarmus_scheme import ExpelliarmusScheme
+from repro.baselines.gzip_store import GzipStore
+from repro.baselines.hemera import HemeraStore
+from repro.baselines.mirage import MirageStore
+from repro.baselines.qcow2_store import Qcow2Store
+
+NAMES = ("Mini", "Redis", "PostgreSql", "Tomcat", "MongoDb")
+
+
+@pytest.fixture(scope="module")
+def schemes(corpus):
+    built = {
+        "qcow2": Qcow2Store(),
+        "gzip": GzipStore(),
+        "mirage": MirageStore(),
+        "hemera": HemeraStore(),
+        "expelliarmus": ExpelliarmusScheme(),
+    }
+    for scheme in built.values():
+        for name in NAMES:
+            scheme.publish(corpus.build(name))
+    return built
+
+
+class TestStorageRelations:
+    def test_strict_ordering(self, schemes):
+        sizes = {k: s.repository_bytes for k, s in schemes.items()}
+        assert sizes["expelliarmus"] < sizes["mirage"]
+        assert sizes["mirage"] < sizes["gzip"] < sizes["qcow2"]
+
+    def test_mirage_hemera_within_one_percent(self, schemes):
+        assert schemes["mirage"].repository_bytes == pytest.approx(
+            schemes["hemera"].repository_bytes, rel=0.01
+        )
+
+    def test_dedup_stores_bounded_by_unique_content(
+        self, schemes, corpus
+    ):
+        """Mirage can never store more than the concatenation of all
+        unique file bytes."""
+        from repro.baselines.mirage import MANIFEST_ENTRY_BYTES
+        from repro.image.manifest import FileManifest
+
+        manifests = [
+            corpus.build(name).full_manifest() for name in NAMES
+        ]
+        concat = FileManifest.concat(manifests)
+        allowed = concat.unique().total_size + (
+            concat.n_files * MANIFEST_ENTRY_BYTES
+        )
+        assert schemes["mirage"].repository_bytes <= allowed
+
+
+class TestTimingRelations:
+    def test_publish_faster_for_expelliarmus(self, schemes, corpus):
+        exp = schemes["expelliarmus"]
+        mirage = schemes["mirage"]
+        vmi_e = corpus.build("Jenkins")
+        vmi_m = corpus.build("Jenkins")
+        assert (
+            exp.publish(vmi_e).duration
+            < mirage.publish(vmi_m).duration
+        )
+
+    def test_retrieval_ordering_on_small_image(self, schemes):
+        mirage = schemes["mirage"].retrieve("Redis").duration
+        hemera = schemes["hemera"].retrieve("Redis").duration
+        exp = schemes["expelliarmus"].retrieve("Redis").duration
+        assert exp < hemera < mirage

@@ -1,0 +1,65 @@
+"""Integration: assembly of compositions that were never uploaded.
+
+"Expelliarmus enables VMI assembly either with identical or with
+differing functionality, provided that the requested software package
+exists in the repository" (Section IV-D).
+"""
+
+import pytest
+
+from repro.core.system import Expelliarmus
+from repro.errors import RetrievalError
+
+
+@pytest.fixture(scope="module")
+def system(corpus):
+    sys = Expelliarmus()
+    for name in ("Mini", "Redis", "PostgreSql", "Tomcat"):
+        sys.publish(corpus.build(name))
+    return sys
+
+
+@pytest.fixture(scope="module")
+def base_key(system):
+    return system.repo.base_images()[0].blob_key()
+
+
+class TestDifferingFunctionality:
+    def test_combine_packages_from_different_uploads(
+        self, system, base_key
+    ):
+        result = system.assemble_custom(
+            "redis-plus-pg",
+            base_key,
+            ("redis-server", "postgresql-9.5"),
+        )
+        vmi = result.vmi
+        assert vmi.has_package("redis-server")
+        assert vmi.has_package("postgresql-9.5")
+        assert vmi.has_package("libpq5")  # pg dependency came along
+
+    def test_java_stack_reused(self, system, base_key):
+        result = system.assemble_custom(
+            "just-tomcat", base_key, ("tomcat8",)
+        )
+        assert result.vmi.has_package("openjdk-8-jre-headless")
+
+    def test_unknown_package_rejected(self, system, base_key):
+        with pytest.raises(RetrievalError):
+            system.assemble_custom("nope", base_key, ("mongodb-x",))
+
+    def test_custom_assembly_adds_no_bytes(self, system, base_key):
+        before = system.repository_size
+        system.assemble_custom(
+            "ephemeral", base_key, ("redis-server",)
+        )
+        assert system.repository_size == before
+
+    def test_custom_time_tracks_import_payload(self, system, base_key):
+        small = system.assemble_custom(
+            "small", base_key, ("redis-server",)
+        )
+        big = system.assemble_custom(
+            "big", base_key, ("tomcat8", "postgresql-9.5")
+        )
+        assert big.retrieval_time > small.retrieval_time

@@ -1,0 +1,134 @@
+"""Integration: failure injection and recovery behaviour.
+
+A production image service must fail loudly and leave consistent state
+when its repository is damaged or misused.  These tests corrupt the
+repository in targeted ways and assert clean, typed errors — never
+silent wrong answers — and that unrelated images keep working.
+"""
+
+import pytest
+
+from repro.core.system import Expelliarmus
+from repro.errors import (
+    IncompatibleImageError,
+    NotInRepositoryError,
+    PublishError,
+    RetrievalError,
+)
+from repro.image.builder import BuildRecipe
+
+
+@pytest.fixture
+def system(mini_builder):
+    sys = Expelliarmus()
+    for name, primaries in (
+        ("redis-vm", ("redis-server",)),
+        ("nginx-vm", ("nginx",)),
+    ):
+        sys.publish(
+            mini_builder.build(
+                BuildRecipe(
+                    name=name,
+                    primaries=primaries,
+                    user_data_size=10_000,
+                    user_data_files=1,
+                )
+            )
+        )
+    return sys
+
+
+class TestRepositoryDamage:
+    def test_missing_package_blob_fails_cleanly(self, system):
+        """Losing a .deb blob breaks exactly the images that need it."""
+        key = system.repo.packages_named("redis-server")[0].blob_key()
+        system.repo.remove_package(key)
+        with pytest.raises(NotInRepositoryError):
+            system.retrieve("redis-vm")
+        # the unrelated image is unaffected
+        assert system.retrieve("nginx-vm").vmi.has_package("nginx")
+
+    def test_missing_user_data_fails_cleanly(self, system):
+        label = system.repo.get_vmi_record("redis-vm").data_label
+        system.repo.remove_user_data(label)
+        with pytest.raises(NotInRepositoryError):
+            system.retrieve("redis-vm")
+
+    def test_missing_base_fails_cleanly(self, system):
+        base_key = system.repo.base_images()[0].blob_key()
+        system.repo.remove_base_image(base_key)
+        with pytest.raises(NotInRepositoryError):
+            system.retrieve("redis-vm")
+
+    def test_missing_master_graph_fails_cleanly(self, system):
+        base_key = system.repo.base_images()[0].blob_key()
+        system.repo._masters.clear()
+        with pytest.raises(NotInRepositoryError):
+            system.assembler.assemble(
+                "x", base_key, ("redis-server",)
+            )
+
+
+class TestMisuse:
+    def test_republish_same_name(self, system, mini_builder):
+        with pytest.raises(PublishError):
+            system.publish(
+                mini_builder.build(
+                    BuildRecipe(
+                        name="redis-vm", primaries=("redis-server",)
+                    )
+                )
+            )
+
+    def test_incompatible_custom_assembly(self, system, mini_catalog):
+        """A master graph poisoned with a clashing package version is
+        caught by the Algorithm-3 precondition, not installed."""
+        from repro.model.graph import PackageRole, SemanticGraph
+        from repro.model.package import make_package
+
+        base_key = system.repo.base_images()[0].blob_key()
+        master = system.repo.get_master_graph(base_key)
+        poisoned = SemanticGraph()
+        evil_key = poisoned.add_package(
+            make_package("evil", "1.0", installed_size=10),
+            PackageRole.PRIMARY,
+        )
+        libc_key = poisoned.add_package(
+            make_package("libc6", "9.9", installed_size=10),
+            PackageRole.DEPENDENCY,
+        )
+        poisoned.add_dependency_edge(evil_key, libc_key)
+        master.package_graph.union_update(poisoned)
+        with pytest.raises(IncompatibleImageError):
+            system.assembler.assemble("bad", base_key, ("evil",))
+
+    def test_unknown_primary_in_custom_assembly(self, system):
+        base_key = system.repo.base_images()[0].blob_key()
+        with pytest.raises(RetrievalError):
+            system.assemble_custom("x", base_key, ("no-such-pkg",))
+
+
+class TestStateConsistencyAfterFailure:
+    def test_failed_retrieval_leaves_repo_intact(self, system):
+        size = system.repository_size
+        key = system.repo.packages_named("redis-server")[0].blob_key()
+        system.repo.remove_package(key)
+        with pytest.raises(NotInRepositoryError):
+            system.retrieve("redis-vm")
+        # nothing else was mutated by the failed attempt
+        assert system.repository_size < size
+        assert system.retrieve("nginx-vm").vmi.has_package("nginx")
+
+    def test_failed_publish_does_not_record_vmi(
+        self, system, mini_builder
+    ):
+        names_before = set(system.published_names())
+        with pytest.raises(PublishError):
+            system.publish(
+                mini_builder.build(
+                    BuildRecipe(
+                        name="redis-vm", primaries=("redis-server",)
+                    )
+                )
+            )
+        assert set(system.published_names()) == names_before

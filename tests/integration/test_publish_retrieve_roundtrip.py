@@ -1,0 +1,96 @@
+"""Integration: full publish -> store -> retrieve round trips.
+
+The defining correctness property of the whole system: whatever a user
+uploads, the assembled retrieval is functionally equivalent — same
+packages at the same versions with the same roles, and the same user
+data — even though the repository never stored the image as a whole.
+"""
+
+import pytest
+
+from repro.core.system import Expelliarmus
+from repro.workloads.vmi_specs import TABLE_II_ORDER, spec_for
+
+
+@pytest.fixture(scope="module")
+def populated_system(corpus):
+    system = Expelliarmus()
+    originals = {}
+    for name in TABLE_II_ORDER:
+        vmi = corpus.build(name)
+        originals[name] = {
+            "mounted": vmi.mounted_size,
+            "files": vmi.n_files,
+            "packages": {
+                (r.name, str(r.package.version))
+                for r in vmi.installed_packages()
+            },
+            "primaries": set(vmi.primary_names()),
+            "residue": vmi.residue_size,
+            "user_data": vmi.user_data.size,
+        }
+        system.publish(vmi)
+    return system, originals
+
+
+@pytest.mark.parametrize("name", TABLE_II_ORDER)
+class TestRoundTrip:
+    def test_package_set_restored(self, populated_system, name):
+        system, originals = populated_system
+        restored = system.retrieve(name).vmi
+        packages = {
+            (r.name, str(r.package.version))
+            for r in restored.installed_packages()
+        }
+        assert packages == originals[name]["packages"]
+
+    def test_primary_roles_restored(self, populated_system, name):
+        system, originals = populated_system
+        restored = system.retrieve(name).vmi
+        assert set(restored.primary_names()) == (
+            originals[name]["primaries"]
+        )
+
+    def test_user_data_restored(self, populated_system, name):
+        system, originals = populated_system
+        restored = system.retrieve(name).vmi
+        assert restored.user_data is not None
+        assert restored.user_data.size == originals[name]["user_data"]
+
+    def test_footprint_equivalent_minus_residue(
+        self, populated_system, name
+    ):
+        """Retrieved images match the upload minus the build residue
+        that decomposition legitimately cleaned up."""
+        system, originals = populated_system
+        restored = system.retrieve(name).vmi
+        expected = (
+            originals[name]["mounted"] - originals[name]["residue"]
+        )
+        assert restored.mounted_size == expected
+
+
+class TestRepositoryEconomy:
+    def test_repo_far_smaller_than_uploads(self, populated_system):
+        system, originals = populated_system
+        total_uploaded = sum(o["mounted"] for o in originals.values())
+        assert system.repository_size < 0.1 * total_uploaded
+
+    def test_single_base_image_stored(self, populated_system):
+        system, _ = populated_system
+        assert len(system.repo.base_images()) == 1
+
+    def test_every_master_invariant_holds(self, populated_system):
+        system, _ = populated_system
+        for master in system.repo.master_graphs():
+            assert master.check_invariant()
+
+    def test_repository_passes_fsck(self, populated_system):
+        """After the full 19-image pipeline plus retrievals, every
+        consistency check of the repository holds."""
+        from repro.repository.fsck import check_repository
+
+        system, _ = populated_system
+        report = check_repository(system.repo)
+        assert report.clean, [str(f) for f in report.findings]
+        assert report.checked_vmis == 19

@@ -1,0 +1,138 @@
+"""Integration: successive uploads across archive updates.
+
+The paper's introduction motivates versioning: users re-publish images
+after updating software.  When the archive moves (redis 3.0 -> 3.2),
+two versions of the same primary coexist in one master graph; each
+published VMI must retrieve *its* version, storage must hold both
+.debs once each, and garbage collection must treat the versions as
+independent.
+"""
+
+import pytest
+
+from repro.core.system import Expelliarmus
+from repro.guestos.catalog import Catalog
+from repro.image.builder import BuildRecipe, ImageBuilder
+from repro.model.package import DependencySpec, make_package
+
+from tests.conftest import make_mini_catalog, make_mini_template
+
+
+@pytest.fixture
+def old_builder():
+    """The original archive: redis-server 3.0.6."""
+    return ImageBuilder(make_mini_catalog(), make_mini_template())
+
+
+@pytest.fixture
+def new_builder():
+    """The archive after an update: redis-server 3.2.0 appears."""
+    catalog = make_mini_catalog()
+    catalog.add(
+        make_package(
+            "redis-server",
+            "3.2.0",
+            installed_size=1_800_000,
+            n_files=34,
+            depends=(DependencySpec("libc6"), DependencySpec("libssl")),
+            section="database",
+        )
+    )
+    return ImageBuilder(catalog, make_mini_template())
+
+
+def recipe(name):
+    return BuildRecipe(
+        name=name,
+        primaries=("redis-server",),
+        user_data_size=10_000,
+        user_data_files=1,
+    )
+
+
+@pytest.fixture
+def system(old_builder, new_builder):
+    sys = Expelliarmus()
+    sys.publish(old_builder.build(recipe("redis-v1")))
+    sys.publish(new_builder.build(recipe("redis-v2")))
+    return sys
+
+
+class TestCoexistence:
+    def test_both_debs_stored_once_each(self, system):
+        versions = {
+            str(p.version)
+            for p in system.repo.packages_named("redis-server")
+        }
+        assert versions == {"3.0.6", "3.2.0"}
+
+    def test_master_graph_holds_both_versions(self, system):
+        master = system.repo.master_graphs()[0]
+        redis_versions = {
+            str(p.version)
+            for p in master.primary_packages()
+            if p.name == "redis-server"
+        }
+        assert redis_versions == {"3.0.6", "3.2.0"}
+        assert master.check_invariant()
+
+    def test_each_vmi_retrieves_its_own_version(self, system):
+        v1 = system.retrieve("redis-v1").vmi
+        v2 = system.retrieve("redis-v2").vmi
+        assert str(v1.installed("redis-server").package.version) == (
+            "3.0.6"
+        )
+        assert str(v2.installed("redis-server").package.version) == (
+            "3.2.0"
+        )
+
+    def test_second_upload_exports_only_new_version(
+        self, old_builder, new_builder
+    ):
+        sys = Expelliarmus()
+        sys.publish(old_builder.build(recipe("redis-v1")))
+        report = sys.publish(new_builder.build(recipe("redis-v2")))
+        assert report.exported_packages == ("redis-server",)
+        assert not report.stored_new_base
+
+    def test_custom_assembly_defaults_to_newest(self, system):
+        base_key = system.repo.base_images()[0].blob_key()
+        result = system.assemble_custom(
+            "fresh", base_key, ("redis-server",)
+        )
+        assert str(
+            result.vmi.installed("redis-server").package.version
+        ) == "3.2.0"
+
+    def test_custom_assembly_can_pin_version(self, system):
+        base_key = system.repo.base_images()[0].blob_key()
+        result = system.assembler.assemble(
+            "pinned",
+            base_key,
+            ("redis-server",),
+            primary_versions={"redis-server": "3.0.6"},
+        )
+        assert str(
+            result.vmi.installed("redis-server").package.version
+        ) == "3.0.6"
+
+
+class TestUpgradeLifecycle:
+    def test_gc_keeps_only_live_version(self, system):
+        system.delete("redis-v1")
+        report = system.garbage_collect()
+        assert report.removed_packages >= 1
+        versions = {
+            str(p.version)
+            for p in system.repo.packages_named("redis-server")
+        }
+        assert versions == {"3.2.0"}
+        v2 = system.retrieve("redis-v2").vmi
+        assert str(v2.installed("redis-server").package.version) == (
+            "3.2.0"
+        )
+
+    def test_fsck_clean_with_coexisting_versions(self, system):
+        from repro.repository.fsck import check_repository
+
+        assert check_repository(system.repo).clean

@@ -1,0 +1,106 @@
+"""Property-based tests on dedup-store invariants.
+
+Random publish sequences against the Mirage store: byte accounting must
+stay exact, dedup must be order-insensitive in its final footprint, and
+no content id may ever be stored twice.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.hemera import HemeraStore
+from repro.baselines.mirage import MANIFEST_ENTRY_BYTES, MirageStore
+from repro.image.builder import BuildRecipe, ImageBuilder
+
+from tests.conftest import make_mini_catalog, make_mini_template
+
+_PRIMARY_CHOICES = [
+    (),
+    ("redis-server",),
+    ("nginx",),
+    ("redis-server", "nginx"),
+    ("bigapp",),
+]
+
+recipe_specs = st.lists(
+    st.tuples(
+        st.sampled_from(_PRIMARY_CHOICES),
+        st.integers(min_value=0, max_value=3),  # build id
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+def build_all(specs):
+    builder = ImageBuilder(make_mini_catalog(), make_mini_template())
+    vmis = []
+    for i, (primaries, build_id) in enumerate(specs):
+        vmis.append(
+            builder.build(
+                BuildRecipe(
+                    name=f"vm-{i}",
+                    primaries=primaries,
+                    build_id=build_id,
+                    user_data_size=100_000,
+                    user_data_files=3,
+                    instance_noise_size=200_000,
+                    instance_noise_files=4,
+                )
+            )
+        )
+    return vmis
+
+
+class TestMirageInvariants:
+    @given(recipe_specs)
+    @settings(max_examples=25, deadline=None)
+    def test_no_content_stored_twice(self, specs):
+        store = MirageStore()
+        for vmi in build_all(specs):
+            store.publish(vmi)
+        ids = store._known_ids
+        assert len(set(ids.tolist())) == ids.size
+
+    @given(recipe_specs)
+    @settings(max_examples=25, deadline=None)
+    def test_bytes_equal_unique_content_plus_manifests(self, specs):
+        from repro.image.manifest import FileManifest
+
+        vmis = build_all(specs)
+        store = MirageStore()
+        total_records = 0
+        manifests = []
+        for vmi in vmis:
+            manifests.append(vmi.full_manifest())
+            total_records += manifests[-1].n_files
+            store.publish(vmi)
+        unique = FileManifest.concat(manifests).unique()
+        expected = unique.total_size + (
+            total_records * MANIFEST_ENTRY_BYTES
+        )
+        assert store.repository_bytes == expected
+
+    @given(recipe_specs)
+    @settings(max_examples=15, deadline=None)
+    def test_final_size_order_insensitive(self, specs):
+        vmis_a = build_all(specs)
+        vmis_b = list(reversed(build_all(specs)))
+        a, b = MirageStore(), MirageStore()
+        for vmi in vmis_a:
+            a.publish(vmi)
+        for vmi in vmis_b:
+            b.publish(vmi)
+        assert a.repository_bytes == b.repository_bytes
+
+
+class TestHemeraMirrorsMirage:
+    @given(recipe_specs)
+    @settings(max_examples=15, deadline=None)
+    def test_same_unique_content(self, specs):
+        mirage, hemera = MirageStore(), HemeraStore()
+        for vmi in build_all(specs):
+            mirage.publish(vmi)
+        for vmi in build_all(specs):
+            hemera.publish(vmi)
+        assert mirage._stored_bytes == hemera._stored_bytes

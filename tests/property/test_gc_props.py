@@ -1,0 +1,105 @@
+"""Property-based tests: garbage collection over random lifecycles.
+
+Random interleavings of publish and delete must preserve the
+repository's core invariants: surviving images always retrieve intact,
+reclaimed bytes are accounted exactly, GC is idempotent, and a fully
+emptied repository holds zero bytes.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.system import Expelliarmus
+from repro.image.builder import BuildRecipe, ImageBuilder
+
+from tests.conftest import make_mini_catalog, make_mini_template
+
+_PRIMARY_CHOICES = [
+    (),
+    ("redis-server",),
+    ("nginx",),
+    ("redis-server", "nginx"),
+    ("bigapp",),
+]
+
+#: (primaries-index, delete-this-one-later) pairs
+lifecycles = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=len(_PRIMARY_CHOICES) - 1),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+def _run_lifecycle(spec):
+    builder = ImageBuilder(make_mini_catalog(), make_mini_template())
+    system = Expelliarmus()
+    survivors = []
+    doomed = []
+    for i, (choice, delete_later) in enumerate(spec):
+        name = f"vm-{i}"
+        system.publish(
+            builder.build(
+                BuildRecipe(
+                    name=name,
+                    primaries=_PRIMARY_CHOICES[choice],
+                    user_data_size=20_000,
+                    user_data_files=1,
+                )
+            )
+        )
+        (doomed if delete_later else survivors).append(name)
+    for name in doomed:
+        system.delete(name)
+    return system, survivors
+
+
+@given(lifecycles)
+@settings(max_examples=20, deadline=None)
+def test_survivors_retrieve_after_gc(spec):
+    system, survivors = _run_lifecycle(spec)
+    system.garbage_collect()
+    for name in survivors:
+        result = system.retrieve(name)
+        assert result.vmi.name == name
+
+
+@given(lifecycles)
+@settings(max_examples=20, deadline=None)
+def test_gc_idempotent(spec):
+    system, _ = _run_lifecycle(spec)
+    system.garbage_collect()
+    second = system.garbage_collect()
+    assert not second.removed_anything
+
+
+@given(lifecycles)
+@settings(max_examples=20, deadline=None)
+def test_reclaimed_bytes_exact(spec):
+    system, _ = _run_lifecycle(spec)
+    before = system.repository_size
+    report = system.garbage_collect()
+    assert before - report.reclaimed_bytes == system.repository_size
+
+
+@given(lifecycles)
+@settings(max_examples=20, deadline=None)
+def test_delete_everything_empties_repository(spec):
+    system, survivors = _run_lifecycle(spec)
+    for name in survivors:
+        system.delete(name)
+    system.garbage_collect()
+    assert system.repository_size == 0
+    assert system.repo.base_images() == []
+    assert system.repo.master_graphs() == []
+
+
+@given(lifecycles)
+@settings(max_examples=20, deadline=None)
+def test_master_invariant_survives_gc(spec):
+    system, _ = _run_lifecycle(spec)
+    system.garbage_collect()
+    for master in system.repo.master_graphs():
+        assert master.check_invariant()

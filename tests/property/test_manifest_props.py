@@ -1,0 +1,105 @@
+"""Property-based tests on FileManifest set operations.
+
+These are the invariants every dedup store's byte accounting rests on.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.image.manifest import FileManifest
+
+records = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=50),  # small id space to
+        st.integers(min_value=0, max_value=10**6),  # force collisions
+        st.floats(min_value=0.05, max_value=0.98),
+    ),
+    min_size=0,
+    max_size=40,
+)
+
+
+def manifest(rows) -> FileManifest:
+    # same content id must imply same size/ratio (content-addressing)
+    seen = {}
+    cleaned = []
+    for cid, size, ratio in rows:
+        if cid in seen:
+            cleaned.append(seen[cid])
+        else:
+            seen[cid] = (cid, size, ratio)
+            cleaned.append(seen[cid])
+    return FileManifest.from_records(cleaned)
+
+
+known_sets = st.lists(
+    st.integers(min_value=0, max_value=50), max_size=30
+).map(lambda xs: np.array(sorted(set(xs)), dtype=np.uint64))
+
+
+class TestUnique:
+    @given(records)
+    def test_unique_is_idempotent(self, rows):
+        m = manifest(rows)
+        once = m.unique()
+        twice = once.unique()
+        assert once == twice
+
+    @given(records)
+    def test_unique_never_grows(self, rows):
+        m = manifest(rows)
+        u = m.unique()
+        assert u.n_files <= m.n_files
+        assert u.total_size <= m.total_size
+
+    @given(records)
+    def test_unique_preserves_id_set(self, rows):
+        m = manifest(rows)
+        assert set(m.unique().content_ids.tolist()) == set(
+            m.content_ids.tolist()
+        )
+
+
+class TestNewAgainst:
+    @given(records, known_sets)
+    def test_disjoint_from_known(self, rows, known):
+        new = manifest(rows).new_against(known)
+        assert not set(new.content_ids.tolist()) & set(known.tolist())
+
+    @given(records, known_sets)
+    def test_partition_of_unique_bytes(self, rows, known):
+        """new bytes + duplicate bytes == unique bytes, exactly."""
+        m = manifest(rows).unique()
+        new = m.new_against(known)
+        dup = m.duplicate_bytes_against(known)
+        assert new.total_size + dup == m.total_size
+
+    @given(records)
+    def test_empty_store_keeps_all_unique(self, rows):
+        m = manifest(rows)
+        new = m.new_against(np.empty(0, dtype=np.uint64))
+        assert new == m.unique()
+
+    @given(records, known_sets)
+    def test_idempotent_absorption(self, rows, known):
+        """Absorbing the same manifest twice adds nothing new."""
+        m = manifest(rows)
+        first = m.new_against(known)
+        grown = np.union1d(known, first.content_ids)
+        second = m.new_against(grown)
+        assert second.n_files == 0
+
+
+class TestConcat:
+    @given(records, records)
+    def test_concat_adds_counts_and_bytes(self, a, b):
+        ma, mb = manifest(a), manifest(b)
+        c = FileManifest.concat([ma, mb])
+        assert c.n_files == ma.n_files + mb.n_files
+        assert c.total_size == ma.total_size + mb.total_size
+
+    @given(records)
+    def test_compressed_never_exceeds_raw(self, rows):
+        m = manifest(rows)
+        assert m.compressed_size() <= m.total_size + m.n_files

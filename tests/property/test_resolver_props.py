@@ -1,0 +1,111 @@
+"""Property-based tests on the dependency resolver.
+
+Soundness over randomly generated catalogs: any resolvable request
+yields a plan that is dependency-closed, correctly ordered and version
+consistent — including catalogs with dependency cycles.
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DependencyError, UnknownPackageError
+from repro.guestos.catalog import Catalog
+from repro.model.package import DependencySpec, make_package
+
+
+@st.composite
+def catalogs(draw):
+    """Random catalog over names p0..pN with random (cyclic) Depends."""
+    n = draw(st.integers(min_value=1, max_value=10))
+    names = [f"p{i}" for i in range(n)]
+    packages = []
+    for i, name in enumerate(names):
+        dep_idx = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                max_size=3,
+                unique=True,
+            )
+        )
+        deps = tuple(
+            DependencySpec(names[j]) for j in dep_idx if j != i
+        )
+        packages.append(
+            make_package(
+                name,
+                "1.0",
+                installed_size=draw(
+                    st.integers(min_value=0, max_value=10**6)
+                ),
+                n_files=1,
+                depends=deps,
+            )
+        )
+    return Catalog(packages)
+
+
+@given(catalogs(), st.data())
+@settings(max_examples=150)
+def test_plan_is_dependency_closed(catalog, data):
+    name = data.draw(st.sampled_from(catalog.names()))
+    plan = catalog.resolve([name])
+    planned = set(plan.names())
+    assert name in planned
+    for pkg in plan.packages():
+        for dep in pkg.dependency_names():
+            assert dep in planned
+
+
+@given(catalogs(), st.data())
+@settings(max_examples=150)
+def test_plan_order_respects_dependencies_modulo_cycles(catalog, data):
+    """A dependency appears no later than its dependent unless the two
+    share a strongly-connected component (a Depends cycle)."""
+    import networkx as nx
+
+    name = data.draw(st.sampled_from(catalog.names()))
+    plan = catalog.resolve([name])
+    order = {n: i for i, n in enumerate(plan.names())}
+
+    g = nx.DiGraph()
+    g.add_nodes_from(order)
+    for pkg in plan.packages():
+        for dep in pkg.dependency_names():
+            if dep in order:
+                g.add_edge(pkg.name, dep)
+    scc_of = {}
+    for i, comp in enumerate(nx.strongly_connected_components(g)):
+        for node in comp:
+            scc_of[node] = i
+    for pkg in plan.packages():
+        for dep in pkg.dependency_names():
+            if dep in order and scc_of[dep] != scc_of[pkg.name]:
+                assert order[dep] < order[pkg.name], (
+                    f"{dep} must precede {pkg.name}"
+                )
+
+
+@given(catalogs(), st.data())
+@settings(max_examples=100)
+def test_plan_has_no_duplicates(catalog, data):
+    name = data.draw(st.sampled_from(catalog.names()))
+    plan = catalog.resolve([name])
+    assert len(plan.names()) == len(set(plan.names()))
+
+
+@given(catalogs(), st.data())
+@settings(max_examples=100)
+def test_preinstalled_never_replanned(catalog, data):
+    name = data.draw(st.sampled_from(catalog.names()))
+    full = {p.name: p for p in catalog.resolve([name]).packages()}
+    plan = catalog.resolve([name], preinstalled=full)
+    assert plan.names() == []
+
+
+@given(catalogs(), st.data())
+@settings(max_examples=100)
+def test_auto_marks_exactly_non_requested(catalog, data):
+    name = data.draw(st.sampled_from(catalog.names()))
+    plan = catalog.resolve([name])
+    for step in plan:
+        assert step.auto == (step.package.name != name)

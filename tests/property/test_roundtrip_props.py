@@ -1,0 +1,100 @@
+"""Property-based tests: publish/retrieve round trips on random images.
+
+For any randomly composed upload sequence over the mini catalog, every
+published image must retrieve back functionally equivalent, and the
+repository must never store a package blob twice.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.system import Expelliarmus
+from repro.image.builder import BuildRecipe, ImageBuilder
+from repro.repository.blobstore import BlobKind
+
+from tests.conftest import make_mini_catalog, make_mini_template
+
+_PRIMARY_CHOICES = [
+    (),
+    ("redis-server",),
+    ("nginx",),
+    ("portable-tool",),
+    ("redis-server", "nginx"),
+    ("bigapp", "redis-server"),
+]
+
+sequences = st.lists(
+    st.sampled_from(_PRIMARY_CHOICES), min_size=1, max_size=5
+)
+
+
+@given(sequences)
+@settings(max_examples=20, deadline=None)
+def test_roundtrip_equivalence(primary_sets):
+    builder = ImageBuilder(make_mini_catalog(), make_mini_template())
+    system = Expelliarmus()
+    uploaded = {}
+    for i, primaries in enumerate(primary_sets):
+        vmi = builder.build(
+            BuildRecipe(
+                name=f"vm-{i}",
+                primaries=primaries,
+                user_data_size=50_000,
+                user_data_files=2,
+                instance_noise_size=100_000,
+                instance_noise_files=3,
+            )
+        )
+        uploaded[vmi.name] = {
+            (r.name, str(r.package.version))
+            for r in vmi.installed_packages()
+        }
+        system.publish(vmi)
+
+    for name, expected_packages in uploaded.items():
+        restored = system.retrieve(name).vmi
+        got = {
+            (r.name, str(r.package.version))
+            for r in restored.installed_packages()
+        }
+        assert got == expected_packages, name
+
+
+@given(sequences)
+@settings(max_examples=20, deadline=None)
+def test_package_blobs_unique_and_accounted(primary_sets):
+    builder = ImageBuilder(make_mini_catalog(), make_mini_template())
+    system = Expelliarmus()
+    for i, primaries in enumerate(primary_sets):
+        system.publish(
+            builder.build(
+                BuildRecipe(
+                    name=f"vm-{i}",
+                    primaries=primaries,
+                    user_data_size=10_000,
+                    user_data_files=1,
+                )
+            )
+        )
+    records = system.repo.blobs.records(BlobKind.PACKAGE)
+    # blob keys unique by construction; byte sum matches records
+    assert len({r.key for r in records}) == len(records)
+    assert sum(r.size for r in records) == (
+        system.repo.blobs.total_bytes(BlobKind.PACKAGE)
+    )
+
+
+@given(sequences)
+@settings(max_examples=10, deadline=None)
+def test_single_base_for_single_template(primary_sets):
+    builder = ImageBuilder(make_mini_catalog(), make_mini_template())
+    system = Expelliarmus()
+    for i, primaries in enumerate(primary_sets):
+        system.publish(
+            builder.build(
+                BuildRecipe(name=f"vm-{i}", primaries=primaries)
+            )
+        )
+    assert len(system.repo.base_images()) == 1
+    for master in system.repo.master_graphs():
+        assert master.check_invariant()

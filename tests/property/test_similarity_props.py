@@ -1,0 +1,122 @@
+"""Property-based tests on the Section III similarity metrics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.attributes import ARCH_ALL, BaseImageAttrs
+from repro.model.graph import PackageRole, SemanticGraph
+from repro.model.package import make_package
+from repro.similarity.base import base_similarity
+from repro.similarity.compatibility import semantic_compatibility
+from repro.similarity.graph import graph_similarity
+from repro.similarity.package import package_similarity
+
+_names = st.sampled_from(
+    ["libc6", "redis", "nginx", "pg", "jdk", "tool", "app"]
+)
+_versions = st.sampled_from(
+    ["1.0", "1.0.1", "1.2", "2.0", "2.0.1", "9.5.14", "9.5.2"]
+)
+_archs = st.sampled_from(["amd64", "arm64", ARCH_ALL])
+
+packages = st.builds(
+    lambda n, v, a, s: make_package(
+        n, v, arch=a, installed_size=s, n_files=1
+    ),
+    _names,
+    _versions,
+    _archs,
+    st.integers(min_value=0, max_value=10**9),
+)
+
+ATTRS = BaseImageAttrs("linux", "ubuntu", "16.04", "amd64")
+
+
+def graph_of(pkgs, role=PackageRole.PRIMARY, base=ATTRS):
+    g = SemanticGraph()
+    if base is not None:
+        g.add_base_image(base)
+    for p in pkgs:
+        # skip same-name different-version collisions: a guest holds
+        # one version of a package at a time
+        if g.find_package(p.name) is None:
+            g.add_package(p, role)
+    return g
+
+
+package_lists = st.lists(packages, min_size=0, max_size=6)
+
+
+class TestPackageSimilarity:
+    @given(packages)
+    def test_identity(self, p):
+        assert package_similarity(p, p) == 1.0
+
+    @given(packages, packages)
+    def test_bounded_symmetric(self, a, b):
+        s = package_similarity(a, b)
+        assert 0.0 <= s <= 1.0
+        assert s == package_similarity(b, a)
+
+    @given(packages, packages)
+    def test_name_gate(self, a, b):
+        if a.name != b.name:
+            assert package_similarity(a, b) == 0.0
+
+
+class TestGraphSimilarity:
+    @given(package_lists)
+    def test_self_similarity(self, pkgs):
+        g = graph_of(pkgs)
+        expected = 1.0 if any(True for _ in g.packages()) else 0.0
+        assert graph_similarity(g, g) == expected
+
+    @given(package_lists, package_lists)
+    @settings(max_examples=150)
+    def test_bounded_and_symmetric(self, a, b):
+        g1, g2 = graph_of(a), graph_of(b)
+        s = graph_similarity(g1, g2)
+        assert 0.0 <= s <= 1.0
+        assert s == graph_similarity(g2, g1)
+
+    @given(package_lists)
+    def test_disjoint_names_zero(self, pkgs):
+        g1 = graph_of(pkgs)
+        other = [
+            make_package(f"zz-{i}", "1.0", installed_size=10)
+            for i in range(3)
+        ]
+        g2 = graph_of(other)
+        if any(True for _ in g1.packages()):
+            assert graph_similarity(g1, g2) == 0.0
+
+
+class TestCompatibility:
+    @given(package_lists)
+    def test_self_compatible(self, pkgs):
+        """A base is always compatible with its own package subgraph."""
+        base = graph_of(pkgs, role=PackageRole.BASE_MEMBER)
+        ps = graph_of(pkgs, base=None)
+        assert semantic_compatibility(base, ps) == 1.0
+
+    @given(package_lists, package_lists)
+    @settings(max_examples=150)
+    def test_bounded(self, a, b):
+        base = graph_of(a, role=PackageRole.BASE_MEMBER)
+        ps = graph_of(b, base=None)
+        assert 0.0 <= semantic_compatibility(base, ps) <= 1.0
+
+
+class TestBaseSimilarity:
+    @given(
+        st.sampled_from(["16.04", "16.10", "18.04", "20.04"]),
+        st.sampled_from(["16.04", "16.10", "18.04", "20.04"]),
+    )
+    def test_bounded_symmetric_reflexive(self, v1, v2):
+        a = BaseImageAttrs("linux", "ubuntu", v1, "amd64")
+        b = BaseImageAttrs("linux", "ubuntu", v2, "amd64")
+        s = base_similarity(a, b)
+        assert 0.0 <= s <= 1.0
+        assert s == base_similarity(b, a)
+        if v1 == v2:
+            assert s == 1.0

@@ -1,0 +1,79 @@
+"""Property-based tests: storage attribution stays exact under any
+publish/delete/GC lifecycle."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.storage_report import storage_report
+from repro.core.system import Expelliarmus
+from repro.image.builder import BuildRecipe, ImageBuilder
+
+from tests.conftest import make_mini_catalog, make_mini_template
+
+_PRIMARY_CHOICES = [
+    (),
+    ("redis-server",),
+    ("nginx",),
+    ("redis-server", "nginx"),
+    ("portable-tool",),
+]
+
+lifecycles = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=len(_PRIMARY_CHOICES) - 1),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+def _build_system(spec):
+    builder = ImageBuilder(make_mini_catalog(), make_mini_template())
+    system = Expelliarmus()
+    doomed = []
+    for i, (choice, delete_later) in enumerate(spec):
+        name = f"vm-{i}"
+        system.publish(
+            builder.build(
+                BuildRecipe(
+                    name=name,
+                    primaries=_PRIMARY_CHOICES[choice],
+                    user_data_size=5_000,
+                    user_data_files=1,
+                )
+            )
+        )
+        if delete_later:
+            doomed.append(name)
+    for name in doomed:
+        system.delete(name)
+    return system
+
+
+@given(lifecycles)
+@settings(max_examples=20, deadline=None)
+def test_partition_always_exact(spec):
+    system = _build_system(spec)
+    report = storage_report(system.repo)
+    assert (
+        report.base_bytes + report.package_bytes + report.data_bytes
+        == report.total_bytes
+    )
+
+
+@given(lifecycles)
+@settings(max_examples=20, deadline=None)
+def test_no_orphans_after_gc(spec):
+    system = _build_system(spec)
+    system.garbage_collect()
+    assert storage_report(system.repo).orphans() == []
+
+
+@given(lifecycles)
+@settings(max_examples=20, deadline=None)
+def test_ref_counts_bounded_by_vmi_count(spec):
+    system = _build_system(spec)
+    report = storage_report(system.repo)
+    for pkg in report.packages:
+        assert 0 <= pkg.ref_count <= report.n_vmis

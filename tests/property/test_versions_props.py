@@ -1,0 +1,62 @@
+"""Property-based tests: Debian version comparison is a total order."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.versions import Version, version_component_similarity
+
+# realistic-ish version text: digit/letter/separator runs
+_fragment = st.text(
+    alphabet="0123456789abcdefghijklmnopqrstuvwxyz.+~",
+    min_size=1,
+    max_size=12,
+).filter(lambda s: s[0].isdigit() or s[0].isalpha())
+
+versions = st.builds(
+    lambda epoch, up, rev: Version.parse(
+        (f"{epoch}:" if epoch else "") + up + (f"-{rev}" if rev else "")
+    ),
+    st.integers(min_value=0, max_value=3),
+    _fragment,
+    st.one_of(st.none(), _fragment),
+)
+
+
+class TestTotalOrder:
+    @given(versions)
+    def test_reflexive(self, v):
+        assert v.compare(v) == 0
+        assert v == v
+
+    @given(versions, versions)
+    def test_antisymmetric(self, a, b):
+        assert a.compare(b) == -b.compare(a)
+
+    @given(versions, versions, versions)
+    @settings(max_examples=200)
+    def test_transitive(self, a, b, c):
+        trio = sorted([a, b, c])
+        assert trio[0].compare(trio[1]) <= 0
+        assert trio[1].compare(trio[2]) <= 0
+        assert trio[0].compare(trio[2]) <= 0
+
+    @given(versions, versions)
+    def test_equality_consistent_with_hash(self, a, b):
+        if a == b:
+            assert hash(a) == hash(b)
+
+    @given(versions, versions)
+    def test_trichotomy(self, a, b):
+        assert (a < b) + (a == b) + (a > b) == 1
+
+
+class TestSimilarityProperties:
+    @given(versions)
+    def test_self_similarity_is_one(self, v):
+        assert version_component_similarity(v, v) == 1.0
+
+    @given(versions, versions)
+    def test_bounded_and_symmetric(self, a, b):
+        s = version_component_similarity(a, b)
+        assert 0.0 <= s <= 1.0
+        assert s == version_component_similarity(b, a)

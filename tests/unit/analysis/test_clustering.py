@@ -1,0 +1,97 @@
+"""Unit tests for semantic clustering analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.clustering import (
+    ClusterResult,
+    k_medoids,
+    similarity_matrix,
+)
+
+
+class TestSimilarityMatrix:
+    def test_properties(self, corpus):
+        names = ("Mini", "Redis", "Tomcat")
+        graphs = [corpus.build(n).semantic_graph() for n in names]
+        m = similarity_matrix(graphs)
+        assert m.shape == (3, 3)
+        assert np.allclose(m, m.T)
+        assert np.allclose(np.diag(m), 1.0)
+        assert (m >= 0).all() and (m <= 1).all()
+
+    def test_java_images_mutually_closer(self, corpus):
+        """Tomcat/Jenkins/Solr share the openjdk stack; MongoDb does
+        not.  Software-stack structure shows on the *primary package
+        subgraphs* — the full graphs are dominated by the shared base
+        OS, which is exactly why master graphs key on the base."""
+        names = ("Tomcat", "Jenkins", "Apache Solr", "MongoDb")
+        graphs = [
+            corpus.build(n).semantic_graph().extract_primary_subgraph()
+            for n in names
+        ]
+        m = similarity_matrix(graphs)
+        java_pairs = [m[0, 1], m[0, 2], m[1, 2]]
+        mongo_pairs = [m[0, 3], m[1, 3], m[2, 3]]
+        assert min(java_pairs) > max(mongo_pairs)
+
+
+class TestKMedoids:
+    def block_matrix(self):
+        """Two obvious blocks: {0,1,2} and {3,4}."""
+        m = np.full((5, 5), 0.1)
+        for group in ((0, 1, 2), (3, 4)):
+            for i in group:
+                for j in group:
+                    m[i, j] = 0.9
+        np.fill_diagonal(m, 1.0)
+        return m
+
+    def test_recovers_block_structure(self):
+        result = k_medoids(self.block_matrix(), k=2)
+        clusters = {
+            frozenset(result.members(c)) for c in range(result.k)
+        }
+        assert clusters == {frozenset({0, 1, 2}), frozenset({3, 4})}
+
+    def test_k_equals_n_is_identity(self):
+        m = np.eye(4)
+        result = k_medoids(m, k=4)
+        assert sorted(result.medoids) == [0, 1, 2, 3]
+
+    def test_k_one_groups_everything(self):
+        result = k_medoids(self.block_matrix(), k=1)
+        assert result.k == 1
+        assert result.members(0) == [0, 1, 2, 3, 4]
+
+    def test_deterministic(self):
+        m = self.block_matrix()
+        assert k_medoids(m, 2) == k_medoids(m, 2)
+
+    def test_validates_input(self):
+        with pytest.raises(ValueError):
+            k_medoids(np.ones((2, 3)), 1)
+        with pytest.raises(ValueError):
+            k_medoids(np.eye(3), 0)
+        with pytest.raises(ValueError):
+            k_medoids(np.eye(3), 4)
+
+    def test_members_bounds(self):
+        result = k_medoids(np.eye(2), 1)
+        with pytest.raises(IndexError):
+            result.members(5)
+
+    def test_corpus_clusters_java_stack(self, corpus):
+        names = (
+            "Tomcat", "Jenkins", "Apache Solr", "MongoDb", "Redis",
+        )
+        graphs = [
+            corpus.build(n).semantic_graph().extract_primary_subgraph()
+            for n in names
+        ]
+        result = k_medoids(similarity_matrix(graphs), k=2)
+        java = {0, 1, 2}
+        java_clusters = {result.cluster_of(i) for i in java}
+        assert len(java_clusters) == 1  # all java images together
+        # MongoDb lands apart from the java stack
+        assert result.cluster_of(3) not in java_clusters

@@ -1,0 +1,84 @@
+"""Unit tests for storage attribution."""
+
+import pytest
+
+from repro.analysis.storage_report import storage_report
+from repro.image.builder import BuildRecipe
+
+
+@pytest.fixture
+def system(mini_system, mini_builder):
+    for name, primaries in (
+        ("redis-vm", ("redis-server",)),
+        ("nginx-vm", ("nginx",)),
+        ("both-vm", ("redis-server", "nginx")),
+    ):
+        mini_system.publish(
+            mini_builder.build(
+                BuildRecipe(
+                    name=name,
+                    primaries=primaries,
+                    user_data_size=10_000,
+                    user_data_files=1,
+                )
+            )
+        )
+    return mini_system
+
+
+class TestAttribution:
+    def test_byte_partition_is_exact(self, system):
+        report = storage_report(system.repo)
+        assert (
+            report.base_bytes
+            + report.package_bytes
+            + report.data_bytes
+            == report.total_bytes
+            == system.repository_size
+        )
+        assert report.n_vmis == 3
+
+    def test_ref_counts(self, system):
+        report = storage_report(system.repo)
+        by_name = {p.name: p for p in report.packages}
+        # libssl serves all three images; redis serves two
+        assert by_name["libssl"].ref_count == 3
+        assert by_name["redis-server"].ref_count == 2
+        assert by_name["nginx"].ref_count == 2
+
+    def test_sharing_factor_above_one(self, system):
+        report = storage_report(system.repo)
+        assert report.sharing_factor > 1.0
+
+    def test_amortized_size(self, system):
+        report = storage_report(system.repo)
+        ssl = next(p for p in report.packages if p.name == "libssl")
+        assert ssl.amortized_size == pytest.approx(ssl.deb_size / 3)
+
+    def test_top_and_most_shared(self, system):
+        report = storage_report(system.repo)
+        top = report.top_packages(1)
+        assert top[0].deb_size == max(
+            p.deb_size for p in report.packages
+        )
+        most = report.most_shared(1)
+        assert most[0].ref_count == max(
+            p.ref_count for p in report.packages
+        )
+
+    def test_orphans_after_delete(self, system):
+        system.delete("nginx-vm")
+        system.delete("both-vm")
+        report = storage_report(system.repo)
+        orphan_names = {p.name for p in report.orphans()}
+        assert "nginx" in orphan_names
+        assert "redis-server" not in orphan_names
+        # GC clears the orphans
+        system.garbage_collect()
+        assert storage_report(system.repo).orphans() == []
+
+    def test_empty_repository(self, mini_system):
+        report = storage_report(mini_system.repo)
+        assert report.total_bytes == 0
+        assert report.packages == ()
+        assert report.sharing_factor == 0.0

@@ -1,0 +1,75 @@
+"""Scheme-specific tests for the Mirage and Hemera stores."""
+
+import pytest
+
+from repro.baselines.hemera import HemeraStore
+from repro.baselines.mirage import MirageStore
+from repro.image.builder import BuildRecipe
+
+
+def build(mini_builder, name, primaries=("redis-server",), build_id=0):
+    return mini_builder.build(
+        BuildRecipe(
+            name=name,
+            primaries=primaries,
+            build_id=build_id,
+            user_data_size=1_000_000,
+            user_data_files=10,
+            instance_noise_size=2_000_000,
+            instance_noise_files=20,
+        )
+    )
+
+
+class TestFileLevelDedup:
+    @pytest.mark.parametrize("cls", [MirageStore, HemeraStore])
+    def test_second_similar_image_is_cheap(self, cls, mini_builder):
+        store = cls()
+        first = store.publish(build(mini_builder, "a", build_id=1))
+        second = store.publish(build(mini_builder, "b", build_id=2))
+        # shared base + packages dedup; only noise/user data is new
+        # (~3 MB of per-build content vs the ~55 MB first upload)
+        assert second.bytes_added < first.bytes_added * 0.10
+
+    @pytest.mark.parametrize("cls", [MirageStore, HemeraStore])
+    def test_identical_build_adds_only_metadata(self, cls, mini_builder):
+        store = cls()
+        store.publish(build(mini_builder, "a"))
+        report = store.publish(
+            # same build_id -> byte-identical content
+            build(mini_builder, "b")
+        )
+        data_bytes = report.bytes_added
+        # nothing but per-file manifest/index rows
+        assert data_bytes < 100 * 80_000
+
+    def test_mirage_unique_files_counter(self, mini_builder):
+        store = MirageStore()
+        vmi = build(mini_builder, "a")
+        n = vmi.full_manifest().unique().n_files
+        store.publish(vmi)
+        assert store.unique_files == n
+
+
+class TestRetrievalCosts:
+    def test_mirage_slower_than_hemera(self, mini_builder):
+        mirage, hemera = MirageStore(), HemeraStore()
+        mirage.publish(build(mini_builder, "a"))
+        hemera.publish(build(mini_builder, "a"))
+        assert (
+            mirage.retrieve("a").duration
+            > hemera.retrieve("a").duration
+        )
+
+    def test_retrieval_scales_with_file_count(self, mini_builder):
+        store = MirageStore()
+        small = build(mini_builder, "small")
+        big = build(
+            mini_builder, "big", primaries=("bigapp",), build_id=1
+        )
+        store.publish(small)
+        store.publish(big)
+        assert (
+            store.retrieve("big").duration
+            > store.retrieve("small").duration
+        )

@@ -1,0 +1,72 @@
+"""Scheme-specific tests for the Qcow2 and Gzip stores."""
+
+import pytest
+
+from repro.baselines.gzip_store import GzipStore
+from repro.baselines.qcow2_store import Qcow2Store
+from repro.image.builder import BuildRecipe
+
+
+def builds(mini_builder, n):
+    return [
+        mini_builder.build(
+            BuildRecipe(
+                name=f"vm-{i}", primaries=("redis-server",), build_id=i
+            )
+        )
+        for i in range(n)
+    ]
+
+
+class TestQcow2Store:
+    def test_growth_is_linear_in_image_size(self, mini_builder):
+        store = Qcow2Store()
+        vmis = builds(mini_builder, 3)
+        sizes = []
+        for vmi in vmis:
+            mounted = vmi.mounted_size
+            report = store.publish(vmi)
+            assert report.bytes_added >= mounted  # header + metadata
+            sizes.append(store.repository_bytes)
+        # identical recipes -> identical increments
+        assert sizes[1] - sizes[0] == pytest.approx(
+            sizes[2] - sizes[1], rel=0.01
+        )
+
+    def test_no_cross_image_sharing(self, mini_builder):
+        store = Qcow2Store()
+        a, b = builds(mini_builder, 2)
+        store.publish(a)
+        first = store.repository_bytes
+        store.publish(b)
+        # the second identical-content image costs the same again
+        assert store.repository_bytes == pytest.approx(
+            2 * first, rel=0.01
+        )
+
+
+class TestGzipStore:
+    def test_compression_beats_raw(self, mini_builder):
+        raw = Qcow2Store()
+        gz = GzipStore()
+        raw.publish(builds(mini_builder, 1)[0])
+        gz.publish(builds(mini_builder, 1)[0])
+        assert gz.repository_bytes < raw.repository_bytes
+
+    def test_still_linear_growth(self, mini_builder):
+        gz = GzipStore()
+        deltas = []
+        for vmi in builds(mini_builder, 3):
+            before = gz.repository_bytes
+            gz.publish(vmi)
+            deltas.append(gz.repository_bytes - before)
+        assert deltas[0] == pytest.approx(deltas[1], rel=0.05)
+        assert deltas[1] == pytest.approx(deltas[2], rel=0.05)
+
+    def test_retrieve_pays_decompression(self, mini_builder):
+        gz = GzipStore()
+        vmi = builds(mini_builder, 1)[0]
+        gz.publish(vmi)
+        report = gz.retrieve("vm-0")
+        # read time alone would be bytes/bw; duration must exceed it
+        assert report.duration > gz.cost.read_bytes(report.bytes_read)

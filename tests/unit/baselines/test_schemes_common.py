@@ -1,0 +1,62 @@
+"""Behaviour every storage scheme must share."""
+
+import pytest
+
+from repro.baselines.expelliarmus_scheme import ExpelliarmusScheme
+from repro.baselines.gzip_store import GzipStore
+from repro.baselines.hemera import HemeraStore
+from repro.baselines.mirage import MirageStore
+from repro.baselines.qcow2_store import Qcow2Store
+from repro.errors import ReproError
+
+ALL_SCHEMES = [
+    Qcow2Store,
+    GzipStore,
+    MirageStore,
+    HemeraStore,
+    ExpelliarmusScheme,
+]
+
+
+@pytest.fixture(params=ALL_SCHEMES, ids=lambda c: c.__name__)
+def scheme(request):
+    return request.param()
+
+
+class TestCommonContract:
+    def test_empty_repository_is_zero_bytes(self, scheme):
+        assert scheme.repository_bytes == 0
+
+    def test_publish_reports_consistent_bytes(
+        self, scheme, mini_builder, redis_recipe
+    ):
+        report = scheme.publish(mini_builder.build(redis_recipe))
+        assert report.vmi_name == "redis-vm"
+        assert report.duration > 0
+        assert report.bytes_added > 0
+        assert report.repo_bytes_after == scheme.repository_bytes
+
+    def test_retrieve_takes_time_not_bytes(
+        self, scheme, mini_builder, redis_recipe
+    ):
+        scheme.publish(mini_builder.build(redis_recipe))
+        before = scheme.repository_bytes
+        report = scheme.retrieve("redis-vm")
+        assert report.duration > 0
+        assert report.bytes_read > 0
+        assert scheme.repository_bytes == before
+
+    def test_duplicate_publish_rejected(
+        self, scheme, mini_builder, redis_recipe
+    ):
+        scheme.publish(mini_builder.build(redis_recipe))
+        with pytest.raises(ReproError):
+            scheme.publish(mini_builder.build(redis_recipe))
+
+    def test_retrieve_unknown_rejected(self, scheme):
+        with pytest.raises(ReproError):
+            scheme.retrieve("ghost")
+
+    def test_clock_accumulates(self, scheme, mini_builder, redis_recipe):
+        scheme.publish(mini_builder.build(redis_recipe))
+        assert scheme.clock.now > 0

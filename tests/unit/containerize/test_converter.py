@@ -1,0 +1,75 @@
+"""Unit tests for VMI -> container conversion."""
+
+import pytest
+
+from repro.containerize.converter import Containerizer
+from repro.errors import NotInRepositoryError
+from repro.image.builder import BuildRecipe
+
+
+@pytest.fixture
+def system(mini_system, mini_builder):
+    mini_system.publish(
+        mini_builder.build(
+            BuildRecipe(
+                name="multi",
+                primaries=("redis-server", "nginx"),
+                user_data_size=100_000,
+                user_data_files=4,
+            )
+        )
+    )
+    return mini_system
+
+
+@pytest.fixture
+def containerizer(system):
+    return Containerizer(system.repo)
+
+
+class TestContainerize:
+    def test_layer_structure(self, containerizer):
+        img = containerizer.containerize("multi")
+        labels = [l.label for l in img.layers]
+        assert labels[0].startswith("base:")
+        assert "svc:redis-server" in labels
+        assert "svc:nginx" in labels
+        assert labels[-1].startswith("data:")
+
+    def test_service_layers_exclude_base_packages(self, containerizer):
+        img = containerizer.containerize("multi")
+        svc = img.find_layer("svc:redis-server")
+        base = img.find_layer("base:")
+        # redis + libssl only; libc6 etc live in the base layer
+        assert svc.size < base.size
+        assert svc.size > 0
+
+    def test_unpublished_vmi_rejected(self, containerizer):
+        with pytest.raises(NotInRepositoryError):
+            containerizer.containerize("ghost")
+
+    def test_deterministic(self, containerizer):
+        a = containerizer.containerize("multi")
+        b = containerizer.containerize("multi")
+        assert a.layer_digests() == b.layer_digests()
+
+
+class TestContainerizeServices:
+    def test_one_container_per_primary(self, containerizer):
+        images = containerizer.containerize_services("multi")
+        names = {img.name for img in images}
+        assert names == {
+            "multi/redis-server:latest",
+            "multi/nginx:latest",
+        }
+        for img in images:
+            assert img.entrypoint in ("redis-server", "nginx")
+
+    def test_services_share_base_layer(self, containerizer):
+        images = containerizer.containerize_services("multi")
+        base_digests = {img.layers[0].digest for img in images}
+        assert len(base_digests) == 1
+
+    def test_no_data_layer_in_service_containers(self, containerizer):
+        for img in containerizer.containerize_services("multi"):
+            assert img.find_layer("data:") is None

@@ -1,0 +1,58 @@
+"""Unit tests for container layers and images."""
+
+import pytest
+
+from repro.containerize.layers import ContainerImage, Layer
+from repro.image.manifest import FileManifest
+
+
+def layer(label="svc:x", parts=("x",), n=5, size=5_000) -> Layer:
+    return Layer.from_parts(
+        label=label,
+        identity_parts=parts,
+        manifest=FileManifest.synthesize(label, n, size),
+    )
+
+
+class TestLayer:
+    def test_digest_from_identity(self):
+        a = layer(parts=("svc", ("redis", "3.0")))
+        b = layer(parts=("svc", ("redis", "3.0")))
+        c = layer(parts=("svc", ("redis", "3.2")))
+        assert a.digest == b.digest
+        assert a.digest != c.digest
+
+    def test_sizes(self):
+        l = layer(size=5_000)
+        assert l.size == 5_000
+        assert 0 < l.compressed_size <= 5_000 + l.n_files
+        assert l.n_files == 5
+
+
+class TestContainerImage:
+    def test_totals(self):
+        img = ContainerImage(
+            name="x:latest",
+            layers=(layer("base:b", ("b",)), layer("svc:s", ("s",))),
+        )
+        assert img.total_size == sum(l.size for l in img.layers)
+        assert img.wire_size == sum(
+            l.compressed_size for l in img.layers
+        )
+        assert len(img.layer_digests()) == 2
+
+    def test_needs_layers(self):
+        with pytest.raises(ValueError):
+            ContainerImage(name="empty", layers=())
+
+    def test_rejects_duplicate_layers(self):
+        l = layer()
+        with pytest.raises(ValueError):
+            ContainerImage(name="dup", layers=(l, l))
+
+    def test_find_layer(self):
+        img = ContainerImage(
+            name="x", layers=(layer("base:b", ("b",)),)
+        )
+        assert img.find_layer("base:") is img.layers[0]
+        assert img.find_layer("svc:") is None

@@ -1,0 +1,83 @@
+"""Unit tests for the layer-deduplicating registry."""
+
+import pytest
+
+from repro.containerize.converter import Containerizer
+from repro.containerize.registry import ContainerRegistry
+from repro.errors import DuplicateEntryError, NotInRepositoryError
+from repro.image.builder import BuildRecipe
+
+
+@pytest.fixture
+def system(mini_system, mini_builder):
+    for name, primaries in (
+        ("redis-vm", ("redis-server",)),
+        ("nginx-vm", ("nginx",)),
+    ):
+        mini_system.publish(
+            mini_builder.build(
+                BuildRecipe(
+                    name=name,
+                    primaries=primaries,
+                    user_data_size=50_000,
+                    user_data_files=2,
+                )
+            )
+        )
+    return mini_system
+
+
+@pytest.fixture
+def registry():
+    return ContainerRegistry()
+
+
+class TestPush:
+    def test_first_push_uploads_everything(self, system, registry):
+        img = Containerizer(system.repo).containerize("redis-vm")
+        report = registry.push(img)
+        assert report.new_layers == len(img.layers)
+        assert report.mounted_layers == 0
+        assert report.bytes_added == registry.total_bytes
+        assert report.duration > 0
+
+    def test_shared_base_layer_mounted(self, system, registry):
+        c = Containerizer(system.repo)
+        first = registry.push(c.containerize("redis-vm"))
+        second = registry.push(c.containerize("nginx-vm"))
+        assert second.mounted_layers >= 1  # base layer shared
+        # only the nginx service layer + tiny data layer travel
+        assert second.bytes_added < first.bytes_added * 0.2
+
+    def test_duplicate_tag_rejected(self, system, registry):
+        img = Containerizer(system.repo).containerize("redis-vm")
+        registry.push(img)
+        with pytest.raises(DuplicateEntryError):
+            registry.push(img)
+
+
+class TestPull:
+    def test_cold_pull_transfers_wire_size(self, system, registry):
+        img = Containerizer(system.repo).containerize("redis-vm")
+        registry.push(img)
+        report = registry.pull(img.name)
+        assert report.bytes_transferred == img.wire_size
+        assert report.duration > 0
+
+    def test_warm_pull_skips_cached_layers(self, system, registry):
+        img = Containerizer(system.repo).containerize("redis-vm")
+        registry.push(img)
+        cached = frozenset({img.layers[0].digest})
+        warm = registry.pull(img.name, cached_digests=cached)
+        cold = registry.pull(img.name)
+        assert warm.bytes_transferred < cold.bytes_transferred
+
+    def test_unknown_tag_rejected(self, registry):
+        with pytest.raises(NotInRepositoryError):
+            registry.pull("ghost:latest")
+
+    def test_images_listing(self, system, registry):
+        img = Containerizer(system.repo).containerize("redis-vm")
+        registry.push(img)
+        assert registry.images() == [img.name]
+        assert registry.stored_layers == len(img.layers)

@@ -1,0 +1,94 @@
+"""Unit tests for the semantic analyzer (Section IV-B)."""
+
+import pytest
+
+from repro.core.analyzer import SemanticAnalyzer
+from repro.image.builder import BuildRecipe
+from repro.repository.master_graphs import MasterGraph
+from repro.repository.repo import Repository
+from repro.sim.clock import SimulatedClock
+from repro.sim.costmodel import CostModel
+
+
+@pytest.fixture
+def clock():
+    return SimulatedClock()
+
+
+@pytest.fixture
+def analyzer(clock):
+    return SemanticAnalyzer(clock, CostModel())
+
+
+@pytest.fixture
+def repo():
+    return Repository()
+
+
+class TestAnalyze:
+    def test_empty_repo_scores_zero(self, analyzer, repo, redis_vmi):
+        result = analyzer.analyze(redis_vmi, repo)
+        assert result.similarity == 0.0
+        assert result.master is None
+
+    def test_builds_all_subgraphs(self, analyzer, repo, redis_vmi):
+        result = analyzer.analyze(redis_vmi, repo)
+        assert result.graph.base_attrs == redis_vmi.base.attrs
+        ps_names = {p.name for p in result.primary_subgraph.packages()}
+        assert "redis-server" in ps_names
+        bs_names = {p.name for p in result.base_subgraph.packages()}
+        assert "bash" in bs_names
+
+    def test_similarity_against_master(
+        self, analyzer, repo, mini_builder, redis_recipe
+    ):
+        base = mini_builder.base_image()
+        repo.store_base_image(base)
+        master = MasterGraph.for_base(base)
+        first = mini_builder.build(redis_recipe)
+        master.add_primary_subgraph(
+            first.semantic_graph().extract_primary_subgraph(), "first"
+        )
+        repo.put_master_graph(master)
+
+        twin = mini_builder.build(
+            BuildRecipe(name="twin", primaries=("redis-server",))
+        )
+        result = analyzer.analyze(twin, repo)
+        assert result.master is master
+        assert result.similarity > 0.9  # same packages, same base
+
+    def test_charges_similarity_time(
+        self, analyzer, repo, clock, mini_builder, redis_recipe
+    ):
+        base = mini_builder.base_image()
+        repo.store_base_image(base)
+        repo.put_master_graph(MasterGraph.for_base(base))
+        vmi = mini_builder.build(redis_recipe)
+        before = clock.now
+        analyzer.analyze(vmi, repo)
+        assert clock.now - before == pytest.approx(
+            CostModel().similarity_computation()
+        )
+
+    def test_foreign_attrs_master_ignored(
+        self, analyzer, repo, redis_vmi, mini_catalog
+    ):
+        from repro.image.builder import BaseTemplate, ImageBuilder
+        from tests.conftest import OTHER_ARCH_ATTRS, BASE_PACKAGE_NAMES
+
+        other_builder = ImageBuilder(
+            mini_catalog,
+            BaseTemplate(
+                attrs=OTHER_ARCH_ATTRS,
+                package_names=BASE_PACKAGE_NAMES,
+                skeleton_files=10,
+                skeleton_size=1000,
+            ),
+        )
+        other_base = other_builder.base_image()
+        repo.store_base_image(other_base)
+        repo.put_master_graph(MasterGraph.for_base(other_base))
+        result = analyzer.analyze(redis_vmi, repo)
+        assert result.master is None
+        assert result.similarity == 0.0

@@ -1,0 +1,88 @@
+"""Unit tests for Algorithm 3 (VMI retrieval)."""
+
+import pytest
+
+from repro.errors import NotInRepositoryError, RetrievalError
+from repro.image.builder import BuildRecipe
+from repro.model.graph import PackageRole
+
+
+@pytest.fixture
+def populated(mini_system, mini_builder, redis_recipe):
+    mini_system.publish(mini_builder.build(redis_recipe))
+    return mini_system
+
+
+class TestRetrieve:
+    def test_roundtrip_packages(self, populated):
+        result = populated.retrieve("redis-vm")
+        vmi = result.vmi
+        assert vmi.has_package("redis-server")
+        assert vmi.has_package("libssl")
+        assert vmi.installed("redis-server").role is PackageRole.PRIMARY
+        assert vmi.installed("libssl").role is PackageRole.DEPENDENCY
+
+    def test_roundtrip_user_data(self, populated, redis_recipe):
+        vmi = populated.retrieve("redis-vm").vmi
+        assert vmi.user_data is not None
+        assert vmi.user_data.size == redis_recipe.user_data_size
+
+    def test_base_members_not_imported(self, populated):
+        result = populated.retrieve("redis-vm")
+        assert "libc6" not in result.imported_packages
+        assert set(result.imported_packages) == {
+            "redis-server", "libssl",
+        }
+
+    def test_breakdown_has_four_components(self, populated):
+        result = populated.retrieve("redis-vm")
+        for label in ("base-copy", "handle", "reset", "import"):
+            assert result.component(label) > 0, label
+        assert result.retrieval_time == pytest.approx(
+            result.breakdown.total
+        )
+
+    def test_unknown_name_raises(self, populated):
+        with pytest.raises(NotInRepositoryError):
+            populated.retrieve("ghost")
+
+    def test_retrieval_does_not_change_repo_size(self, populated):
+        before = populated.repository_size
+        populated.retrieve("redis-vm")
+        assert populated.repository_size == before
+
+    def test_repeated_retrieval_identical(self, populated):
+        a = populated.retrieve("redis-vm")
+        b = populated.retrieve("redis-vm")
+        assert a.retrieval_time == pytest.approx(b.retrieval_time)
+        assert a.vmi.mounted_size == b.vmi.mounted_size
+
+
+class TestCustomAssembly:
+    def test_compose_unpublished_combination(
+        self, populated, mini_builder
+    ):
+        # publish a second image so nginx is in the repository
+        populated.publish(
+            mini_builder.build(
+                BuildRecipe(name="nginx-vm", primaries=("nginx",))
+            )
+        )
+        base_key = populated.repo.base_images()[0].blob_key()
+        result = populated.assemble_custom(
+            "combo", base_key, ("redis-server", "nginx")
+        )
+        assert result.vmi.has_package("redis-server")
+        assert result.vmi.has_package("nginx")
+        assert result.vmi.user_data is None
+
+    def test_unavailable_package_raises(self, populated):
+        base_key = populated.repo.base_images()[0].blob_key()
+        with pytest.raises(RetrievalError):
+            populated.assemble_custom("x", base_key, ("ghost",))
+
+    def test_empty_primary_set_gives_bare_base(self, populated):
+        base_key = populated.repo.base_images()[0].blob_key()
+        result = populated.assemble_custom("bare", base_key, ())
+        assert result.vmi.is_base_only()
+        assert result.imported_packages == ()

@@ -1,0 +1,138 @@
+"""Unit tests for Algorithm 2 (base image selection)."""
+
+import pytest
+
+from repro.core.base_selection import select_base_image
+from repro.image.builder import BaseTemplate, BuildRecipe, ImageBuilder
+from repro.repository.master_graphs import (
+    MasterGraph,
+    base_subgraph_of,
+)
+from repro.repository.repo import Repository
+
+from tests.conftest import BASE_PACKAGE_NAMES, make_mini_template
+
+
+@pytest.fixture
+def repo():
+    return Repository()
+
+
+def decomposed_parts(vmi):
+    """(BaseImage, GI[BI], GI[PS]) for a freshly built VMI."""
+    graph = vmi.semantic_graph()
+    gi_ps = graph.extract_primary_subgraph()
+    gi_bi = graph.extract_base_subgraph()
+    # strip the VMI to its base, as Algorithm 1 would
+    for name in list(vmi.primary_names()):
+        vmi.remove_package(name)
+    vmi.remove_unused_dependencies()
+    vmi.detach_user_data()
+    vmi.clear_residue()
+    return vmi.to_base_image(), gi_bi, gi_ps
+
+
+class TestEmptyRepository:
+    def test_first_upload_keeps_own_base(
+        self, repo, mini_builder, redis_recipe
+    ):
+        vmi = mini_builder.build(redis_recipe)
+        base, gi_bi, gi_ps = decomposed_parts(vmi)
+        selection = select_base_image(base, gi_bi, gi_ps, repo)
+        assert selection.base.blob_key() == base.blob_key()
+        assert selection.replace == ()
+        assert selection.is_new
+
+
+class TestIdenticalStoredBase:
+    def test_reuses_stored_base(self, repo, mini_builder, redis_recipe):
+        stored = mini_builder.base_image()
+        repo.store_base_image(stored)
+        repo.put_master_graph(MasterGraph.for_base(stored))
+
+        vmi = mini_builder.build(redis_recipe)
+        base, gi_bi, gi_ps = decomposed_parts(vmi)
+        selection = select_base_image(base, gi_bi, gi_ps, repo)
+        assert selection.base.blob_key() == stored.blob_key()
+        assert not selection.is_new
+        assert selection.replace == ()
+
+
+class TestFatterBaseReplacement:
+    """A stored base with extra packages can be replaced by a leaner
+    one that still satisfies every member's primary subgraph."""
+
+    def _fat_builder(self, mini_catalog):
+        return ImageBuilder(
+            mini_catalog,
+            make_mini_template(extra=("portable-tool",)),
+        )
+
+    def test_lean_base_replaces_fat_base(
+        self, repo, mini_catalog, mini_builder, redis_recipe
+    ):
+        # store the FAT base (base packages + portable-tool), hosting a
+        # redis member whose subgraph never touches portable-tool
+        fat_builder = self._fat_builder(mini_catalog)
+        fat_vmi = fat_builder.build(
+            BuildRecipe(name="fat-redis", primaries=("redis-server",))
+        )
+        fat_base, _, fat_ps = decomposed_parts(fat_vmi)
+        repo.store_base_image(fat_base)
+        fat_master = MasterGraph.for_base(fat_base)
+        fat_master.add_primary_subgraph(fat_ps, "fat-redis")
+        repo.put_master_graph(fat_master)
+
+        # a lean upload arrives with the same attrs quadruple
+        lean_vmi = mini_builder.build(redis_recipe)
+        lean_base, gi_bi, gi_ps = decomposed_parts(lean_vmi)
+        selection = select_base_image(lean_base, gi_bi, gi_ps, repo)
+
+        # the lean base wins (smaller base-package footprint) and the
+        # fat base lands on the replace list
+        assert selection.base.blob_key() == lean_base.blob_key()
+        replaced = {b.blob_key() for b in selection.replace}
+        assert fat_base.blob_key() in replaced
+
+    def test_sort_prefers_more_replacements(self, repo, mini_catalog):
+        # symmetric check: with the lean base stored, a fat upload
+        # selects the stored lean base (existing + can host it)
+        lean_builder = ImageBuilder(mini_catalog, make_mini_template())
+        lean_base = lean_builder.base_image()
+        repo.store_base_image(lean_base)
+        repo.put_master_graph(MasterGraph.for_base(lean_base))
+
+        fat_builder = self._fat_builder(mini_catalog)
+        fat_vmi = fat_builder.build(
+            BuildRecipe(name="fat", primaries=("redis-server",))
+        )
+        fat_base, gi_bi, gi_ps = decomposed_parts(fat_vmi)
+        selection = select_base_image(fat_base, gi_bi, gi_ps, repo)
+        # the fat base is replaceable by the stored lean one
+        assert selection.base.blob_key() == lean_base.blob_key()
+        assert not selection.is_new
+
+
+class TestIncompatibleStoredBase:
+    def test_version_clash_prevents_reuse(
+        self, repo, mini_catalog, mini_builder
+    ):
+        """A stored base whose libssl differs from the upload's
+        dependency version cannot replace the upload's base."""
+        # stored base ships libssl 1.0.2 baked in
+        ssl_builder = ImageBuilder(
+            mini_catalog, make_mini_template()
+        )
+        stored = ssl_builder.base_image()
+        repo.store_base_image(stored)
+        master = MasterGraph.for_base(stored)
+        repo.put_master_graph(master)
+
+        vmi = mini_builder.build(
+            BuildRecipe(name="redis-vm", primaries=("redis-server",))
+        )
+        base, gi_bi, gi_ps = decomposed_parts(vmi)
+        selection = select_base_image(base, gi_bi, gi_ps, repo)
+        # bases are content-identical here, so reuse happens; the
+        # selection never invents a new blob
+        assert selection.base.blob_key() == stored.blob_key()

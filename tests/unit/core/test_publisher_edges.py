@@ -1,0 +1,74 @@
+"""Edge cases of the publishing pipeline."""
+
+import pytest
+
+from repro.image.builder import BuildRecipe
+
+
+class TestMasterGraphRecovery:
+    def test_base_without_master_gets_fresh_one(
+        self, mini_system, mini_builder, redis_recipe
+    ):
+        """A stored base whose master graph was lost (e.g. process
+        restart before snapshots existed) is re-opened on the next
+        publish instead of crashing or double-storing the base."""
+        mini_system.publish(mini_builder.build(redis_recipe))
+        base_key = mini_system.repo.base_images()[0].blob_key()
+        mini_system.repo._masters.clear()
+
+        report = mini_system.publish(
+            mini_builder.build(
+                BuildRecipe(name="nginx-vm", primaries=("nginx",))
+            )
+        )
+        assert not report.stored_new_base
+        master = mini_system.repo.get_master_graph(base_key)
+        assert master.has_package("nginx")
+
+
+class TestBaseOnlyUpload:
+    def test_publishing_bare_base_image(self, mini_system, mini_builder):
+        """An upload with no primaries (the Mini case) stores just the
+        base and the user data; nothing is exported."""
+        report = mini_system.publish(
+            mini_builder.build(
+                BuildRecipe(
+                    name="bare",
+                    primaries=(),
+                    user_data_size=5_000,
+                    user_data_files=1,
+                )
+            )
+        )
+        assert report.exported_packages == ()
+        assert report.stored_new_base
+        result = mini_system.retrieve("bare")
+        assert result.vmi.user_data is not None
+        assert result.imported_packages == ()
+
+
+class TestNoUserData:
+    def test_publish_without_user_data(self, mini_system, mini_builder):
+        vmi = mini_builder.build(
+            BuildRecipe(name="nodata", primaries=("redis-server",))
+        )
+        vmi.detach_user_data()
+        report = mini_system.publish(vmi)
+        record = mini_system.repo.get_vmi_record("nodata")
+        assert record.data_label is None
+        restored = mini_system.retrieve("nodata").vmi
+        assert restored.user_data is None
+        assert restored.has_package("redis-server")
+
+
+class TestPortablePackages:
+    def test_arch_all_primary_round_trips(
+        self, mini_system, mini_builder
+    ):
+        mini_system.publish(
+            mini_builder.build(
+                BuildRecipe(name="tools", primaries=("portable-tool",))
+            )
+        )
+        restored = mini_system.retrieve("tools").vmi
+        assert restored.installed("portable-tool").package.is_portable()

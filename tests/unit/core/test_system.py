@@ -1,0 +1,54 @@
+"""Unit tests for the Expelliarmus facade."""
+
+import pytest
+
+from repro.core.system import Expelliarmus
+from repro.image.builder import BuildRecipe
+
+
+class TestFacade:
+    def test_publish_retrieve_cycle(self, mini_builder, redis_recipe):
+        system = Expelliarmus()
+        report = system.publish(mini_builder.build(redis_recipe))
+        assert report.vmi_name == "redis-vm"
+        result = system.retrieve("redis-vm")
+        assert result.vmi.name == "redis-vm"
+
+    def test_published_names_in_order(self, mini_builder):
+        system = Expelliarmus()
+        for name in ("a", "b", "c"):
+            system.publish(
+                mini_builder.build(
+                    BuildRecipe(name=name, primaries=("redis-server",))
+                )
+            )
+        assert system.published_names() == ["a", "b", "c"]
+
+    def test_repository_breakdown_sums_to_total(
+        self, mini_builder, redis_recipe
+    ):
+        system = Expelliarmus()
+        system.publish(mini_builder.build(redis_recipe))
+        breakdown = system.repository_breakdown()
+        assert sum(breakdown.values()) == system.repository_size
+
+    def test_clock_is_shared(self, mini_builder, redis_recipe):
+        system = Expelliarmus()
+        system.publish(mini_builder.build(redis_recipe))
+        t_after_publish = system.clock.now
+        assert t_after_publish > 0
+        system.retrieve("redis-vm")
+        assert system.clock.now > t_after_publish
+
+    def test_custom_params(self, mini_builder, redis_recipe):
+        from repro.sim.costmodel import CostParams
+
+        slow = Expelliarmus(
+            params=CostParams(repo_write_bw=1_000_000)
+        )
+        fast = Expelliarmus(
+            params=CostParams(repo_write_bw=1_000_000_000)
+        )
+        slow_report = slow.publish(mini_builder.build(redis_recipe))
+        fast_report = fast.publish(mini_builder.build(redis_recipe))
+        assert slow_report.publish_time > fast_report.publish_time

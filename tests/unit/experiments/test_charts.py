@@ -1,0 +1,66 @@
+"""Unit tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.experiments.reporting import (
+    ExperimentResult,
+    Series,
+    ascii_chart,
+)
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self):
+        chart = ascii_chart(
+            [Series("up", (1.0, 2.0, 3.0)), Series("flat", (2.0, 2.0))],
+            width=20,
+            height=6,
+        )
+        assert "*=up" in chart
+        assert "o=flat" in chart
+        assert "*" in chart.splitlines()[0] + chart.splitlines()[-3]
+
+    def test_y_axis_labels(self):
+        chart = ascii_chart(
+            [Series("s", (0.0, 10.0))], width=10, height=5
+        )
+        assert "10.0" in chart
+        assert "0.0" in chart
+
+    def test_single_point(self):
+        chart = ascii_chart([Series("s", (5.0,))], width=10, height=5)
+        assert "*" in chart
+
+    def test_constant_series(self):
+        chart = ascii_chart(
+            [Series("s", (2.0, 2.0, 2.0))], width=10, height=5
+        )
+        grid_area = "\n".join(chart.splitlines()[:-2])  # drop legend
+        assert grid_area.count("*") == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ascii_chart([])
+        with pytest.raises(ValueError):
+            ascii_chart([Series("s", ())])
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ValueError):
+            ascii_chart([Series("s", (1.0,))], width=2, height=2)
+
+
+class TestRenderFigure:
+    def test_figure_render(self, fig3a_result):
+        text = fig3a_result.render_figure()
+        assert "Figure 3a" in text
+        assert "#=Expelliarmus" in text
+
+    def test_rows_only_result_raises(self):
+        result = ExperimentResult(
+            experiment_id="X",
+            title="t",
+            columns=("a",),
+            rows=(("1",),),
+        )
+        with pytest.raises(ValueError):
+            result.render_figure()

@@ -1,0 +1,97 @@
+"""Tests for the Figure 3 harnesses — the paper's headline claims."""
+
+import pytest
+
+
+class TestFig3aShape:
+    def test_five_schemes_four_points(self, fig3a_result):
+        assert len(fig3a_result.series) == 5
+        for s in fig3a_result.series:
+            assert len(s.values) == 4
+
+    def test_paper_endpoints_within_20pct(self, fig3a_result):
+        paper = {
+            "Qcow2": 8.85,
+            "Qcow2 + Gzip": 3.2,
+            "Mirage": 3.4,
+            "Hemera": 3.4,
+            "Expelliarmus": 2.3,
+        }
+        for label, expected in paper.items():
+            measured = fig3a_result.series_by_label(label).final()
+            assert measured == pytest.approx(expected, rel=0.2), label
+
+    def test_expelliarmus_smallest(self, fig3a_result):
+        finals = {s.label: s.final() for s in fig3a_result.series}
+        assert finals["Expelliarmus"] == min(finals.values())
+
+    def test_monotone_growth(self, fig3a_result):
+        for s in fig3a_result.series:
+            assert all(
+                a <= b + 1e-9 for a, b in zip(s.values, s.values[1:])
+            ), s.label
+
+
+class TestFig3bShape:
+    def test_paper_ordering(self, fig3b_result):
+        finals = {s.label: s.final() for s in fig3b_result.series}
+        assert (
+            finals["Expelliarmus"]
+            < finals["Mirage"]
+            < finals["Qcow2 + Gzip"]
+            < finals["Qcow2"]
+        )
+
+    def test_qcow2_tracks_paper_total(self, fig3b_result):
+        assert fig3b_result.series_by_label("Qcow2").final() == (
+            pytest.approx(41.81, rel=0.05)
+        )
+
+    def test_mirage_hemera_nearly_equal(self, fig3b_result):
+        mirage = fig3b_result.series_by_label("Mirage").final()
+        hemera = fig3b_result.series_by_label("Hemera").final()
+        assert mirage == pytest.approx(hemera, rel=0.02)
+
+    def test_dedup_flattens_while_gzip_stays_linear(self, fig3b_result):
+        """The paper's key observation on Figure 3a/3b: dedup-based
+        schemes improve over Gzip as images accumulate — the curves
+        cross: Gzip starts cheaper (one compressed image beats one
+        uncompressed dedup store) but ends far more expensive."""
+        gzip_curve = fig3b_result.series_by_label("Qcow2 + Gzip").values
+        mirage_curve = fig3b_result.series_by_label("Mirage").values
+        assert gzip_curve[0] < mirage_curve[0]
+        assert gzip_curve[-1] > 1.8 * mirage_curve[-1]
+
+
+class TestFig3cShape:
+    def test_paper_factors(self, fig3c_result):
+        """Headline: Expelliarmus 16x better than Gzip and 2.2x better
+        than Mirage/Hemera (we accept 1.8-3.2x and 12-26x)."""
+        finals = {s.label: s.final() for s in fig3c_result.series}
+        vs_mirage = finals["Mirage"] / finals["Expelliarmus"]
+        vs_gzip = finals["Qcow2 + Gzip"] / finals["Expelliarmus"]
+        assert 1.8 <= vs_mirage <= 3.2
+        assert 12 <= vs_gzip <= 26
+
+    def test_mirage_vs_gzip_factor(self, fig3c_result):
+        """Paper: Mirage/Hemera perform ~7.5x better than Gzip here."""
+        finals = {s.label: s.final() for s in fig3c_result.series}
+        factor = finals["Qcow2 + Gzip"] / finals["Mirage"]
+        assert 5.5 <= factor <= 10.5
+
+    def test_qcow2_near_110gb(self, fig3c_result):
+        assert fig3c_result.series_by_label("Qcow2").final() == (
+            pytest.approx(109.92, rel=0.06)
+        )
+
+    def test_expelliarmus_growth_is_user_data_only(self, fig3c_result):
+        """After the first build, Expelliarmus grows ~10 MB per build
+        (user data), not ~95 MB (noise) like the dedup stores."""
+        exp = fig3c_result.series_by_label("Expelliarmus").values
+        per_build_gb = (exp[-1] - exp[0]) / (len(exp) - 1)
+        assert per_build_gb == pytest.approx(0.010, rel=0.25)
+
+    def test_mirage_growth_matches_residue(self, fig3c_result):
+        mirage = fig3c_result.series_by_label("Mirage").values
+        per_build_gb = (mirage[-1] - mirage[0]) / (len(mirage) - 1)
+        assert per_build_gb == pytest.approx(0.095, rel=0.25)

@@ -1,0 +1,58 @@
+"""Tests for the Figure 4 harnesses (publishing time)."""
+
+import pytest
+
+
+class TestFig4aShape:
+    def test_three_schemes(self, fig4a_result):
+        labels = {s.label for s in fig4a_result.series}
+        assert labels == {"Expelliarmus", "Mirage", "Hemera"}
+
+    def test_expelliarmus_faster_everywhere(self, fig4a_result):
+        exp = fig4a_result.series_by_label("Expelliarmus").values
+        mirage = fig4a_result.series_by_label("Mirage").values
+        hemera = fig4a_result.series_by_label("Hemera").values
+        for i in range(len(exp)):
+            assert exp[i] < mirage[i]
+            assert exp[i] < hemera[i]
+
+    def test_desktop_slowest_for_expelliarmus(self, fig4a_result):
+        exp = fig4a_result.series_by_label("Expelliarmus")
+        assert fig4a_result.x_labels[exp.argmax()] == "Desktop"
+
+
+class TestFig4bShape:
+    def test_four_series_nineteen_points(self, fig4b_result):
+        assert len(fig4b_result.series) == 4
+        for s in fig4b_result.series:
+            assert len(s.values) == 19
+
+    def test_desktop_then_elastic_for_expelliarmus(self, fig4b_result):
+        """Paper: 'the Desktop VMI had the longest publishing time in
+        Expelliarmus followed by Elastic Stack'."""
+        exp = fig4b_result.series_by_label("Expelliarmus")
+        by_time = sorted(
+            zip(exp.values, fig4b_result.x_labels), reverse=True
+        )
+        top2 = [name for _, name in by_time[:2]]
+        assert top2[0] == "Desktop"
+        assert "Elastic Stack" in top2
+
+    def test_elastic_slowest_for_mirage(self, fig4b_result):
+        mirage = fig4b_result.series_by_label("Mirage")
+        assert fig4b_result.x_labels[mirage.argmax()] == "Elastic Stack"
+
+    def test_variant_never_faster_than_expelliarmus(self, fig4b_result):
+        exp = fig4b_result.series_by_label("Expelliarmus").values
+        variant = fig4b_result.series_by_label("Semantic").values
+        for i in range(len(exp)):
+            assert variant[i] >= exp[i] - 1e-9
+
+    def test_variant_gap_grows_with_repository(self, fig4b_result):
+        """Dedup saves more as the repository fills: the variant's
+        extra cost over Expelliarmus is larger late than early."""
+        exp = fig4b_result.series_by_label("Expelliarmus").values
+        variant = fig4b_result.series_by_label("Semantic").values
+        gaps = [v - e for v, e in zip(variant, exp)]
+        # Mini exports nothing either way; Redis onward the gap exists
+        assert sum(gaps[10:]) > sum(gaps[:10])

@@ -1,0 +1,87 @@
+"""Tests for the Figure 5 harnesses (retrieval time)."""
+
+import pytest
+
+
+class TestFig5aShape:
+    def test_components_plus_total(self, fig5a_result):
+        labels = [s.label for s in fig5a_result.series]
+        assert labels == [
+            "Base image copy",
+            "Libguestfs handler creation",
+            "VMI reset",
+            "Import",
+            "Total",
+        ]
+
+    def test_components_sum_to_total(self, fig5a_result):
+        series = {s.label: s.values for s in fig5a_result.series}
+        for i in range(19):
+            parts = sum(
+                series[label][i]
+                for label in (
+                    "Base image copy",
+                    "Libguestfs handler creation",
+                    "VMI reset",
+                    "Import",
+                )
+            )
+            assert parts == pytest.approx(series["Total"][i], rel=0.02)
+
+    def test_fixed_components_constant_across_images(self, fig5a_result):
+        """Paper: 'the first three operations share nearly equal time
+        for retrieving different VMIs, while the import time differs'."""
+        for label in (
+            "Base image copy",
+            "Libguestfs handler creation",
+            "VMI reset",
+        ):
+            values = fig5a_result.series_by_label(label).values
+            assert max(values) - min(values) < 0.5, label
+
+    def test_import_varies(self, fig5a_result):
+        imports = fig5a_result.series_by_label("Import").values
+        assert max(imports) > 10 * (min(imports) + 0.1)
+
+    def test_mini_import_near_zero(self, fig5a_result):
+        idx = fig5a_result.x_labels.index("Mini")
+        assert fig5a_result.series_by_label("Import").values[idx] < 1.0
+
+
+class TestFig5bShape:
+    def test_mirage_slowest_everywhere(self, fig5b_result):
+        mirage = fig5b_result.series_by_label("Mirage").values
+        hemera = fig5b_result.series_by_label("Hemera").values
+        exp = fig5b_result.series_by_label("Expelliarmus").values
+        for i in range(19):
+            assert mirage[i] > hemera[i]
+            assert mirage[i] > exp[i]
+
+    def test_elastic_stack_crossover(self, fig5b_result):
+        """The paper's one numeric anchor: Expelliarmus 99.9 s vs
+        Hemera 129.8 s on Elastic Stack — Expelliarmus wins there."""
+        idx = fig5b_result.x_labels.index("Elastic Stack")
+        exp = fig5b_result.series_by_label("Expelliarmus").values[idx]
+        hemera = fig5b_result.series_by_label("Hemera").values[idx]
+        assert exp < hemera
+        assert exp == pytest.approx(99.91, rel=0.15)
+
+    def test_hemera_wins_heavy_install_images(self, fig5b_result):
+        """Images whose import payload is large relative to their file
+        count favour Hemera; IDE (a ~780 MB installed payload in only
+        ~5 k extra files) is the canonical case."""
+        idx = fig5b_result.x_labels.index("IDE")
+        exp = fig5b_result.series_by_label("Expelliarmus").values[idx]
+        hemera = fig5b_result.series_by_label("Hemera").values[idx]
+        assert hemera < exp
+
+    def test_hemera_expelliarmus_close_for_most(self, fig5b_result):
+        """Paper: 'Hemera and Expelliarmus perform nearly equal for
+        most VMIs' — within the figure's 0-600 s scale, the two stay
+        within ~80 s of each other on at least 15 of 19 images."""
+        exp = fig5b_result.series_by_label("Expelliarmus").values
+        hemera = fig5b_result.series_by_label("Hemera").values
+        close = sum(
+            1 for e, h in zip(exp, hemera) if abs(e - h) < 80
+        )
+        assert close >= 15

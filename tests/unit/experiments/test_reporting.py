@@ -1,0 +1,60 @@
+"""Unit tests for experiment result structures and rendering."""
+
+import pytest
+
+from repro.experiments.reporting import (
+    ExperimentResult,
+    Series,
+    format_table,
+)
+
+
+class TestSeries:
+    def test_final_and_max(self):
+        s = Series("x", (1.0, 5.0, 3.0))
+        assert s.final() == 3.0
+        assert s.max() == 5.0
+        assert s.argmax() == 1
+
+    def test_empty_final_raises(self):
+        with pytest.raises(ValueError):
+            Series("x", ()).final()
+
+
+class TestExperimentResult:
+    def sample(self):
+        return ExperimentResult(
+            experiment_id="Figure 9",
+            title="demo",
+            columns=("VMI", "a"),
+            rows=(("Mini", 1.0),),
+            x_labels=("Mini",),
+            series=(Series("a", (1.0,)),),
+            notes=("hello",),
+        )
+
+    def test_series_by_label(self):
+        result = self.sample()
+        assert result.series_by_label("a").values == (1.0,)
+        with pytest.raises(KeyError):
+            result.series_by_label("ghost")
+
+    def test_render_contains_everything(self):
+        text = self.sample().render()
+        assert "Figure 9" in text
+        assert "Mini" in text
+        assert "note: hello" in text
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        text = format_table(
+            ("name", "value"), (("a", 1.234), ("long-name", 10),)
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert "1.23" in text
+
+    def test_empty_rows(self):
+        text = format_table(("a", "b"), ())
+        assert "a" in text

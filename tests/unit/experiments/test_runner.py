@@ -1,0 +1,52 @@
+"""Unit tests for the experiment runner and registry."""
+
+import pytest
+
+from repro.experiments.runner import ALL_EXPERIMENTS, run_all
+
+
+class TestRegistry:
+    def test_covers_every_table_and_figure(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "table2",
+            "fig3a",
+            "fig3b",
+            "fig3c",
+            "fig4a",
+            "fig4b",
+            "fig5a",
+            "fig5b",
+            "related",
+        }
+
+    def test_paper_artifacts_before_extensions(self):
+        keys = list(ALL_EXPERIMENTS)
+        assert keys.index("table2") == 0
+        assert keys.index("related") == len(keys) - 1
+
+
+class TestRunAll:
+    def test_run_all_subset_via_monkeypatch(self, monkeypatch):
+        """run_all executes each registered harness once and echoes."""
+        calls = []
+
+        def fake(params=None):
+            from repro.experiments.reporting import ExperimentResult
+
+            calls.append(params)
+            return ExperimentResult(
+                experiment_id="Fake",
+                title="t",
+                columns=("a",),
+                rows=((1,),),
+            )
+
+        monkeypatch.setattr(
+            "repro.experiments.runner.ALL_EXPERIMENTS",
+            {"fake1": fake, "fake2": fake},
+        )
+        echoed = []
+        results = run_all(echo=echoed.append)
+        assert set(results) == {"fake1", "fake2"}
+        assert len(calls) == 2
+        assert any("Fake" in line for line in echoed)

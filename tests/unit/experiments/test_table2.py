@@ -1,0 +1,86 @@
+"""Tests for the Table II harness, asserting the paper's shape."""
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def rows(table2_result):
+    """name -> row dict for convenient lookups."""
+    cols = table2_result.columns
+    return {
+        row[1]: dict(zip(cols, row)) for row in table2_result.rows
+    }
+
+
+class TestStructure:
+    def test_nineteen_rows_in_order(self, table2_result):
+        assert len(table2_result.rows) == 19
+        assert table2_result.rows[0][1] == "Mini"
+        assert table2_result.rows[-1][1] == "Elastic Stack"
+
+    def test_renders(self, table2_result):
+        text = table2_result.render()
+        assert "Table II" in text
+        assert "Elastic Stack" in text
+
+
+class TestMountedFootprint:
+    def test_sizes_match_paper_within_5pct(self, rows):
+        for name, row in rows.items():
+            assert row["size[GB]"] == pytest.approx(
+                row["size(paper)"], rel=0.05
+            ), name
+
+    def test_file_counts_match_paper_within_5pct(self, rows):
+        for name, row in rows.items():
+            assert row["files"] == pytest.approx(
+                row["files(paper)"], rel=0.05
+            ), name
+
+
+class TestSimilarityShape:
+    def test_first_upload_zero(self, rows):
+        assert rows["Mini"]["SimG"] == 0.0
+
+    def test_redis_nearly_identical_to_mini(self, rows):
+        assert rows["Redis"]["SimG"] > 0.9
+
+    def test_all_bounded(self, rows):
+        for name, row in rows.items():
+            assert 0.0 <= row["SimG"] <= 1.0, name
+
+
+class TestTimingShape:
+    def test_mini_publish_near_paper(self, rows):
+        # dominated by storing the 1.9 GB base: the calibration anchor
+        assert rows["Mini"]["publish[s]"] == pytest.approx(
+            39.52, rel=0.2
+        )
+
+    def test_desktop_is_slowest_publish(self, rows):
+        desktop = rows["Desktop"]["publish[s]"]
+        assert desktop == max(r["publish[s]"] for r in rows.values())
+
+    def test_elastic_among_slowest_publishes(self, rows):
+        ordered = sorted(
+            (r["publish[s]"] for r in rows.values()), reverse=True
+        )
+        assert rows["Elastic Stack"]["publish[s]"] in ordered[:3]
+
+    def test_redis_publish_cheap(self, rows):
+        assert rows["Redis"]["publish[s]"] < 15
+
+    def test_mini_retrieval_near_paper(self, rows):
+        assert rows["Mini"]["retrieve[s]"] == pytest.approx(
+            24.64, rel=0.2
+        )
+
+    def test_desktop_retrieval_near_paper(self, rows):
+        assert rows["Desktop"]["retrieve[s]"] == pytest.approx(
+            102.34, rel=0.15
+        )
+
+    def test_elastic_retrieval_near_paper(self, rows):
+        assert rows["Elastic Stack"]["retrieve[s]"] == pytest.approx(
+            99.91, rel=0.15
+        )

@@ -1,0 +1,110 @@
+"""Unit tests for the catalog and its dependency resolver."""
+
+import pytest
+
+from repro.errors import DependencyError, UnknownPackageError
+from repro.model.package import DependencySpec, make_package
+from repro.model.versions import Version
+
+from tests.conftest import make_mini_catalog
+
+
+class TestCatalogPopulation:
+    def test_contains_and_len(self, mini_catalog):
+        assert "libc6" in mini_catalog
+        assert "ghost" not in mini_catalog
+        assert len(mini_catalog) == 12  # incl. two libssl versions
+
+    def test_duplicate_version_rejected(self, mini_catalog):
+        with pytest.raises(DependencyError):
+            mini_catalog.add(
+                make_mini_catalog().latest("redis-server")
+            )
+
+    def test_versions_sorted_oldest_first(self, mini_catalog):
+        versions = mini_catalog.versions_of("libssl")
+        assert [str(p.version) for p in versions] == ["1.0.2", "1.1.0"]
+
+    def test_latest(self, mini_catalog):
+        assert str(mini_catalog.latest("libssl").version) == "1.1.0"
+
+    def test_unknown_name_raises(self, mini_catalog):
+        with pytest.raises(UnknownPackageError):
+            mini_catalog.versions_of("ghost")
+
+    def test_essential_packages(self, mini_catalog):
+        names = {p.name for p in mini_catalog.essential_packages()}
+        assert names == {"libc6", "dpkg", "perl-base", "bash"}
+
+
+class TestBestCandidate:
+    def test_prefers_newest_satisfying(self, mini_catalog):
+        spec = DependencySpec("libssl")
+        assert str(mini_catalog.best_candidate(spec).version) == "1.1.0"
+
+    def test_constraint_filters(self, mini_catalog):
+        spec = DependencySpec("libssl", "<<", Version.parse("1.1"))
+        assert str(mini_catalog.best_candidate(spec).version) == "1.0.2"
+
+    def test_unsatisfiable_raises(self, mini_catalog):
+        spec = DependencySpec("libssl", ">=", Version.parse("9.9"))
+        with pytest.raises(DependencyError):
+            mini_catalog.best_candidate(spec)
+
+
+class TestResolve:
+    def test_plan_is_dependency_closed(self, mini_catalog):
+        plan = mini_catalog.resolve(["redis-server"])
+        names = set(plan.names())
+        assert {"redis-server", "libssl", "libc6", "dpkg",
+                "perl-base"} <= names
+
+    def test_dependencies_precede_dependents(self, mini_catalog):
+        plan = mini_catalog.resolve(["redis-server"])
+        order = plan.names()
+        assert order.index("libssl") < order.index("redis-server")
+
+    def test_cycle_members_adjacent(self, mini_catalog):
+        plan = mini_catalog.resolve(["bash"])
+        order = plan.names()
+        cycle = sorted(
+            order.index(n) for n in ("libc6", "dpkg", "perl-base")
+        )
+        assert cycle[2] - cycle[0] == 2  # consecutive positions
+
+    def test_auto_marks(self, mini_catalog):
+        plan = mini_catalog.resolve(["redis-server"])
+        marks = {s.package.name: s.auto for s in plan}
+        assert marks["redis-server"] is False
+        assert marks["libssl"] is True
+
+    def test_preinstalled_not_replanned(self, mini_catalog):
+        base = {
+            p.name: p
+            for p in mini_catalog.resolve(["bash"]).packages()
+        }
+        plan = mini_catalog.resolve(["redis-server"], preinstalled=base)
+        assert set(plan.names()) == {"redis-server", "libssl"}
+
+    def test_preinstalled_constraint_verified(self, mini_catalog):
+        old_libc = make_package("libc6", "2.10", installed_size=1)
+        with pytest.raises(DependencyError):
+            mini_catalog.resolve(
+                ["bash"], preinstalled={"libc6": old_libc}
+            )
+
+    def test_unknown_request_raises(self, mini_catalog):
+        with pytest.raises(UnknownPackageError):
+            mini_catalog.resolve(["ghost"])
+
+    def test_unsatisfiable_dependency_raises(self, mini_catalog):
+        with pytest.raises(DependencyError):
+            mini_catalog.resolve(["future-app"])
+
+    def test_plan_size_accessors(self, mini_catalog):
+        plan = mini_catalog.resolve(["redis-server"])
+        assert plan.total_installed_size() == sum(
+            p.installed_size for p in plan.packages()
+        )
+        assert plan.total_deb_size() > 0
+        assert len(plan) == len(plan.packages())

@@ -1,0 +1,75 @@
+"""Unit tests for guest filesystem manifests."""
+
+import pytest
+
+from repro.guestos.filesystem import (
+    GuestFilesystem,
+    package_manifest,
+    skeleton_manifest,
+)
+from repro.image.manifest import FileManifest
+from repro.model.package import make_package
+
+from tests.conftest import MINI_ATTRS
+
+
+class TestPackageManifest:
+    def test_matches_package_metadata(self):
+        pkg = make_package(
+            "x", "1.0", installed_size=1_000_000, n_files=50
+        )
+        m = package_manifest(pkg)
+        assert m.n_files == 50
+        assert m.total_size == 1_000_000
+
+    def test_deterministic_and_cached(self):
+        pkg = make_package("x", "1.0", installed_size=10_000, n_files=4)
+        assert package_manifest(pkg) is package_manifest(pkg)
+
+    def test_version_changes_content(self):
+        a = make_package("x", "1.0", installed_size=10_000, n_files=4)
+        b = make_package("x", "2.0", installed_size=10_000, n_files=4)
+        ids_a = set(package_manifest(a).content_ids.tolist())
+        ids_b = set(package_manifest(b).content_ids.tolist())
+        assert not (ids_a & ids_b)
+
+
+class TestSkeletonManifest:
+    def test_deterministic(self):
+        a = skeleton_manifest(MINI_ATTRS, 10, 100_000)
+        b = skeleton_manifest(MINI_ATTRS, 10, 100_000)
+        assert a == b
+        assert a.total_size == 100_000
+
+
+class TestGuestFilesystem:
+    def test_owner_lifecycle(self):
+        fs = GuestFilesystem()
+        m = FileManifest.synthesize("m", 5, 5_000)
+        fs.add_owner("pkg:x", m)
+        assert fs.has_owner("pkg:x")
+        assert fs.total_size == 5_000
+        assert fs.n_files == 5
+        assert fs.manifest_of("pkg:x") is m
+        removed = fs.remove_owner("pkg:x")
+        assert removed is m
+        assert len(fs) == 0
+
+    def test_duplicate_owner_rejected(self):
+        fs = GuestFilesystem()
+        fs.add_owner("a", FileManifest.empty())
+        with pytest.raises(KeyError):
+            fs.add_owner("a", FileManifest.empty())
+
+    def test_unknown_owner_raises(self):
+        with pytest.raises(KeyError):
+            GuestFilesystem().remove_owner("ghost")
+
+    def test_full_manifest_concatenates(self):
+        fs = GuestFilesystem()
+        fs.add_owner("a", FileManifest.synthesize("a", 3, 300))
+        fs.add_owner("b", FileManifest.synthesize("b", 2, 200))
+        m = fs.full_manifest()
+        assert m.n_files == 5
+        assert m.total_size == 500
+        assert fs.owners() == ["a", "b"]

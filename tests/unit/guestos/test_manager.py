@@ -1,0 +1,94 @@
+"""Unit tests for the APT-style package manager."""
+
+import pytest
+
+from repro.errors import PackageStateError, UnknownPackageError
+from repro.guestos.manager import PackageManager
+from repro.model.graph import PackageRole
+from repro.model.vmi import VirtualMachineImage
+
+
+@pytest.fixture
+def vm(mini_builder):
+    """A bare base image (no primaries, no data)."""
+    return VirtualMachineImage("vm", mini_builder.base_image())
+
+
+@pytest.fixture
+def manager(mini_catalog, vm):
+    return PackageManager(mini_catalog, vm)
+
+
+class TestInstall:
+    def test_installs_with_dependencies(self, manager, vm):
+        manager.install(["redis-server"])
+        assert vm.has_package("redis-server")
+        assert vm.has_package("libssl")
+
+    def test_roles_and_auto_marks(self, manager, vm):
+        manager.install(["redis-server"])
+        assert vm.installed("redis-server").role is PackageRole.PRIMARY
+        assert vm.installed("redis-server").auto is False
+        assert vm.installed("libssl").role is PackageRole.DEPENDENCY
+        assert vm.installed("libssl").auto is True
+
+    def test_base_members_not_reinstalled(self, manager, vm):
+        plan = manager.install(["redis-server"])
+        assert "libc6" not in plan.names()
+
+    def test_installing_existing_promotes_to_primary(self, manager, vm):
+        manager.install(["redis-server"])
+        manager.install(["libssl"])  # was an auto dependency
+        rec = vm.installed("libssl")
+        assert rec.role is PackageRole.PRIMARY
+        assert rec.auto is False
+
+    def test_shared_dependency_installed_once(self, manager, vm):
+        manager.install(["redis-server", "nginx"])
+        assert vm.installed("libssl") is not None
+        # one mounted copy only
+        manifest_files = vm.n_files
+        assert manifest_files == vm.full_manifest().n_files
+
+    def test_unknown_package_raises(self, manager):
+        with pytest.raises(UnknownPackageError):
+            manager.install(["ghost"])
+
+    def test_install_package_object_exact_version(
+        self, manager, vm, mini_catalog
+    ):
+        old_ssl = mini_catalog.versions_of("libssl")[0]
+        manager.install_package_object(
+            old_ssl, role=PackageRole.DEPENDENCY, auto=True
+        )
+        assert str(vm.installed("libssl").package.version) == "1.0.2"
+
+
+class TestRemove:
+    def test_remove_and_autoremove(self, manager, vm):
+        manager.install(["redis-server"])
+        manager.remove("redis-server")
+        assert vm.has_package("libssl")  # not yet collected
+        removed = manager.autoremove()
+        assert removed == ["libssl"]
+
+    def test_autoremove_keeps_shared_dependency(self, manager, vm):
+        manager.install(["redis-server", "nginx"])
+        manager.remove("redis-server")
+        assert manager.autoremove() == []
+        assert vm.has_package("libssl")
+
+    def test_purge_combines_both(self, manager, vm):
+        manager.install(["redis-server"])
+        removed = manager.purge(["redis-server"])
+        assert set(removed) == {"redis-server", "libssl"}
+
+    def test_remove_base_member_refused(self, manager):
+        with pytest.raises(PackageStateError):
+            manager.remove("bash")
+
+
+class TestPlan:
+    def test_plan_does_not_mutate(self, manager, vm):
+        manager.plan_install(["redis-server"])
+        assert not vm.has_package("redis-server")

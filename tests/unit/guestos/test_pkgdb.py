@@ -1,0 +1,44 @@
+"""Unit tests for the dpkg-style query layer."""
+
+import pytest
+
+from repro.errors import UnknownPackageError
+from repro.guestos.pkgdb import PackageQuery
+
+
+@pytest.fixture
+def query(redis_vmi):
+    return PackageQuery(redis_vmi)
+
+
+class TestQueries:
+    def test_list_installed(self, query, redis_vmi):
+        names = {r.name for r in query.list_installed()}
+        assert "redis-server" in names
+        assert "libc6" in names
+
+    def test_status(self, query):
+        rec = query.status("redis-server")
+        assert rec.package.name == "redis-server"
+        with pytest.raises(UnknownPackageError):
+            query.status("ghost")
+
+    def test_owned_files_matches_package(self, query):
+        rec = query.status("redis-server")
+        manifest = query.owned_files("redis-server")
+        assert manifest.n_files == rec.package.n_files
+        assert manifest.total_size == rec.package.installed_size
+
+    def test_auto_manual_partition(self, query):
+        auto = set(query.show_auto())
+        manual = set(query.show_manual())
+        assert "libssl" in auto
+        assert "redis-server" in manual
+        assert not (auto & manual)
+
+    def test_role_views(self, query):
+        assert query.primaries() == ["redis-server"]
+        assert "libssl" in query.dependencies()
+        assert {"libc6", "dpkg", "perl-base", "bash"} <= set(
+            query.base_members()
+        )

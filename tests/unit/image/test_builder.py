@@ -1,0 +1,67 @@
+"""Unit tests for the virt-builder stand-in."""
+
+import pytest
+
+from repro.image.builder import BuildRecipe
+from repro.model.graph import PackageRole
+
+
+class TestBaseImage:
+    def test_base_is_dependency_closed(self, mini_builder):
+        base = mini_builder.base_image()
+        names = base.package_names()
+        assert {"libc6", "dpkg", "perl-base", "bash"} <= names
+
+    def test_base_cached(self, mini_builder):
+        assert mini_builder.base_image() is mini_builder.base_image()
+
+
+class TestBuild:
+    def test_primaries_installed(self, mini_builder, redis_recipe):
+        vmi = mini_builder.build(redis_recipe)
+        assert vmi.installed("redis-server").role is PackageRole.PRIMARY
+        assert vmi.installed("libssl").role is PackageRole.DEPENDENCY
+
+    def test_user_data_attached(self, mini_builder, redis_recipe):
+        vmi = mini_builder.build(redis_recipe)
+        assert vmi.user_data is not None
+        assert vmi.user_data.size == redis_recipe.user_data_size
+
+    def test_instance_noise_attached_as_residue(
+        self, mini_builder, redis_recipe
+    ):
+        vmi = mini_builder.build(redis_recipe)
+        assert vmi.residue_size == redis_recipe.instance_noise_size
+
+    def test_no_noise_when_disabled(self, mini_builder):
+        vmi = mini_builder.build(
+            BuildRecipe(name="clean", instance_noise_size=0)
+        )
+        assert vmi.residue_size == 0
+
+    def test_rebuild_same_id_identical_footprint(
+        self, mini_builder, redis_recipe
+    ):
+        a = mini_builder.build(redis_recipe)
+        b = mini_builder.build(redis_recipe)
+        assert a.mounted_size == b.mounted_size
+        assert a.full_manifest() == b.full_manifest()
+
+    def test_build_id_changes_only_instance_content(self, mini_builder):
+        r1 = BuildRecipe(name="vm", primaries=("redis-server",),
+                         build_id=1)
+        r2 = BuildRecipe(name="vm", primaries=("redis-server",),
+                         build_id=2)
+        a = mini_builder.build(r1)
+        b = mini_builder.build(r2)
+        # same packages -> same size, different noise/user content ids
+        assert a.mounted_size == b.mounted_size
+        assert a.full_manifest() != b.full_manifest()
+
+    def test_to_qcow2_covers_everything(
+        self, mini_builder, redis_recipe
+    ):
+        vmi = mini_builder.build(redis_recipe)
+        qcow = mini_builder.to_qcow2(vmi)
+        assert qcow.payload_bytes == vmi.mounted_size
+        assert qcow.n_files == vmi.n_files

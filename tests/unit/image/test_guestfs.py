@@ -1,0 +1,69 @@
+"""Unit tests for the libguestfs stand-in lifecycle."""
+
+import pytest
+
+from repro.errors import HandleStateError
+from repro.image.guestfs import GuestfsHandle, HandleState
+from repro.sim.clock import SimulatedClock
+from repro.sim.costmodel import CostModel
+
+
+@pytest.fixture
+def clock():
+    return SimulatedClock()
+
+
+@pytest.fixture
+def handle(clock):
+    return GuestfsHandle(clock, CostModel())
+
+
+class TestLifecycle:
+    def test_launch_charges_time(self, handle, clock):
+        assert handle.state is HandleState.CONFIGURED
+        handle.launch()
+        assert handle.state is HandleState.LAUNCHED
+        assert clock.now == CostModel().guestfs_launch()
+
+    def test_double_launch_rejected(self, handle):
+        handle.launch()
+        with pytest.raises(HandleStateError):
+            handle.launch()
+
+    def test_mount_requires_launch(self, handle, redis_vmi):
+        with pytest.raises(HandleStateError):
+            handle.mount(redis_vmi)
+
+    def test_mount_and_query(self, handle, redis_vmi):
+        handle.launch()
+        handle.mount(redis_vmi)
+        assert handle.state is HandleState.MOUNTED
+        assert handle.vmi is redis_vmi
+        assert "redis-server" in handle.query().primaries()
+
+    def test_vmi_access_requires_mount(self, handle):
+        handle.launch()
+        with pytest.raises(HandleStateError):
+            _ = handle.vmi
+
+    def test_shutdown_finalises(self, handle, redis_vmi):
+        handle.launch()
+        handle.mount(redis_vmi)
+        handle.shutdown()
+        assert handle.state is HandleState.CLOSED
+        with pytest.raises(HandleStateError):
+            _ = handle.vmi
+        with pytest.raises(HandleStateError):
+            handle.launch()  # closed handles cannot be reused
+
+    def test_context_manager(self, clock, redis_vmi):
+        with GuestfsHandle(clock, CostModel()) as handle:
+            handle.mount(redis_vmi)
+            assert handle.state is HandleState.MOUNTED
+        assert handle.state is HandleState.CLOSED
+
+    def test_custom_label_charges_under_label(self, clock, redis_vmi):
+        with clock.measure() as breakdown:
+            handle = GuestfsHandle(clock, CostModel(), label="handle")
+            handle.launch()
+        assert breakdown.component("handle") > 0

@@ -1,0 +1,42 @@
+"""Unit tests for the qcow2 container model."""
+
+from repro.image.manifest import FileManifest
+from repro.image.qcow2 import (
+    QCOW2_HEADER_BYTES,
+    QCOW2_METADATA_FACTOR,
+    Qcow2Image,
+)
+
+
+def image(n_files=100, total=10_000_000, ratio=0.4) -> Qcow2Image:
+    return Qcow2Image(
+        name="img",
+        manifest=FileManifest.synthesize("q", n_files, total, ratio),
+    )
+
+
+class TestSizes:
+    def test_raw_size_formula(self):
+        img = image(total=10_000_000)
+        expected = QCOW2_HEADER_BYTES + 10_000_000 + int(
+            10_000_000 * QCOW2_METADATA_FACTOR
+        )
+        assert img.size == expected
+
+    def test_gzip_smaller_for_compressible_payloads(self):
+        img = image(ratio=0.35)
+        assert img.gzip_size < img.size
+
+    def test_gzip_barely_helps_on_jars(self):
+        compressible = image(ratio=0.30)
+        jars = image(ratio=0.85)
+        assert jars.gzip_size > compressible.gzip_size
+
+    def test_empty_image_is_header_only(self):
+        img = Qcow2Image(name="e", manifest=FileManifest.empty())
+        assert img.size == QCOW2_HEADER_BYTES
+        assert img.gzip_size == QCOW2_HEADER_BYTES
+        assert img.payload_bytes == 0
+
+    def test_n_files(self):
+        assert image(n_files=77).n_files == 77

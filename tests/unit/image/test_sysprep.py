@@ -1,0 +1,27 @@
+"""Unit tests for the virt-sysprep stand-in."""
+
+from repro.image.sysprep import sysprep
+
+
+class TestSysprep:
+    def test_removes_user_data_and_residue(self, redis_vmi):
+        assert redis_vmi.user_data is not None
+        assert redis_vmi.residue_size > 0
+        data = sysprep(redis_vmi)
+        assert data is not None
+        assert redis_vmi.user_data is None
+        assert redis_vmi.residue_size == 0
+
+    def test_keeps_packages(self, redis_vmi):
+        sysprep(redis_vmi)
+        assert redis_vmi.has_package("redis-server")
+        assert redis_vmi.has_package("libc6")
+
+    def test_idempotent(self, redis_vmi):
+        sysprep(redis_vmi)
+        assert sysprep(redis_vmi) is None
+
+    def test_shrinks_footprint(self, redis_vmi):
+        before = redis_vmi.mounted_size
+        sysprep(redis_vmi)
+        assert redis_vmi.mounted_size < before

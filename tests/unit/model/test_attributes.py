@@ -1,0 +1,40 @@
+"""Unit tests for base-image and package attribute tuples."""
+
+from repro.model.attributes import ARCH_ALL, BaseImageAttrs, PackageAttrs
+from repro.model.versions import Version
+
+
+class TestBaseImageAttrs:
+    def test_key_is_quadruple(self):
+        attrs = BaseImageAttrs("linux", "ubuntu", "16.04", "amd64")
+        assert attrs.key() == ("linux", "ubuntu", "16.04", "amd64")
+
+    def test_frozen_and_hashable(self):
+        a = BaseImageAttrs("linux", "ubuntu", "16.04", "amd64")
+        b = BaseImageAttrs("linux", "ubuntu", "16.04", "amd64")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_parsed_version(self):
+        attrs = BaseImageAttrs("linux", "ubuntu", "16.04", "amd64")
+        assert attrs.parsed_version() == Version.parse("16.04")
+
+    def test_str_render(self):
+        attrs = BaseImageAttrs("linux", "debian", "8", "amd64")
+        assert "debian" in str(attrs)
+
+
+class TestPackageAttrs:
+    def test_portable_detection(self):
+        portable = PackageAttrs("tool", Version.parse("1.0"), ARCH_ALL)
+        native = PackageAttrs("tool", Version.parse("1.0"), "amd64")
+        assert portable.is_portable()
+        assert not native.is_portable()
+
+    def test_arch_compatibility(self):
+        portable = PackageAttrs("tool", Version.parse("1.0"), ARCH_ALL)
+        native = PackageAttrs("tool", Version.parse("1.0"), "amd64")
+        assert portable.arch_compatible_with("arm64")
+        assert native.arch_compatible_with("amd64")
+        assert not native.arch_compatible_with("arm64")

@@ -1,0 +1,55 @@
+"""Version-aware subgraph extraction (upgrade support)."""
+
+import pytest
+
+from repro.errors import GraphModelError
+from repro.model.graph import PackageRole, SemanticGraph
+from repro.model.package import make_package
+
+
+@pytest.fixture
+def two_version_graph():
+    g = SemanticGraph()
+    old = make_package("redis", "3.0.6", installed_size=10)
+    new = make_package("redis", "3.2.0", installed_size=12)
+    lib_old = make_package("lib", "1.0", installed_size=5)
+    lib_new = make_package("lib", "2.0", installed_size=6)
+    k_old = g.add_package(old, PackageRole.PRIMARY)
+    k_new = g.add_package(new, PackageRole.PRIMARY)
+    kl_old = g.add_package(lib_old, PackageRole.DEPENDENCY)
+    kl_new = g.add_package(lib_new, PackageRole.DEPENDENCY)
+    g.add_dependency_edge(k_old, kl_old)
+    g.add_dependency_edge(k_new, kl_new)
+    return g
+
+
+class TestVersionedExtraction:
+    def test_defaults_to_newest(self, two_version_graph):
+        sub = two_version_graph.extract_package_subgraph("redis")
+        versions = {
+            str(p.version) for p in sub.packages() if p.name == "redis"
+        }
+        assert versions == {"3.2.0"}
+
+    def test_explicit_version(self, two_version_graph):
+        sub = two_version_graph.extract_package_subgraph(
+            "redis", "3.0.6"
+        )
+        names = {(p.name, str(p.version)) for p in sub.packages()}
+        assert names == {("redis", "3.0.6"), ("lib", "1.0")}
+
+    def test_closures_stay_separate(self, two_version_graph):
+        new_sub = two_version_graph.extract_package_subgraph(
+            "redis", "3.2.0"
+        )
+        assert ("lib", "1.0") not in {
+            (p.name, str(p.version)) for p in new_sub.packages()
+        }
+
+    def test_unknown_version_raises(self, two_version_graph):
+        with pytest.raises(GraphModelError):
+            two_version_graph.extract_package_subgraph("redis", "9.9")
+
+    def test_unknown_name_raises(self, two_version_graph):
+        with pytest.raises(GraphModelError):
+            two_version_graph.extract_package_subgraph("ghost")

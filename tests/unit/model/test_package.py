@@ -1,0 +1,96 @@
+"""Unit tests for Package and DependencySpec."""
+
+import pytest
+
+from repro.model.attributes import ARCH_ALL
+from repro.model.package import DependencySpec, Package, make_package
+from repro.model.versions import Version
+
+
+class TestDependencySpec:
+    def test_bare_name_accepts_everything(self):
+        spec = DependencySpec("libc6")
+        assert spec.satisfied_by(Version.parse("0.1"))
+        assert spec.satisfied_by(Version.parse("99"))
+
+    @pytest.mark.parametrize(
+        "op,ver,candidate,ok",
+        [
+            (">=", "2.17", "2.23", True),
+            (">=", "2.17", "2.17", True),
+            (">=", "2.17", "2.14", False),
+            ("<<", "3.0", "2.9", True),
+            ("<<", "3.0", "3.0", False),
+            (">>", "1.0", "1.0", False),
+            ("<=", "1.5", "1.5", True),
+            ("=", "1.2-3", "1.2-3", True),
+            ("=", "1.2-3", "1.2-4", False),
+        ],
+    )
+    def test_constraints(self, op, ver, candidate, ok):
+        spec = DependencySpec("x", op, Version.parse(ver))
+        assert spec.satisfied_by(Version.parse(candidate)) is ok
+
+    def test_op_requires_version(self):
+        with pytest.raises(ValueError):
+            DependencySpec("x", op=">=")
+        with pytest.raises(ValueError):
+            DependencySpec("x", version=Version.parse("1.0"))
+
+    def test_rejects_unknown_operator(self):
+        with pytest.raises(ValueError):
+            DependencySpec("x", "~=", Version.parse("1.0"))
+
+    def test_str(self):
+        assert str(DependencySpec("x")) == "x"
+        spec = DependencySpec("x", ">=", Version.parse("2.0"))
+        assert ">= 2.0" in str(spec)
+
+
+class TestPackage:
+    def test_identity_and_attrs(self):
+        pkg = make_package("redis-server", "3.0.6", installed_size=1000)
+        assert pkg.identity == ("redis-server", "3.0.6", "amd64")
+        assert pkg.attrs.pkg == "redis-server"
+
+    def test_blob_key_depends_on_version(self):
+        a = make_package("x", "1.0", installed_size=10)
+        b = make_package("x", "1.1", installed_size=10)
+        assert a.blob_key() != b.blob_key()
+        assert a.blob_key() == make_package("x", "1.0").blob_key()
+
+    def test_default_deb_size_smaller_than_installed(self):
+        pkg = make_package("x", "1.0", installed_size=10_000_000)
+        assert 0 < pkg.deb_size < pkg.installed_size
+
+    def test_default_n_files_positive(self):
+        assert make_package("x", "1.0", installed_size=0).n_files == 1
+        assert make_package("x", "1.0", installed_size=10**8).n_files > 100
+
+    def test_rejects_negative_sizes(self):
+        with pytest.raises(ValueError):
+            Package(
+                name="x",
+                version=Version.parse("1.0"),
+                arch="amd64",
+                installed_size=-1,
+                deb_size=0,
+                n_files=0,
+            )
+
+    def test_rejects_bad_gzip_ratio(self):
+        with pytest.raises(ValueError):
+            make_package("x", "1.0", gzip_ratio=0.0)
+        with pytest.raises(ValueError):
+            make_package("x", "1.0", gzip_ratio=1.5)
+
+    def test_portable(self):
+        assert make_package("x", "1.0", arch=ARCH_ALL).is_portable()
+        assert not make_package("x", "1.0").is_portable()
+
+    def test_dependency_names_order(self):
+        pkg = make_package(
+            "x", "1.0",
+            depends=(DependencySpec("b"), DependencySpec("a")),
+        )
+        assert pkg.dependency_names() == ("b", "a")

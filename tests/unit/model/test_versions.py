@@ -1,0 +1,114 @@
+"""Unit tests for Debian version parsing and comparison."""
+
+import pytest
+
+from repro.model.versions import Version, version_component_similarity
+
+
+def v(text: str) -> Version:
+    return Version.parse(text)
+
+
+class TestParsing:
+    def test_plain_upstream(self):
+        ver = v("2.23")
+        assert ver.epoch == 0
+        assert ver.upstream == "2.23"
+        assert ver.revision == ""
+
+    def test_epoch_and_revision(self):
+        ver = v("1:7.4.052-1ubuntu3")
+        assert ver.epoch == 1
+        assert ver.upstream == "7.4.052"
+        assert ver.revision == "1ubuntu3"
+
+    def test_revision_split_is_rightmost_dash(self):
+        ver = v("2.7.4-0ubuntu1.10")
+        assert ver.upstream == "2.7.4"
+        assert ver.revision == "0ubuntu1.10"
+        ver2 = v("1.2-3-4")
+        assert ver2.upstream == "1.2-3"
+        assert ver2.revision == "4"
+
+    @pytest.mark.parametrize("bad", ["", " 1.0", "1.0 ", "x:1.0", ":1.0"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            v(bad)
+
+    def test_str_preserves_raw(self):
+        assert str(v("1:2.0-1")) == "1:2.0-1"
+
+
+class TestOrdering:
+    @pytest.mark.parametrize(
+        "lo,hi",
+        [
+            ("1.0", "2.0"),
+            ("2.9", "2.10"),  # numeric, not lexicographic
+            ("2.0", "2.0-1"),  # revision present beats absent
+            ("2.0-1", "2.0-2"),
+            ("2.0~rc1", "2.0"),  # tilde sorts before everything
+            ("2.0~~", "2.0~"),
+            ("1.0", "1:0.5"),  # epoch dominates
+            ("1.0a", "1.0b"),
+            ("1.0", "1.0a"),  # short beats long unless tilde
+        ],
+    )
+    def test_strictly_less(self, lo, hi):
+        assert v(lo) < v(hi)
+        assert v(hi) > v(lo)
+        assert v(lo) != v(hi)
+
+    def test_equality_ignores_raw_formatting(self):
+        assert v("0:1.0") == v("1.0")
+        assert hash(v("0:1.0")) == hash(v("1.0"))
+
+    def test_total_order_consistency(self):
+        versions = [v(s) for s in ("2.0", "1.0", "1:0.1", "2.0~rc1", "2.0-1")]
+        ordered = sorted(versions)
+        for a, b in zip(ordered, ordered[1:]):
+            assert a.compare(b) <= 0
+
+    def test_compare_three_way(self):
+        assert v("1.0").compare(v("1.0")) == 0
+        assert v("1.0").compare(v("1.1")) == -1
+        assert v("1.1").compare(v("1.0")) == 1
+
+    def test_real_ubuntu_versions(self):
+        assert v("2.23-0ubuntu11") > v("2.23-0ubuntu3")
+        assert v("8u292-b10-0ubuntu1~16.04.1") > v("8u77")
+
+
+class TestNumericComponents:
+    def test_extracts_digit_runs(self):
+        assert v("9.5.14").numeric_components() == (9, 5, 14)
+        assert v("8u292").numeric_components() == (8, 292)
+        assert v("alpha").numeric_components() == ()
+
+
+class TestComponentSimilarity:
+    def test_identical_is_one(self):
+        assert version_component_similarity(v("9.5.14"), v("9.5.14")) == 1.0
+
+    def test_partial_prefix(self):
+        assert version_component_similarity(
+            v("9.5.14"), v("9.5.2")
+        ) == pytest.approx(2 / 3)
+
+    def test_major_mismatch_is_zero(self):
+        assert version_component_similarity(v("9.5"), v("10.1")) == 0.0
+
+    def test_non_numeric_fallback(self):
+        assert version_component_similarity(v("alpha"), v("beta")) == 0.0
+
+    def test_symmetric(self):
+        a, b = v("2.4.18"), v("2.4.7")
+        assert version_component_similarity(
+            a, b
+        ) == version_component_similarity(b, a)
+
+    def test_bounded(self):
+        pairs = [("1.2.3", "1.2"), ("1", "1.9.9"), ("3.0", "3.0.0")]
+        for sa, sb in pairs:
+            s = version_component_similarity(v(sa), v(sb))
+            assert 0.0 <= s <= 1.0

@@ -1,0 +1,67 @@
+"""Unit tests for the content-addressed blob store."""
+
+import pytest
+
+from repro.errors import DuplicateEntryError, NotInRepositoryError
+from repro.repository.blobstore import BlobKind, BlobStore
+
+
+@pytest.fixture
+def store():
+    return BlobStore()
+
+
+class TestPut:
+    def test_put_and_get(self, store):
+        rec = store.put(1, BlobKind.PACKAGE, 100, "pkg")
+        assert store.contains(1)
+        assert store.get(1) == rec
+        assert len(store) == 1
+
+    def test_duplicate_put_raises(self, store):
+        store.put(1, BlobKind.PACKAGE, 100, "pkg")
+        with pytest.raises(DuplicateEntryError):
+            store.put(1, BlobKind.PACKAGE, 100, "pkg")
+
+    def test_put_if_absent(self, store):
+        assert store.put_if_absent(1, BlobKind.PACKAGE, 100, "pkg")
+        assert not store.put_if_absent(1, BlobKind.PACKAGE, 100, "pkg")
+        assert store.total_bytes() == 100
+
+    def test_negative_size_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.put(1, BlobKind.PACKAGE, -1, "pkg")
+
+
+class TestRemove:
+    def test_remove_reclaims_bytes(self, store):
+        store.put(1, BlobKind.BASE_IMAGE, 100, "base")
+        store.remove(1)
+        assert not store.contains(1)
+        assert store.total_bytes() == 0
+
+    def test_remove_unknown_raises(self, store):
+        with pytest.raises(NotInRepositoryError):
+            store.remove(42)
+
+    def test_get_unknown_raises(self, store):
+        with pytest.raises(NotInRepositoryError):
+            store.get(42)
+
+
+class TestAccounting:
+    def test_total_bytes_by_kind(self, store):
+        store.put(1, BlobKind.PACKAGE, 100, "p")
+        store.put(2, BlobKind.PACKAGE, 50, "p2")
+        store.put(3, BlobKind.BASE_IMAGE, 1000, "b")
+        store.put(4, BlobKind.USER_DATA, 7, "d")
+        assert store.total_bytes() == 1157
+        assert store.total_bytes(BlobKind.PACKAGE) == 150
+        assert store.total_bytes(BlobKind.BASE_IMAGE) == 1000
+        assert store.total_bytes(BlobKind.USER_DATA) == 7
+
+    def test_records_filter(self, store):
+        store.put(1, BlobKind.PACKAGE, 100, "p")
+        store.put(2, BlobKind.BASE_IMAGE, 10, "b")
+        assert len(store.records()) == 2
+        assert len(store.records(BlobKind.PACKAGE)) == 1

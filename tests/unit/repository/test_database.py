@@ -1,0 +1,106 @@
+"""Unit tests for the SQLite metadata database."""
+
+import pytest
+
+from repro.errors import DuplicateEntryError, NotInRepositoryError
+from repro.repository.database import (
+    BaseImageRow,
+    MetadataDatabase,
+    PackageRow,
+)
+
+
+@pytest.fixture
+def db():
+    database = MetadataDatabase()
+    yield database
+    database.close()
+
+
+def base_row(key=2**63 + 5) -> BaseImageRow:
+    return BaseImageRow(
+        blob_key=key, os_type="linux", distro="ubuntu",
+        version="16.04", arch="amd64", size=10**9, n_packages=70,
+    )
+
+
+def pkg_row(key=11, name="redis") -> PackageRow:
+    return PackageRow(
+        blob_key=key, name=name, version="3.0.6", arch="amd64",
+        deb_size=1000, installed_size=3000,
+    )
+
+
+class TestBaseImages:
+    def test_insert_and_list(self, db):
+        db.insert_base_image(base_row())
+        rows = db.base_images()
+        assert len(rows) == 1
+        assert rows[0].blob_key == 2**63 + 5  # uint64 round trip
+
+    def test_duplicate_rejected(self, db):
+        db.insert_base_image(base_row())
+        with pytest.raises(DuplicateEntryError):
+            db.insert_base_image(base_row())
+
+    def test_delete(self, db):
+        db.insert_base_image(base_row())
+        db.delete_base_image(2**63 + 5)
+        assert db.base_images() == []
+
+    def test_delete_unknown_raises(self, db):
+        with pytest.raises(NotInRepositoryError):
+            db.delete_base_image(9)
+
+
+class TestPackages:
+    def test_insert_query(self, db):
+        db.insert_package(pkg_row())
+        assert db.has_package(11)
+        assert not db.has_package(12)
+        assert db.package_count() == 1
+
+    def test_packages_named(self, db):
+        db.insert_package(pkg_row(key=1, name="redis"))
+        db.insert_package(pkg_row(key=2, name="nginx"))
+        named = db.packages_named("redis")
+        assert len(named) == 1
+        assert named[0].blob_key == 1
+
+    def test_duplicate_rejected(self, db):
+        db.insert_package(pkg_row())
+        with pytest.raises(DuplicateEntryError):
+            db.insert_package(pkg_row())
+
+
+class TestVMIs:
+    def test_insert_and_get(self, db):
+        row = db.insert_vmi("vm1", 5, "data1", [1, 2])
+        assert row.seq == 1
+        fetched = db.get_vmi("vm1")
+        assert fetched.base_key == 5
+        assert fetched.data_label == "data1"
+        assert sorted(db.vmi_package_keys("vm1")) == [1, 2]
+
+    def test_sequence_preserves_upload_order(self, db):
+        db.insert_vmi("a", 1, None, [])
+        db.insert_vmi("b", 1, None, [])
+        assert [r.name for r in db.vmis()] == ["a", "b"]
+
+    def test_duplicate_name_rejected(self, db):
+        db.insert_vmi("vm", 1, None, [])
+        with pytest.raises(DuplicateEntryError):
+            db.insert_vmi("vm", 1, None, [])
+
+    def test_update_base(self, db):
+        db.insert_vmi("vm", 1, None, [])
+        db.update_vmi_base("vm", 2**63 + 9)
+        assert db.get_vmi("vm").base_key == 2**63 + 9
+
+    def test_update_unknown_raises(self, db):
+        with pytest.raises(NotInRepositoryError):
+            db.update_vmi_base("ghost", 1)
+
+    def test_get_unknown_raises(self, db):
+        with pytest.raises(NotInRepositoryError):
+            db.get_vmi("ghost")

@@ -1,0 +1,120 @@
+"""Unit tests for the repository consistency checker."""
+
+import pytest
+
+from repro.image.builder import BuildRecipe
+from repro.repository.blobstore import BlobKind
+from repro.repository.fsck import check_repository
+
+
+@pytest.fixture
+def system(mini_system, mini_builder):
+    mini_system.publish(
+        mini_builder.build(
+            BuildRecipe(
+                name="redis-vm",
+                primaries=("redis-server",),
+                user_data_size=10_000,
+                user_data_files=1,
+            )
+        )
+    )
+    return mini_system
+
+
+class TestCleanRepository:
+    def test_fresh_repo_clean(self, mini_system):
+        report = check_repository(mini_system.repo)
+        assert report.clean
+        assert report.checked_vmis == 0
+
+    def test_populated_repo_clean(self, system):
+        report = check_repository(system.repo)
+        assert report.clean, [str(f) for f in report.findings]
+        assert report.checked_vmis == 1
+        assert report.checked_blobs > 0
+
+    def test_clean_after_gc(self, system, mini_builder):
+        system.publish(
+            mini_builder.build(
+                BuildRecipe(name="nginx-vm", primaries=("nginx",))
+            )
+        )
+        system.delete("nginx-vm")
+        system.garbage_collect()
+        assert check_repository(system.repo).clean
+
+
+class TestDetection:
+    def test_missing_package_blob(self, system):
+        key = system.repo.packages_named("redis-server")[0].blob_key()
+        system.repo.blobs.remove(key)  # blob gone, index stays
+        report = check_repository(system.repo)
+        assert not report.clean
+        assert report.by_kind("missing-blob")
+
+    def test_orphan_package_blob(self, system):
+        system.repo.blobs.put(
+            42, BlobKind.PACKAGE, 100, "mystery.deb"
+        )
+        report = check_repository(system.repo)
+        assert report.by_kind("orphan-blob")
+
+    def test_lost_object_cache(self, system):
+        key = system.repo.packages_named("redis-server")[0].blob_key()
+        del system.repo._packages[key]
+        report = check_repository(system.repo)
+        assert report.by_kind("missing-object")
+
+    def test_missing_master_graph(self, system):
+        system.repo._masters.clear()
+        report = check_repository(system.repo)
+        assert report.by_kind("missing-master")
+
+    def test_missing_primary_in_master(self, system):
+        base_key = system.repo.base_images()[0].blob_key()
+        master = system.repo.get_master_graph(base_key)
+        # rebuild the master graph empty: the record's primary vanishes
+        from repro.repository.master_graphs import MasterGraph
+
+        system.repo.put_master_graph(
+            MasterGraph.for_base(master.base)
+        )
+        report = check_repository(system.repo)
+        assert report.by_kind("missing-primary")
+
+    def test_missing_user_data(self, system):
+        label = system.repo.get_vmi_record("redis-vm").data_label
+        del system.repo._data[label]
+        report = check_repository(system.repo)
+        assert report.by_kind("missing-data")
+
+    def test_invariant_violation(self, system):
+        from repro.model.graph import PackageRole, SemanticGraph
+        from repro.model.package import make_package
+
+        base_key = system.repo.base_images()[0].blob_key()
+        master = system.repo.get_master_graph(base_key)
+        bad = SemanticGraph()
+        evil = bad.add_package(
+            make_package("evil", "1.0", installed_size=1),
+            PackageRole.PRIMARY,
+        )
+        libc = bad.add_package(
+            make_package("libc6", "9.9", installed_size=1),
+            PackageRole.DEPENDENCY,
+        )
+        bad.add_dependency_edge(evil, libc)
+        master.package_graph.union_update(bad)
+        report = check_repository(system.repo)
+        assert report.by_kind("invariant-violation")
+
+    def test_size_mismatch(self, system):
+        key = system.repo.packages_named("redis-server")[0].blob_key()
+        blob = system.repo.blobs.get(key)
+        system.repo.blobs.remove(key)
+        system.repo.blobs.put(
+            key, BlobKind.PACKAGE, blob.size + 7, blob.label
+        )
+        report = check_repository(system.repo)
+        assert report.by_kind("size-mismatch")

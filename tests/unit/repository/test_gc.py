@@ -1,0 +1,121 @@
+"""Unit tests for repository garbage collection."""
+
+import pytest
+
+from repro.errors import NotInRepositoryError
+from repro.image.builder import BuildRecipe
+from repro.repository.gc import GarbageCollector
+
+
+def publish(system, builder, name, primaries):
+    system.publish(
+        builder.build(
+            BuildRecipe(
+                name=name,
+                primaries=primaries,
+                user_data_size=100_000,
+                user_data_files=2,
+            )
+        )
+    )
+
+
+class TestCollect:
+    def test_empty_repo_noop(self, mini_system):
+        report = GarbageCollector(mini_system.repo).collect()
+        assert not report.removed_anything
+        assert report.reclaimed_bytes == 0
+
+    def test_nothing_collected_while_referenced(
+        self, mini_system, mini_builder
+    ):
+        publish(mini_system, mini_builder, "a", ("redis-server",))
+        report = mini_system.garbage_collect()
+        assert not report.removed_anything
+
+    def test_unreferenced_packages_collected(
+        self, mini_system, mini_builder
+    ):
+        publish(mini_system, mini_builder, "a", ("redis-server",))
+        publish(mini_system, mini_builder, "b", ("nginx",))
+        mini_system.delete("b")
+        report = mini_system.garbage_collect()
+        # nginx gone, but libssl survives (redis still needs it)
+        removed = report.removed_packages
+        assert removed == 1
+        assert mini_system.repo.packages_named("nginx") == []
+        assert mini_system.repo.packages_named("libssl") != []
+
+    def test_shared_dependency_survives(
+        self, mini_system, mini_builder
+    ):
+        publish(mini_system, mini_builder, "a", ("redis-server",))
+        publish(mini_system, mini_builder, "b", ("nginx",))
+        mini_system.delete("a")
+        mini_system.garbage_collect()
+        result = mini_system.retrieve("b")
+        assert result.vmi.has_package("libssl")
+
+    def test_user_data_collected(self, mini_system, mini_builder):
+        publish(mini_system, mini_builder, "a", ("redis-server",))
+        mini_system.delete("a")
+        report = mini_system.garbage_collect()
+        assert report.removed_user_data == 1
+
+    def test_base_collected_when_last_vmi_gone(
+        self, mini_system, mini_builder
+    ):
+        publish(mini_system, mini_builder, "a", ("redis-server",))
+        mini_system.delete("a")
+        report = mini_system.garbage_collect()
+        assert report.removed_bases == 1
+        assert mini_system.repository_size == 0
+
+    def test_reclaimed_bytes_exact(self, mini_system, mini_builder):
+        publish(mini_system, mini_builder, "a", ("redis-server",))
+        before = mini_system.repository_size
+        mini_system.delete("a")
+        report = mini_system.garbage_collect()
+        assert report.reclaimed_bytes == before
+        assert mini_system.repository_size == 0
+
+    def test_idempotent(self, mini_system, mini_builder):
+        publish(mini_system, mini_builder, "a", ("redis-server",))
+        publish(mini_system, mini_builder, "b", ("nginx",))
+        mini_system.delete("b")
+        mini_system.garbage_collect()
+        second = mini_system.garbage_collect()
+        assert not second.removed_anything
+
+    def test_master_graph_rebuilt(self, mini_system, mini_builder):
+        publish(mini_system, mini_builder, "a", ("redis-server",))
+        publish(mini_system, mini_builder, "b", ("nginx",))
+        mini_system.delete("b")
+        mini_system.garbage_collect()
+        master = mini_system.repo.master_graphs()[0]
+        primaries = {p.name for p in master.primary_packages()}
+        assert primaries == {"redis-server"}
+        assert master.check_invariant()
+        assert master.member_vmis == ["a"]
+
+
+class TestDelete:
+    def test_delete_unknown_raises(self, mini_system):
+        with pytest.raises(NotInRepositoryError):
+            mini_system.delete("ghost")
+
+    def test_deleted_vmi_not_retrievable(
+        self, mini_system, mini_builder
+    ):
+        publish(mini_system, mini_builder, "a", ("redis-server",))
+        mini_system.delete("a")
+        with pytest.raises(NotInRepositoryError):
+            mini_system.retrieve("a")
+
+    def test_delete_keeps_blobs_until_gc(
+        self, mini_system, mini_builder
+    ):
+        publish(mini_system, mini_builder, "a", ("redis-server",))
+        before = mini_system.repository_size
+        mini_system.delete("a")
+        assert mini_system.repository_size == before

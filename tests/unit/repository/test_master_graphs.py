@@ -1,0 +1,103 @@
+"""Unit tests for MasterGraph (Section III-H)."""
+
+import pytest
+
+from repro.errors import GraphModelError
+from repro.model.graph import PackageRole, SemanticGraph
+from repro.model.package import make_package
+from repro.repository.master_graphs import MasterGraph, base_subgraph_of
+
+
+@pytest.fixture
+def base(mini_builder):
+    return mini_builder.base_image()
+
+
+@pytest.fixture
+def master(base):
+    return MasterGraph.for_base(base)
+
+
+def ps_subgraph(vmi):
+    return vmi.semantic_graph().extract_primary_subgraph()
+
+
+class TestBaseSubgraph:
+    def test_covers_base_packages(self, base):
+        g = base_subgraph_of(base)
+        assert {p.name for p in g.packages()} == set(
+            base.package_names()
+        )
+        assert g.base_attrs == base.attrs
+
+    def test_edges_restricted_to_base(self, base):
+        g = base_subgraph_of(base)
+        # the libc6 -> dpkg -> perl-base -> libc6 cycle survives
+        assert g.has_cycle()
+
+
+class TestMembership:
+    def test_add_primary_subgraph(
+        self, master, mini_builder, redis_recipe
+    ):
+        vmi = mini_builder.build(redis_recipe)
+        master.add_primary_subgraph(ps_subgraph(vmi), vmi.name)
+        assert master.has_package("redis-server")
+        assert master.member_vmis == ["redis-vm"]
+        assert [p.name for p in master.primary_packages()] == [
+            "redis-server"
+        ]
+
+    def test_incompatible_subgraph_rejected(self, master):
+        g = SemanticGraph()
+        # claims a libc6 the base does not provide
+        g.add_package(
+            make_package("libc6", "9.9", installed_size=1),
+            PackageRole.PRIMARY,
+        )
+        with pytest.raises(GraphModelError):
+            master.add_primary_subgraph(g)
+
+    def test_extract_primary_subgraph(
+        self, master, mini_builder, redis_recipe
+    ):
+        vmi = mini_builder.build(redis_recipe)
+        master.add_primary_subgraph(ps_subgraph(vmi), vmi.name)
+        sub = master.extract_primary_subgraph("redis-server")
+        assert {p.name for p in sub.packages()} >= {
+            "redis-server", "libssl",
+        }
+
+    def test_merge_from(self, master, base, mini_builder):
+        from repro.image.builder import BuildRecipe
+
+        other = MasterGraph.for_base(base)
+        nginx = mini_builder.build(
+            BuildRecipe(name="nginx-vm", primaries=("nginx",))
+        )
+        other.add_primary_subgraph(ps_subgraph(nginx), "nginx-vm")
+        master.merge_from(other)
+        assert master.has_package("nginx")
+        assert "nginx-vm" in master.member_vmis
+
+    def test_invariant_check(self, master, mini_builder, redis_recipe):
+        vmi = mini_builder.build(redis_recipe)
+        master.add_primary_subgraph(ps_subgraph(vmi), vmi.name)
+        assert master.check_invariant()
+
+
+class TestQueries:
+    def test_full_graph_union(self, master, mini_builder, redis_recipe):
+        vmi = mini_builder.build(redis_recipe)
+        master.add_primary_subgraph(ps_subgraph(vmi))
+        full = master.full_graph()
+        names = {p.name for p in full.packages()}
+        assert "redis-server" in names
+        assert "bash" in names  # base member
+
+    def test_find_package_checks_base(self, master):
+        assert master.find_package("bash") is not None
+        assert master.find_package("ghost") is None
+
+    def test_base_key(self, master, base):
+        assert master.base_key == base.blob_key()

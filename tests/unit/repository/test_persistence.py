@@ -1,0 +1,94 @@
+"""Unit tests for repository snapshots."""
+
+import pytest
+
+from repro.core.system import Expelliarmus
+from repro.core.assembler import VMIAssembler
+from repro.image.builder import BuildRecipe
+from repro.repository.persistence import load_repository, save_repository
+from repro.sim.clock import SimulatedClock
+from repro.sim.costmodel import CostModel
+
+
+@pytest.fixture
+def populated(mini_system, mini_builder):
+    for name, primaries in (
+        ("redis-vm", ("redis-server",)),
+        ("nginx-vm", ("nginx",)),
+    ):
+        mini_system.publish(
+            mini_builder.build(
+                BuildRecipe(
+                    name=name,
+                    primaries=primaries,
+                    user_data_size=10_000,
+                    user_data_files=1,
+                )
+            )
+        )
+    return mini_system
+
+
+class TestRoundTrip:
+    def test_snapshot_restores_byte_accounting(
+        self, populated, tmp_path
+    ):
+        path = tmp_path / "repo.snapshot"
+        n = save_repository(populated.repo, path)
+        assert n > 0
+        restored = load_repository(path)
+        assert restored.total_bytes() == populated.repository_size
+        assert restored.bytes_by_kind() == (
+            populated.repo.bytes_by_kind()
+        )
+
+    def test_restored_repo_retrieves(self, populated, tmp_path):
+        path = tmp_path / "repo.snapshot"
+        save_repository(populated.repo, path)
+        restored = load_repository(path)
+        assembler = VMIAssembler(
+            restored, SimulatedClock(), CostModel()
+        )
+        result = assembler.retrieve("redis-vm")
+        assert result.vmi.has_package("redis-server")
+        assert result.vmi.user_data is not None
+
+    def test_restored_repo_accepts_new_publishes(
+        self, populated, mini_builder, tmp_path
+    ):
+        path = tmp_path / "repo.snapshot"
+        save_repository(populated.repo, path)
+        restored_system = Expelliarmus()
+        restored_system.repo = load_repository(path)
+        restored_system.publisher.repo = restored_system.repo
+        restored_system.assembler.repo = restored_system.repo
+        report = restored_system.publish(
+            mini_builder.build(
+                BuildRecipe(name="third", primaries=("bigapp",))
+            )
+        )
+        # bigapp + libbig are new; base and old packages dedup
+        assert set(report.exported_packages) == {"bigapp", "libbig"}
+        assert not report.stored_new_base
+
+    def test_master_graphs_survive(self, populated, tmp_path):
+        path = tmp_path / "repo.snapshot"
+        save_repository(populated.repo, path)
+        restored = load_repository(path)
+        masters = restored.master_graphs()
+        assert len(masters) == 1
+        primaries = {p.name for p in masters[0].primary_packages()}
+        assert primaries == {"redis-server", "nginx"}
+        assert masters[0].check_invariant()
+
+    def test_version_check(self, populated, tmp_path):
+        import pickle
+
+        path = tmp_path / "bad.snapshot"
+        path.write_bytes(pickle.dumps({"version": 99}))
+        with pytest.raises(ValueError):
+            load_repository(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_repository(tmp_path / "nope")

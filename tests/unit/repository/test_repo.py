@@ -1,0 +1,137 @@
+"""Unit tests for the Repository facade."""
+
+import pytest
+
+from repro.errors import NotInRepositoryError
+from repro.model.package import make_package
+from repro.model.vmi import UserData
+from repro.image.manifest import FileManifest
+from repro.repository.master_graphs import MasterGraph
+from repro.repository.repo import Repository, VMIRecord, base_image_qcow2
+
+
+@pytest.fixture
+def repo():
+    return Repository()
+
+
+@pytest.fixture
+def base(mini_builder):
+    return mini_builder.base_image()
+
+
+class TestPackages:
+    def test_store_and_fetch(self, repo):
+        pkg = make_package("redis", "3.0", installed_size=1000)
+        assert repo.store_package(pkg)
+        assert repo.has_package(pkg)
+        assert repo.get_package(pkg.blob_key()) is pkg
+        assert repo.packages_named("redis") == [pkg]
+
+    def test_store_twice_is_noop(self, repo):
+        pkg = make_package("redis", "3.0", installed_size=1000)
+        repo.store_package(pkg)
+        before = repo.total_bytes()
+        assert not repo.store_package(pkg)
+        assert repo.total_bytes() == before
+
+    def test_versions_coexist(self, repo):
+        repo.store_package(make_package("ssl", "1.0"))
+        repo.store_package(make_package("ssl", "1.1"))
+        assert len(repo.packages_named("ssl")) == 2
+
+    def test_get_unknown_raises(self, repo):
+        with pytest.raises(NotInRepositoryError):
+            repo.get_package(42)
+
+
+class TestUserData:
+    def test_store_and_fetch(self, repo):
+        data = UserData("label", FileManifest.synthesize("d", 3, 300))
+        assert repo.store_user_data(data)
+        assert repo.get_user_data("label") is data
+        assert not repo.store_user_data(data)
+
+    def test_unknown_label_raises(self, repo):
+        with pytest.raises(NotInRepositoryError):
+            repo.get_user_data("ghost")
+
+
+class TestBaseImages:
+    def test_store_accounts_qcow2_size(self, repo, base):
+        assert repo.store_base_image(base)
+        assert repo.total_bytes() == base_image_qcow2(base).size
+        assert repo.base_image_size(base.blob_key()) == (
+            base_image_qcow2(base).size
+        )
+
+    def test_store_twice_is_noop(self, repo, base):
+        repo.store_base_image(base)
+        assert not repo.store_base_image(base)
+        assert len(repo.base_images()) == 1
+
+    def test_remove_reclaims_and_drops_master(self, repo, base):
+        repo.store_base_image(base)
+        repo.put_master_graph(MasterGraph.for_base(base))
+        repo.remove_base_image(base.blob_key())
+        assert repo.total_bytes() == 0
+        assert not repo.has_master_graph(base.blob_key())
+        with pytest.raises(NotInRepositoryError):
+            repo.get_base_image(base.blob_key())
+
+    def test_remove_unknown_raises(self, repo):
+        with pytest.raises(NotInRepositoryError):
+            repo.remove_base_image(42)
+
+
+class TestMasterGraphs:
+    def test_put_get(self, repo, base):
+        master = MasterGraph.for_base(base)
+        repo.put_master_graph(master)
+        assert repo.get_master_graph(base.blob_key()) is master
+        assert repo.master_graphs() == [master]
+
+    def test_masters_with_attrs(self, repo, base):
+        master = MasterGraph.for_base(base)
+        repo.put_master_graph(master)
+        assert repo.masters_with_attrs(base.attrs) == [master]
+
+    def test_get_missing_raises(self, repo):
+        with pytest.raises(NotInRepositoryError):
+            repo.get_master_graph(42)
+
+
+class TestVMIRecords:
+    def record(self, name="vm", base_key=1):
+        return VMIRecord(
+            name=name, base_key=base_key, primary_names=("redis",),
+            data_label=None, mounted_size=100, n_files=10,
+        )
+
+    def test_record_and_fetch(self, repo):
+        repo.record_vmi(self.record(), package_keys=[])
+        rec = repo.get_vmi_record("vm")
+        assert rec.primary_names == ("redis",)
+        assert [r.name for r in repo.vmi_records()] == ["vm"]
+
+    def test_unknown_raises(self, repo):
+        with pytest.raises(NotInRepositoryError):
+            repo.get_vmi_record("ghost")
+
+    def test_repoint(self, repo):
+        repo.record_vmi(self.record("a", base_key=1), package_keys=[])
+        repo.record_vmi(self.record("b", base_key=2), package_keys=[])
+        assert repo.repoint_vmis(1, 3) == 1
+        assert repo.get_vmi_record("a").base_key == 3
+        assert repo.get_vmi_record("b").base_key == 2
+
+
+class TestAccounting:
+    def test_bytes_by_kind(self, repo, base):
+        repo.store_base_image(base)
+        repo.store_package(make_package("x", "1", installed_size=1000))
+        kinds = repo.bytes_by_kind()
+        assert kinds["base-image"] > 0
+        assert kinds["package"] > 0
+        assert kinds["user-data"] == 0
+        assert sum(kinds.values()) == repo.total_bytes()

@@ -1,0 +1,66 @@
+"""Unit tests for the simulated clock and time breakdowns."""
+
+import pytest
+
+from repro.sim.clock import SimulatedClock, TimeBreakdown
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert SimulatedClock().now == 0.0
+
+    def test_advance_accumulates(self):
+        clock = SimulatedClock()
+        clock.advance(1.5)
+        clock.advance(2.5, "io")
+        assert clock.now == 4.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedClock().advance(-1)
+
+
+class TestMeasure:
+    def test_captures_labelled_time(self):
+        clock = SimulatedClock()
+        with clock.measure() as b:
+            clock.advance(2.0, "copy")
+            clock.advance(3.0, "import")
+            clock.advance(1.0, "copy")
+        assert b.component("copy") == 3.0
+        assert b.component("import") == 3.0
+        assert b.total == 6.0
+
+    def test_outside_time_not_captured(self):
+        clock = SimulatedClock()
+        clock.advance(10.0, "before")
+        with clock.measure() as b:
+            clock.advance(1.0, "inside")
+        clock.advance(10.0, "after")
+        assert b.total == 1.0
+
+    def test_nested_windows_both_capture(self):
+        clock = SimulatedClock()
+        with clock.measure() as outer:
+            clock.advance(1.0, "a")
+            with clock.measure() as inner:
+                clock.advance(2.0, "b")
+        assert inner.total == 2.0
+        assert outer.total == 3.0
+
+    def test_default_label(self):
+        clock = SimulatedClock()
+        with clock.measure() as b:
+            clock.advance(1.0)
+        assert b.component("other") == 1.0
+        assert b.component("missing") == 0.0
+
+
+class TestBreakdown:
+    def test_merged(self):
+        a = TimeBreakdown(totals={"x": 1.0, "y": 2.0})
+        b = TimeBreakdown(totals={"y": 3.0, "z": 4.0})
+        merged = a.merged(b)
+        assert merged.totals == {"x": 1.0, "y": 5.0, "z": 4.0}
+        # originals untouched
+        assert a.totals == {"x": 1.0, "y": 2.0}

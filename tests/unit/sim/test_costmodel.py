@@ -1,0 +1,114 @@
+"""Unit tests for the calibrated cost model."""
+
+import pytest
+
+from repro.model.package import make_package
+from repro.sim.costmodel import CostModel, CostParams
+from repro.units import MB
+
+
+@pytest.fixture
+def model():
+    return CostModel()
+
+
+class TestParams:
+    def test_defaults_valid(self):
+        CostParams()
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            CostParams(repo_write_bw=0)
+        with pytest.raises(ValueError):
+            CostParams(pkg_install_bw=-1)
+
+    def test_custom_params_flow_through(self):
+        model = CostModel(CostParams(repo_write_bw=100 * MB))
+        assert model.write_bytes(100 * MB) == pytest.approx(1.0)
+
+
+class TestByteMovement:
+    def test_write_slower_than_read(self, model):
+        n = 10**9
+        assert model.write_bytes(n) > model.read_bytes(n)
+
+    def test_linear_in_bytes(self, model):
+        assert model.read_bytes(2 * 10**9) == pytest.approx(
+            2 * model.read_bytes(10**9)
+        )
+
+    def test_zero_bytes_free(self, model):
+        assert model.write_bytes(0) == 0.0
+        assert model.gzip_bytes(0) == 0.0
+
+
+class TestPackageOperations:
+    def test_export_grows_with_size_and_files(self, model):
+        small = make_package("a", "1", installed_size=MB, n_files=10)
+        big = make_package("b", "1", installed_size=100 * MB, n_files=10)
+        many = make_package(
+            "c", "1", installed_size=MB, n_files=10_000
+        )
+        assert model.export_package(big) > model.export_package(small)
+        assert model.export_package(many) > model.export_package(small)
+
+    def test_import_grows_with_size(self, model):
+        small = make_package("a", "1", installed_size=MB)
+        big = make_package("b", "1", installed_size=100 * MB)
+        assert model.import_package(big) > model.import_package(small)
+
+    def test_export_has_fixed_floor(self, model):
+        tiny = make_package("a", "1", installed_size=0, n_files=0)
+        assert model.export_package(tiny) >= (
+            model.params.deb_repack_fixed_s
+        )
+
+    def test_remove_cheaper_than_install(self, model):
+        pkg = make_package("a", "1", installed_size=50 * MB)
+        assert model.remove_package(pkg) < model.import_package(pkg)
+
+    def test_cleanup_residue_linear_with_floor(self, model):
+        base = model.cleanup_residue(0)
+        assert base > 0  # fixed floor
+        assert model.cleanup_residue(10**9) > model.cleanup_residue(
+            10**6
+        )
+
+
+class TestFileStores:
+    def test_small_files_penalised_on_fs(self, model):
+        all_small = model.fs_store_read(1000, 10**8, n_small=1000)
+        none_small = model.fs_store_read(1000, 10**8, n_small=0)
+        assert all_small > none_small
+
+    def test_db_beats_fs_for_small_files(self, model):
+        n, size = 50_000, 10**9
+        fs = model.fs_store_read(n, size, n_small=n)
+        hybrid = model.hybrid_store_read(0, 0, n, size)
+        assert hybrid < fs
+
+    def test_hash_and_index_linear_in_files(self, model):
+        one = model.hash_and_index_files(10_000, 0)
+        two = model.hash_and_index_files(20_000, 0)
+        assert two == pytest.approx(2 * one)
+
+
+class TestAnchors:
+    """Calibration anchors from the paper (see costmodel docstring)."""
+
+    def test_similarity_under_100ms(self, model):
+        assert model.similarity_computation() < 0.1
+
+    def test_mini_publish_anchor(self, model):
+        # storing a ~1.83 GB base plus the handle launch ~ 39.5 s
+        t = model.guestfs_launch() + model.write_bytes(1_830_000_000)
+        assert t == pytest.approx(39.52, rel=0.15)
+
+    def test_mini_retrieval_anchor(self, model):
+        # copy base + handle + reset ~ 24.6 s
+        t = (
+            model.read_bytes(1_830_000_000)
+            + model.guestfs_launch()
+            + model.vmi_reset()
+        )
+        assert t == pytest.approx(24.64, rel=0.15)

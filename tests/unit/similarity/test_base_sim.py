@@ -1,0 +1,46 @@
+"""Unit tests for simBI (base-image similarity)."""
+
+import pytest
+
+from repro.model.attributes import ARCH_ALL, BaseImageAttrs
+from repro.similarity.base import base_similarity, same_base_attrs
+
+
+def attrs(os="linux", distro="ubuntu", ver="16.04", arch="amd64"):
+    return BaseImageAttrs(os, distro, ver, arch)
+
+
+class TestBaseSimilarity:
+    def test_identical_is_one(self):
+        assert base_similarity(attrs(), attrs()) == 1.0
+
+    def test_different_type_zero(self):
+        assert base_similarity(attrs(), attrs(os="windows")) == 0.0
+
+    def test_different_distro_zero(self):
+        assert base_similarity(attrs(), attrs(distro="debian")) == 0.0
+
+    def test_different_arch_zero(self):
+        assert base_similarity(attrs(), attrs(arch="arm64")) == 0.0
+
+    def test_portable_arch_matches(self):
+        assert base_similarity(attrs(), attrs(arch=ARCH_ALL)) == 1.0
+
+    def test_release_graded(self):
+        # same major (16), different minor
+        sim = base_similarity(attrs(), attrs(ver="16.10"))
+        assert 0.0 < sim < 1.0
+
+    def test_major_release_mismatch(self):
+        assert base_similarity(attrs(), attrs(ver="18.04")) == 0.0
+
+    def test_symmetric(self):
+        a, b = attrs(), attrs(ver="16.10")
+        assert base_similarity(a, b) == base_similarity(b, a)
+
+
+class TestSameBaseAttrs:
+    def test_strict_predicate(self):
+        assert same_base_attrs(attrs(), attrs())
+        assert not same_base_attrs(attrs(), attrs(ver="16.10"))
+        assert not same_base_attrs(attrs(), attrs(distro="debian"))

@@ -1,0 +1,72 @@
+"""Unit tests for comp (semantic compatibility, Section III-G)."""
+
+import pytest
+
+from repro.model.attributes import BaseImageAttrs
+from repro.model.graph import PackageRole, SemanticGraph
+from repro.model.package import make_package
+from repro.similarity.compatibility import (
+    is_compatible,
+    semantic_compatibility,
+)
+
+ATTRS = BaseImageAttrs("linux", "ubuntu", "16.04", "amd64")
+
+
+def base_graph(*pkgs):
+    g = SemanticGraph()
+    g.add_base_image(ATTRS)
+    for p in pkgs:
+        g.add_package(p, PackageRole.BASE_MEMBER)
+    return g
+
+
+def ps_graph(*pkgs):
+    g = SemanticGraph()
+    for p in pkgs:
+        g.add_package(p, PackageRole.PRIMARY)
+    return g
+
+
+class TestCompatibility:
+    def test_disjoint_is_vacuously_compatible(self):
+        base = base_graph(make_package("libc", "2.23"))
+        ps = ps_graph(make_package("app", "1.0"))
+        assert semantic_compatibility(base, ps) == 1.0
+        assert is_compatible(base, ps)
+
+    def test_matching_homonym_versions_compatible(self):
+        libc = make_package("libc", "2.23")
+        base = base_graph(libc)
+        ps = ps_graph(make_package("app", "1.0"), libc)
+        assert is_compatible(base, ps)
+
+    def test_version_mismatch_incompatible(self):
+        base = base_graph(make_package("libc", "2.23"))
+        ps = ps_graph(make_package("libc", "2.24"))
+        value = semantic_compatibility(base, ps)
+        assert value < 1.0
+        assert not is_compatible(base, ps)
+
+    def test_major_version_mismatch_zero(self):
+        base = base_graph(make_package("libc", "2.23"))
+        ps = ps_graph(make_package("libc", "3.0"))
+        assert semantic_compatibility(base, ps) == 0.0
+
+    def test_product_over_multiple_homonyms(self):
+        base = base_graph(
+            make_package("libc", "2.23"), make_package("ssl", "1.0.2")
+        )
+        ps = ps_graph(
+            make_package("libc", "2.23"),
+            make_package("ssl", "1.0.9"),  # 2/3 component match
+        )
+        assert semantic_compatibility(base, ps) == pytest.approx(2 / 3)
+
+    def test_arch_mismatch_incompatible(self):
+        base = base_graph(make_package("libc", "2.23", arch="amd64"))
+        ps = ps_graph(make_package("libc", "2.23", arch="arm64"))
+        assert semantic_compatibility(base, ps) == 0.0
+
+    def test_empty_subgraphs_compatible(self):
+        assert is_compatible(base_graph(), ps_graph())

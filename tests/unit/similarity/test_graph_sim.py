@@ -1,0 +1,95 @@
+"""Unit tests for SimG (graph similarity, Section III-F)."""
+
+import pytest
+
+from repro.model.attributes import BaseImageAttrs
+from repro.model.graph import PackageRole, SemanticGraph
+from repro.model.package import make_package
+from repro.similarity.graph import graph_similarity
+
+ATTRS = BaseImageAttrs("linux", "ubuntu", "16.04", "amd64")
+OTHER_DISTRO = BaseImageAttrs("linux", "debian", "8", "amd64")
+
+
+def graph(pkgs, base=ATTRS):
+    g = SemanticGraph()
+    if base is not None:
+        g.add_base_image(base)
+    for pkg in pkgs:
+        g.add_package(pkg, PackageRole.PRIMARY)
+    return g
+
+
+def pkg(name, version="1.0", size=10):
+    return make_package(name, version, installed_size=size)
+
+
+class TestIdentityAndBounds:
+    def test_identical_graphs_score_one(self):
+        g = graph([pkg("a"), pkg("b", size=50)])
+        assert graph_similarity(g, g) == 1.0
+
+    def test_two_empty_graphs_score_zero(self):
+        assert graph_similarity(graph([]), graph([])) == 0.0
+
+    def test_disjoint_packages_score_zero(self):
+        g1 = graph([pkg("a")])
+        g2 = graph([pkg("b")])
+        assert graph_similarity(g1, g2) == 0.0
+
+    def test_bounded(self):
+        g1 = graph([pkg("a"), pkg("c", size=100)])
+        g2 = graph([pkg("a"), pkg("b", size=5)])
+        assert 0.0 <= graph_similarity(g1, g2) <= 1.0
+
+
+class TestWeighting:
+    def test_large_shared_package_dominates(self):
+        shared_big = [pkg("big", size=1000), pkg("only1", size=10)]
+        g1 = graph(shared_big)
+        g2 = graph([pkg("big", size=1000), pkg("only2", size=10)])
+        high = graph_similarity(g1, g2)
+
+        g3 = graph([pkg("small", size=10), pkg("only1", size=1000)])
+        g4 = graph([pkg("small", size=10), pkg("only2", size=1000)])
+        low = graph_similarity(g3, g4)
+        assert high > low
+
+    def test_version_mismatch_discounts(self):
+        g1 = graph([pkg("db", "9.5.14", size=100)])
+        g2 = graph([pkg("db", "9.5.2", size=100)])
+        sim = graph_similarity(g1, g2)
+        assert sim == pytest.approx(2 / 3)
+
+    def test_adding_unmatched_reduces(self):
+        g1 = graph([pkg("a", size=100)])
+        g2 = graph([pkg("a", size=100)])
+        g3 = graph([pkg("a", size=100), pkg("noise", size=100)])
+        assert graph_similarity(g1, g2) > graph_similarity(g1, g3)
+
+
+class TestBaseFactor:
+    def test_different_distro_zeroes(self):
+        g1 = graph([pkg("a")], base=ATTRS)
+        g2 = graph([pkg("a")], base=OTHER_DISTRO)
+        assert graph_similarity(g1, g2) == 0.0
+
+    def test_missing_base_uses_packages_only(self):
+        g1 = graph([pkg("a")], base=None)
+        g2 = graph([pkg("a")], base=ATTRS)
+        assert graph_similarity(g1, g2) == 1.0
+
+
+class TestSymmetry:
+    def test_symmetric(self):
+        g1 = graph([pkg("a", size=100), pkg("b", size=10)])
+        g2 = graph([pkg("a", size=90), pkg("c", size=30)])
+        assert graph_similarity(g1, g2) == pytest.approx(
+            graph_similarity(g2, g1)
+        )
+
+    def test_zero_sized_packages_fallback(self):
+        g1 = graph([pkg("a", size=0), pkg("b", size=0)])
+        g2 = graph([pkg("a", size=0)])
+        sim = graph_similarity(g1, g2)
+        assert sim == pytest.approx(0.5)  # 1 matched / 2 in union

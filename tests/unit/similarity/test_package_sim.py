@@ -1,0 +1,66 @@
+"""Unit tests for simP (package similarity, Section III-E)."""
+
+import pytest
+
+from repro.model.attributes import ARCH_ALL
+from repro.model.package import make_package
+from repro.model.versions import Version
+from repro.similarity.package import (
+    arch_similarity,
+    package_similarity,
+    version_similarity,
+)
+
+
+class TestArchSimilarity:
+    def test_equal(self):
+        assert arch_similarity("amd64", "amd64") == 1.0
+
+    def test_all_is_portable_both_ways(self):
+        assert arch_similarity(ARCH_ALL, "amd64") == 1.0
+        assert arch_similarity("arm64", ARCH_ALL) == 1.0
+
+    def test_mismatch(self):
+        assert arch_similarity("amd64", "arm64") == 0.0
+
+
+class TestVersionSimilarity:
+    def test_delegates_to_components(self):
+        assert version_similarity(
+            Version.parse("2.4.18"), Version.parse("2.4.7")
+        ) == pytest.approx(2 / 3)
+
+
+class TestPackageSimilarity:
+    def test_identity(self):
+        pkg = make_package("redis-server", "3.0.6", installed_size=1)
+        assert package_similarity(pkg, pkg) == 1.0
+
+    def test_different_names_zero(self):
+        a = make_package("redis-server", "3.0.6")
+        b = make_package("nginx", "3.0.6")
+        assert package_similarity(a, b) == 0.0
+
+    def test_version_graded(self):
+        a = make_package("pg", "9.5.14")
+        b = make_package("pg", "9.5.2")
+        assert package_similarity(a, b) == pytest.approx(2 / 3)
+
+    def test_arch_mismatch_zero(self):
+        a = make_package("pg", "9.5", arch="amd64")
+        b = make_package("pg", "9.5", arch="arm64")
+        assert package_similarity(a, b) == 0.0
+
+    def test_portable_matches_native(self):
+        a = make_package("tool", "1.0", arch=ARCH_ALL)
+        b = make_package("tool", "1.0", arch="amd64")
+        assert package_similarity(a, b) == 1.0
+
+    def test_symmetric(self):
+        a = make_package("pg", "9.5.14")
+        b = make_package("pg", "9.6.1")
+        assert package_similarity(a, b) == package_similarity(b, a)
+
+    def test_accepts_bare_attrs(self):
+        a = make_package("pg", "9.5")
+        assert package_similarity(a.attrs, a) == 1.0

@@ -1,0 +1,44 @@
+"""Unit tests for simsize (size similarity, Section III-F)."""
+
+import pytest
+
+from repro.model.package import make_package
+from repro.similarity.size import max_package_size, size_similarity
+
+
+class TestMaxPackageSize:
+    def test_empty_population(self):
+        assert max_package_size([]) == 0
+
+    def test_picks_largest(self):
+        pkgs = [
+            make_package("a", "1", installed_size=10),
+            make_package("b", "1", installed_size=99),
+        ]
+        assert max_package_size(pkgs) == 99
+
+
+class TestSizeSimilarity:
+    def test_formula(self):
+        a = make_package("x", "1", installed_size=30)
+        b = make_package("x", "2", installed_size=60)
+        assert size_similarity(a, b, max_size=120) == 0.5
+
+    def test_largest_pair_scores_one(self):
+        a = make_package("x", "1", installed_size=120)
+        b = make_package("x", "2", installed_size=10)
+        assert size_similarity(a, b, max_size=120) == 1.0
+
+    def test_zero_normaliser(self):
+        a = make_package("x", "1", installed_size=0)
+        assert size_similarity(a, a, max_size=0) == 0.0
+
+    def test_normaliser_must_cover_pair(self):
+        a = make_package("x", "1", installed_size=200)
+        with pytest.raises(ValueError):
+            size_similarity(a, a, max_size=100)
+
+    def test_symmetric(self):
+        a = make_package("x", "1", installed_size=30)
+        b = make_package("x", "2", installed_size=70)
+        assert size_similarity(a, b, 100) == size_similarity(b, a, 100)

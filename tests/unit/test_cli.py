@@ -1,0 +1,59 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiments_accepts_known_ids(self):
+        args = build_parser().parse_args(["experiments", "fig3a"])
+        assert args.ids == ["fig3a"]
+
+    def test_experiments_rejects_unknown_ids(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiments", "fig9z"])
+
+
+class TestCommands:
+    def test_corpus_lists_19_images(self, capsys):
+        assert main(["corpus"]) == 0
+        out = capsys.readouterr().out
+        assert "Elastic Stack" in out
+        assert len(out.strip().splitlines()) == 20  # header + 19
+
+    def test_publish_reports(self, capsys):
+        assert main(["publish", "Mini", "Redis"]) == 0
+        out = capsys.readouterr().out
+        assert "Mini: published" in out
+        assert "Redis: published" in out
+        assert "repository now" in out
+
+    def test_experiments_runs_selected(self, capsys):
+        assert main(["experiments", "fig4a"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4a" in out
+        assert "Expelliarmus" in out
+
+    def test_experiments_figures_flag(self, capsys):
+        assert main(["experiments", "fig4a", "--figures"]) == 0
+        out = capsys.readouterr().out
+        # the ASCII chart legend appears alongside the table
+        assert "*=Expelliarmus" in out
+
+    def test_related_work_experiment_registered(self, capsys):
+        assert main(["experiments", "related"]) == 0
+        out = capsys.readouterr().out
+        assert "Block (fixed)" in out
+
+    def test_stats_command(self, capsys):
+        assert main(["stats", "Mini", "Tomcat", "Jenkins"]) == 0
+        out = capsys.readouterr().out
+        assert "sharing factor" in out
+        # openjdk is shared between Tomcat and Jenkins
+        assert "openjdk-8-jre-headless" in out
+        assert "x2" in out

@@ -1,0 +1,49 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.CatalogError,
+            errors.UnknownPackageError,
+            errors.DependencyError,
+            errors.PackageStateError,
+            errors.ImageError,
+            errors.HandleStateError,
+            errors.RepositoryError,
+            errors.NotInRepositoryError,
+            errors.DuplicateEntryError,
+            errors.PublishError,
+            errors.RetrievalError,
+            errors.IncompatibleImageError,
+            errors.GraphModelError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_incompatible_is_retrieval_error(self):
+        assert issubclass(
+            errors.IncompatibleImageError, errors.RetrievalError
+        )
+
+    def test_unknown_package_is_catalog_error(self):
+        assert issubclass(errors.UnknownPackageError, errors.CatalogError)
+
+
+class TestMessages:
+    def test_unknown_package_message(self):
+        err = errors.UnknownPackageError("redis", where="guest")
+        assert "redis" in str(err)
+        assert "guest" in str(err)
+        assert err.name == "redis"
+
+    def test_not_in_repository_message(self):
+        err = errors.NotInRepositoryError("base image", 42)
+        assert "base image" in str(err)
+        assert err.key == 42

@@ -1,0 +1,68 @@
+"""Unit tests for repro.units."""
+
+import pytest
+
+from repro.units import (
+    GB,
+    KB,
+    MB,
+    TB,
+    fmt_bytes,
+    fmt_gb,
+    fmt_seconds,
+    gb,
+    kb,
+    mb,
+    parse_size,
+)
+
+
+class TestConstants:
+    def test_decimal_scaling(self):
+        assert KB == 1000
+        assert MB == 1000 * KB
+        assert GB == 1000 * MB
+        assert TB == 1000 * GB
+
+    def test_helpers_return_ints(self):
+        assert kb(1.5) == 1500
+        assert mb(2.5) == 2_500_000
+        assert gb(0.001) == 1_000_000
+        assert isinstance(gb(1.7), int)
+
+
+class TestFormatting:
+    def test_fmt_bytes_picks_unit(self):
+        assert fmt_bytes(512) == "512 B"
+        assert fmt_bytes(1536) == "1.54 KB"
+        assert fmt_bytes(2_500_000) == "2.50 MB"
+        assert fmt_bytes(2_500_000_000) == "2.50 GB"
+        assert fmt_bytes(3 * TB) == "3.00 TB"
+
+    def test_fmt_gb_fixed_unit(self):
+        assert fmt_gb(2_940_000_000) == "2.94 GB"
+        assert fmt_gb(0) == "0.00 GB"
+
+    def test_fmt_seconds(self):
+        assert fmt_seconds(39.52) == "39.52 s"
+        assert fmt_seconds(0) == "0.00 s"
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1.5GB", 1_500_000_000),
+            ("300 MB", 300_000_000),
+            ("42", 42),
+            ("7kb", 7000),
+            ("2tb", 2 * TB),
+            ("100B", 100),
+        ],
+    )
+    def test_round_trips(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_size("lots")

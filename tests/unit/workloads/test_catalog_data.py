@@ -1,0 +1,86 @@
+"""Unit tests for the synthetic Ubuntu catalog."""
+
+import pytest
+
+from repro.workloads.catalog_data import (
+    BASE_PACKAGE_NAMES,
+    TARGET_BASE_FILES,
+    TARGET_BASE_MOUNTED,
+    UBUNTU_XENIAL,
+    base_template,
+    build_catalog,
+)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_catalog()
+
+
+class TestCatalogShape:
+    def test_roughly_three_hundred_packages(self, catalog):
+        # ~80 base + ~60 app + ~140 desktop-stack package versions
+        assert 250 <= len(catalog) <= 340
+
+    def test_base_packages_present(self, catalog):
+        for name in BASE_PACKAGE_NAMES:
+            assert name in catalog, name
+
+    def test_figure_1a_cycle_exists(self, catalog):
+        libc = catalog.latest("libc6")
+        dpkg = catalog.latest("dpkg")
+        perl = catalog.latest("perl-base")
+        assert "dpkg" in libc.dependency_names()
+        assert "perl-base" in dpkg.dependency_names()
+        assert "libc6" in perl.dependency_names()
+
+    def test_every_dependency_resolvable(self, catalog):
+        for pkg in catalog.all_packages():
+            for dep in pkg.depends:
+                assert dep.name in catalog, (
+                    f"{pkg.name} depends on unknown {dep.name}"
+                )
+                catalog.best_candidate(dep)  # must not raise
+
+    def test_app_stacks_resolve(self, catalog):
+        for primary in (
+            "redis-server", "postgresql-9.5", "rabbitmq-server",
+            "cassandra", "tomcat8", "owncloud-files", "jenkins",
+            "elasticsearch", "redmine", "eclipse-platform",
+        ):
+            plan = catalog.resolve([primary])
+            assert primary in plan.names()
+
+    def test_portable_packages_marked(self, catalog):
+        assert catalog.latest("rabbitmq-server").is_portable()
+        assert catalog.latest("locales").is_portable()
+        assert not catalog.latest("mysql-server-5.7").is_portable()
+
+    def test_jar_heavy_payloads_compress_poorly(self, catalog):
+        assert catalog.latest("eclipse-platform").gzip_ratio > 0.6
+        assert catalog.latest("coreutils").gzip_ratio < 0.4
+
+
+class TestBaseTemplate:
+    def test_targets_table_ii_mini_row(self, catalog):
+        template = base_template()
+        plan = catalog.resolve(template.package_names)
+        total = plan.total_installed_size() + template.skeleton_size
+        files = sum(p.n_files for p in plan.packages()) + (
+            template.skeleton_files
+        )
+        from repro.image.builder import (
+            INSTANCE_NOISE_FILES,
+            INSTANCE_NOISE_SIZE,
+        )
+
+        assert total + INSTANCE_NOISE_SIZE == TARGET_BASE_MOUNTED
+        assert files + INSTANCE_NOISE_FILES == TARGET_BASE_FILES
+
+    def test_attrs(self):
+        assert base_template().attrs == UBUNTU_XENIAL
+
+    def test_skeleton_positive(self):
+        template = base_template()
+        assert template.skeleton_size > 0
+        assert template.skeleton_files > 0

@@ -1,0 +1,54 @@
+"""Unit tests for the corpus builder, calibrated against Table II."""
+
+import pytest
+
+from repro.units import GB
+from repro.workloads.vmi_specs import TABLE_II_ORDER, spec_for
+
+
+class TestCorpusCalibration:
+    @pytest.mark.parametrize("name", TABLE_II_ORDER)
+    def test_mounted_size_within_five_percent(self, corpus, name):
+        vmi = corpus.build(name)
+        paper = spec_for(name).paper_mounted_gb
+        assert vmi.mounted_size / GB == pytest.approx(paper, rel=0.05)
+
+    @pytest.mark.parametrize("name", TABLE_II_ORDER)
+    def test_file_count_within_five_percent(self, corpus, name):
+        vmi = corpus.build(name)
+        paper = spec_for(name).paper_n_files
+        assert vmi.n_files == pytest.approx(paper, rel=0.05)
+
+    def test_mini_is_exact(self, corpus):
+        vmi = corpus.build("Mini")
+        assert vmi.mounted_size == 1_913_000_000
+        assert vmi.n_files == 75_749
+
+
+class TestCorpusBehaviour:
+    def test_builds_are_fresh_objects(self, corpus):
+        assert corpus.build("Mini") is not corpus.build("Mini")
+
+    def test_builds_are_deterministic(self, corpus):
+        a = corpus.build("Redis")
+        b = corpus.build("Redis")
+        assert a.full_manifest() == b.full_manifest()
+
+    def test_build_id_names_rebuilds(self, corpus):
+        assert corpus.build("IDE", build_id=3).name == "IDE#3"
+        assert corpus.build("IDE").name == "IDE"
+
+    def test_build_four(self, corpus):
+        assert [v.name for v in corpus.build_four()] == [
+            "Mini", "Base", "Desktop", "IDE",
+        ]
+
+    def test_desktop_exports_around_126_packages(self, corpus):
+        """Section VI-C: publishing Desktop exports 126 packages."""
+        from repro.core.system import Expelliarmus
+
+        system = Expelliarmus()
+        system.publish(corpus.build("Mini"))
+        report = system.publish(corpus.build("Desktop"))
+        n = len(report.exported_packages)
+        assert 105 <= n <= 145, n

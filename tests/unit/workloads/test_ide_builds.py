@@ -1,0 +1,47 @@
+"""Unit tests for the 40-IDE-build workload (Figure 3c)."""
+
+from repro.workloads.ide_builds import (
+    BUILD_USER_DATA_SIZE,
+    IDE_BUILD_COUNT,
+    ide_build_recipes,
+)
+
+
+class TestRecipes:
+    def test_default_forty_builds(self):
+        recipes = ide_build_recipes()
+        assert len(recipes) == IDE_BUILD_COUNT == 40
+        assert len({r.name for r in recipes}) == 40
+
+    def test_same_primaries_every_build(self):
+        recipes = ide_build_recipes(5)
+        assert len({r.primaries for r in recipes}) == 1
+        assert "eclipse-platform" in recipes[0].primaries
+
+    def test_distinct_build_ids(self):
+        recipes = ide_build_recipes(5)
+        assert [r.build_id for r in recipes] == [1, 2, 3, 4, 5]
+
+
+class TestBuiltImages:
+    def test_packages_shared_instance_content_not(self, corpus):
+        r1, r2 = ide_build_recipes(2)
+        a = corpus.builder.build(r1)
+        b = corpus.builder.build(r2)
+        assert a.mounted_size == b.mounted_size
+        ids_a = set(a.full_manifest().content_ids.tolist())
+        ids_b = set(b.full_manifest().content_ids.tolist())
+        shared = len(ids_a & ids_b)
+        # base + packages shared; noise + user data distinct
+        assert shared > 0.9 * min(len(ids_a), len(ids_b)) * 0.9
+        assert ids_a != ids_b
+
+    def test_per_build_unique_bytes_near_95mb(self, corpus):
+        """The Mirage growth rate of Figure 3c: ~95 MB per rebuild."""
+        r1, r2 = ide_build_recipes(2)
+        a = corpus.builder.build(r1).full_manifest()
+        b = corpus.builder.build(r2).full_manifest()
+        known = a.unique().content_ids
+        new_bytes = b.new_against(known).total_size
+        expected = 85_000_000 + BUILD_USER_DATA_SIZE
+        assert abs(new_bytes - expected) < 0.1 * expected

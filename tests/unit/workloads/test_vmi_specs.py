@@ -1,0 +1,45 @@
+"""Unit tests for the Table II specs."""
+
+import pytest
+
+from repro.workloads.vmi_specs import (
+    FOUR_VMI_NAMES,
+    TABLE_II_ORDER,
+    spec_for,
+)
+
+
+class TestSpecs:
+    def test_nineteen_images_in_order(self):
+        assert len(TABLE_II_ORDER) == 19
+        assert TABLE_II_ORDER[0] == "Mini"
+        assert TABLE_II_ORDER[-1] == "Elastic Stack"
+
+    def test_four_study_images_subset(self):
+        assert set(FOUR_VMI_NAMES) <= set(TABLE_II_ORDER)
+        assert FOUR_VMI_NAMES == ("Mini", "Base", "Desktop", "IDE")
+
+    def test_mini_has_no_primaries(self):
+        assert spec_for("Mini").primaries == ()
+
+    def test_elastic_has_exactly_three_primaries(self):
+        # Section VI-C: "only three packages for Elastic Stack"
+        assert len(spec_for("Elastic Stack").primaries) == 3
+
+    def test_spec_for_unknown_raises(self):
+        with pytest.raises(KeyError):
+            spec_for("Windows")
+
+    def test_paper_reference_values_recorded(self):
+        spec = spec_for("Desktop")
+        assert spec.paper_publish_s == pytest.approx(201.721)
+        assert spec.paper_retrieval_s == pytest.approx(102.34)
+        assert spec.paper_n_files == 90338
+
+    def test_appliance_images_carry_bulk_as_user_data(self):
+        assert spec_for("Lapp").user_data_size > spec_for(
+            "Mini"
+        ).user_data_size
+        assert spec_for("Lemp").user_data_size > spec_for(
+            "Mini"
+        ).user_data_size
