@@ -1,0 +1,149 @@
+"""Bench: publish throughput vs repository size, indexed vs scan.
+
+Publishes generated multi-family corpora (see
+:mod:`repro.workloads.scale`) of increasing size through the batch
+pipeline twice — once with the base-attribute index (the default), once
+with the paper-literal full scan — and reports, per corpus size:
+
+* wall-clock and simulated batch duration for both paths;
+* total stored bases and *per-publish candidate-generation work*
+  (stored bases examined by Algorithm 2), the quantity the index is
+  built to keep flat: scan work grows with the repository, indexed
+  work only with the upload's own quadruple family.
+
+Families scale with corpus size, so total stored bases grow across the
+sweep and sublinearity is observable rather than assumed.  Batches run
+in arrival order (``order="given"``) so fat bases really get stored and
+replaced — the churn regime Algorithm 2 targets.
+
+Run with ``pytest benchmarks/bench_scale.py`` (add ``-k smoke`` for the
+CI-sized corpus).
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import attach_series
+from repro.core.system import Expelliarmus
+from repro.experiments.reporting import ExperimentResult, Series
+from repro.workloads.scale import scale_corpus
+
+#: (corpus size, OS families) — families scale with size so stored
+#: bases grow across the sweep
+SWEEP = ((125, 5), (250, 10), (500, 20), (1000, 40))
+SMOKE_SWEEP = ((30, 3), (60, 6))
+
+
+def _run_one(n_vmis: int, n_families: int, *, indexed: bool) -> dict:
+    """Publish one corpus; returns timings and selection-work counters."""
+    corpus = scale_corpus(n_vmis, n_families=n_families)
+    vmis = list(corpus.build_all())
+    system = Expelliarmus(indexed_selection=indexed)
+    t0 = time.perf_counter()
+    report = system.publish_many(vmis, order="given")
+    wall_s = time.perf_counter() - t0
+    stats = report.selection_stats
+    assert report.n_failed == 0
+    return {
+        "n_vmis": n_vmis,
+        "wall_s": wall_s,
+        "simulated_s": report.simulated_seconds,
+        "repo_bytes": report.repo_bytes_after,
+        "stored_bases": len(system.repo.base_images()),
+        "replaced_bases": report.replaced_bases,
+        "bases_considered": stats.bases_considered,
+        "per_publish_work": stats.bases_considered / stats.calls,
+        "compat_cache_hits": stats.compat_cache_hits,
+    }
+
+
+def _sweep(sweep) -> ExperimentResult:
+    rows = []
+    indexed_work, scan_work, stored = [], [], []
+    for n_vmis, n_families in sweep:
+        idx = _run_one(n_vmis, n_families, indexed=True)
+        scan = _run_one(n_vmis, n_families, indexed=False)
+        # the index is a pure accelerator: identical repositories
+        assert idx["repo_bytes"] == scan["repo_bytes"]
+        assert idx["stored_bases"] == scan["stored_bases"]
+        assert idx["replaced_bases"] == scan["replaced_bases"]
+        rows.append(
+            (
+                n_vmis,
+                scan["stored_bases"],
+                round(idx["wall_s"], 3),
+                round(scan["wall_s"], 3),
+                round(idx["per_publish_work"], 2),
+                round(scan["per_publish_work"], 2),
+                round(n_vmis / idx["wall_s"], 1),
+                round(n_vmis / scan["wall_s"], 1),
+            )
+        )
+        indexed_work.append(idx["per_publish_work"])
+        scan_work.append(scan["per_publish_work"])
+        stored.append(float(scan["stored_bases"]))
+    result = ExperimentResult(
+        experiment_id="bench-scale",
+        title="Publish throughput vs repository size (indexed vs scan)",
+        columns=(
+            "VMIs",
+            "bases",
+            "indexed[s]",
+            "scan[s]",
+            "work/pub(idx)",
+            "work/pub(scan)",
+            "VMI/s(idx)",
+            "VMI/s(scan)",
+        ),
+        rows=tuple(rows),
+        series=(
+            Series("indexed-work-per-publish", tuple(indexed_work)),
+            Series("scan-work-per-publish", tuple(scan_work)),
+            Series("stored-bases", tuple(stored)),
+        ),
+        notes=(
+            "work/pub = stored bases examined by Algorithm 2 candidate "
+            "generation per publish; the indexed path's work tracks the "
+            "upload's quadruple family, not the repository",
+        ),
+    )
+    return result
+
+
+def _assert_sublinear(result: ExperimentResult) -> None:
+    series = {s.label: s.values for s in result.series}
+    indexed = series["indexed-work-per-publish"]
+    scan = series["scan-work-per-publish"]
+    bases = series["stored-bases"]
+    # scan work per publish tracks the full repository ...
+    assert scan[-1] > scan[0]
+    # ... while indexed work stays sublinear in stored bases: it grows
+    # strictly slower than the store (flat is ideal), and ends well
+    # below the scan
+    growth_bases = bases[-1] / bases[0]
+    growth_indexed = max(indexed[-1], 0.01) / max(indexed[0], 0.01)
+    assert growth_indexed < growth_bases
+    assert indexed[-1] < scan[-1] / 2
+
+
+@pytest.mark.benchmark(group="scale")
+def test_scale_publish_sweep(benchmark, report_result):
+    """The headline sweep, up to a 1000-VMI corpus over 40 families."""
+    result = benchmark.pedantic(
+        lambda: _sweep(SWEEP), rounds=1, iterations=1
+    )
+    report_result(result)
+    attach_series(benchmark, result)
+    _assert_sublinear(result)
+
+
+@pytest.mark.benchmark(group="scale")
+def test_scale_publish_smoke(benchmark, report_result):
+    """CI-sized corpus: same assertions, seconds of wall clock."""
+    result = benchmark.pedantic(
+        lambda: _sweep(SMOKE_SWEEP), rounds=1, iterations=1
+    )
+    report_result(result)
+    attach_series(benchmark, result)
+    _assert_sublinear(result)

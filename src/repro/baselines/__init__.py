@@ -1,8 +1,47 @@
 """The storage schemes Expelliarmus is evaluated against (Section VI).
 
+All schemes implement :class:`~repro.baselines.scheme.StorageScheme`
+(publish / retrieve / repository footprint), so the experiment
+harnesses iterate them uniformly.  What each one actually deduplicates:
+
+========================  =======================  ==================  =============
+Scheme                    Dedups                   Granularity         Paper section
+========================  =======================  ==================  =============
+``Qcow2Store``            nothing                  whole image         VI (baseline)
+``GzipStore``             intra-image redundancy   whole image,        VI (baseline)
+                          only (compression)       gzip-compressed
+``FixedBlockStore``       identical blocks         fixed-size block    II (related
+                          across images                                work)
+``VariableBlockStore``    identical chunks         content-defined     II (related
+                          across images            chunk (Rabin)       work)
+``MirageStore``           identical files across   file (manifest +    II, VI
+                          images                   global data store)
+``HemeraStore``           identical files across   file (hybrid:       II, VI
+                          images                   DB < 1 MB ≤ FS)
+``semantic_decomposi-``   packages/base/data at    package, base       VI-C
+``tion_scheme``           *storage* time only      image, user data    (Figure 4b)
+                          (exports everything)
+``ExpelliarmusScheme``    semantically redundant   package, base       III–VI
+                          packages at export AND   image, user data
+                          storage time; bases by
+                          replaceability
+========================  =======================  ==================  =============
+
+Reading the table bottom-up is the paper's Section II argument:
+compression removes only intra-image redundancy; block- and file-level
+dedup remove identical *bytes* across images but must still hash and
+ship every file on publish and reassemble per-file on retrieval;
+semantic decomposition stores at package granularity but exports
+everything; Expelliarmus adds the semantic layer, so redundant packages
+are never even exported and near-duplicate base images are replaced
+rather than accumulated.
+
 * :class:`~repro.baselines.qcow2_store.Qcow2Store` — raw qcow2 files;
 * :class:`~repro.baselines.gzip_store.GzipStore` — gzip-compressed
   qcow2 files;
+* :class:`~repro.baselines.block_dedup.FixedBlockStore` /
+  :class:`~repro.baselines.block_dedup.VariableBlockStore` — the
+  Jin & Miller block-level references;
 * :class:`~repro.baselines.mirage.MirageStore` — IBM Mirage's MIF
   format: per-image manifests over a file-level dedup data store;
 * :class:`~repro.baselines.hemera.HemeraStore` — Hemera's hybrid
@@ -13,9 +52,6 @@
 * :func:`~repro.baselines.semantic_decomposition.semantic_decomposition_scheme`
   — the Figure 4b variant that exports every package regardless of
   repository state.
-
-All schemes implement :class:`~repro.baselines.scheme.StorageScheme`,
-so the experiment harnesses iterate them uniformly.
 """
 
 from repro.baselines.block_dedup import (

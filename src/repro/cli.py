@@ -6,6 +6,9 @@ Subcommands:
   all) and print measured-vs-paper rows;
 * ``publish <names...>`` — publish corpus images into a fresh
   repository and report per-image publish statistics;
+* ``publish-many [names...]`` — batch-publish a corpus through the
+  scale-out pipeline (dedup-aware ordering, aggregated accounting);
+  ``--scale N`` publishes an N-VMI generated multi-family corpus;
 * ``corpus`` — list the evaluation images and their characteristics.
 """
 
@@ -50,6 +53,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pub.add_argument("names", nargs="+", help="corpus image names")
 
+    many = sub.add_parser(
+        "publish-many",
+        help="batch-publish a corpus through the scale-out pipeline",
+    )
+    many.add_argument(
+        "names",
+        nargs="*",
+        help="Table II image names (default: all 19; ignored with --scale)",
+    )
+    many.add_argument(
+        "--scale",
+        type=int,
+        metavar="N",
+        help="publish an N-VMI generated corpus across --families",
+    )
+    many.add_argument(
+        "--families",
+        type=int,
+        default=8,
+        help="OS families of the generated corpus (with --scale)",
+    )
+    many.add_argument(
+        "--seed", default="scale", help="generator seed (with --scale)"
+    )
+    many.add_argument(
+        "--order",
+        choices=["dedup", "given"],
+        default="dedup",
+        help="batch ordering (default: dedup-aware)",
+    )
+    many.add_argument(
+        "--scan",
+        action="store_true",
+        help="paper-literal full-scan base selection (no index)",
+    )
+    many.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one line per published image",
+    )
+
     sub.add_parser("corpus", help="list the evaluation corpus")
 
     stats = sub.add_parser(
@@ -90,6 +134,52 @@ def _cmd_publish(names: Sequence[str]) -> int:
             f"repository now {fmt_gb(system.repository_size)}"
         )
     return 0
+
+
+def _cmd_publish_many(args) -> int:
+    from repro.core.system import Expelliarmus
+    from repro.workloads.generator import scale_corpus, standard_corpus
+    from repro.workloads.vmi_specs import TABLE_II_ORDER
+
+    if args.scale is not None:
+        try:
+            corpus = scale_corpus(
+                args.scale, n_families=args.families, seed=args.seed
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        vmis = list(corpus.build_all())
+    else:
+        table_corpus = standard_corpus()
+        names = args.names or list(TABLE_II_ORDER)
+        unknown = [n for n in names if n not in TABLE_II_ORDER]
+        if unknown:
+            print(
+                f"error: unknown corpus image(s): {', '.join(unknown)} "
+                f"(see 'expelliarmus corpus')",
+                file=sys.stderr,
+            )
+            return 2
+        vmis = [table_corpus.build(name) for name in names]
+
+    system = Expelliarmus(indexed_selection=not args.scan)
+
+    def echo_progress(done, total, item):
+        status = (
+            f"{item.report.publish_time:7.2f}s"
+            if item.ok
+            else f"FAILED ({item.error})"
+        )
+        print(f"[{done:>4}/{total}] {item.name:<16} {status}")
+
+    report = system.publish_many(
+        vmis,
+        order=args.order,
+        progress=echo_progress if args.progress else None,
+    )
+    print(report.render())
+    return 1 if report.n_failed else 0
 
 
 def _cmd_corpus() -> int:
@@ -144,6 +234,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_experiments(args.ids, figures=args.figures)
     if args.command == "publish":
         return _cmd_publish(args.names)
+    if args.command == "publish-many":
+        return _cmd_publish_many(args)
     if args.command == "corpus":
         return _cmd_corpus()
     if args.command == "stats":

@@ -30,6 +30,17 @@ Equality between base images is *content* equality (same attribute
 quadruple and same package population — i.e. the same stored blob), so
 re-uploading a VMI built on an already-stored base selects the stored
 copy instead of storing bytes twice.
+
+Scaling (DESIGN.md, "Indexed base selection"): candidate generation
+defaults to the repository's base-attribute index
+(:meth:`~repro.repository.repo.Repository.base_images_matching`), which
+touches only bases sharing the upload's quadruple family instead of
+scanning the whole store; ``use_index=False`` keeps the paper-literal
+full scan, and both paths return identical selections.  A
+:class:`SelectionMemo` carried across publishes caches base subgraphs,
+base-package footprints, extracted member subgraphs and compatibility
+verdicts, all keyed by content (blob keys, master-graph revisions) so
+hits are always sound.
 """
 
 from __future__ import annotations
@@ -38,12 +49,17 @@ from dataclasses import dataclass, field
 
 from repro.model.graph import SemanticGraph
 from repro.model.vmi import BaseImage
-from repro.repository.master_graphs import base_subgraph_of
+from repro.repository.master_graphs import MasterGraph, base_subgraph_of
 from repro.repository.repo import Repository
 from repro.similarity.base import same_base_attrs
 from repro.similarity.compatibility import is_compatible
 
-__all__ = ["BaseSelection", "select_base_image"]
+__all__ = [
+    "BaseSelection",
+    "SelectionMemo",
+    "SelectionStats",
+    "select_base_image",
+]
 
 
 @dataclass(frozen=True)
@@ -56,6 +72,10 @@ class _Candidate:
     primary_subgraphs: tuple[SemanticGraph, ...]
     #: True when this is the freshly decomposed (not yet stored) base
     is_new: bool
+    #: revision of the master graph the subgraphs came from; None for
+    #: the upload's own candidate, whose primaries are not cacheable by
+    #: blob key (same base blob, different upload, different primaries)
+    member_revision: int | None = None
 
     @property
     def key(self) -> int:
@@ -77,13 +97,147 @@ class BaseSelection:
         return [b.blob_key() for b in self.replace]
 
 
+@dataclass
+class SelectionStats:
+    """Per-publish work counters for Algorithm 2 (benchmark probes)."""
+
+    #: select_base_image invocations recorded into this memo
+    calls: int = 0
+    #: stored bases examined during candidate generation (the full
+    #: repository on the scan path; the matching slice on the indexed)
+    bases_considered: int = 0
+    #: attribute-matching candidates that entered the quadruple loop
+    candidates: int = 0
+    #: candidate-pair replaceability decisions requested
+    compat_checks: int = 0
+    #: of those, answered from the memo without graph work
+    compat_cache_hits: int = 0
+
+    def snapshot(self) -> "SelectionStats":
+        return SelectionStats(
+            calls=self.calls,
+            bases_considered=self.bases_considered,
+            candidates=self.candidates,
+            compat_checks=self.compat_checks,
+            compat_cache_hits=self.compat_cache_hits,
+        )
+
+
+class SelectionMemo:
+    """Cross-publish caches for Algorithm 2, all content-keyed.
+
+    Base images are content-addressed, so anything derived from one is
+    cached by its blob key forever; anything derived from a master
+    graph's membership is keyed by ``(base_key, revision)`` and
+    invalidates automatically when members merge in.  Pairs involving
+    the *upload's own* primary subgraph are never cached — two uploads
+    can share a base blob yet carry different primaries.
+
+    Caches are bounded by *live* state, not by publish count: per
+    candidate pair only the latest master revision's verdict is kept,
+    and :meth:`forget_base` (called when Algorithm 1 deletes a replaced
+    base) drops everything derived from a removed blob.
+    """
+
+    def __init__(self) -> None:
+        self.stats = SelectionStats()
+        #: blob key -> GI[BI] for stored bases without a master graph
+        self._base_subgraphs: dict[int, SemanticGraph] = {}
+        #: blob key -> total installed size of the base's packages
+        self._base_pkg_sizes: dict[int, int] = {}
+        #: (candidate key, other key) -> (other master revision,
+        #: verdict of "candidate base is compatible with all of other's
+        #: members"); superseded revisions are overwritten in place
+        self._compat: dict[tuple[int, int], tuple[int, bool]] = {}
+        #: master base_key -> (revision, extracted member subgraphs)
+        self._member_subgraphs: dict[
+            int, tuple[int, tuple[SemanticGraph, ...]]
+        ] = {}
+
+    def clear(self) -> None:
+        self._base_subgraphs.clear()
+        self._base_pkg_sizes.clear()
+        self._compat.clear()
+        self._member_subgraphs.clear()
+
+    def forget_base(self, key: int) -> None:
+        """Drop everything derived from a removed base blob."""
+        self._base_subgraphs.pop(key, None)
+        self._base_pkg_sizes.pop(key, None)
+        self._member_subgraphs.pop(key, None)
+        for pair in [p for p in self._compat if key in p]:
+            del self._compat[pair]
+
+    # -- cached derivations --------------------------------------------
+
+    def base_subgraph(self, stored: BaseImage, key: int) -> SemanticGraph:
+        sub = self._base_subgraphs.get(key)
+        if sub is None:
+            sub = base_subgraph_of(stored)
+            self._base_subgraphs[key] = sub
+        return sub
+
+    def base_package_size(self, cand: "_Candidate") -> int:
+        size = self._base_pkg_sizes.get(cand.key)
+        if size is None:
+            size = sum(
+                p.installed_size for p in cand.base_subgraph.packages()
+            )
+            self._base_pkg_sizes[cand.key] = size
+        return size
+
+    def member_subgraphs(
+        self, master: MasterGraph
+    ) -> tuple[SemanticGraph, ...]:
+        hit = self._member_subgraphs.get(master.base_key)
+        if hit is not None and hit[0] == master.revision:
+            return hit[1]
+        subs = tuple(
+            master.extract_primary_subgraph(p.name, str(p.version))
+            for p in master.primary_packages()
+        )
+        self._member_subgraphs[master.base_key] = (master.revision, subs)
+        return subs
+
+    def can_replace(self, cand: "_Candidate", other: "_Candidate") -> bool:
+        """Is ``cand``'s base compatible with all of ``other``'s members?"""
+        self.stats.compat_checks += 1
+        cache_key = None
+        if other.member_revision is not None:
+            cache_key = (cand.key, other.key)
+            hit = self._compat.get(cache_key)
+            if hit is not None and hit[0] == other.member_revision:
+                self.stats.compat_cache_hits += 1
+                return hit[1]
+        verdict = all(
+            is_compatible(cand.base_subgraph, sub)
+            for sub in other.primary_subgraphs
+        )
+        if cache_key is not None:
+            self._compat[cache_key] = (other.member_revision, verdict)
+        return verdict
+
+
 def select_base_image(
     bi: BaseImage,
     gi_bi: SemanticGraph,
     gi_ps: SemanticGraph,
     repo: Repository,
+    *,
+    memo: SelectionMemo | None = None,
+    use_index: bool = True,
 ) -> BaseSelection:
-    """Algorithm 2: pick the base to keep and the bases it replaces."""
+    """Algorithm 2: pick the base to keep and the bases it replaces.
+
+    ``use_index`` selects indexed candidate generation (the default)
+    or the paper-literal full scan; the two return identical selections.
+    ``memo`` carries content-keyed caches across publishes — pass the
+    same instance repeatedly (as :class:`~repro.core.publisher.
+    VMIPublisher` does) to amortise subgraph and compatibility work.
+    """
+    memo = memo if memo is not None else SelectionMemo()
+    memo.stats.calls += 1
+
     # -- lines 1-12: candidate set -------------------------------------
     candidates: list[_Candidate] = [
         _Candidate(
@@ -91,31 +245,40 @@ def select_base_image(
             base_subgraph=gi_bi,
             primary_subgraphs=(gi_ps,),
             is_new=True,
+            member_revision=None,
         )
     ]
     new_key = bi.blob_key()
-    for stored in repo.base_images():
-        if not same_base_attrs(bi.attrs, stored.attrs):
-            continue  # simBI < 1: different family, never replaceable
+    if use_index:
+        matching = repo.base_images_matching(bi.attrs)
+        memo.stats.bases_considered += len(matching)
+    else:
+        matching = []
+        for stored in repo.base_images():
+            memo.stats.bases_considered += 1
+            if same_base_attrs(bi.attrs, stored.attrs):
+                matching.append(stored)
+    for stored in matching:
         stored_key = stored.blob_key()
         if repo.has_master_graph(stored_key):
             master = repo.get_master_graph(stored_key)
-            subs = tuple(
-                master.extract_primary_subgraph(p.name, str(p.version))
-                for p in master.primary_packages()
-            )
+            subs = memo.member_subgraphs(master)
             base_sub = master.base_subgraph
+            revision = master.revision
         else:
             subs = ()
-            base_sub = base_subgraph_of(stored)
+            base_sub = memo.base_subgraph(stored, stored_key)
+            revision = 0
         candidates.append(
             _Candidate(
                 base=stored,
                 base_subgraph=base_sub,
                 primary_subgraphs=subs,
                 is_new=False,
+                member_revision=revision,
             )
         )
+    memo.stats.candidates += len(candidates)
 
     # -- lines 13-26: replaceability + quadruples ------------------------
     quadruples: list[tuple[_Candidate, list[BaseImage], int]] = []
@@ -125,17 +288,13 @@ def select_base_image(
         for other in candidates:
             if other.key in seen_keys:
                 continue
-            if all(
-                is_compatible(cand.base_subgraph, sub)
-                for sub in other.primary_subgraphs
-            ):
+            if memo.can_replace(cand, other):
                 replace.append(other.base)
                 seen_keys.add(other.key)
         if replace:
-            base_pkg_size = sum(
-                p.installed_size for p in cand.base_subgraph.packages()
+            quadruples.append(
+                (cand, replace, memo.base_package_size(cand))
             )
-            quadruples.append((cand, replace, base_pkg_size))
 
     # -- line 27: sort by the three criteria ------------------------------
     quadruples.sort(

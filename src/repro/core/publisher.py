@@ -17,7 +17,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.analyzer import AnalysisResult, SemanticAnalyzer
-from repro.core.base_selection import BaseSelection, select_base_image
+from repro.core.base_selection import (
+    BaseSelection,
+    SelectionMemo,
+    select_base_image,
+)
 from repro.errors import PublishError
 from repro.image.guestfs import GuestfsHandle
 from repro.model.graph import PackageRole
@@ -72,17 +76,27 @@ class VMIPublisher:
         analyzer: SemanticAnalyzer | None = None,
         *,
         dedup_packages: bool = True,
+        indexed_selection: bool = True,
     ) -> None:
         """``dedup_packages=False`` yields the paper's *semantic
         decomposition* variant (Figure 4b): every required package is
         exported even when the repository already has it — storage ends
         up identical (the blob store is content-addressed) but the
-        publish pays the full export cost."""
+        publish pays the full export cost.
+
+        ``indexed_selection=False`` makes Algorithm 2 generate base
+        candidates with the paper-literal full repository scan instead
+        of the attribute-quadruple index; selections are identical
+        either way (the index is a pure accelerator)."""
         self.repo = repo
         self.clock = clock
         self.cost = cost
         self.analyzer = analyzer or SemanticAnalyzer(clock, cost)
         self.dedup_packages = dedup_packages
+        self.indexed_selection = indexed_selection
+        #: content-keyed Algorithm 2 caches, shared across this
+        #: publisher's publishes (one memo per repository)
+        self.selection_memo = SelectionMemo()
 
     # ------------------------------------------------------------------
 
@@ -183,7 +197,12 @@ class VMIPublisher:
 
         # -- line 14: Algorithm 2 --------------------------------------------
         selection: BaseSelection = select_base_image(
-            base_image, gi_bi, gi_ps, self.repo
+            base_image,
+            gi_bi,
+            gi_ps,
+            self.repo,
+            memo=self.selection_memo,
+            use_index=self.indexed_selection,
         )
         self.clock.advance(self.cost.metadata_update(), "select-base")
 
@@ -215,6 +234,7 @@ class VMIPublisher:
                 master.merge_from(self.repo.get_master_graph(key))
             self.repo.repoint_vmis(key, selection.base.blob_key())
             self.repo.remove_base_image(key)
+            self.selection_memo.forget_base(key)
             self.clock.advance(self.cost.metadata_update(), "select-base")
             replaced += 1
 

@@ -41,6 +41,7 @@ class Expelliarmus:
         params: CostParams | None = None,
         db_path: str = ":memory:",
         dedup_packages: bool = True,
+        indexed_selection: bool = True,
     ) -> None:
         self.clock = SimulatedClock()
         self.cost = CostModel(params)
@@ -52,6 +53,7 @@ class Expelliarmus:
             self.cost,
             self.analyzer,
             dedup_packages=dedup_packages,
+            indexed_selection=indexed_selection,
         )
         self.assembler = VMIAssembler(self.repo, self.clock, self.cost)
 
@@ -62,6 +64,27 @@ class Expelliarmus:
     def publish(self, vmi: VirtualMachineImage) -> PublishReport:
         """Steps 1-3 of Figure 2: upload, analyze, decompose, store."""
         return self.publisher.publish(vmi)
+
+    def publish_many(
+        self,
+        vmis,
+        *,
+        order: str = "dedup",
+        progress=None,
+        on_error: str = "continue",
+    ):
+        """Batch-publish a corpus through the scale-out pipeline.
+
+        Orders the batch dedup-aware by default (``order="given"``
+        preserves arrival order), isolates per-item failures and returns
+        the aggregated :class:`~repro.service.batch.BatchPublishReport`
+        (simulated seconds, bytes, dedup counts, Algorithm 2 work).
+        """
+        from repro.service.batch import BatchPublisher
+
+        return BatchPublisher(self.publisher).publish_many(
+            vmis, order=order, progress=progress, on_error=on_error
+        )
 
     def retrieve(self, name: str) -> RetrievalReport:
         """Steps 4-5 of Figure 2: request, assemble, deliver."""

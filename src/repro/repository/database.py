@@ -35,6 +35,8 @@ CREATE TABLE packages (
     installed_size INTEGER NOT NULL
 );
 CREATE INDEX idx_packages_name ON packages (name);
+CREATE INDEX idx_base_images_attrs
+    ON base_images (os_type, distro, version, arch);
 CREATE TABLE vmis (
     name       TEXT PRIMARY KEY,
     base_key   INTEGER NOT NULL,
@@ -129,6 +131,42 @@ class MetadataDatabase:
             " n_packages FROM base_images ORDER BY rowid"
         ).fetchall()
         return [BaseImageRow(_unsigned(r[0]), *r[1:]) for r in rows]
+
+    def base_images_with_attrs(
+        self,
+        os_type: str,
+        distro: str,
+        version: str | None = None,
+        arch: str | None = None,
+    ) -> list[BaseImageRow]:
+        """Stored bases matching an attribute quadruple prefix, exactly.
+
+        Served by ``idx_base_images_attrs``, so candidate generation
+        touches only the matching rows instead of the full table.
+        ``version`` / ``arch`` narrow the prefix when given.  Matching
+        here is exact string equality; the graded ``simBI = 1`` classes
+        (portable ``"all"`` arch, equivalent release spellings) are the
+        repository facade's concern.
+        """
+        sql = (
+            "SELECT blob_key, os_type, distro, version, arch, size,"
+            " n_packages FROM base_images WHERE os_type = ? AND distro = ?"
+        )
+        args: list[object] = [os_type, distro]
+        if version is not None:
+            sql += " AND version = ?"
+            args.append(version)
+        if arch is not None:
+            sql += " AND arch = ?"
+            args.append(arch)
+        sql += " ORDER BY rowid"
+        rows = self._conn.execute(sql, args).fetchall()
+        return [BaseImageRow(_unsigned(r[0]), *r[1:]) for r in rows]
+
+    def base_image_count(self) -> int:
+        return self._conn.execute(
+            "SELECT COUNT(*) FROM base_images"
+        ).fetchone()[0]
 
     # ------------------------------------------------------------------
     # packages

@@ -15,6 +15,7 @@ their master graphs when one base can replace the others.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 
 from repro.errors import GraphModelError
@@ -25,6 +26,9 @@ from repro.model.vmi import BaseImage
 from repro.similarity.compatibility import is_compatible
 
 __all__ = ["MasterGraph", "base_subgraph_of"]
+
+#: process-wide revision source for :attr:`MasterGraph.revision`
+_REVISIONS = itertools.count(1)
 
 
 def base_subgraph_of(base: BaseImage) -> SemanticGraph:
@@ -54,6 +58,13 @@ class MasterGraph:
     package_graph: SemanticGraph = field(default_factory=SemanticGraph)
     #: names of VMIs whose primary subgraphs were merged in
     member_vmis: list[str] = field(default_factory=list)
+    #: advanced on every membership mutation, drawn from a process-wide
+    #: monotonic counter so ``(base_key, revision)`` never names two
+    #: different membership states — even across GC rebuilds, which
+    #: start a fresh MasterGraph object for an existing base.  Derived
+    #: results (extracted member subgraphs, compatibility verdicts) are
+    #: cached under this pair and invalidate when members change.
+    revision: int = 0
 
     @classmethod
     def for_base(cls, base: BaseImage) -> "MasterGraph":
@@ -87,6 +98,7 @@ class MasterGraph:
                 f"{self.base.attrs}"
             )
         self.package_graph.union_update(subgraph)
+        self.revision = next(_REVISIONS)
         if vmi_name is not None and vmi_name not in self.member_vmis:
             self.member_vmis.append(vmi_name)
 

@@ -24,6 +24,7 @@ from repro.repository.database import (
     PackageRow,
 )
 from repro.repository.master_graphs import MasterGraph
+from repro.similarity.base import compatible_arch, same_release_version
 
 __all__ = ["Repository", "VMIRecord", "base_image_qcow2"]
 
@@ -71,6 +72,13 @@ class Repository:
         self._data: dict[str, UserData] = {}
         self._masters: dict[int, MasterGraph] = {}
         self._vmi_records: dict[str, VMIRecord] = {}
+        #: memo for the graded release-equivalence test between two
+        #: spellings (tiny domain: distinct release strings per distro)
+        self._release_class: dict[tuple[str, str], bool] = {}
+        #: master graphs indexed by the exact (T, D, V, A) quadruple
+        self._masters_by_attrs: dict[
+            tuple[str, str, str, str], list[int]
+        ] = {}
 
     # ------------------------------------------------------------------
     # packages
@@ -180,7 +188,10 @@ class Repository:
             raise NotInRepositoryError("base image", key)
         self.blobs.remove(key)
         self.db.delete_base_image(key)
-        self._masters.pop(key, None)
+        if self._masters.pop(key, None) is not None:
+            siblings = self._masters_by_attrs.get(base.attrs.key(), [])
+            if key in siblings:
+                siblings.remove(key)
         return base
 
     def get_base_image(self, key: int) -> BaseImage:
@@ -193,6 +204,41 @@ class Repository:
     def base_images(self) -> list[BaseImage]:
         """All stored bases, insertion order (Algorithm 2 line 3)."""
         return [self._bases[row.blob_key] for row in self.db.base_images()]
+
+    def base_images_matching(self, attrs) -> list[BaseImage]:
+        """Stored bases with ``simBI(attrs, stored) = 1``, via the index.
+
+        Exactly the bases a full scan of :meth:`base_images` filtered by
+        :func:`~repro.similarity.base.same_base_attrs` would yield, in
+        the same order — but the database serves only the rows sharing
+        ``(os_type, distro)`` (``idx_base_images_attrs``), already in
+        the scan's metadata-table order, and only the graded factors
+        (portable arch, release-equivalence classes, memoised per
+        spelling pair) are checked per row.  Per-query work scales with
+        the matching family, not with the repository.
+        """
+        matching: list[BaseImage] = []
+        for row in self.db.base_images_with_attrs(
+            attrs.os_type, attrs.distro
+        ):
+            # same factor order as the scan's same_base_attrs: arch
+            # before release, so unparseable releases behave identically
+            if not compatible_arch(attrs.arch, row.arch):
+                continue
+            if not self._same_release(row.version, attrs.version):
+                continue
+            matching.append(self._bases[row.blob_key])
+        return matching
+
+    def _same_release(self, stored: str, query: str) -> bool:
+        if stored == query:
+            return True
+        memo_key = (stored, query)
+        hit = self._release_class.get(memo_key)
+        if hit is None:
+            hit = same_release_version(stored, query)
+            self._release_class[memo_key] = hit
+        return hit
 
     def base_image_size(self, key: int) -> int:
         """On-disk qcow2 bytes of a stored base."""
@@ -213,15 +259,29 @@ class Repository:
         return base_key in self._masters
 
     def put_master_graph(self, master: MasterGraph) -> None:
+        siblings = self._masters_by_attrs.setdefault(
+            master.attrs.key(), []
+        )
+        if master.base_key not in siblings:
+            siblings.append(master.base_key)
         self._masters[master.base_key] = master
 
     def master_graphs(self) -> list[MasterGraph]:
         return list(self._masters.values())
 
     def masters_with_attrs(self, attrs) -> list[MasterGraph]:
-        """Masters whose base shares the (T, D, V, A) quadruple."""
+        """Masters whose base shares the (T, D, V, A) quadruple.
+
+        Indexed by the exact quadruple, so the semantic analyzer's
+        per-upload lookup is independent of how many master graphs other
+        families carry.  ``_masters`` stays the source of truth: index
+        entries whose master has vanished (lost in-memory state) are
+        skipped.
+        """
         return [
-            m for m in self._masters.values() if m.attrs.key() == attrs.key()
+            self._masters[key]
+            for key in self._masters_by_attrs.get(attrs.key(), ())
+            if key in self._masters
         ]
 
     # ------------------------------------------------------------------

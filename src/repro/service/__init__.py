@@ -1,0 +1,41 @@
+"""Scale-out service layer: batch operations over one repository.
+
+The paper's use case is interactive — one user uploads one VMI (Figure
+2, steps 1-3).  Operating a repository at corpus scale (marketplace
+imports, CI rebuild storms, tenant migrations) publishes hundreds to
+thousands of images in one administrative action, and doing that well
+is more than a loop: the batch should be *ordered* so the repository's
+dedup machinery sees lean bases and shared packages early, *accounted*
+so the operator learns what the batch cost as a whole, and *observable*
+while it runs.
+
+:mod:`repro.service.batch` provides exactly that pipeline:
+
+* :func:`~repro.service.batch.dedup_aware_order` — deterministic batch
+  ordering that groups uploads by base-attribute quadruple and puts
+  leaner bases and smaller primary sets first, so Algorithm 2 selects
+  stored bases instead of storing fat ones it must replace later;
+* :class:`~repro.service.batch.BatchPublisher` — drives
+  :class:`~repro.core.publisher.VMIPublisher` over a whole corpus with
+  per-item error isolation and a progress callback;
+* :class:`~repro.service.batch.BatchPublishReport` — aggregated cost
+  accounting: simulated seconds, bytes, export/dedup counts, base
+  replacement churn and the Algorithm 2 work counters for the batch.
+
+See DESIGN.md ("Scale-out publish pipeline") for how this layer relates
+to the per-upload path.
+"""
+
+from repro.service.batch import (
+    BatchItemResult,
+    BatchPublisher,
+    BatchPublishReport,
+    dedup_aware_order,
+)
+
+__all__ = [
+    "BatchItemResult",
+    "BatchPublisher",
+    "BatchPublishReport",
+    "dedup_aware_order",
+]

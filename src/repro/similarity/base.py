@@ -13,10 +13,15 @@ exposes directly.
 from __future__ import annotations
 
 from repro.model.attributes import BaseImageAttrs
-from repro.model.versions import version_component_similarity
+from repro.model.versions import Version, version_component_similarity
 from repro.similarity.package import arch_similarity
 
-__all__ = ["base_similarity", "same_base_attrs"]
+__all__ = [
+    "base_similarity",
+    "same_base_attrs",
+    "same_release_version",
+    "compatible_arch",
+]
 
 
 def base_similarity(b1: BaseImageAttrs, b2: BaseImageAttrs) -> float:
@@ -33,5 +38,29 @@ def base_similarity(b1: BaseImageAttrs, b2: BaseImageAttrs) -> float:
 
 
 def same_base_attrs(b1: BaseImageAttrs, b2: BaseImageAttrs) -> bool:
-    """The strict ``simBI(BI, b) = 1`` test of Algorithm 2 line 7."""
+    """The strict ``simBI(BI, b) = 1`` test of Algorithm 2 line 7.
+
+    Decomposes attribute-wise: exact ``os_type`` and ``distro``
+    equality, :func:`compatible_arch` on the architectures and
+    :func:`same_release_version` on the releases.  The repository's
+    base-attribute index partitions stored bases along exactly these
+    factors, so an index lookup and a full-scan filter agree base for
+    base.
+    """
     return base_similarity(b1, b2) == 1.0
+
+
+def same_release_version(v1: str, v2: str) -> bool:
+    """The release factor of ``simBI = 1``: equal spellings, or graded
+    version similarity of exactly 1 (e.g. ``"1.0"`` vs ``"1.0-0"``)."""
+    if v1 == v2:
+        return True
+    return (
+        version_component_similarity(Version.parse(v1), Version.parse(v2))
+        == 1.0
+    )
+
+
+def compatible_arch(a1: str, a2: str) -> bool:
+    """The architecture factor of ``simBI = 1`` (``"all"`` is portable)."""
+    return arch_similarity(a1, a2) == 1.0

@@ -10,11 +10,20 @@ synthetic Ubuntu 16.04 catalog (:mod:`~repro.workloads.catalog_data`),
 per-image recipes calibrated against Table II's mounted-size and
 file-count columns (:mod:`~repro.workloads.vmi_specs`), and corpus
 builders (:mod:`~repro.workloads.generator`,
-:mod:`~repro.workloads.ide_builds`).
+:mod:`~repro.workloads.ide_builds`) — plus the parameterizable
+large-corpus generator for scale experiments
+(:mod:`~repro.workloads.scale`: hundreds to thousands of VMIs across
+many OS families).
 """
 
 from repro.workloads.catalog_data import base_template, build_catalog
-from repro.workloads.generator import Corpus, standard_corpus
+from repro.workloads.generator import (
+    Corpus,
+    ScaleConfig,
+    ScaleCorpus,
+    scale_corpus,
+    standard_corpus,
+)
 from repro.workloads.ide_builds import ide_build_recipes
 from repro.workloads.vmi_specs import (
     FOUR_VMI_NAMES,
@@ -27,6 +36,9 @@ __all__ = [
     "base_template",
     "build_catalog",
     "Corpus",
+    "ScaleConfig",
+    "ScaleCorpus",
+    "scale_corpus",
     "standard_corpus",
     "ide_build_recipes",
     "FOUR_VMI_NAMES",

@@ -1,4 +1,12 @@
-"""Corpus builder: specs -> VirtualMachineImage objects."""
+"""Corpus builders: specs -> VirtualMachineImage objects.
+
+Two corpora live here: the paper's 19-image Table II workload
+(:class:`Corpus` / :func:`standard_corpus`) and the parameterizable
+large-corpus generator for scale experiments
+(:func:`scale_corpus`, re-exported from
+:mod:`repro.workloads.scale` — hundreds to thousands of VMIs across
+many OS families).
+"""
 
 from __future__ import annotations
 
@@ -6,6 +14,11 @@ from repro.guestos.catalog import Catalog
 from repro.image.builder import BaseTemplate, BuildRecipe, ImageBuilder
 from repro.model.vmi import VirtualMachineImage
 from repro.workloads.catalog_data import base_template, build_catalog
+from repro.workloads.scale import (
+    ScaleConfig,
+    ScaleCorpus,
+    scale_corpus,
+)
 from repro.workloads.vmi_specs import (
     FOUR_VMI_NAMES,
     TABLE_II_ORDER,
@@ -13,7 +26,13 @@ from repro.workloads.vmi_specs import (
     spec_for,
 )
 
-__all__ = ["Corpus", "standard_corpus"]
+__all__ = [
+    "Corpus",
+    "standard_corpus",
+    "ScaleConfig",
+    "ScaleCorpus",
+    "scale_corpus",
+]
 
 
 class Corpus:

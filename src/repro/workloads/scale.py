@@ -1,0 +1,326 @@
+"""Parameterizable large-corpus generator (hundreds to thousands of VMIs).
+
+The Table II corpus is 19 images on one base quadruple — the right
+substrate for reproducing the paper's numbers, and far too small to
+exercise the repository at the sprawl scale the paper motivates
+("hundreds of thousands of VMIs" across OS families).  This module
+generates corpora of arbitrary size spread over many synthetic OS
+families, each family a distinct ``(type, distro, version, arch)``
+quadruple with its own package namespace:
+
+* every family catalog carries a small essential core (with a
+  dependency cycle, as in Figure 1a), a shared-library layer and an
+  application layer the VMIs draw their primaries from;
+* a configurable fraction of builds uses a *fattened* base template
+  (extra base-baked packages), producing multiple distinct stored bases
+  per quadruple — the situation Algorithm 2's replacement machinery and
+  the base-attribute index exist for;
+* everything is a pure function of ``(seed, index)`` via
+  :func:`~repro.ids.content_id`, so corpora are fully deterministic and
+  two generators with equal config build byte-identical images.
+
+Sizes are kept deliberately small (megabytes, tens of files): scale
+experiments measure *algorithmic* work per publish, not synthetic byte
+shuffling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.guestos.catalog import Catalog
+from repro.ids import content_id
+from repro.image.builder import BaseTemplate, BuildRecipe, ImageBuilder
+from repro.model.attributes import BaseImageAttrs
+from repro.model.package import DependencySpec, Package, make_package
+from repro.model.vmi import VirtualMachineImage
+from repro.units import mb
+
+__all__ = ["ScaleConfig", "ScaleFamily", "ScaleCorpus", "scale_corpus"]
+
+_DISTROS = (
+    ("linux", "ubuntu", "16.04"),
+    ("linux", "ubuntu", "18.04"),
+    ("linux", "debian", "9"),
+    ("linux", "debian", "10"),
+    ("linux", "centos", "7"),
+    ("linux", "fedora", "28"),
+    ("linux", "suse", "15"),
+    ("linux", "alpine", "3.8"),
+)
+_ARCHES = ("amd64", "arm64")
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """Knobs of the large-corpus generator."""
+
+    #: corpus size (number of distinct VMIs)
+    n_vmis: int = 200
+    #: distinct base-attribute quadruples (OS families × versions × arch)
+    n_families: int = 8
+    #: application packages available per family
+    apps_per_family: int = 18
+    #: shared-library packages per family
+    libs_per_family: int = 8
+    #: most primaries a single VMI requests
+    max_primaries: int = 3
+    #: percent of builds on a fattened base template (0-100)
+    fat_base_pct: int = 20
+    #: determinism root for every generated choice
+    seed: str = "scale"
+
+    def __post_init__(self) -> None:
+        if self.n_vmis < 1:
+            raise ValueError("n_vmis must be positive")
+        if self.n_families < 1:
+            raise ValueError("n_families must be positive")
+        if not 0 <= self.fat_base_pct <= 100:
+            raise ValueError("fat_base_pct must be in [0, 100]")
+
+
+@dataclass(frozen=True)
+class ScaleFamily:
+    """One OS family: a quadruple, its catalog and its two templates."""
+
+    index: int
+    attrs: BaseImageAttrs
+    catalog: Catalog
+    lean: BaseTemplate
+    fat: BaseTemplate
+    app_names: tuple[str, ...]
+
+
+def _family_attrs(index: int) -> BaseImageAttrs:
+    os_type, distro, version = _DISTROS[index % len(_DISTROS)]
+    arch = _ARCHES[(index // len(_DISTROS)) % len(_ARCHES)]
+    # beyond distro × arch combinations, mint new point releases
+    minor = index // (len(_DISTROS) * len(_ARCHES))
+    if minor:
+        version = f"{version}.{minor}"
+    return BaseImageAttrs(os_type, distro, version, arch)
+
+
+def _sized(seed: str, lo_mb: float, hi_mb: float) -> int:
+    h = content_id(seed)
+    return mb(lo_mb + (h % 1000) / 1000.0 * (hi_mb - lo_mb))
+
+
+def _build_family(config: ScaleConfig, index: int) -> ScaleFamily:
+    """Generate one family's catalog and templates, deterministically."""
+    attrs = _family_attrs(index)
+    tag = f"f{index}"
+    seed = f"{config.seed}/{tag}"
+    d = DependencySpec
+
+    def pkg(
+        name: str,
+        size: int,
+        deps: tuple[DependencySpec, ...] = (),
+        *,
+        essential: bool = False,
+        section: str = "misc",
+    ) -> Package:
+        return make_package(
+            name,
+            "1.0",
+            arch=attrs.arch,
+            installed_size=size,
+            n_files=8 + content_id(f"{seed}/files/{name}") % 40,
+            depends=deps,
+            section=section,
+            essential=essential,
+        )
+
+    packages: list[Package] = []
+    # essential core with the Figure 1a-style cycle
+    core = f"core-{tag}"
+    pkgmgr = f"pkgmgr-{tag}"
+    shell = f"shell-{tag}"
+    packages.append(
+        pkg(core, _sized(f"{seed}/core", 8, 14), (d(pkgmgr),),
+            essential=True, section="libs")
+    )
+    packages.append(
+        pkg(pkgmgr, _sized(f"{seed}/pkgmgr", 4, 8), (d(shell),),
+            essential=True, section="admin")
+    )
+    packages.append(
+        pkg(shell, _sized(f"{seed}/shell", 2, 5), (d(core),),
+            essential=True, section="shells")
+    )
+    ssl = f"ssl-{tag}"
+    packages.append(
+        pkg(ssl, _sized(f"{seed}/ssl", 1, 3), (d(core),), section="libs")
+    )
+    runtime = f"runtime-{tag}"
+    packages.append(
+        pkg(runtime, _sized(f"{seed}/runtime", 15, 35),
+            (d(core), d(ssl)), section="interpreters")
+    )
+    base_names = (core, pkgmgr, shell, ssl, runtime)
+
+    # fat-template extras: baked into some builds' bases, needed by none
+    extras = (f"debugtools-{tag}", f"docs-{tag}")
+    for name in extras:
+        packages.append(
+            pkg(name, _sized(f"{seed}/extra/{name}", 3, 9), (d(core),),
+                section="utils")
+        )
+
+    # shared-library layer
+    libs = tuple(
+        f"lib{k}-{tag}" for k in range(config.libs_per_family)
+    )
+    for name in libs:
+        packages.append(
+            pkg(name, _sized(f"{seed}/lib/{name}", 0.3, 2.5),
+                (d(core),), section="libs")
+        )
+
+    # application layer: each app pulls a deterministic slice of libs
+    apps = tuple(
+        f"app{j}-{tag}" for j in range(config.apps_per_family)
+    )
+    for name in apps:
+        h = content_id(f"{seed}/appdeps/{name}")
+        n_deps = h % 3
+        deps = [d(libs[(h >> (4 * (i + 1))) % len(libs)])
+                for i in range(n_deps)]
+        if h % 5 == 0:
+            deps.append(d(runtime))
+        deps.append(d(core))
+        # dedup while preserving draw order
+        seen: dict[str, DependencySpec] = {}
+        for spec in deps:
+            seen.setdefault(spec.name, spec)
+        packages.append(
+            pkg(name, _sized(f"{seed}/app/{name}", 2, 45),
+                tuple(seen.values()), section="apps")
+        )
+
+    catalog = Catalog(packages)
+    lean = BaseTemplate(
+        attrs=attrs,
+        package_names=base_names,
+        skeleton_files=150 + content_id(f"{seed}/skel") % 100,
+        skeleton_size=_sized(f"{seed}/skelsize", 60, 120),
+    )
+    fat = BaseTemplate(
+        attrs=attrs,
+        package_names=base_names + extras,
+        skeleton_files=lean.skeleton_files,
+        skeleton_size=lean.skeleton_size,
+    )
+    return ScaleFamily(
+        index=index,
+        attrs=attrs,
+        catalog=catalog,
+        lean=lean,
+        fat=fat,
+        app_names=apps,
+    )
+
+
+@dataclass(frozen=True)
+class ScaleVMISpec:
+    """One generated VMI: its family, template flavour and primaries."""
+
+    index: int
+    name: str
+    family: int
+    fat_base: bool
+    primaries: tuple[str, ...]
+
+
+class ScaleCorpus:
+    """Builds the generated corpus on demand (images are mutable, so
+    every :meth:`build` call constructs a fresh instance)."""
+
+    def __init__(self, config: ScaleConfig | None = None) -> None:
+        self.config = config or ScaleConfig()
+        self.families = [
+            _build_family(self.config, i)
+            for i in range(self.config.n_families)
+        ]
+        # one builder per (family, flavour): bases resolve once each
+        self._builders: dict[tuple[int, bool], ImageBuilder] = {}
+
+    def __len__(self) -> int:
+        return self.config.n_vmis
+
+    def spec(self, index: int) -> ScaleVMISpec:
+        """The deterministic recipe of VMI ``index``.
+
+        Raises:
+            IndexError: outside ``[0, n_vmis)``.
+        """
+        if not 0 <= index < self.config.n_vmis:
+            raise IndexError(f"VMI index {index} outside corpus")
+        cfg = self.config
+        h = content_id(f"{cfg.seed}/vmi/{index}")
+        family = self.families[h % len(self.families)]
+        fat = (h >> 16) % 100 < cfg.fat_base_pct
+        n_primaries = 1 + (h >> 24) % cfg.max_primaries
+        chosen: dict[str, None] = {}
+        for i in range(n_primaries):
+            pick = content_id(f"{cfg.seed}/vmi/{index}/primary/{i}")
+            chosen.setdefault(
+                family.app_names[pick % len(family.app_names)], None
+            )
+        return ScaleVMISpec(
+            index=index,
+            name=f"vmi-{index:05d}",
+            family=family.index,
+            fat_base=fat,
+            primaries=tuple(chosen),
+        )
+
+    def build(self, index: int) -> VirtualMachineImage:
+        """Build VMI ``index`` fresh (publishing mutates images)."""
+        spec = self.spec(index)
+        family = self.families[spec.family]
+        builder = self._builders.get((spec.family, spec.fat_base))
+        if builder is None:
+            template = family.fat if spec.fat_base else family.lean
+            builder = ImageBuilder(family.catalog, template)
+            self._builders[(spec.family, spec.fat_base)] = builder
+        h = content_id(f"{self.config.seed}/payload/{index}")
+        return builder.build(
+            BuildRecipe(
+                name=spec.name,
+                primaries=spec.primaries,
+                user_data_size=mb(1 + h % 4),
+                user_data_files=10 + (h >> 8) % 20,
+                instance_noise_size=mb(2),
+                instance_noise_files=15,
+            )
+        )
+
+    def build_all(self) -> Iterator[VirtualMachineImage]:
+        """Every corpus image, in index order."""
+        for index in range(self.config.n_vmis):
+            yield self.build(index)
+
+
+def scale_corpus(
+    n_vmis: int = 200,
+    n_families: int = 8,
+    *,
+    seed: str = "scale",
+    **overrides,
+) -> ScaleCorpus:
+    """A large synthetic corpus over many OS families.
+
+    >>> corpus = scale_corpus(50, n_families=4)
+    >>> len(corpus)
+    50
+    >>> corpus.build(7).name
+    'vmi-00007'
+    """
+    return ScaleCorpus(
+        ScaleConfig(
+            n_vmis=n_vmis, n_families=n_families, seed=seed, **overrides
+        )
+    )

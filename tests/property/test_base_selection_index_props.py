@@ -1,0 +1,159 @@
+"""Property: indexed candidate generation ≡ the paper-literal scan.
+
+The base-attribute index is a pure accelerator: for any repository
+state and any upload, Algorithm 2 must return byte-identical
+:class:`~repro.core.base_selection.BaseSelection` results whether
+candidates come from :meth:`~repro.repository.repo.Repository.
+base_images_matching` or from the full-scan filter.  These tests build
+randomized repositories — several attribute quadruples (including
+release spellings that are *graded*-equal, like ``1.0`` vs ``1.0-0``,
+and portable ``"all"`` architectures), fat and lean bases per
+quadruple, masters present or lost, random member subgraphs — and
+compare the two paths on random uploads.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.base_selection import select_base_image
+from repro.image.builder import BaseTemplate, BuildRecipe, ImageBuilder
+from repro.model.attributes import BaseImageAttrs
+from repro.repository.master_graphs import MasterGraph
+from repro.repository.repo import Repository
+from repro.similarity.base import same_base_attrs
+
+from tests.conftest import BASE_PACKAGE_NAMES, make_mini_catalog
+
+#: quadruple pool: overlapping families, graded-equal release
+#: spellings ("1.0" vs "1.0-0"), portable arch
+_ATTRS_POOL = (
+    BaseImageAttrs("linux", "ubuntu", "16.04", "amd64"),
+    BaseImageAttrs("linux", "ubuntu", "16.04", "arm64"),
+    BaseImageAttrs("linux", "ubuntu", "16.04", "all"),
+    BaseImageAttrs("linux", "ubuntu", "18.04", "amd64"),
+    BaseImageAttrs("linux", "ubuntu", "1.0", "amd64"),
+    BaseImageAttrs("linux", "ubuntu", "1.0-0", "amd64"),
+    BaseImageAttrs("linux", "debian", "16.04", "amd64"),
+)
+
+#: extra base-baked packages (fat variants) and available primaries
+_EXTRAS_POOL = ((), ("portable-tool",), ("libssl",), ("portable-tool", "libssl"))
+_PRIMARY_POOL = ((), ("redis-server",), ("nginx",), ("redis-server", "nginx"))
+
+_attrs = st.sampled_from(_ATTRS_POOL)
+_extras = st.sampled_from(_EXTRAS_POOL)
+_primaries = st.sampled_from(_PRIMARY_POOL)
+
+#: one stored base: (quadruple, fat extras, has master, member primaries)
+_stored_base = st.tuples(_attrs, _extras, st.booleans(), _primaries)
+
+
+def _builder(catalog, attrs, extras):
+    return ImageBuilder(
+        catalog,
+        BaseTemplate(
+            attrs=attrs,
+            package_names=BASE_PACKAGE_NAMES + extras,
+            skeleton_files=200,
+            skeleton_size=20_000_000,
+        ),
+    )
+
+
+def _decompose(vmi):
+    """(BaseImage, GI[BI], GI[PS]) as Algorithm 1 would produce them."""
+    graph = vmi.semantic_graph()
+    gi_ps = graph.extract_primary_subgraph()
+    gi_bi = graph.extract_base_subgraph()
+    for name in list(vmi.primary_names()):
+        vmi.remove_package(name)
+    vmi.remove_unused_dependencies()
+    vmi.detach_user_data()
+    vmi.clear_residue()
+    return vmi.to_base_image(), gi_bi, gi_ps
+
+
+def _populate(repo, catalog, stored):
+    for i, (attrs, extras, with_master, primaries) in enumerate(stored):
+        builder = _builder(catalog, attrs, extras)
+        base = builder.base_image()
+        if not repo.store_base_image(base):
+            continue  # identical content already stored
+        if not with_master:
+            continue
+        master = MasterGraph.for_base(base)
+        for j, primary in enumerate(primaries):
+            vmi = builder.build(
+                BuildRecipe(name=f"member-{i}-{j}", primaries=(primary,))
+            )
+            _, _, gi_ps = _decompose(vmi)
+            master.add_primary_subgraph(gi_ps, vmi.name)
+        repo.put_master_graph(master)
+
+
+class TestIndexedSelectionEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        stored=st.lists(_stored_base, min_size=0, max_size=4),
+        upload=st.tuples(_attrs, _extras, _primaries),
+    )
+    def test_indexed_selection_equals_scan(self, stored, upload):
+        catalog = make_mini_catalog()
+        repo = Repository()
+        _populate(repo, catalog, stored)
+
+        attrs, extras, primaries = upload
+        vmi = _builder(catalog, attrs, extras).build(
+            BuildRecipe(name="upload", primaries=primaries)
+        )
+        base, gi_bi, gi_ps = _decompose(vmi)
+
+        scan = select_base_image(
+            base, gi_bi, gi_ps, repo, use_index=False
+        )
+        indexed = select_base_image(
+            base, gi_bi, gi_ps, repo, use_index=True
+        )
+
+        assert indexed.base.blob_key() == scan.base.blob_key()
+        assert indexed.replaced_keys() == scan.replaced_keys()
+        assert indexed.is_new == scan.is_new
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        stored=st.lists(_stored_base, min_size=0, max_size=4),
+        probe=_attrs,
+    )
+    def test_index_lookup_equals_scan_filter(self, stored, probe):
+        """The index slice is exactly the same_base_attrs scan filter,
+        in the same order."""
+        catalog = make_mini_catalog()
+        repo = Repository()
+        _populate(repo, catalog, stored)
+
+        via_scan = [
+            b.blob_key()
+            for b in repo.base_images()
+            if same_base_attrs(probe, b.attrs)
+        ]
+        via_index = [
+            b.blob_key() for b in repo.base_images_matching(probe)
+        ]
+        assert via_index == via_scan
+
+    @settings(max_examples=20, deadline=None)
+    @given(stored=st.lists(_stored_base, min_size=1, max_size=4))
+    def test_index_survives_removal(self, stored):
+        """Removing a base drops it from every index slice."""
+        catalog = make_mini_catalog()
+        repo = Repository()
+        _populate(repo, catalog, stored)
+        bases = repo.base_images()
+        if not bases:
+            return
+        victim = bases[0]
+        repo.remove_base_image(victim.blob_key())
+        for probe in _ATTRS_POOL:
+            assert victim.blob_key() not in [
+                b.blob_key() for b in repo.base_images_matching(probe)
+            ]

@@ -136,3 +136,97 @@ class TestIncompatibleStoredBase:
         # bases are content-identical here, so reuse happens; the
         # selection never invents a new blob
         assert selection.base.blob_key() == stored.blob_key()
+
+
+class TestIndexedPathAndMemo:
+    def test_use_index_matches_scan(
+        self, repo, mini_catalog, mini_builder, redis_recipe
+    ):
+        fat_builder = ImageBuilder(
+            mini_catalog, make_mini_template(extra=("portable-tool",))
+        )
+        repo.store_base_image(fat_builder.base_image())
+        repo.put_master_graph(
+            MasterGraph.for_base(fat_builder.base_image())
+        )
+        vmi = mini_builder.build(redis_recipe)
+        base, gi_bi, gi_ps = decomposed_parts(vmi)
+        scan = select_base_image(
+            base, gi_bi, gi_ps, repo, use_index=False
+        )
+        indexed = select_base_image(
+            base, gi_bi, gi_ps, repo, use_index=True
+        )
+        assert indexed.base.blob_key() == scan.base.blob_key()
+        assert indexed.replaced_keys() == scan.replaced_keys()
+        assert indexed.is_new == scan.is_new
+
+    def test_memo_counts_work(self, repo, mini_builder, redis_recipe):
+        from repro.core.base_selection import SelectionMemo
+
+        stored = mini_builder.base_image()
+        repo.store_base_image(stored)
+        repo.put_master_graph(MasterGraph.for_base(stored))
+
+        memo = SelectionMemo()
+        vmi = mini_builder.build(redis_recipe)
+        base, gi_bi, gi_ps = decomposed_parts(vmi)
+        select_base_image(base, gi_bi, gi_ps, repo, memo=memo)
+        assert memo.stats.calls == 1
+        assert memo.stats.bases_considered == 1
+        assert memo.stats.candidates == 2
+
+    def test_memo_hits_on_stable_masters(self, repo, mini_catalog):
+        """Repeated selections against unchanged masters answer
+        replaceability from the memo."""
+        from repro.core.base_selection import SelectionMemo
+
+        fat_builder = ImageBuilder(
+            mini_catalog, make_mini_template(extra=("portable-tool",))
+        )
+        repo.store_base_image(fat_builder.base_image())
+        repo.put_master_graph(
+            MasterGraph.for_base(fat_builder.base_image())
+        )
+        lean_builder = ImageBuilder(mini_catalog, make_mini_template())
+        memo = SelectionMemo()
+        for name in ("up-1", "up-2"):
+            vmi = lean_builder.build(
+                BuildRecipe(name=name, primaries=("redis-server",))
+            )
+            base, gi_bi, gi_ps = decomposed_parts(vmi)
+            select_base_image(base, gi_bi, gi_ps, repo, memo=memo)
+        assert memo.stats.compat_checks > 0
+        assert memo.stats.compat_cache_hits > 0
+
+    def test_scan_counts_whole_repository(
+        self, repo, mini_catalog, mini_builder, redis_recipe
+    ):
+        from repro.core.base_selection import SelectionMemo
+        from repro.model.attributes import BaseImageAttrs
+        from repro.image.builder import BaseTemplate
+
+        # a base of a *different* quadruple still costs the scan a look
+        other = ImageBuilder(
+            mini_catalog,
+            BaseTemplate(
+                attrs=BaseImageAttrs("linux", "debian", "9", "amd64"),
+                package_names=BASE_PACKAGE_NAMES,
+                skeleton_files=200,
+                skeleton_size=20_000_000,
+            ),
+        ).base_image()
+        repo.store_base_image(other)
+
+        vmi = mini_builder.build(redis_recipe)
+        base, gi_bi, gi_ps = decomposed_parts(vmi)
+        scan_memo = SelectionMemo()
+        select_base_image(
+            base, gi_bi, gi_ps, repo, memo=scan_memo, use_index=False
+        )
+        index_memo = SelectionMemo()
+        select_base_image(
+            base, gi_bi, gi_ps, repo, memo=index_memo, use_index=True
+        )
+        assert scan_memo.stats.bases_considered == 1
+        assert index_memo.stats.bases_considered == 0

@@ -104,3 +104,40 @@ class TestVMIs:
     def test_get_unknown_raises(self, db):
         with pytest.raises(NotInRepositoryError):
             db.get_vmi("ghost")
+
+
+class TestBaseImageAttrsIndex:
+    def _insert_variety(self, db):
+        db.insert_base_image(base_row(1))
+        db.insert_base_image(
+            BaseImageRow(
+                blob_key=2, os_type="linux", distro="ubuntu",
+                version="18.04", arch="amd64", size=10**9, n_packages=70,
+            )
+        )
+        db.insert_base_image(
+            BaseImageRow(
+                blob_key=3, os_type="linux", distro="debian",
+                version="9", arch="arm64", size=10**9, n_packages=60,
+            )
+        )
+
+    def test_exact_quadruple_query(self, db):
+        self._insert_variety(db)
+        rows = db.base_images_with_attrs(
+            "linux", "ubuntu", "16.04", "amd64"
+        )
+        assert [r.blob_key for r in rows] == [1]
+
+    def test_family_prefix_query(self, db):
+        self._insert_variety(db)
+        rows = db.base_images_with_attrs("linux", "ubuntu")
+        assert [r.blob_key for r in rows] == [1, 2]
+        assert db.base_images_with_attrs("linux", "arch") == []
+
+    def test_count(self, db):
+        assert db.base_image_count() == 0
+        self._insert_variety(db)
+        assert db.base_image_count() == 3
+        db.delete_base_image(2)
+        assert db.base_image_count() == 2

@@ -135,3 +135,92 @@ class TestAccounting:
         assert kinds["package"] > 0
         assert kinds["user-data"] == 0
         assert sum(kinds.values()) == repo.total_bytes()
+
+
+class TestBaseAttrsIndex:
+    """The in-memory quadruple index behind base_images_matching."""
+
+    def _store_pair(self, repo, mini_catalog):
+        from repro.image.builder import ImageBuilder
+        from tests.conftest import make_mini_template
+
+        lean = ImageBuilder(
+            mini_catalog, make_mini_template()
+        ).base_image()
+        fat = ImageBuilder(
+            mini_catalog, make_mini_template(extra=("portable-tool",))
+        ).base_image()
+        repo.store_base_image(lean)
+        repo.store_base_image(fat)
+        return lean, fat
+
+    def test_matching_returns_family(self, repo, mini_catalog):
+        lean, fat = self._store_pair(repo, mini_catalog)
+        keys = {
+            b.blob_key()
+            for b in repo.base_images_matching(lean.attrs)
+        }
+        assert keys == {lean.blob_key(), fat.blob_key()}
+
+    def test_matching_order_is_scan_order(self, repo, mini_catalog):
+        from repro.similarity.base import same_base_attrs
+
+        lean, _ = self._store_pair(repo, mini_catalog)
+        via_scan = [
+            b.blob_key()
+            for b in repo.base_images()
+            if same_base_attrs(lean.attrs, b.attrs)
+        ]
+        via_index = [
+            b.blob_key() for b in repo.base_images_matching(lean.attrs)
+        ]
+        assert via_index == via_scan
+
+    def test_other_family_excluded(self, repo, mini_catalog):
+        from repro.model.attributes import BaseImageAttrs
+
+        self._store_pair(repo, mini_catalog)
+        other = BaseImageAttrs("linux", "debian", "16.04", "amd64")
+        assert repo.base_images_matching(other) == []
+
+    def test_removal_prunes_index(self, repo, mini_catalog):
+        lean, fat = self._store_pair(repo, mini_catalog)
+        repo.remove_base_image(fat.blob_key())
+        keys = [
+            b.blob_key()
+            for b in repo.base_images_matching(lean.attrs)
+        ]
+        assert keys == [lean.blob_key()]
+
+    def test_portable_arch_matches_any(self, repo, mini_catalog):
+        from repro.model.attributes import BaseImageAttrs
+
+        lean, _ = self._store_pair(repo, mini_catalog)
+        portable = BaseImageAttrs(
+            lean.attrs.os_type, lean.attrs.distro,
+            lean.attrs.version, "all",
+        )
+        assert repo.base_images_matching(portable)
+
+
+class TestMastersAttrsIndex:
+    def test_masters_with_attrs_indexed(self, repo, base):
+        repo.store_base_image(base)
+        master = MasterGraph.for_base(base)
+        repo.put_master_graph(master)
+        assert repo.masters_with_attrs(base.attrs) == [master]
+
+    def test_put_twice_no_duplicate(self, repo, base):
+        repo.store_base_image(base)
+        repo.put_master_graph(MasterGraph.for_base(base))
+        rebuilt = MasterGraph.for_base(base)
+        repo.put_master_graph(rebuilt)
+        assert repo.masters_with_attrs(base.attrs) == [rebuilt]
+
+    def test_lost_master_skipped(self, repo, base):
+        """_masters is the source of truth: direct loss (process
+        restart simulation) must not break the attrs lookup."""
+        repo.store_base_image(base)
+        repo.put_master_graph(MasterGraph.for_base(base))
+        repo._masters.clear()
+        assert repo.masters_with_attrs(base.attrs) == []

@@ -57,3 +57,49 @@ class TestCommands:
         # openjdk is shared between Tomcat and Jenkins
         assert "openjdk-8-jre-headless" in out
         assert "x2" in out
+
+
+class TestPublishMany:
+    def test_table_corpus_batch(self, capsys):
+        assert main(["publish-many", "Mini", "Redis", "Base"]) == 0
+        out = capsys.readouterr().out
+        assert "published 3/3 VMIs" in out
+        assert "base selection:" in out
+
+    def test_scale_corpus_batch(self, capsys):
+        assert main(
+            ["publish-many", "--scale", "12", "--families", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "published 12/12 VMIs" in out
+
+    def test_progress_lines(self, capsys):
+        assert main(
+            ["publish-many", "Mini", "Redis", "--progress"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[   1/2]" in out
+        assert "[   2/2]" in out
+
+    def test_scan_flag_matches_indexed_totals(self, capsys):
+        assert main(["publish-many", "Mini", "Redis"]) == 0
+        indexed_out = capsys.readouterr().out
+        assert main(["publish-many", "Mini", "Redis", "--scan"]) == 0
+        scan_out = capsys.readouterr().out
+        # identical repositories either way (the index is pure speedup)
+        assert indexed_out.splitlines()[1] == scan_out.splitlines()[1]
+
+    def test_order_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["publish-many", "--order", "shuffled"]
+            )
+
+    def test_unknown_image_clean_error(self, capsys):
+        assert main(["publish-many", "Mini", "Bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown corpus image(s): Bogus" in err
+
+    def test_bad_scale_clean_error(self, capsys):
+        assert main(["publish-many", "--scale", "0"]) == 2
+        assert "n_vmis must be positive" in capsys.readouterr().err
