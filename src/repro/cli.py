@@ -9,6 +9,10 @@ Subcommands:
 * ``publish-many [names...]`` — batch-publish a corpus through the
   scale-out pipeline (dedup-aware ordering, aggregated accounting);
   ``--scale N`` publishes an N-VMI generated multi-family corpus;
+* ``retrieve-many [names...]`` — publish a corpus, then batch-retrieve
+  every published VMI through the plan-caching pipeline (base-affine
+  ordering, per-component accounting); ``--cold`` serves each request
+  through the sequential cache-less assembler for comparison;
 * ``corpus`` — list the evaluation images and their characteristics.
 """
 
@@ -53,29 +57,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pub.add_argument("names", nargs="+", help="corpus image names")
 
-    many = sub.add_parser(
-        "publish-many",
-        help="batch-publish a corpus through the scale-out pipeline",
-    )
-    many.add_argument(
+    #: corpus-selection flags shared by the batch subcommands
+    corpus_flags = argparse.ArgumentParser(add_help=False)
+    corpus_flags.add_argument(
         "names",
         nargs="*",
         help="Table II image names (default: all 19; ignored with --scale)",
     )
-    many.add_argument(
+    corpus_flags.add_argument(
         "--scale",
         type=int,
         metavar="N",
-        help="publish an N-VMI generated corpus across --families",
+        help="use an N-VMI generated corpus across --families",
     )
-    many.add_argument(
+    corpus_flags.add_argument(
         "--families",
         type=int,
         default=8,
         help="OS families of the generated corpus (with --scale)",
     )
-    many.add_argument(
+    corpus_flags.add_argument(
         "--seed", default="scale", help="generator seed (with --scale)"
+    )
+
+    many = sub.add_parser(
+        "publish-many",
+        help="batch-publish a corpus through the scale-out pipeline",
+        parents=[corpus_flags],
     )
     many.add_argument(
         "--order",
@@ -92,6 +100,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress",
         action="store_true",
         help="print one line per published image",
+    )
+
+    ret = sub.add_parser(
+        "retrieve-many",
+        help="batch-retrieve a published corpus with warm plan caches",
+        parents=[corpus_flags],
+    )
+    ret.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="R",
+        help="retrieve every published VMI R times (default: 1)",
+    )
+    ret.add_argument(
+        "--order",
+        choices=["affine", "given"],
+        default="affine",
+        help="batch ordering (default: base-affine)",
+    )
+    ret.add_argument(
+        "--cold",
+        action="store_true",
+        help="sequential cache-less retrieval (Algorithm 3 per request)",
+    )
+    ret.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one line per retrieved image",
     )
 
     sub.add_parser("corpus", help="list the evaluation corpus")
@@ -136,8 +173,13 @@ def _cmd_publish(names: Sequence[str]) -> int:
     return 0
 
 
-def _cmd_publish_many(args) -> int:
-    from repro.core.system import Expelliarmus
+def _resolve_corpus(args):
+    """The VMIs the shared corpus flags select, or an exit code.
+
+    ``--scale N`` builds an N-VMI generated corpus; otherwise the named
+    (default: all) Table II images.  Errors print to stderr and return
+    ``2``, the bad-arguments exit code.
+    """
     from repro.workloads.generator import scale_corpus, standard_corpus
     from repro.workloads.vmi_specs import TABLE_II_ORDER
 
@@ -149,19 +191,26 @@ def _cmd_publish_many(args) -> int:
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        vmis = list(corpus.build_all())
-    else:
-        table_corpus = standard_corpus()
-        names = args.names or list(TABLE_II_ORDER)
-        unknown = [n for n in names if n not in TABLE_II_ORDER]
-        if unknown:
-            print(
-                f"error: unknown corpus image(s): {', '.join(unknown)} "
-                f"(see 'expelliarmus corpus')",
-                file=sys.stderr,
-            )
-            return 2
-        vmis = [table_corpus.build(name) for name in names]
+        return list(corpus.build_all())
+    table_corpus = standard_corpus()
+    names = args.names or list(TABLE_II_ORDER)
+    unknown = [n for n in names if n not in TABLE_II_ORDER]
+    if unknown:
+        print(
+            f"error: unknown corpus image(s): {', '.join(unknown)} "
+            f"(see 'expelliarmus corpus')",
+            file=sys.stderr,
+        )
+        return 2
+    return [table_corpus.build(name) for name in names]
+
+
+def _cmd_publish_many(args) -> int:
+    from repro.core.system import Expelliarmus
+
+    vmis = _resolve_corpus(args)
+    if isinstance(vmis, int):
+        return vmis
 
     system = Expelliarmus(indexed_selection=not args.scan)
 
@@ -175,6 +224,81 @@ def _cmd_publish_many(args) -> int:
 
     report = system.publish_many(
         vmis,
+        order=args.order,
+        progress=echo_progress if args.progress else None,
+    )
+    print(report.render())
+    return 1 if report.n_failed else 0
+
+
+def _cmd_retrieve_many(args) -> int:
+    from repro.core.system import Expelliarmus
+
+    if args.repeat < 1:
+        print("error: --repeat must be positive", file=sys.stderr)
+        return 2
+    vmis = _resolve_corpus(args)
+    if isinstance(vmis, int):
+        return vmis
+
+    system = Expelliarmus()
+    published = system.publish_many(vmis)
+    if published.n_failed:
+        print(published.render(), file=sys.stderr)
+        return 1
+    print(
+        f"published {published.n_published} VMIs "
+        f"({system.repository_size / 1e9:.3f} GB); retrieving "
+        f"x{args.repeat}"
+    )
+
+    requests = [
+        r.name for _ in range(args.repeat) for r in system.repo.vmi_records()
+    ]
+
+    if args.cold:
+        from repro.errors import ReproError
+        from repro.service.retrieval import components_line
+        from repro.sim.clock import TimeBreakdown
+
+        total = TimeBreakdown()
+        failed = 0
+        for done, name in enumerate(requests, start=1):
+            try:
+                report = system.retrieve(name)
+            except ReproError as exc:
+                failed += 1
+                if args.progress:
+                    print(
+                        f"[{done:>4}/{len(requests)}] {name:<16} "
+                        f"FAILED ({exc})"
+                    )
+                continue
+            total = total.merged(report.breakdown)
+            if args.progress:
+                print(
+                    f"[{done:>4}/{len(requests)}] {name:<16} "
+                    f"{report.retrieval_time:7.2f}s"
+                )
+        print(
+            f"retrieved {len(requests) - failed}/{len(requests)} VMIs "
+            f"in {total.total:.1f} simulated s (cold, sequential)"
+        )
+        print(f"  components: {components_line(total)}")
+        return 1 if failed else 0
+
+    def echo_progress(done, total, item):
+        status = (
+            f"{item.report.retrieval_time:7.2f}s"
+            f"{' warm' if item.warm_base else ''}"
+            f"{' plan-hit' if item.plan_hit else ''}"
+            if item.ok
+            else f"FAILED ({item.error})"
+        )
+        print(f"[{done:>4}/{total}] {item.name:<16} {status}")
+
+    report = system.retrieve_many(
+        requests,
         order=args.order,
         progress=echo_progress if args.progress else None,
     )
@@ -236,6 +360,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_publish(args.names)
     if args.command == "publish-many":
         return _cmd_publish_many(args)
+    if args.command == "retrieve-many":
+        return _cmd_retrieve_many(args)
     if args.command == "corpus":
         return _cmd_corpus()
     if args.command == "stats":

@@ -25,7 +25,10 @@ from repro.sim.clock import SimulatedClock, TimeBreakdown
 from repro.sim.costmodel import CostModel
 from repro.similarity.compatibility import is_compatible
 
-__all__ = ["RetrievalReport", "VMIAssembler"]
+__all__ = ["RETRIEVAL_COMPONENTS", "RetrievalReport", "VMIAssembler"]
+
+#: the four charged retrieval components, in Figure-5a stack order
+RETRIEVAL_COMPONENTS = ("base-copy", "handle", "reset", "import")
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,376 @@
+"""Assembly planning — cacheable retrieval plans (DESIGN.md §9).
+
+Algorithm 3 (:mod:`repro.core.assembler`) repeats the same derivation
+work for every member of a VMI family: fetch the master graph, extract
+each requested primary's subgraph, union them, check the compatibility
+precondition, and decide which packages the base already provides.  For
+a repository serving read-heavy traffic most requests hit a small set
+of ``(base image, primary set)`` combinations, so that derivation is
+pure amortisable overhead.
+
+:class:`AssemblyPlanner` splits retrieval into two halves:
+
+* **derive** — resolve a :class:`RetrievalRequest` into an explicit
+  :class:`AssemblyPlan`: the base blob to copy (and its charged size),
+  and the exact ordered list of :class:`InstallStep` package imports.
+  Plans are cached keyed by the request's ``(base_key, primary
+  identity sequence)``.
+* **execute** — run a plan against the repository, charging the same
+  four Figure-5a components the sequential assembler charges.
+
+**Cache soundness.**  A cached plan is only served while the
+repository state it was derived from still holds: the base blob must
+still be stored (content-addressed, so same key ⟹ same bytes) and the
+base's master graph must still carry the revision the plan recorded —
+:attr:`~repro.repository.master_graphs.MasterGraph.revision` is drawn
+from a process-wide monotonic counter, so any membership change
+(publish merge, base replacement, GC rebuild) moves it and the stale
+plan is re-derived.  A repository-wide mutation counter
+(:attr:`~repro.repository.repo.Repository.mutations`) provides a fast
+path: while nothing in the repository changed at all, revalidation is
+one integer compare.
+
+The planner is an accelerator, never an oracle: executing a plan must
+be observationally identical to :meth:`~repro.core.assembler.
+VMIAssembler.retrieve` — same assembled VMI, same imported-package
+order, same errors — with only the *charged cost* allowed to differ
+(a warm base copy is a local clone, not a repository read).  The
+differential and property tests in ``tests/property/
+test_retrieval_props.py`` pin that equivalence down.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.core.assembler import RetrievalReport
+from repro.errors import IncompatibleImageError, RetrievalError
+from repro.image.guestfs import GuestfsHandle
+from repro.image.sysprep import sysprep
+from repro.model.graph import PackageRole, SemanticGraph
+from repro.model.vmi import VirtualMachineImage
+from repro.repository.repo import Repository, VMIRecord
+from repro.sim.clock import SimulatedClock
+from repro.sim.costmodel import CostModel
+from repro.similarity.compatibility import is_compatible
+
+__all__ = [
+    "AssemblyPlan",
+    "AssemblyPlanner",
+    "InstallStep",
+    "PlannedRetrieval",
+    "PlannerStats",
+    "RetrievalRequest",
+]
+
+
+@dataclass(frozen=True)
+class RetrievalRequest:
+    """One retrieval to resolve: which VMI to assemble, from what."""
+
+    name: str
+    base_key: int
+    primary_names: tuple[str, ...]
+    data_label: str | None = None
+    #: exact primary versions, when known (published VMIs record them);
+    #: unlisted primaries resolve to the newest version in the master
+    primary_versions: tuple[tuple[str, str], ...] = ()
+
+    @classmethod
+    def for_record(cls, record: VMIRecord) -> "RetrievalRequest":
+        """The request that reassembles one published VMI."""
+        return cls(
+            name=record.name,
+            base_key=record.base_key,
+            primary_names=record.primary_names,
+            data_label=record.data_label,
+            primary_versions=tuple(
+                (pname, version)
+                for pname, version, _ in record.primary_identities
+            ),
+        )
+
+    def plan_key(self) -> tuple:
+        """The cache key: base blob + ordered primary identity set.
+
+        The primary sequence is part of the key because install order
+        follows request order — two orderings of one set are distinct
+        plans with distinct (equally valid) import sequences.
+        """
+        return (self.base_key, self.primary_names, self.primary_versions)
+
+    def version_of(self, name: str) -> str | None:
+        for pname, version in self.primary_versions:
+            if pname == name:
+                return version
+        return None
+
+
+@dataclass(frozen=True)
+class InstallStep:
+    """One package import of a plan (Algorithm 3 lines 6-13)."""
+
+    blob_key: int
+    name: str
+    role: PackageRole
+
+
+@dataclass(frozen=True)
+class AssemblyPlan:
+    """Everything retrieval must do, resolved once and replayable."""
+
+    base_key: int
+    #: stored qcow2 bytes — the charged size of a cold base copy
+    base_bytes: int
+    installs: tuple[InstallStep, ...]
+    #: master-graph revision the install list was derived from; the
+    #: plan is stale the moment the master moves past it
+    master_revision: int
+
+    def imported_names(self) -> tuple[str, ...]:
+        return tuple(step.name for step in self.installs)
+
+
+@dataclass
+class PlannerStats:
+    """Work counters for the planner (benchmark + test probes)."""
+
+    #: retrieval requests resolved through the planner
+    requests: int = 0
+    #: plans derived from scratch (cache miss or invalidation)
+    plans_derived: int = 0
+    #: requests answered by a still-valid cached plan
+    plan_hits: int = 0
+    #: cached plans discarded because the repository moved on
+    plan_invalidations: int = 0
+    #: primary subgraph extractions performed while deriving
+    subgraph_extractions: int = 0
+    #: compatibility checks performed while deriving
+    compat_checks: int = 0
+    #: base copies charged at full repository-read cost
+    base_copies: int = 0
+    #: base copies served from the warm local cache (clone cost)
+    base_cache_hits: int = 0
+
+    def snapshot(self) -> "PlannerStats":
+        return dataclasses.replace(self)
+
+    def since(self, before: "PlannerStats") -> "PlannerStats":
+        """The counter delta between ``before`` and now."""
+        return PlannerStats(**{
+            f.name: getattr(self, f.name) - getattr(before, f.name)
+            for f in dataclasses.fields(self)
+        })
+
+
+@dataclass
+class _CacheEntry:
+    plan: AssemblyPlan
+    #: repository mutation counter at last successful validation —
+    #: while it matches, the plan is fresh by construction
+    validated_at: int
+
+
+@dataclass(frozen=True)
+class PlannedRetrieval:
+    """One planner-driven retrieval plus its cache outcome."""
+
+    report: RetrievalReport
+    plan_hit: bool
+    warm_base: bool
+
+
+class AssemblyPlanner:
+    """Derives, caches and executes assembly plans for one repository."""
+
+    def __init__(
+        self, repo: Repository, clock: SimulatedClock, cost: CostModel
+    ) -> None:
+        self.repo = repo
+        self.clock = clock
+        self.cost = cost
+        self.stats = PlannerStats()
+        self._plans: dict[tuple, _CacheEntry] = {}
+        #: base blobs with a warm local copy; entries are only trusted
+        #: while the blob is still stored
+        self._warm_bases: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # plan cache
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def clear(self) -> None:
+        """Drop every cached plan and warm base copy."""
+        self._plans.clear()
+        self._warm_bases.clear()
+
+    def plan_for(self, request: RetrievalRequest) -> tuple[AssemblyPlan, bool]:
+        """The plan for ``request``: ``(plan, served_from_cache)``.
+
+        Raises:
+            NotInRepositoryError: the base (or its master graph) is not
+                stored.
+            RetrievalError: a requested primary is not available for
+                the base.
+            IncompatibleImageError: the requested primary set violates
+                the Algorithm 3 line-2 precondition.
+        """
+        key = request.plan_key()
+        entry = self._plans.get(key)
+        if entry is not None:
+            if entry.validated_at == self.repo.mutations:
+                # nothing in the repository changed since validation
+                self.stats.plan_hits += 1
+                return entry.plan, True
+            if self._still_valid(entry.plan):
+                entry.validated_at = self.repo.mutations
+                self.stats.plan_hits += 1
+                return entry.plan, True
+            self.stats.plan_invalidations += 1
+            del self._plans[key]
+        plan = self._derive(request)
+        self._plans[key] = _CacheEntry(
+            plan=plan, validated_at=self.repo.mutations
+        )
+        return plan, False
+
+    def _still_valid(self, plan: AssemblyPlan) -> bool:
+        """Is the repository state the plan was derived from intact?"""
+        if not self.repo.blobs.contains(plan.base_key):
+            return False
+        return (
+            self.repo.master_revision(plan.base_key)
+            == plan.master_revision
+        )
+
+    def _derive(self, request: RetrievalRequest) -> AssemblyPlan:
+        """Resolve a request from the master graph (Alg. 3 lines 1-2, 6-7)."""
+        self.stats.plans_derived += 1
+        master = self.repo.get_master_graph(request.base_key)
+        gi_ps = SemanticGraph()
+        for pname in request.primary_names:
+            if not master.has_package(pname):
+                raise RetrievalError(
+                    f"package {pname!r} is not available for base "
+                    f"{master.attrs}"
+                )
+            gi_ps.union_update(
+                master.extract_primary_subgraph(
+                    pname, request.version_of(pname)
+                )
+            )
+            self.stats.subgraph_extractions += 1
+        if request.primary_names:
+            self.stats.compat_checks += 1
+            if not is_compatible(master.base_subgraph, gi_ps):
+                raise IncompatibleImageError(
+                    f"requested packages {request.primary_names} are not "
+                    f"compatible with base {master.attrs}"
+                )
+        base = self.repo.get_base_image(request.base_key)
+        base_names = base.package_names()
+        primary_set = set(request.primary_names)
+        installs = tuple(
+            InstallStep(
+                blob_key=pkg.blob_key(),
+                name=pkg.name,
+                role=(
+                    PackageRole.PRIMARY
+                    if pkg.name in primary_set
+                    else PackageRole.DEPENDENCY
+                ),
+            )
+            for pkg in gi_ps.packages()
+            if pkg.name not in base_names
+        )
+        return AssemblyPlan(
+            base_key=request.base_key,
+            base_bytes=self.repo.base_image_size(request.base_key),
+            installs=installs,
+            master_revision=master.revision,
+        )
+
+    # ------------------------------------------------------------------
+    # plan execution
+    # ------------------------------------------------------------------
+
+    def assemble(self, request: RetrievalRequest) -> PlannedRetrieval:
+        """Resolve and execute a retrieval through the plan caches.
+
+        Raises the same errors as :meth:`~repro.core.assembler.
+        VMIAssembler.assemble` under the same conditions.
+        """
+        self.stats.requests += 1
+        plan, plan_hit = self.plan_for(request)
+        with self.clock.measure() as breakdown:
+            vmi, warm = self._execute(request, plan)
+        return PlannedRetrieval(
+            report=RetrievalReport(
+                vmi=vmi,
+                imported_packages=plan.imported_names(),
+                breakdown=breakdown,
+            ),
+            plan_hit=plan_hit,
+            warm_base=warm,
+        )
+
+    def _execute(
+        self, request: RetrievalRequest, plan: AssemblyPlan
+    ) -> tuple[VirtualMachineImage, bool]:
+        """Algorithm 3 lines 3-13, replayed from the plan."""
+        base = self.repo.get_base_image(plan.base_key)
+        warm = self._charge_base_copy(plan)
+
+        handle = GuestfsHandle(self.clock, self.cost, label="handle")
+        handle.launch()
+
+        vmi = VirtualMachineImage(request.name, base)
+        handle.mount(vmi)
+        sysprep(vmi)
+        self.clock.advance(self.cost.vmi_reset(), "reset")
+
+        if request.data_label is not None:
+            data = self.repo.get_user_data(request.data_label)
+            vmi.attach_user_data(data)
+            self.clock.advance(self.cost.read_bytes(data.size), "import")
+
+        for step in plan.installs:
+            stored = self.repo.get_package(step.blob_key)
+            vmi.install_package(
+                stored,
+                step.role,
+                auto=step.role is PackageRole.DEPENDENCY,
+            )
+            self.clock.advance(self.cost.import_package(stored), "import")
+
+        handle.shutdown()
+        return vmi, warm
+
+    def _charge_base_copy(self, plan: AssemblyPlan) -> bool:
+        """Charge the base-copy component; True when served warm.
+
+        The first copy of a base reads the full qcow2 from the
+        repository; while the blob stays stored, later copies clone the
+        warm local image instead.  A vanished blob (GC, replacement)
+        silently demotes back to a cold read of the re-stored content.
+        """
+        key = plan.base_key
+        if key in self._warm_bases:
+            if self.repo.blobs.contains(key):
+                self.stats.base_cache_hits += 1
+                self.clock.advance(
+                    self.cost.base_cache_clone(plan.base_bytes),
+                    "base-copy",
+                )
+                return True
+            self._warm_bases.discard(key)
+        self.stats.base_copies += 1
+        self.clock.advance(
+            self.cost.read_bytes(plan.base_bytes), "base-copy"
+        )
+        self._warm_bases.add(key)
+        return False

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 from repro.core.analyzer import SemanticAnalyzer
 from repro.core.assembler import RetrievalReport, VMIAssembler
+from repro.core.assembly_plan import AssemblyPlanner
 from repro.core.publisher import PublishReport, VMIPublisher
 from repro.model.vmi import VirtualMachineImage
 from repro.repository.repo import Repository
@@ -56,6 +57,11 @@ class Expelliarmus:
             indexed_selection=indexed_selection,
         )
         self.assembler = VMIAssembler(self.repo, self.clock, self.cost)
+        #: plan + warm-base caches persist across retrieval batches;
+        #: revision-checked against the repository, so publishes, base
+        #: replacements and GC between batches can never serve a stale
+        #: plan
+        self.planner = AssemblyPlanner(self.repo, self.clock, self.cost)
 
     # ------------------------------------------------------------------
     # the two user-facing operations of Figure 2
@@ -89,6 +95,32 @@ class Expelliarmus:
     def retrieve(self, name: str) -> RetrievalReport:
         """Steps 4-5 of Figure 2: request, assemble, deliver."""
         return self.assembler.retrieve(name)
+
+    def retrieve_many(
+        self,
+        requests,
+        *,
+        order: str = "affine",
+        progress=None,
+        on_error: str = "continue",
+    ):
+        """Batch-retrieve through the scale-out pipeline.
+
+        ``requests`` holds published VMI names and/or
+        :class:`~repro.core.assembly_plan.RetrievalRequest` objects.
+        Orders the batch base-affine by default (``order="given"``
+        preserves arrival order) so the warm base and plan caches
+        amortise copies and plan derivation, isolates per-item failures
+        and returns the aggregated :class:`~repro.service.retrieval.
+        BatchRetrieveReport`.  Assembled VMIs are observationally
+        identical to sequential :meth:`retrieve` — only the charged
+        cost differs.
+        """
+        from repro.service.retrieval import BatchRetriever
+
+        return BatchRetriever(self.planner).retrieve_many(
+            requests, order=order, progress=progress, on_error=on_error
+        )
 
     def assemble_custom(
         self, name: str, base_key: int, primary_names: tuple[str, ...],

@@ -15,6 +15,10 @@ Checks performed:
 * blob sizes match the package/base metadata they claim to carry;
 * every published VMI's base exists, has a master graph, and the
   master graph contains every recorded primary;
+* every published VMI is *retrievable*: every package Algorithm 3
+  would import for it — each recorded primary plus its dependency
+  closure in the master graph, minus what the base provides — resolves
+  to a stored package blob;
 * every recorded user-data label resolves;
 * every master graph satisfies the Section III-H compatibility
   invariant and belongs to a stored base.
@@ -24,6 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import GraphModelError
 from repro.repository.blobstore import BlobKind
 from repro.repository.repo import Repository, base_image_qcow2
 
@@ -125,6 +130,9 @@ def check_repository(repo: Repository) -> FsckReport:
 
     # -- VMI records ----------------------------------------------------------
     records = repo.vmi_records()
+    #: (base_key, primary, version) -> packages its closure imports —
+    #: records of one family share compositions, extract each once
+    closure_memo: dict[tuple, tuple] = {}
     for record in records:
         if record.base_key not in indexed_base_keys:
             findings.append(Inconsistency(
@@ -139,11 +147,49 @@ def check_repository(repo: Repository) -> FsckReport:
             ))
             continue
         master = repo.get_master_graph(record.base_key)
+        base_names = master.base.package_names()
+        #: missing blobs already reported for this record — primaries
+        #: of one VMI often share dependencies, one finding each
+        reported_missing: set[int] = set()
         for primary in record.primary_names:
             if not master.has_package(primary):
                 findings.append(Inconsistency(
                     "missing-primary", record.name,
                     f"primary {primary!r} absent from master graph",
+                ))
+                continue
+            # retrievability: Algorithm 3 imports the primary plus its
+            # dependency closure, except what the base image provides —
+            # every one of those packages must have a stored blob
+            version = record.primary_version(primary)
+            memo_key = (record.base_key, primary, version)
+            imports = closure_memo.get(memo_key)
+            if imports is None:
+                try:
+                    subgraph = master.extract_primary_subgraph(
+                        primary, version
+                    )
+                except GraphModelError as exc:
+                    findings.append(Inconsistency(
+                        "missing-primary", record.name,
+                        f"recorded version of {primary!r} not "
+                        f"extractable: {exc}",
+                    ))
+                    continue
+                imports = tuple(
+                    pkg for pkg in subgraph.packages()
+                    if pkg.name not in base_names
+                )
+                closure_memo[memo_key] = imports
+            for pkg in imports:
+                key = pkg.blob_key()
+                if key in reported_missing or repo.blobs.contains(key):
+                    continue
+                reported_missing.add(key)
+                findings.append(Inconsistency(
+                    "unretrievable-package", record.name,
+                    f"retrieval needs {pkg} but its package blob "
+                    "is not stored",
                 ))
         if record.data_label is not None:
             if record.data_label not in repo._data:

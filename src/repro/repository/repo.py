@@ -79,6 +79,37 @@ class Repository:
         self._masters_by_attrs: dict[
             tuple[str, str, str, str], list[int]
         ] = {}
+        #: bumped on every state-changing operation; cheap freshness
+        #: probe for caches derived from repository state (assembly
+        #: plans revalidate only when this moved)
+        self._mutations = 0
+
+    # ------------------------------------------------------------------
+    # revision hooks (cache invalidation)
+    # ------------------------------------------------------------------
+
+    @property
+    def mutations(self) -> int:
+        """Count of state-changing operations applied so far.
+
+        Monotonic within a repository instance.  Equal counts guarantee
+        identical state; unequal counts mean derived caches must
+        revalidate against the content they depend on.
+        """
+        return self._mutations
+
+    def _mutated(self) -> None:
+        self._mutations += 1
+
+    def master_revision(self, base_key: int) -> int | None:
+        """The master-graph revision for a base, ``None`` when absent.
+
+        The content-level freshness token for retrieval plans: a plan
+        derived at revision ``r`` is stale iff this no longer returns
+        ``r`` (membership merged in, base replaced, GC rebuilt).
+        """
+        master = self._masters.get(base_key)
+        return master.revision if master is not None else None
 
     # ------------------------------------------------------------------
     # packages
@@ -95,6 +126,7 @@ class Repository:
             key, BlobKind.PACKAGE, pkg.deb_size, str(pkg)
         ):
             return False
+        self._mutated()
         self._packages[key] = pkg
         self.db.insert_package(
             PackageRow(
@@ -135,6 +167,7 @@ class Repository:
             data.blob_key(), BlobKind.USER_DATA, data.size, data.label
         ):
             return False
+        self._mutated()
         self._data[data.label] = data
         return True
 
@@ -163,6 +196,7 @@ class Repository:
             key, BlobKind.BASE_IMAGE, qcow.size, str(base.attrs)
         ):
             return False
+        self._mutated()
         self._bases[key] = base
         self.db.insert_base_image(
             BaseImageRow(
@@ -186,6 +220,7 @@ class Repository:
         base = self._bases.pop(key, None)
         if base is None:
             raise NotInRepositoryError("base image", key)
+        self._mutated()
         self.blobs.remove(key)
         self.db.delete_base_image(key)
         if self._masters.pop(key, None) is not None:
@@ -259,6 +294,7 @@ class Repository:
         return base_key in self._masters
 
     def put_master_graph(self, master: MasterGraph) -> None:
+        self._mutated()
         siblings = self._masters_by_attrs.setdefault(
             master.attrs.key(), []
         )
@@ -289,6 +325,7 @@ class Repository:
     # ------------------------------------------------------------------
 
     def record_vmi(self, record: VMIRecord, package_keys: list[int]) -> None:
+        self._mutated()
         self._vmi_records[record.name] = record
         self.db.insert_vmi(
             record.name, record.base_key, record.data_label, package_keys
@@ -311,6 +348,7 @@ class Repository:
             NotInRepositoryError: unpublished name.
         """
         record = self.get_vmi_record(name)
+        self._mutated()
         self.db.delete_vmi(name)
         del self._vmi_records[name]
         return record
@@ -324,6 +362,7 @@ class Repository:
         pkg = self._packages.pop(key, None)
         if pkg is None:
             raise NotInRepositoryError("package", key)
+        self._mutated()
         self.blobs.remove(key)
         self.db.delete_package(key)
         return pkg
@@ -337,6 +376,7 @@ class Repository:
         data = self._data.pop(label, None)
         if data is None:
             raise NotInRepositoryError("user data", label)
+        self._mutated()
         self.blobs.remove(data.blob_key())
         return data
 
@@ -354,6 +394,7 @@ class Repository:
                     n_files=rec.n_files,
                     primary_identities=rec.primary_identities,
                 )
+                self._mutated()
                 self._vmi_records[name] = updated
                 self.db.update_vmi_base(name, new_base_key)
                 n += 1

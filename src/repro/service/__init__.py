@@ -22,8 +22,23 @@ while it runs.
   accounting: simulated seconds, bytes, export/dedup counts, base
   replacement churn and the Algorithm 2 work counters for the batch.
 
-See DESIGN.md ("Scale-out publish pipeline") for how this layer relates
-to the per-upload path.
+:mod:`repro.service.retrieval` is the read-side mirror of the same
+idea — the half a production repository actually serves under
+read-heavy traffic:
+
+* :func:`~repro.service.retrieval.base_affine_order` — deterministic
+  batch ordering that runs requests sharing a stored base (and,
+  within a base, a full assembly plan) consecutively, so the warm
+  base copy and the cached plan serve every follower;
+* :class:`~repro.service.retrieval.BatchRetriever` — drives
+  :class:`~repro.core.assembly_plan.AssemblyPlanner` over a whole
+  request batch with per-item error isolation and a progress callback;
+* :class:`~repro.service.retrieval.BatchRetrieveReport` — aggregated
+  cost accounting: the Figure-5a component stack for the batch plus
+  the planner's plan-cache and base-cache work counters.
+
+See DESIGN.md ("Scale-out publish pipeline", "Retrieval scale-out")
+for how this layer relates to the per-upload / per-request paths.
 """
 
 from repro.service.batch import (
@@ -32,10 +47,20 @@ from repro.service.batch import (
     BatchPublishReport,
     dedup_aware_order,
 )
+from repro.service.retrieval import (
+    BatchRetrieveReport,
+    BatchRetriever,
+    RetrieveItemResult,
+    base_affine_order,
+)
 
 __all__ = [
     "BatchItemResult",
     "BatchPublisher",
     "BatchPublishReport",
+    "BatchRetrieveReport",
+    "BatchRetriever",
+    "RetrieveItemResult",
+    "base_affine_order",
     "dedup_aware_order",
 ]

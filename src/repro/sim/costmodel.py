@@ -46,6 +46,9 @@ class CostParams:
     guestfs_launch_s: float = 4.0
     #: virt-sysprep reset of a base image
     vmi_reset_s: float = 5.0
+    #: cloning an already-warm local base copy (reflink/COW metadata
+    #: work) instead of re-reading the qcow2 from the repository disk
+    base_clone_s: float = 0.2
 
     # -- file-granular stores (Mirage / Hemera) --------------------------
     #: hashing + indexing one file on publish
@@ -126,6 +129,14 @@ class CostModel:
 
     def vmi_reset(self) -> float:
         return self.params.vmi_reset_s
+
+    def base_cache_clone(self, n_bytes: int) -> float:
+        """Materialising a fresh VMI from a warm local base copy.
+
+        Never costs more than the cold repository read it replaces — a
+        COW clone is metadata work, bounded above by copying the bytes.
+        """
+        return min(self.params.base_clone_s, self.read_bytes(n_bytes))
 
     # -- file-granular stores ----------------------------------------------
 

@@ -1,11 +1,15 @@
 """Shared fixtures.
 
-Two tiers of test substrate:
+Three tiers of test substrate:
 
 * the *mini* fixtures — a hand-built six-package catalog with the
   libc6/dpkg/perl-base cycle, used by fast unit tests;
 * the *corpus* fixtures — the full synthetic Table II workload, session
-  scoped because experiment harnesses take seconds.
+  scoped because experiment harnesses take seconds;
+* the *scale* fixture factory — multi-family generated corpora
+  (:mod:`repro.workloads.scale`), session-cached per configuration so
+  integration and property suites share corpora instead of rebuilding
+  the family catalogs inline.
 """
 
 from __future__ import annotations
@@ -137,6 +141,41 @@ def mini_system():
     from repro.core.system import Expelliarmus
 
     return Expelliarmus()
+
+
+# ---------------------------------------------------------------------------
+# generated scale corpora, session cached per configuration
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def scale_corpus_factory():
+    """Session-cached :class:`~repro.workloads.scale.ScaleCorpus` maker.
+
+    ``factory(n_vmis, n_families=..., seed=..., **overrides)`` returns
+    the corpus for that exact configuration, building it at most once
+    per session.  Sharing is safe: corpora are immutable recipes —
+    every ``build()`` call constructs fresh (mutable) images — so two
+    tests drawing from one cached corpus can never interfere.
+    """
+    from repro.workloads.scale import scale_corpus
+
+    cache = {}
+
+    def factory(n_vmis, n_families=4, seed="scale", **overrides):
+        key = (
+            n_vmis,
+            n_families,
+            seed,
+            tuple(sorted(overrides.items())),
+        )
+        if key not in cache:
+            cache[key] = scale_corpus(
+                n_vmis, n_families=n_families, seed=seed, **overrides
+            )
+        return cache[key]
+
+    return factory
 
 
 # ---------------------------------------------------------------------------

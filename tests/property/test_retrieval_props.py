@@ -1,0 +1,171 @@
+"""Property: batch retrieval ≡ sequential Algorithm 3, in every ordering.
+
+The plan-caching pipeline is a pure accelerator: for any published
+corpus, any batch composition (subsets, duplicates, any permutation),
+``retrieve_many`` must hand back exactly the VMIs that sequential
+:meth:`~repro.core.assembler.VMIAssembler.retrieve` would assemble —
+byte-identical filesystem manifests, identical package state and
+identical ``imported_packages`` order — with only the *charged cost*
+allowed to differ, and then only downward (a warm base clone never
+costs more than the cold repository read it replaces; every other
+Figure-5a component is charged identically).
+
+These tests build randomized multi-family corpora through the shared
+session-cached factory, publish random subsets, and differentially
+compare the two retrieval paths item by item — including across a
+second batch where every plan replays from cache.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.system import Expelliarmus
+
+#: Figure-5a components charged identically on both paths
+_EXACT_LABELS = ("handle", "reset", "import")
+
+
+def _publish(corpus, indices):
+    system = Expelliarmus()
+    report = system.publish_many(
+        [corpus.build(i) for i in indices], order="given"
+    )
+    assert report.n_failed == 0
+    return system
+
+
+def _assert_observationally_equal(item, expected):
+    """One batch item against the sequential reference retrieval."""
+    assert item.ok, item.error
+    got = item.report
+    assert got.imported_packages == expected.imported_packages
+    assert got.vmi.full_manifest() == expected.vmi.full_manifest()
+    assert got.vmi.mounted_size == expected.vmi.mounted_size
+    assert got.vmi.n_files == expected.vmi.n_files
+    got_state = {
+        p.name: (p.package.identity, p.role, p.auto)
+        for p in got.vmi.installed_packages()
+    }
+    expected_state = {
+        p.name: (p.package.identity, p.role, p.auto)
+        for p in expected.vmi.installed_packages()
+    }
+    assert got_state == expected_state
+    if expected.vmi.user_data is None:
+        assert got.vmi.user_data is None
+    else:
+        assert got.vmi.user_data.label == expected.vmi.user_data.label
+
+
+def _assert_cost_dominated(item, expected):
+    """Cached-path cost ≤ cold cost, component by component."""
+    got = item.report
+    for label in _EXACT_LABELS:
+        assert got.component(label) == expected.component(label), label
+    assert (
+        got.component("base-copy")
+        <= expected.component("base-copy") + 1e-9
+    )
+
+
+class TestBatchEquivalence:
+    @settings(max_examples=10, deadline=None)
+    @given(data=st.data())
+    def test_retrieve_many_equals_sequential(
+        self, scale_corpus_factory, data
+    ):
+        n_families = data.draw(
+            st.integers(1, 3), label="n_families"
+        )
+        corpus = scale_corpus_factory(12, n_families=n_families)
+        published = data.draw(
+            st.lists(
+                st.integers(0, 11), min_size=1, max_size=12, unique=True
+            ),
+            label="published",
+        )
+        system = _publish(corpus, published)
+        names = [corpus.spec(i).name for i in published]
+
+        # the sequential reference: cold Algorithm 3, one at a time
+        reference = {name: system.retrieve(name) for name in names}
+
+        # a batch of any composition: subset, duplicates, any order
+        batch_names = data.draw(
+            st.lists(
+                st.sampled_from(names),
+                min_size=1,
+                max_size=2 * len(names),
+            ),
+            label="batch",
+        )
+        order = data.draw(
+            st.sampled_from(["affine", "given"]), label="order"
+        )
+        report = system.retrieve_many(batch_names, order=order)
+
+        assert report.n_failed == 0
+        assert report.n_items == len(batch_names)
+        for item in report.results:
+            _assert_observationally_equal(item, reference[item.name])
+            _assert_cost_dominated(item, reference[item.name])
+
+    @settings(max_examples=6, deadline=None)
+    @given(data=st.data())
+    def test_second_batch_replays_plans_identically(
+        self, scale_corpus_factory, data
+    ):
+        """A fully warm batch still produces identical output, and its
+        charged cost is component-wise ≤ the first batch's."""
+        corpus = scale_corpus_factory(10, n_families=2)
+        published = data.draw(
+            st.lists(
+                st.integers(0, 9), min_size=2, max_size=10, unique=True
+            ),
+            label="published",
+        )
+        system = _publish(corpus, published)
+        names = [corpus.spec(i).name for i in published]
+
+        first = system.retrieve_many(names)
+        second = system.retrieve_many(
+            data.draw(st.permutations(names), label="permutation")
+        )
+        assert second.plan_hits == len(names)
+        assert second.planner_stats.plans_derived == 0
+        by_name = {r.name: r for r in first.results}
+        for item in second.results:
+            _assert_observationally_equal(
+                item, by_name[item.name].report
+            )
+            _assert_cost_dominated(item, by_name[item.name].report)
+
+    @settings(max_examples=6, deadline=None)
+    @given(data=st.data())
+    def test_orderings_agree_with_each_other(
+        self, scale_corpus_factory, data
+    ):
+        """Affine and given orderings of one batch serve the same VMIs
+        (ordering is a cost lever, never a semantics lever)."""
+        corpus = scale_corpus_factory(8, n_families=2, seed="order")
+        published = list(range(8))
+        names = [corpus.spec(i).name for i in published]
+        shuffled = data.draw(st.permutations(names), label="shuffled")
+
+        affine = _publish(corpus, published).retrieve_many(
+            shuffled, order="affine"
+        )
+        given_ = _publish(corpus, published).retrieve_many(
+            shuffled, order="given"
+        )
+        affine_by_name = {r.name: r for r in affine.results}
+        for item in given_.results:
+            twin = affine_by_name[item.name]
+            assert (
+                item.report.imported_packages
+                == twin.report.imported_packages
+            )
+            assert (
+                item.report.vmi.full_manifest()
+                == twin.report.vmi.full_manifest()
+            )

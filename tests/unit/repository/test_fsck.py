@@ -118,3 +118,77 @@ class TestDetection:
         )
         report = check_repository(system.repo)
         assert report.by_kind("size-mismatch")
+
+
+class TestRetrievability:
+    """Corruption injection against the Algorithm-3 retrievability check."""
+
+    def test_swept_dependency_blob_detected(self, system):
+        # redis-vm imports libssl as a dependency; losing its blob makes
+        # the published VMI unretrievable even though the index forgot
+        # nothing about the primary itself
+        key = system.repo.packages_named("libssl")[0].blob_key()
+        system.repo.blobs.remove(key)
+        system.repo.db.delete_package(key)  # a consistent-looking sweep
+        del system.repo._packages[key]
+        report = check_repository(system.repo)
+        findings = report.by_kind("unretrievable-package")
+        assert findings
+        assert findings[0].subject == "redis-vm"
+        assert "libssl" in findings[0].detail
+
+    def test_swept_primary_blob_detected(self, system):
+        key = system.repo.packages_named("redis-server")[0].blob_key()
+        system.repo.blobs.remove(key)
+        system.repo.db.delete_package(key)
+        del system.repo._packages[key]
+        report = check_repository(system.repo)
+        findings = report.by_kind("unretrievable-package")
+        assert findings
+        assert "redis-server" in findings[0].detail
+
+    def test_base_provided_packages_not_required(self, system):
+        """Base members are served by the base copy, never imported —
+        their absence from the package store is not a finding."""
+        report = check_repository(system.repo)
+        assert report.clean
+        # libc6 is in every subgraph closure yet has no package blob
+        assert not system.repo.packages_named("libc6")
+
+    def test_unrecorded_version_reported_not_crashed(self, system):
+        """A record naming a primary version the master graph no longer
+        carries is a finding, not an fsck crash."""
+        record = system.repo.get_vmi_record("redis-vm")
+        from repro.repository.repo import VMIRecord
+
+        system.repo._vmi_records["redis-vm"] = VMIRecord(
+            name=record.name,
+            base_key=record.base_key,
+            primary_names=record.primary_names,
+            data_label=record.data_label,
+            mounted_size=record.mounted_size,
+            n_files=record.n_files,
+            primary_identities=(("redis-server", "99.9", "amd64"),),
+        )
+        report = check_repository(system.repo)
+        assert report.by_kind("missing-primary")
+
+    def test_shared_missing_dependency_reported_once(self, mini_system, mini_builder):
+        """Two primaries of one record sharing a swept dependency blob
+        yield one finding, not one per primary."""
+        mini_system.publish(
+            mini_builder.build(
+                BuildRecipe(
+                    name="combo-vm",
+                    primaries=("redis-server", "nginx"),
+                )
+            )
+        )
+        key = mini_system.repo.packages_named("libssl")[0].blob_key()
+        mini_system.repo.blobs.remove(key)
+        mini_system.repo.db.delete_package(key)
+        del mini_system.repo._packages[key]
+        report = check_repository(mini_system.repo)
+        findings = report.by_kind("unretrievable-package")
+        assert len(findings) == 1
+        assert "libssl" in findings[0].detail

@@ -1,0 +1,192 @@
+"""Unit tests for the batch retrieval pipeline."""
+
+import pytest
+
+from repro.core.assembly_plan import RetrievalRequest
+from repro.errors import NotInRepositoryError
+from repro.image.builder import BuildRecipe
+from repro.service.retrieval import BatchRetriever, base_affine_order
+
+
+@pytest.fixture
+def populated(mini_system, mini_builder, redis_recipe):
+    mini_system.publish(mini_builder.build(redis_recipe))
+    mini_system.publish(
+        mini_builder.build(
+            BuildRecipe(name="nginx-vm", primaries=("nginx",))
+        )
+    )
+    return mini_system
+
+
+class TestBaseAffineOrder:
+    def test_groups_by_base_then_plan(self):
+        reqs = [
+            RetrievalRequest("d", 2, ("q",)),
+            RetrievalRequest("a", 1, ("p",)),
+            RetrievalRequest("c", 2, ("p",)),
+            RetrievalRequest("b", 1, ("p",)),
+        ]
+        ordered = base_affine_order(reqs)
+        assert [r.name for r in ordered] == ["a", "b", "c", "d"]
+
+    def test_stable_for_equal_keys(self):
+        reqs = [
+            RetrievalRequest("same", 1, ("p",), data_label="first"),
+            RetrievalRequest("same", 1, ("p",), data_label="second"),
+        ]
+        ordered = base_affine_order(reqs)
+        assert [r.data_label for r in ordered] == ["first", "second"]
+
+
+class TestRetrieveMany:
+    def test_retrieves_all_published(self, populated):
+        report = populated.retrieve_many(["redis-vm", "nginx-vm"])
+        assert report.n_items == 2
+        assert report.n_retrieved == 2
+        assert report.n_failed == 0
+        names = {r.report.vmi.name for r in report.results}
+        assert names == {"redis-vm", "nginx-vm"}
+
+    def test_positions_index_callers_sequence(self, populated):
+        report = populated.retrieve_many(["nginx-vm", "redis-vm"])
+        assert report.result_for("nginx-vm").position == 0
+        assert report.result_for("redis-vm").position == 1
+
+    def test_mixed_names_and_requests(self, populated):
+        record = populated.repo.get_vmi_record("redis-vm")
+        request = RetrievalRequest.for_record(record)
+        report = populated.retrieve_many([request, "nginx-vm"])
+        assert report.n_retrieved == 2
+
+    def test_same_base_amortizes_copy(self, populated):
+        """Both VMIs share one stored base: the second copy is warm."""
+        report = populated.retrieve_many(["redis-vm", "nginx-vm"])
+        assert report.planner_stats.base_copies == 1
+        assert report.planner_stats.base_cache_hits == 1
+        assert report.warm_base_hits == 1
+
+    def test_repeat_requests_replay_plans(self, populated):
+        report = populated.retrieve_many(
+            ["redis-vm", "redis-vm", "redis-vm"]
+        )
+        assert report.planner_stats.plans_derived == 1
+        assert report.plan_hits == 2
+
+    def test_matches_sequential_retrieval(self, populated):
+        sequential = {
+            name: populated.retrieve(name)
+            for name in ("redis-vm", "nginx-vm")
+        }
+        report = populated.retrieve_many(["redis-vm", "nginx-vm"])
+        for item in report.results:
+            expected = sequential[item.name]
+            assert (
+                item.report.imported_packages
+                == expected.imported_packages
+            )
+            assert (
+                item.report.vmi.full_manifest()
+                == expected.vmi.full_manifest()
+            )
+
+    def test_unknown_name_isolated(self, populated):
+        report = populated.retrieve_many(["redis-vm", "ghost"])
+        assert report.n_retrieved == 1
+        assert report.n_failed == 1
+        failure = report.failures()[0]
+        assert failure.name == "ghost"
+        assert "ghost" in failure.error
+
+    def test_unknown_name_raises_when_asked(self, populated):
+        with pytest.raises(NotInRepositoryError):
+            populated.retrieve_many(
+                ["redis-vm", "ghost"], on_error="raise"
+            )
+
+    def test_given_order_preserves_sequence(self, populated):
+        report = populated.retrieve_many(
+            ["nginx-vm", "redis-vm"], order="given"
+        )
+        assert [r.name for r in report.results] == [
+            "nginx-vm", "redis-vm",
+        ]
+
+    def test_bad_order_rejected(self, populated):
+        with pytest.raises(ValueError):
+            populated.retrieve_many(["redis-vm"], order="shuffled")
+
+    def test_bad_error_policy_rejected(self, populated):
+        with pytest.raises(ValueError):
+            populated.retrieve_many(["redis-vm"], on_error="ignore")
+
+    def test_progress_callback_sees_every_item(self, populated):
+        seen = []
+        populated.retrieve_many(
+            ["redis-vm", "ghost", "nginx-vm"],
+            progress=lambda done, total, item: seen.append(
+                (done, total, item.name, item.ok)
+            ),
+        )
+        # every item reports progress, failures included, 1..n
+        assert [done for done, _, _, _ in seen] == [1, 2, 3]
+        assert all(total == 3 for _, total, _, _ in seen)
+        assert ("ghost", False) in {
+            (name, ok) for _, _, name, ok in seen
+        }
+
+    def test_caches_persist_across_batches(self, populated):
+        first = populated.retrieve_many(["redis-vm", "nginx-vm"])
+        second = populated.retrieve_many(["redis-vm", "nginx-vm"])
+        assert first.plan_hits == 0
+        assert second.plan_hits == 2
+        assert second.planner_stats.base_copies == 0
+        assert second.planner_stats.base_cache_hits == 2
+        assert second.simulated_seconds < first.simulated_seconds
+
+    def test_stale_plans_never_served_after_gc(self, populated):
+        populated.retrieve_many(["redis-vm", "nginx-vm"])
+        populated.delete("nginx-vm")
+        populated.garbage_collect()
+        report = populated.retrieve_many(["redis-vm"])
+        assert report.n_failed == 0
+        assert report.planner_stats.plan_invalidations == 1
+        assert report.planner_stats.plans_derived == 1
+        assert (
+            report.results[0].report.imported_packages
+            == populated.retrieve("redis-vm").imported_packages
+        )
+
+
+class TestBatchRetrieveReport:
+    def test_component_aggregation(self, populated):
+        report = populated.retrieve_many(["redis-vm", "nginx-vm"])
+        total = sum(
+            report.component(label)
+            for label in ("base-copy", "handle", "reset", "import")
+        )
+        assert report.simulated_seconds == pytest.approx(total)
+        assert report.retrieval_rate == pytest.approx(
+            2 / report.simulated_seconds
+        )
+
+    def test_render_mentions_cache_work(self, populated):
+        out = populated.retrieve_many(["redis-vm", "nginx-vm"]).render()
+        assert "retrieved 2/2 VMIs" in out
+        assert "plans: 2 derived" in out
+        assert "1 served warm" in out
+
+    def test_render_lists_failures(self, populated):
+        out = populated.retrieve_many(["ghost"]).render()
+        assert "FAILED ghost" in out
+
+    def test_empty_batch(self, populated):
+        report = populated.retrieve_many([])
+        assert report.n_items == 0
+        assert report.simulated_seconds == 0.0
+        assert report.retrieval_rate == 0.0
+
+    def test_direct_retriever_construction(self, populated):
+        retriever = BatchRetriever(populated.planner)
+        report = retriever.retrieve_many(["redis-vm"])
+        assert report.n_retrieved == 1

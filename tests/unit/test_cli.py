@@ -103,3 +103,55 @@ class TestPublishMany:
     def test_bad_scale_clean_error(self, capsys):
         assert main(["publish-many", "--scale", "0"]) == 2
         assert "n_vmis must be positive" in capsys.readouterr().err
+
+
+class TestRetrieveMany:
+    def test_table_corpus_roundtrip(self, capsys):
+        assert main(["retrieve-many", "Mini", "Redis"]) == 0
+        out = capsys.readouterr().out
+        assert "published 2 VMIs" in out
+        assert "retrieved 2/2 VMIs" in out
+        assert "plans: 2 derived" in out
+
+    def test_scale_corpus_with_repeat(self, capsys):
+        assert main(
+            ["retrieve-many", "--scale", "8", "--families", "2",
+             "--repeat", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "retrieved 16/16 VMIs" in out
+        assert "8 replayed from cache" in out
+
+    def test_cold_path_reports_components(self, capsys):
+        assert main(["retrieve-many", "Mini", "--cold"]) == 0
+        out = capsys.readouterr().out
+        assert "cold, sequential" in out
+        assert "base-copy" in out
+
+    def test_progress_marks_cache_outcomes(self, capsys):
+        assert main(
+            ["retrieve-many", "--scale", "6", "--families", "1",
+             "--repeat", "2", "--progress"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[   1/12]" in out
+        assert " warm" in out
+        assert " plan-hit" in out
+
+    def test_order_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["retrieve-many", "--order", "shuffled"]
+            )
+
+    def test_unknown_image_clean_error(self, capsys):
+        assert main(["retrieve-many", "Mini", "Bogus"]) == 2
+        assert "unknown corpus image(s): Bogus" in capsys.readouterr().err
+
+    def test_bad_repeat_clean_error(self, capsys):
+        assert main(["retrieve-many", "Mini", "--repeat", "0"]) == 2
+        assert "--repeat must be positive" in capsys.readouterr().err
+
+    def test_bad_scale_clean_error(self, capsys):
+        assert main(["retrieve-many", "--scale", "0"]) == 2
+        assert "n_vmis must be positive" in capsys.readouterr().err
