@@ -14,7 +14,6 @@ import numpy as np
 import pytest
 
 from repro.core.system import Expelliarmus
-from repro.image.manifest import FileManifest
 from repro.similarity.graph import graph_similarity
 from repro.workloads.generator import standard_corpus
 

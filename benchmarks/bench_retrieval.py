@@ -28,7 +28,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import attach_series
+from benchmarks.conftest import attach_series, write_bench_json
 from repro.core.system import Expelliarmus
 from repro.experiments.reporting import ExperimentResult, Series
 from repro.sim.clock import TimeBreakdown
@@ -161,6 +161,7 @@ def test_retrieval_sweep(benchmark, report_result):
     )
     report_result(result)
     attach_series(benchmark, result)
+    write_bench_json(result, "retrieval")
     _assert_amortized(result)
 
 
@@ -172,4 +173,5 @@ def test_retrieval_smoke(benchmark, report_result):
     )
     report_result(result)
     attach_series(benchmark, result)
+    write_bench_json(result, "retrieval")
     _assert_amortized(result)

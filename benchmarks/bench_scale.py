@@ -24,7 +24,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import attach_series
+from benchmarks.conftest import attach_series, write_bench_json
 from repro.core.system import Expelliarmus
 from repro.experiments.reporting import ExperimentResult, Series
 from repro.workloads.scale import scale_corpus
@@ -135,6 +135,7 @@ def test_scale_publish_sweep(benchmark, report_result):
     )
     report_result(result)
     attach_series(benchmark, result)
+    write_bench_json(result, "scale")
     _assert_sublinear(result)
 
 
@@ -146,4 +147,5 @@ def test_scale_publish_smoke(benchmark, report_result):
     )
     report_result(result)
     attach_series(benchmark, result)
+    write_bench_json(result, "scale")
     _assert_sublinear(result)

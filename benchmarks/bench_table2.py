@@ -6,7 +6,6 @@ repository and retrieves each; prints the measured-vs-paper table.
 
 import pytest
 
-from benchmarks.conftest import attach_series
 from repro.experiments.table2 import run_table2
 
 

@@ -6,9 +6,19 @@ Each ``bench_*`` module regenerates one table/figure of the paper.  The
 durations and sizes the paper reports are printed through
 ``report_result`` and attached to ``benchmark.extra_info`` so the JSON
 output carries measured-vs-paper values.
+
+When ``BENCH_JSON_DIR`` is set, :func:`write_bench_json` additionally
+writes each result as a machine-readable ``BENCH_<name>.json`` summary
+— the perf-trajectory artifacts CI uploads per run, so the numbers the
+benches compute accumulate across the project's history instead of
+vanishing with the job log.
 """
 
 from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
 
 import pytest
 
@@ -35,3 +45,28 @@ def attach_series(benchmark, result: ExperimentResult) -> None:
             benchmark.extra_info[series.label] = round(
                 series.final(), 3
             )
+
+
+def write_bench_json(result: ExperimentResult, name: str) -> None:
+    """Write ``BENCH_<name>.json`` into ``$BENCH_JSON_DIR``, if set.
+
+    The payload is the result's full machine-readable summary: columns,
+    rows, every series, and the notes explaining the regime.  A no-op
+    without the environment variable, so local runs stay file-free.
+    """
+    out_dir = os.environ.get("BENCH_JSON_DIR")
+    if not out_dir:
+        return
+    payload = {
+        "experiment": result.experiment_id,
+        "title": result.title,
+        "columns": list(result.columns),
+        "rows": [list(row) for row in result.rows],
+        "series": {s.label: list(s.values) for s in result.series},
+        "notes": list(result.notes),
+    }
+    target = Path(out_dir)
+    target.mkdir(parents=True, exist_ok=True)
+    (target / f"BENCH_{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )

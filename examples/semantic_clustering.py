@@ -9,7 +9,6 @@ primary-package subgraphs exposes the stacks directly.
 Run:  python examples/semantic_clustering.py
 """
 
-import numpy as np
 
 from repro.analysis import k_medoids, similarity_matrix
 from repro.workloads.generator import standard_corpus

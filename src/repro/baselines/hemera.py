@@ -22,7 +22,7 @@ from repro.baselines.scheme import (
     StorageScheme,
 )
 from repro.errors import DuplicateEntryError, NotInRepositoryError
-from repro.image.manifest import SMALL_FILE_THRESHOLD, FileManifest
+from repro.image.manifest import SMALL_FILE_THRESHOLD
 from repro.model.vmi import VirtualMachineImage
 
 __all__ = ["HemeraStore"]

@@ -13,6 +13,15 @@ Subcommands:
   every published VMI through the plan-caching pipeline (base-affine
   ordering, per-component accounting); ``--cold`` serves each request
   through the sequential cache-less assembler for comparison;
+* ``delete`` — publish a corpus, then batch-delete a churn fraction
+  through the maintenance pipeline (``--gc-threshold-gb`` interleaves
+  incremental GC passes scheduled by the reclaimable-bytes estimate);
+* ``gc`` — publish a corpus, churn it, and run one garbage-collection
+  pass (incremental by default, ``--full`` for the stop-the-world
+  verification mode), reporting reclaimed bytes and the pass's work;
+* ``fsck`` — publish a corpus (optionally churn + GC it), run every
+  repository consistency check, and exit non-zero on findings — the
+  integrity gate CI and operators script against;
 * ``corpus`` — list the evaluation images and their characteristics.
 """
 
@@ -129,6 +138,67 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress",
         action="store_true",
         help="print one line per retrieved image",
+    )
+
+    delete = sub.add_parser(
+        "delete",
+        help="publish a corpus, then batch-delete a churn fraction",
+        parents=[corpus_flags],
+    )
+    delete.add_argument(
+        "--churn",
+        type=int,
+        default=10,
+        metavar="PCT",
+        help="percent of published VMIs to delete (default: 10)",
+    )
+    delete.add_argument(
+        "--gc-threshold-gb",
+        type=float,
+        metavar="GB",
+        help=(
+            "interleave incremental GC whenever reclaimable bytes "
+            "cross this threshold (default: defer collection)"
+        ),
+    )
+    delete.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one line per deleted image",
+    )
+
+    gc = sub.add_parser(
+        "gc",
+        help="publish a corpus, churn it, run one GC pass",
+        parents=[corpus_flags],
+    )
+    gc.add_argument(
+        "--churn",
+        type=int,
+        default=10,
+        metavar="PCT",
+        help="percent of published VMIs to delete first (default: 10)",
+    )
+    gc.add_argument(
+        "--full",
+        action="store_true",
+        help="stop-the-world verification pass instead of incremental",
+    )
+
+    fsck = sub.add_parser(
+        "fsck",
+        help="run repository consistency checks (non-zero on findings)",
+        parents=[corpus_flags],
+    )
+    fsck.add_argument(
+        "--churn",
+        type=int,
+        default=0,
+        metavar="PCT",
+        help=(
+            "percent of published VMIs to delete (and GC) before "
+            "checking, to exercise the lifecycle (default: 0)"
+        ),
     )
 
     sub.add_parser("corpus", help="list the evaluation corpus")
@@ -306,6 +376,132 @@ def _cmd_retrieve_many(args) -> int:
     return 1 if report.n_failed else 0
 
 
+def _published_system(args):
+    """Publish the selected corpus into a fresh system.
+
+    Returns ``(system, published names)`` or an exit code on failure.
+    """
+    from repro.core.system import Expelliarmus
+
+    vmis = _resolve_corpus(args)
+    if isinstance(vmis, int):
+        return vmis
+    system = Expelliarmus()
+    published = system.publish_many(vmis)
+    if published.n_failed:
+        print(published.render(), file=sys.stderr)
+        return 1
+    return system, system.published_names()
+
+
+def _churn_victims(names, pct: int, seed: str) -> list[str]:
+    """A deterministic ``pct``-percent subset of published names."""
+    from repro.ids import content_id
+
+    if pct <= 0:
+        return []
+    quota = max(1, (len(names) * pct + 99) // 100)
+    ranked = sorted(
+        names, key=lambda n: content_id(f"{seed}/churn/{n}")
+    )
+    return sorted(ranked[:quota])
+
+
+def _cmd_delete(args) -> int:
+    if not 0 < args.churn <= 100:
+        print("error: --churn must be in (0, 100]", file=sys.stderr)
+        return 2
+    prepared = _published_system(args)
+    if isinstance(prepared, int):
+        return prepared
+    system, names = prepared
+    victims = _churn_victims(names, args.churn, args.seed)
+    print(
+        f"published {len(names)} VMIs "
+        f"({system.repository_size / 1e9:.3f} GB); deleting "
+        f"{len(victims)}"
+    )
+
+    def echo_progress(done, total, item):
+        status = "deleted" if item.ok else f"FAILED ({item.error})"
+        print(f"[{done:>4}/{total}] {item.name:<16} {status}")
+
+    threshold = (
+        int(args.gc_threshold_gb * 1e9)
+        if args.gc_threshold_gb is not None
+        else None
+    )
+    report = system.delete_many(
+        victims,
+        progress=echo_progress if args.progress else None,
+        gc_threshold_bytes=threshold,
+    )
+    print(report.render())
+    return 1 if report.n_failed else 0
+
+
+def _cmd_gc(args) -> int:
+    if not 0 < args.churn <= 100:
+        print("error: --churn must be in (0, 100]", file=sys.stderr)
+        return 2
+    prepared = _published_system(args)
+    if isinstance(prepared, int):
+        return prepared
+    system, names = prepared
+    victims = _churn_victims(names, args.churn, args.seed)
+    deleted = system.delete_many(victims)
+    if deleted.n_failed:
+        print(deleted.render(), file=sys.stderr)
+        return 1
+    reclaimable = system.repo.reclaimable_bytes()
+    print(
+        f"published {len(names)} VMIs, deleted {len(victims)}; "
+        f"{reclaimable / 1e9:.3f} GB reclaimable"
+    )
+    report = system.garbage_collect(full=args.full)
+    print(
+        f"gc ({report.mode}): reclaimed "
+        f"{report.reclaimed_bytes / 1e9:.3f} GB — "
+        f"{report.removed_packages} packages, "
+        f"{report.removed_user_data} user data, "
+        f"{report.removed_bases} bases"
+    )
+    print(
+        f"  work: {report.graph_rebuilds} master graphs rebuilt, "
+        f"{report.records_scanned} records scanned, "
+        f"{report.gc_seconds:.2f} simulated s"
+    )
+    return 0
+
+
+def _cmd_fsck(args) -> int:
+    if not 0 <= args.churn <= 100:
+        print("error: --churn must be in [0, 100]", file=sys.stderr)
+        return 2
+    prepared = _published_system(args)
+    if isinstance(prepared, int):
+        return prepared
+    system, names = prepared
+    if args.churn:
+        victims = _churn_victims(names, args.churn, args.seed)
+        system.delete_many(victims)
+        system.garbage_collect()
+    report = system.fsck()
+    if report.clean:
+        print(
+            f"repository clean: {report.checked_blobs} blobs, "
+            f"{report.checked_vmis} VMIs checked"
+        )
+        return 0
+    print(
+        f"{len(report.findings)} inconsistencies found:",
+        file=sys.stderr,
+    )
+    for finding in report.findings:
+        print(f"  {finding}", file=sys.stderr)
+    return 1
+
+
 def _cmd_corpus() -> int:
     from repro.workloads.generator import standard_corpus
     from repro.workloads.vmi_specs import TABLE_II_ORDER
@@ -362,6 +558,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_publish_many(args)
     if args.command == "retrieve-many":
         return _cmd_retrieve_many(args)
+    if args.command == "delete":
+        return _cmd_delete(args)
+    if args.command == "gc":
+        return _cmd_gc(args)
+    if args.command == "fsck":
+        return _cmd_fsck(args)
     if args.command == "corpus":
         return _cmd_corpus()
     if args.command == "stats":

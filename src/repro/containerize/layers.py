@@ -9,7 +9,7 @@ mounting and the property our containerization experiment measures.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.ids import combine
 from repro.image.manifest import FileManifest

@@ -20,7 +20,7 @@ from repro.image.sysprep import sysprep
 from repro.model.graph import PackageRole, SemanticGraph
 from repro.model.vmi import VirtualMachineImage
 from repro.repository.master_graphs import MasterGraph
-from repro.repository.repo import Repository, VMIRecord
+from repro.repository.repo import Repository
 from repro.sim.clock import SimulatedClock, TimeBreakdown
 from repro.sim.costmodel import CostModel
 from repro.similarity.compatibility import is_compatible

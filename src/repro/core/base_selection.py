@@ -45,7 +45,7 @@ hits are always sound.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.model.graph import SemanticGraph
 from repro.model.vmi import BaseImage

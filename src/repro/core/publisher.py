@@ -24,8 +24,6 @@ from repro.core.base_selection import (
 )
 from repro.errors import PublishError
 from repro.image.guestfs import GuestfsHandle
-from repro.model.graph import PackageRole
-from repro.model.package import Package
 from repro.model.vmi import VirtualMachineImage
 from repro.repository.master_graphs import MasterGraph
 from repro.repository.repo import Repository, VMIRecord, base_image_qcow2
@@ -206,6 +204,8 @@ class VMIPublisher:
         )
         self.clock.advance(self.cost.metadata_update(), "select-base")
 
+        selected_base_names = selection.base.package_names()
+
         # -- lines 15-20: store base / fetch master ----------------------------
         stored_new_base = False
         if selection.is_new:
@@ -228,20 +228,75 @@ class VMIPublisher:
 
         # -- lines 22-28: execute base replacement ---------------------------------
         replaced = 0
+        migrated: list = []
         for obsolete in selection.replace:
             key = obsolete.blob_key()
             if self.repo.has_master_graph(key):
                 master.merge_from(self.repo.get_master_graph(key))
+            migrated.extend(self.repo.vmi_records_for_base(key))
             self.repo.repoint_vmis(key, selection.base.blob_key())
             self.repo.remove_base_image(key)
             self.selection_memo.forget_base(key)
             self.clock.advance(self.cost.metadata_update(), "select-base")
             replaced += 1
+        if replaced:
+            # the merged master may have absorbed members whose deletion
+            # is still awaiting GC; the next pass must re-derive this
+            # base to prune them
+            self.repo.mark_base_dirty(selection.base.blob_key())
+
+        # -- provision top-up: the selected base may provide fewer
+        # packages than the upload's own base, or than a base it just
+        # replaced.  Any member-closure package the selected base does
+        # not provide must be stored, or the affected VMIs could never
+        # be reassembled (fsck: "unretrievable-package").  Without a
+        # replacement only the upload's own closure can need topping
+        # up — existing members already satisfied this (immutable) base
+        # — so the full-master scan is reserved for replacements.
+        topup_packages = (
+            master.package_graph.packages()
+            if replaced
+            else gi_ps.packages()
+        )
+        for pkg in topup_packages:
+            if pkg.name in selected_base_names:
+                continue
+            if not self.repo.has_package(pkg):
+                self.clock.advance(
+                    self.cost.export_package(pkg), "export"
+                )
+                self.repo.store_package(pkg)
+                exported.append(pkg.name)
+
+        # migrated records' contributions were derived against the base
+        # they were published on; re-derive them against the selected
+        # base now, so the refcounts and join rows stay exact between
+        # GC passes (reclaimable_bytes stays an exact estimate)
+        for record in migrated:
+            contribution: set[int] = set()
+            for pname in record.primary_names:
+                if not master.has_package(pname):
+                    continue
+                subgraph = master.extract_primary_subgraph(
+                    pname, record.primary_version(pname)
+                )
+                contribution |= {
+                    p.blob_key()
+                    for p in subgraph.packages()
+                    if p.name not in selected_base_names
+                    and self.repo.has_package(p)
+                }
+            self.repo.reassign_vmi_packages(
+                record.name, sorted(contribution)
+            )
 
         # -- line 29: persist the master graph + the VMI record ---------------------
         self.repo.put_master_graph(master)
         self.clock.advance(self.cost.metadata_update(), "metadata")
         primaries = gi_ps.primary_packages()
+        # the record's contribution: exactly the stored blobs Algorithm 3
+        # imports for it — the primary closure minus what the *selected*
+        # base provides.  The repository's liveness refcounts count these.
         self.repo.record_vmi(
             VMIRecord(
                 name=vmi.name,
@@ -255,7 +310,8 @@ class VMIPublisher:
             package_keys=[
                 p.blob_key()
                 for p in gi_ps.packages()
-                if self.repo.has_package(p)
+                if p.name not in selected_base_names
+                and self.repo.has_package(p)
             ],
         )
         handle.shutdown()

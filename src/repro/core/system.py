@@ -8,8 +8,6 @@ uploaded VMI and *retrieve* a requested one.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.core.analyzer import SemanticAnalyzer
 from repro.core.assembler import RetrievalReport, VMIAssembler
 from repro.core.assembly_plan import AssemblyPlanner
@@ -138,19 +136,62 @@ class Expelliarmus:
     def delete(self, name: str) -> None:
         """Unpublish a VMI; shared content stays until garbage collection.
 
+        The repository decrements the refcounts of everything the VMI
+        referenced and marks its base dirty, so the next incremental GC
+        pass sweeps it in work proportional to the churn.
+
         Raises:
             NotInRepositoryError: unpublished name.
         """
         self.repo.delete_vmi_record(name)
+        self.clock.advance(self.cost.delete_record(), "delete")
 
-    def garbage_collect(self):
+    def delete_many(
+        self,
+        names,
+        *,
+        progress=None,
+        on_error: str = "continue",
+        gc_threshold_bytes: int | None = None,
+    ):
+        """Batch-delete VMIs through the maintenance pipeline.
+
+        Isolates per-item failures, tracks the reclaimable-bytes
+        estimate as it grows, and — when ``gc_threshold_bytes`` is set —
+        interleaves incremental GC passes whenever the estimate crosses
+        the threshold.  Returns the aggregated
+        :class:`~repro.service.maintenance.MaintenanceReport`.
+        """
+        from repro.service.maintenance import MaintenanceService
+
+        return MaintenanceService(
+            self.repo,
+            self.clock,
+            self.cost,
+            gc_threshold_bytes=gc_threshold_bytes,
+        ).delete_many(names, progress=progress, on_error=on_error)
+
+    def garbage_collect(self, *, full: bool = False):
         """Reclaim packages / data / bases no published VMI references.
 
-        Returns the :class:`~repro.repository.gc.GCReport` of the pass.
+        Incremental by default (work scales with churn since the last
+        pass); ``full=True`` runs the stop-the-world verification pass.
+        Returns the :class:`~repro.repository.gc.GCReport`.
         """
         from repro.repository.gc import GarbageCollector
 
-        return GarbageCollector(self.repo).collect()
+        return GarbageCollector(
+            self.repo, self.clock, self.cost
+        ).collect(full=full)
+
+    def fsck(self):
+        """Run every repository consistency check (read-only).
+
+        Returns the :class:`~repro.repository.fsck.FsckReport`.
+        """
+        from repro.repository.fsck import check_repository
+
+        return check_repository(self.repo)
 
     def containerizer(self):
         """A :class:`~repro.containerize.converter.Containerizer` over

@@ -8,7 +8,7 @@ downstream analysis can assert on numbers instead of parsing text.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 __all__ = ["Series", "ExperimentResult", "format_table", "ascii_chart"]

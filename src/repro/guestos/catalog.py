@@ -12,7 +12,7 @@ condensation rather than assuming a DAG.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from repro.errors import DependencyError, UnknownPackageError

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from repro.errors import PackageStateError, UnknownPackageError
+from repro.errors import UnknownPackageError
 from repro.guestos.catalog import Catalog, InstallPlan
 from repro.model.graph import PackageRole
 from repro.model.package import Package

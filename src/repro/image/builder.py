@@ -15,7 +15,7 @@ images that differ in logs, caches and timestamps but not in packages.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.guestos.catalog import Catalog
 from repro.guestos.filesystem import skeleton_manifest

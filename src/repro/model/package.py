@@ -15,7 +15,7 @@ Sizes follow the distinction the paper leans on in Section VI-C:
 from __future__ import annotations
 
 import operator
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.ids import combine
 from repro.model.attributes import ARCH_ALL, PackageAttrs

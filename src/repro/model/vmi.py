@@ -20,7 +20,7 @@ State model
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import PackageStateError
 from repro.ids import combine

@@ -43,6 +43,7 @@ CREATE TABLE vmis (
     data_label TEXT,
     seq        INTEGER NOT NULL
 );
+CREATE INDEX idx_vmis_base ON vmis (base_key);
 CREATE TABLE vmi_packages (
     vmi_name TEXT NOT NULL,
     pkg_key  INTEGER NOT NULL,
@@ -269,6 +270,19 @@ class MetadataDatabase:
         ).fetchall()
         return [VMIRow(r[0], _unsigned(r[1]), r[2], r[3]) for r in rows]
 
+    def vmis_for_base(self, base_key: int) -> list[VMIRow]:
+        """Published VMIs on one base, record order (``idx_vmis_base``).
+
+        The incremental GC's per-base record lookup: work scales with
+        the base's own family, not with the repository.
+        """
+        rows = self._conn.execute(
+            "SELECT name, base_key, data_label, seq FROM vmis"
+            " WHERE base_key = ? ORDER BY seq",
+            (_signed(base_key),),
+        ).fetchall()
+        return [VMIRow(r[0], _unsigned(r[1]), r[2], r[3]) for r in rows]
+
     def delete_vmi(self, name: str) -> None:
         cur = self._conn.execute(
             "DELETE FROM vmis WHERE name = ?", (name,)
@@ -295,6 +309,17 @@ class MetadataDatabase:
             (name,),
         ).fetchall()
         return [_unsigned(r[0]) for r in rows]
+
+    def replace_vmi_packages(self, name: str, package_keys: list[int]) -> None:
+        """Overwrite a VMI's package join rows (GC re-derivation)."""
+        self._conn.execute(
+            "DELETE FROM vmi_packages WHERE vmi_name = ?", (name,)
+        )
+        self._conn.executemany(
+            "INSERT OR IGNORE INTO vmi_packages VALUES (?,?)",
+            [(name, _signed(k)) for k in package_keys],
+        )
+        self._conn.commit()
 
 
 def _signed(key: int) -> int:

@@ -21,7 +21,11 @@ Checks performed:
   to a stored package blob;
 * every recorded user-data label resolves;
 * every master graph satisfies the Section III-H compatibility
-  invariant and belongs to a stored base.
+  invariant and belongs to a stored base;
+* the eagerly maintained liveness refcounts (packages, user data,
+  bases — DESIGN.md §10) agree with a from-scratch recomputation over
+  the records and join rows (``refcount-drift``), so incremental GC
+  can trust them.
 """
 
 from __future__ import annotations
@@ -196,6 +200,33 @@ def check_repository(repo: Repository) -> FsckReport:
                 findings.append(Inconsistency(
                     "missing-data", record.name,
                     f"user data {record.data_label!r} not stored",
+                ))
+
+    # -- liveness refcounts ------------------------------------------------
+    expected_pkg = {key: 0 for key in indexed_pkg_keys}
+    expected_data = {label: 0 for label in repo.user_data_labels()}
+    expected_base = {key: 0 for key in indexed_base_keys}
+    for record in records:
+        if record.base_key in expected_base:
+            expected_base[record.base_key] += 1
+        if record.data_label in expected_data:
+            expected_data[record.data_label] += 1
+        for key in set(repo.db.vmi_package_keys(record.name)):
+            if key in expected_pkg:
+                expected_pkg[key] += 1
+    maintained = repo.refcounts()
+    for kind, expected, actual in (
+        ("package", expected_pkg, maintained["packages"]),
+        ("user data", expected_data, maintained["data"]),
+        ("base", expected_base, maintained["bases"]),
+    ):
+        for subject, want in expected.items():
+            have = actual.get(subject, 0)
+            if have != want:
+                findings.append(Inconsistency(
+                    "refcount-drift", f"{kind} {subject}",
+                    f"maintained refcount {have}, recomputation "
+                    f"says {want}",
                 ))
 
     # -- master graphs ------------------------------------------------------------

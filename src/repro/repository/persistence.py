@@ -20,7 +20,7 @@ import pickle
 from pathlib import Path
 
 from repro.repository.master_graphs import MasterGraph
-from repro.repository.repo import Repository, VMIRecord
+from repro.repository.repo import Repository
 
 __all__ = ["save_repository", "load_repository"]
 
@@ -46,6 +46,9 @@ def save_repository(repo: Repository, path: str | Path) -> int:
             (rec, repo.db.vmi_package_keys(rec.name))
             for rec in repo.vmi_records()
         ],
+        # deletions not yet swept: the reloaded repository's next
+        # incremental GC pass must still re-derive these bases
+        "dirty_bases": sorted(repo.dirty_bases()),
     }
     blob = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
     Path(path).write_bytes(blob)
@@ -79,4 +82,6 @@ def load_repository(path: str | Path) -> Repository:
         repo.put_master_graph(master)
     for record, package_keys in state["records"]:
         repo.record_vmi(record, package_keys=package_keys)
+    for base_key in state.get("dirty_bases", ()):
+        repo.mark_base_dirty(base_key)
     return repo

@@ -83,6 +83,23 @@ class Repository:
         #: probe for caches derived from repository state (assembly
         #: plans revalidate only when this moved)
         self._mutations = 0
+        #: reference counts per stored object (DESIGN.md §10):
+        #: packages count live records whose retrieval-import closure
+        #: contains the blob, bases and user data count live records
+        #: pointing at them.  Maintained eagerly at publish/delete time
+        #: so GC liveness never requires a full rescan.
+        self._pkg_refs: dict[int, int] = {}
+        self._data_refs: dict[str, int] = {}
+        self._base_refs: dict[int, int] = {}
+        #: zero-reference sweep candidates awaiting the next GC pass;
+        #: always exactly the stored objects with refcount 0
+        self._zero_packages: set[int] = set()
+        self._zero_data: set[str] = set()
+        self._zero_bases: set[int] = set()
+        #: bases whose master graph and record contributions must be
+        #: re-derived by the next GC pass (a deletion or base
+        #: replacement touched them since the last pass)
+        self._dirty_bases: set[int] = set()
 
     # ------------------------------------------------------------------
     # revision hooks (cache invalidation)
@@ -112,6 +129,128 @@ class Repository:
         return master.revision if master is not None else None
 
     # ------------------------------------------------------------------
+    # liveness bookkeeping (refcounts + dirty bases)
+    # ------------------------------------------------------------------
+
+    def package_refs(self, key: int) -> int:
+        """Live records whose import closure contains this package."""
+        return self._pkg_refs.get(key, 0)
+
+    def data_refs(self, label: str) -> int:
+        """Live records labelled with this user data."""
+        return self._data_refs.get(label, 0)
+
+    def base_refs(self, key: int) -> int:
+        """Live records published on this base."""
+        return self._base_refs.get(key, 0)
+
+    def refcounts(self) -> dict[str, dict]:
+        """A snapshot of all three refcount maps (test/fsck probe)."""
+        return {
+            "packages": dict(self._pkg_refs),
+            "data": dict(self._data_refs),
+            "bases": dict(self._base_refs),
+        }
+
+    def dirty_bases(self) -> frozenset[int]:
+        """Bases the next GC pass must re-derive."""
+        return frozenset(self._dirty_bases)
+
+    def mark_base_dirty(self, key: int) -> None:
+        self._dirty_bases.add(key)
+
+    def clear_base_dirty(self, key: int) -> None:
+        self._dirty_bases.discard(key)
+
+    def zero_ref_packages(self) -> frozenset[int]:
+        """Stored package blobs no live record references."""
+        return frozenset(self._zero_packages)
+
+    def zero_ref_data(self) -> frozenset[str]:
+        """Stored user-data labels no live record references."""
+        return frozenset(self._zero_data)
+
+    def zero_ref_bases(self) -> frozenset[int]:
+        """Stored bases no live record is published on."""
+        return frozenset(self._zero_bases)
+
+    def reclaimable_bytes(self) -> int:
+        """Bytes the next GC pass would free (exact, from refcounts)."""
+        total = 0
+        for key in self._zero_packages:
+            total += self.blobs.get(key).size
+        for label in self._zero_data:
+            total += self.blobs.get(self._data[label].blob_key()).size
+        for key in self._zero_bases:
+            total += self.blobs.get(key).size
+        return total
+
+    def _incr(self, refs: dict, zero: set, key) -> None:
+        refs[key] = refs.get(key, 0) + 1
+        zero.discard(key)
+
+    def _decr(self, refs: dict, zero: set, key) -> None:
+        count = refs.get(key, 0) - 1
+        if count < 0:  # pragma: no cover - guards bookkeeping bugs
+            raise ValueError(f"refcount underflow for {key!r}")
+        refs[key] = count
+        if count == 0:
+            zero.add(key)
+
+    def rebuild_refcounts(self) -> None:
+        """Recompute every refcount from the records and join rows.
+
+        The full GC pass's verification anchor: incremental maintenance
+        must always leave the counters in exactly the state this
+        recomputation produces (the fsck ``refcount-drift`` check and
+        the differential property suite compare the two).
+        """
+        self._pkg_refs = {
+            row.blob_key: 0 for row in self.db.all_packages()
+        }
+        self._data_refs = {label: 0 for label in self._data}
+        self._base_refs = {
+            row.blob_key: 0 for row in self.db.base_images()
+        }
+        for record in self.vmi_records():
+            if record.base_key in self._base_refs:
+                self._base_refs[record.base_key] += 1
+            if record.data_label in self._data_refs:
+                self._data_refs[record.data_label] += 1
+            for key in set(self.db.vmi_package_keys(record.name)):
+                if key in self._pkg_refs:
+                    self._pkg_refs[key] += 1
+        self._zero_packages = {
+            k for k, n in self._pkg_refs.items() if n == 0
+        }
+        self._zero_data = {
+            label for label, n in self._data_refs.items() if n == 0
+        }
+        self._zero_bases = {
+            k for k, n in self._base_refs.items() if n == 0
+        }
+
+    def reassign_vmi_packages(
+        self, name: str, package_keys: list[int]
+    ) -> bool:
+        """Replace a record's package contribution (GC re-derivation).
+
+        Adjusts the package refcounts by the set difference and rewrites
+        the join rows; returns True when the contribution changed.
+        """
+        old = set(self.db.vmi_package_keys(name))
+        new = set(package_keys)
+        if old == new:
+            return False
+        self._mutated()
+        for key in old - new:
+            self._decr(self._pkg_refs, self._zero_packages, key)
+        for key in new - old:
+            self._incr(self._pkg_refs, self._zero_packages, key)
+        self.db.replace_vmi_packages(name, sorted(new))
+        return True
+
+    # ------------------------------------------------------------------
     # packages
     # ------------------------------------------------------------------
 
@@ -128,6 +267,9 @@ class Repository:
             return False
         self._mutated()
         self._packages[key] = pkg
+        self._pkg_refs.setdefault(key, 0)
+        if self._pkg_refs[key] == 0:
+            self._zero_packages.add(key)
         self.db.insert_package(
             PackageRow(
                 blob_key=key,
@@ -169,6 +311,9 @@ class Repository:
             return False
         self._mutated()
         self._data[data.label] = data
+        self._data_refs.setdefault(data.label, 0)
+        if self._data_refs[data.label] == 0:
+            self._zero_data.add(data.label)
         return True
 
     def get_user_data(self, label: str) -> UserData:
@@ -198,6 +343,9 @@ class Repository:
             return False
         self._mutated()
         self._bases[key] = base
+        self._base_refs.setdefault(key, 0)
+        if self._base_refs[key] == 0:
+            self._zero_bases.add(key)
         self.db.insert_base_image(
             BaseImageRow(
                 blob_key=key,
@@ -223,6 +371,9 @@ class Repository:
         self._mutated()
         self.blobs.remove(key)
         self.db.delete_base_image(key)
+        self._base_refs.pop(key, None)
+        self._zero_bases.discard(key)
+        self._dirty_bases.discard(key)
         if self._masters.pop(key, None) is not None:
             siblings = self._masters_by_attrs.get(base.attrs.key(), [])
             if key in siblings:
@@ -325,11 +476,19 @@ class Repository:
     # ------------------------------------------------------------------
 
     def record_vmi(self, record: VMIRecord, package_keys: list[int]) -> None:
+        """Index a published VMI; ``package_keys`` is its retrieval
+        import closure (stored blobs Algorithm 3 would install), the
+        contribution the liveness refcounts track."""
         self._mutated()
         self._vmi_records[record.name] = record
         self.db.insert_vmi(
             record.name, record.base_key, record.data_label, package_keys
         )
+        self._incr(self._base_refs, self._zero_bases, record.base_key)
+        if record.data_label is not None:
+            self._incr(self._data_refs, self._zero_data, record.data_label)
+        for key in set(package_keys):
+            self._incr(self._pkg_refs, self._zero_packages, key)
 
     def get_vmi_record(self, name: str) -> VMIRecord:
         """Raises NotInRepositoryError for unpublished names."""
@@ -341,16 +500,34 @@ class Repository:
     def vmi_records(self) -> list[VMIRecord]:
         return [self._vmi_records[r.name] for r in self.db.vmis()]
 
+    def vmi_records_for_base(self, base_key: int) -> list[VMIRecord]:
+        """Live records on one base, record order (indexed lookup)."""
+        return [
+            self._vmi_records[row.name]
+            for row in self.db.vmis_for_base(base_key)
+        ]
+
     def delete_vmi_record(self, name: str) -> VMIRecord:
         """Drop a published VMI from the index (blobs stay until GC).
+
+        Decrements the refcounts of everything the record referenced
+        and marks its base dirty, so the next incremental GC pass knows
+        exactly what to sweep and which master graph to rebuild.
 
         Raises:
             NotInRepositoryError: unpublished name.
         """
         record = self.get_vmi_record(name)
+        contribution = self.db.vmi_package_keys(name)
         self._mutated()
         self.db.delete_vmi(name)
         del self._vmi_records[name]
+        self._decr(self._base_refs, self._zero_bases, record.base_key)
+        if record.data_label is not None:
+            self._decr(self._data_refs, self._zero_data, record.data_label)
+        for key in set(contribution):
+            self._decr(self._pkg_refs, self._zero_packages, key)
+        self._dirty_bases.add(record.base_key)
         return record
 
     def remove_package(self, key: int) -> Package:
@@ -365,6 +542,8 @@ class Repository:
         self._mutated()
         self.blobs.remove(key)
         self.db.delete_package(key)
+        self._pkg_refs.pop(key, None)
+        self._zero_packages.discard(key)
         return pkg
 
     def remove_user_data(self, label: str) -> UserData:
@@ -378,26 +557,34 @@ class Repository:
             raise NotInRepositoryError("user data", label)
         self._mutated()
         self.blobs.remove(data.blob_key())
+        self._data_refs.pop(label, None)
+        self._zero_data.discard(label)
         return data
 
     def repoint_vmis(self, old_base_key: int, new_base_key: int) -> int:
         """Re-point published VMIs after a base replacement; returns count."""
         n = 0
-        for name, rec in list(self._vmi_records.items()):
-            if rec.base_key == old_base_key:
-                updated = VMIRecord(
-                    name=rec.name,
-                    base_key=new_base_key,
-                    primary_names=rec.primary_names,
-                    data_label=rec.data_label,
-                    mounted_size=rec.mounted_size,
-                    n_files=rec.n_files,
-                    primary_identities=rec.primary_identities,
-                )
-                self._mutated()
-                self._vmi_records[name] = updated
-                self.db.update_vmi_base(name, new_base_key)
-                n += 1
+        for rec in self.vmi_records_for_base(old_base_key):
+            updated = VMIRecord(
+                name=rec.name,
+                base_key=new_base_key,
+                primary_names=rec.primary_names,
+                data_label=rec.data_label,
+                mounted_size=rec.mounted_size,
+                n_files=rec.n_files,
+                primary_identities=rec.primary_identities,
+            )
+            self._mutated()
+            self._vmi_records[rec.name] = updated
+            self.db.update_vmi_base(rec.name, new_base_key)
+            self._decr(self._base_refs, self._zero_bases, old_base_key)
+            self._incr(self._base_refs, self._zero_bases, new_base_key)
+            n += 1
+        if n:
+            # migrated records' contributions were derived against the
+            # old base's package population; the next GC pass must
+            # re-derive them against the new base
+            self._dirty_bases.add(new_base_key)
         return n
 
     # ------------------------------------------------------------------

@@ -37,8 +37,19 @@ read-heavy traffic:
   cost accounting: the Figure-5a component stack for the batch plus
   the planner's plan-cache and base-cache work counters.
 
-See DESIGN.md ("Scale-out publish pipeline", "Retrieval scale-out")
-for how this layer relates to the per-upload / per-request paths.
+:mod:`repro.service.maintenance` closes the lifecycle — the deletion
+and reclamation half an operator runs against a churning repository:
+
+* :class:`~repro.service.maintenance.MaintenanceService` — batched
+  deletes with per-item error isolation, plus incremental GC passes
+  scheduled by the repository's exact reclaimable-bytes estimate;
+* :class:`~repro.service.maintenance.MaintenanceReport` — aggregated
+  accounting: per-item outcomes, interleaved GC reports, exact byte
+  movement and the charged delete/GC seconds.
+
+See DESIGN.md ("Scale-out publish pipeline", "Retrieval scale-out",
+"Deletion and garbage collection") for how this layer relates to the
+per-upload / per-request paths.
 """
 
 from repro.service.batch import (
@@ -46,6 +57,11 @@ from repro.service.batch import (
     BatchPublisher,
     BatchPublishReport,
     dedup_aware_order,
+)
+from repro.service.maintenance import (
+    DeleteItemResult,
+    MaintenanceReport,
+    MaintenanceService,
 )
 from repro.service.retrieval import (
     BatchRetrieveReport,
@@ -60,6 +76,9 @@ __all__ = [
     "BatchPublishReport",
     "BatchRetrieveReport",
     "BatchRetriever",
+    "DeleteItemResult",
+    "MaintenanceReport",
+    "MaintenanceService",
     "RetrieveItemResult",
     "base_affine_order",
     "dedup_aware_order",

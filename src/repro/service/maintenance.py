@@ -1,0 +1,225 @@
+"""Repository maintenance: batched deletion with scheduled GC.
+
+The write-side lifecycle a production repository runs continuously:
+tenants unpublish images in bursts (CI churn, marketplace delistings,
+family retirements), and the reclaimable bytes those deletions strand
+must be swept back — without a stop-the-world pass after every delete,
+and without letting garbage pile up unboundedly either.
+
+:class:`MaintenanceService` drives both halves over one repository:
+
+* **Batched deletes.**  :meth:`~MaintenanceService.delete_many`
+  unpublishes a batch with per-item failure isolation (an unknown name
+  is recorded and the batch continues, unless ``on_error="raise"``),
+  charging the delete cost per record.
+* **GC scheduling.**  The repository's eagerly maintained refcounts
+  make :meth:`~repro.repository.repo.Repository.reclaimable_bytes` an
+  exact O(pending-garbage) estimate, so the service can run an
+  incremental pass exactly when the stranded bytes cross
+  ``gc_threshold_bytes`` — mid-batch if the batch is large — instead of
+  guessing on a timer.  ``gc_threshold_bytes=None`` defers collection
+  entirely; ``0`` collects after every delete that strands bytes.
+* **Cache interaction safety.**  Every delete bumps the repository's
+  ``mutations`` counter and every GC rebuild moves the affected master
+  revisions, so :class:`~repro.core.assembly_plan.AssemblyPlanner`
+  caches revalidate instead of serving stale plans — plans for bases
+  the pass never touched keep hitting.  The integration tests pin this
+  down.
+
+:class:`MaintenanceReport` aggregates the batch: per-item outcomes,
+interleaved GC reports, exact byte movement and the simulated seconds
+charged under the ``"delete"`` and ``"gc"`` labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.errors import ReproError
+from repro.repository.gc import GarbageCollector, GCReport
+from repro.repository.repo import Repository
+from repro.sim.clock import SimulatedClock
+from repro.sim.costmodel import CostModel
+
+__all__ = [
+    "DeleteItemResult",
+    "MaintenanceReport",
+    "MaintenanceService",
+]
+
+#: progress callback: (items done, batch size, result of the last item)
+ProgressFn = Callable[[int, int, "DeleteItemResult"], None]
+
+
+@dataclass(frozen=True)
+class DeleteItemResult:
+    """Outcome of one batch delete: success or a recorded failure."""
+
+    position: int
+    name: str
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass(frozen=True)
+class MaintenanceReport:
+    """What one maintenance batch deleted, swept and cost."""
+
+    results: tuple[DeleteItemResult, ...]
+    #: GC passes the batch triggered, in execution order
+    gc_reports: tuple[GCReport, ...]
+    repo_bytes_before: int
+    repo_bytes_after: int
+    #: exact bytes still awaiting the next pass when the batch ended
+    reclaimable_after: int
+    #: simulated seconds charged by the batch (deletes + GC passes)
+    simulated_seconds: float = 0.0
+
+    # -- outcomes -------------------------------------------------------
+
+    @property
+    def n_items(self) -> int:
+        return len(self.results)
+
+    @property
+    def n_deleted(self) -> int:
+        return sum(1 for r in self.results if r.ok)
+
+    @property
+    def n_failed(self) -> int:
+        return self.n_items - self.n_deleted
+
+    def failures(self) -> list[DeleteItemResult]:
+        return [r for r in self.results if not r.ok]
+
+    # -- aggregated accounting ------------------------------------------
+
+    @property
+    def reclaimed_bytes(self) -> int:
+        return self.repo_bytes_before - self.repo_bytes_after
+
+    @property
+    def gc_passes(self) -> int:
+        return len(self.gc_reports)
+
+    def render(self) -> str:
+        """A compact operator-facing summary of the batch."""
+        lines = [
+            f"deleted {self.n_deleted}/{self.n_items} VMIs in "
+            f"{self.simulated_seconds:.1f} simulated s",
+            f"  repository: -{self.reclaimed_bytes / 1e9:.3f} GB "
+            f"(now {self.repo_bytes_after / 1e9:.3f} GB), "
+            f"{self.reclaimable_after / 1e9:.3f} GB awaiting GC",
+        ]
+        for i, gc in enumerate(self.gc_reports, start=1):
+            lines.append(
+                f"  gc pass {i} ({gc.mode}): reclaimed "
+                f"{gc.reclaimed_bytes / 1e9:.3f} GB — "
+                f"{gc.removed_packages} packages, "
+                f"{gc.removed_user_data} user data, "
+                f"{gc.removed_bases} bases; rebuilt "
+                f"{gc.graph_rebuilds} master graphs over "
+                f"{gc.records_scanned} records"
+            )
+        for failure in self.failures():
+            lines.append(f"  FAILED {failure.name}: {failure.error}")
+        return "\n".join(lines)
+
+
+class MaintenanceService:
+    """Batched deletion plus threshold-scheduled incremental GC."""
+
+    def __init__(
+        self,
+        repo: Repository,
+        clock: SimulatedClock | None = None,
+        cost: CostModel | None = None,
+        *,
+        gc_threshold_bytes: int | None = None,
+        full_gc: bool = False,
+    ) -> None:
+        self.repo = repo
+        self.clock = clock
+        self.cost = cost
+        self.gc_threshold_bytes = gc_threshold_bytes
+        self.full_gc = full_gc
+        self._collector = GarbageCollector(repo, clock, cost)
+
+    # ------------------------------------------------------------------
+
+    def collect(self, *, full: bool | None = None) -> GCReport:
+        """Run one GC pass now (mode defaults to the service's)."""
+        return self._collector.collect(
+            full=self.full_gc if full is None else full
+        )
+
+    def maybe_collect(self) -> GCReport | None:
+        """Run a pass iff the reclaimable estimate crossed the threshold."""
+        if self.gc_threshold_bytes is None:
+            return None
+        if self.repo.reclaimable_bytes() < max(self.gc_threshold_bytes, 1):
+            return None
+        return self.collect()
+
+    def delete_many(
+        self,
+        names: Sequence[str],
+        *,
+        progress: ProgressFn | None = None,
+        on_error: str = "continue",
+    ) -> MaintenanceReport:
+        """Delete a batch; returns the aggregated report.
+
+        ``on_error`` is ``"continue"`` (record the failure, keep going)
+        or ``"raise"``.  With a threshold configured, incremental GC
+        passes interleave whenever the reclaimable estimate crosses it,
+        and the triggered reports ride along in the result.
+
+        Raises:
+            ValueError: unknown ``on_error`` value.
+            ReproError: a failing delete, when ``on_error="raise"``.
+        """
+        if on_error not in ("continue", "raise"):
+            raise ValueError(f"unknown error policy {on_error!r}")
+
+        bytes_before = self.repo.total_bytes()
+        seconds_before = self.clock.now if self.clock else 0.0
+        results: list[DeleteItemResult] = []
+        gc_reports: list[GCReport] = []
+
+        for position, name in enumerate(names):
+            try:
+                self.repo.delete_vmi_record(name)
+                if self.clock is not None and self.cost is not None:
+                    self.clock.advance(
+                        self.cost.delete_record(), "delete"
+                    )
+            except ReproError as exc:
+                if on_error == "raise":
+                    raise
+                item = DeleteItemResult(
+                    position=position, name=name, error=str(exc)
+                )
+            else:
+                item = DeleteItemResult(position=position, name=name)
+            results.append(item)
+            if progress is not None:
+                progress(len(results), len(names), item)
+            if item.ok:
+                triggered = self.maybe_collect()
+                if triggered is not None:
+                    gc_reports.append(triggered)
+
+        seconds_after = self.clock.now if self.clock else 0.0
+        return MaintenanceReport(
+            results=tuple(results),
+            gc_reports=tuple(gc_reports),
+            repo_bytes_before=bytes_before,
+            repo_bytes_after=self.repo.total_bytes(),
+            reclaimable_after=self.repo.reclaimable_bytes(),
+            simulated_seconds=seconds_after - seconds_before,
+        )

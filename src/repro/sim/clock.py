@@ -9,7 +9,6 @@ creation, VMI reset and package import.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator

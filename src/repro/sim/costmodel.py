@@ -86,6 +86,20 @@ class CostParams:
     #: creating/updating graph metadata in SQLite
     metadata_update_s: float = 0.02
 
+    # -- deletion / garbage collection ------------------------------------
+    #: dropping one published-VMI record from the index (SQLite delete
+    #: of the record plus its package join rows)
+    vmi_delete_s: float = 0.03
+    #: unlinking one blob from the repository disk — metadata work only,
+    #: the bytes are reclaimed, not moved
+    blob_unlink_s: float = 0.01
+    #: scanning one VMI record during a GC mark pass (index read plus
+    #: liveness bookkeeping)
+    gc_record_scan_s: float = 0.002
+    #: re-deriving one member primary subgraph while rebuilding a
+    #: master graph around its live members
+    gc_rebuild_per_primary_s: float = 0.01
+
     # -- compression (Qcow2 + Gzip baseline) ------------------------------
     #: gzip compression throughput (B/s of uncompressed input)
     gzip_bw: float = 90 * MB
@@ -218,3 +232,24 @@ class CostModel:
 
     def metadata_update(self) -> float:
         return self.params.metadata_update_s
+
+    # -- deletion / garbage collection -----------------------------------------
+
+    def delete_record(self) -> float:
+        """Unpublish one VMI: drop its record and join rows."""
+        return self.params.vmi_delete_s + self.params.metadata_update_s
+
+    def unlink_blob(self) -> float:
+        """Reclaim one stored blob (metadata-only unlink)."""
+        return self.params.blob_unlink_s
+
+    def gc_record_scan(self) -> float:
+        """Mark-phase visit of one VMI record."""
+        return self.params.gc_record_scan_s
+
+    def master_rebuild(self, n_primaries: int) -> float:
+        """Rebuild one master graph around ``n_primaries`` live members."""
+        return (
+            self.params.metadata_update_s
+            + n_primaries * self.params.gc_rebuild_per_primary_s
+        )

@@ -25,6 +25,7 @@ from repro.workloads.generator import (
     standard_corpus,
 )
 from repro.workloads.ide_builds import ide_build_recipes
+from repro.workloads.scale import ChurnConfig, ChurnRound, churn_schedule
 from repro.workloads.vmi_specs import (
     FOUR_VMI_NAMES,
     TABLE_II_ORDER,
@@ -35,6 +36,9 @@ from repro.workloads.vmi_specs import (
 __all__ = [
     "base_template",
     "build_catalog",
+    "ChurnConfig",
+    "ChurnRound",
+    "churn_schedule",
     "Corpus",
     "ScaleConfig",
     "ScaleCorpus",

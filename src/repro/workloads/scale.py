@@ -37,7 +37,15 @@ from repro.model.package import DependencySpec, Package, make_package
 from repro.model.vmi import VirtualMachineImage
 from repro.units import mb
 
-__all__ = ["ScaleConfig", "ScaleFamily", "ScaleCorpus", "scale_corpus"]
+__all__ = [
+    "ChurnConfig",
+    "ChurnRound",
+    "ScaleConfig",
+    "ScaleFamily",
+    "ScaleCorpus",
+    "churn_schedule",
+    "scale_corpus",
+]
 
 _DISTROS = (
     ("linux", "ubuntu", "16.04"),
@@ -302,6 +310,140 @@ class ScaleCorpus:
         """Every corpus image, in index order."""
         for index in range(self.config.n_vmis):
             yield self.build(index)
+
+
+# ---------------------------------------------------------------------------
+# churn workload: publish / delete / republish cycles with family turnover
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Knobs of the churn schedule generator."""
+
+    #: churn rounds after the initial full publish
+    n_rounds: int = 3
+    #: percent of the corpus deleted (and republished) per round
+    churn_pct: int = 10
+    #: victim selection: ``"family"`` clusters each round's deletions
+    #: into whole-family turnover (CI rebuild storms — the regime
+    #: incremental GC targets), ``"uniform"`` spreads them evenly
+    mode: str = "family"
+    #: in family mode, the fraction of a family's VMIs one turnover
+    #: takes before the quota spills into the next family
+    family_fraction: float = 0.6
+    #: determinism root for victim selection
+    seed: str = "churn"
+
+    def __post_init__(self) -> None:
+        if self.n_rounds < 1:
+            raise ValueError("n_rounds must be positive")
+        if not 0 < self.churn_pct <= 100:
+            raise ValueError("churn_pct must be in (0, 100]")
+        if self.mode not in ("family", "uniform"):
+            raise ValueError(f"unknown churn mode {self.mode!r}")
+        if not 0 < self.family_fraction <= 1:
+            raise ValueError("family_fraction must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class ChurnRound:
+    """One publish/delete/republish cycle of a churn workload."""
+
+    index: int
+    #: published VMI names this round deletes
+    delete_names: tuple[str, ...]
+    #: corpus indices rebuilt and republished after the deletes (the
+    #: same specs — deletion frees the names)
+    republish_indices: tuple[int, ...]
+
+
+def churn_schedule(
+    corpus: ScaleCorpus, config: ChurnConfig | None = None
+) -> list[ChurnRound]:
+    """Deterministic churn rounds over a fully published corpus.
+
+    Assumes every corpus VMI is initially published; each round deletes
+    ``churn_pct`` percent of them and republishes the same specs, so
+    the live set size is invariant and rounds compose indefinitely.
+
+    In ``"family"`` mode victims cluster: the round rotates to a fresh
+    family offset, takes ``family_fraction`` of each family's VMIs in
+    turn until the quota is filled — so a round's deletions land on a
+    few OS families (the dirty-base set stays small) the way real image
+    rebuild storms do.  ``"uniform"`` spreads victims hash-evenly over
+    the corpus instead.
+    """
+    config = config or ChurnConfig()
+    n = corpus.config.n_vmis
+    quota = max(1, (n * config.churn_pct + 99) // 100)
+
+    by_family: dict[int, list[int]] = {}
+    for index in range(n):
+        by_family.setdefault(corpus.spec(index).family, []).append(index)
+    family_order = sorted(by_family)
+
+    rounds: list[ChurnRound] = []
+    for r in range(1, config.n_rounds + 1):
+        victims: list[int] = []
+        if config.mode == "uniform":
+            ranked = sorted(
+                range(n),
+                key=lambda i: content_id(
+                    f"{config.seed}/round{r}/vmi{i}"
+                ),
+            )
+            victims = ranked[:quota]
+        else:
+            offset = (r - 1) % len(family_order)
+            rotation = (
+                family_order[offset:] + family_order[:offset]
+            )
+            ranked_by_family = {
+                family: sorted(
+                    by_family[family],
+                    key=lambda i: content_id(
+                        f"{config.seed}/round{r}/vmi{i}"
+                    ),
+                )
+                for family in rotation
+            }
+            for family in rotation:
+                if len(victims) >= quota:
+                    break
+                members = ranked_by_family[family]
+                take = max(
+                    1,
+                    int(len(members) * config.family_fraction),
+                )
+                victims.extend(
+                    members[: min(take, quota - len(victims))]
+                )
+            # high churn_pct can outrun one family_fraction pass over
+            # the rotation; keep taking the remaining members, family
+            # by family, until the quota really is filled
+            if len(victims) < quota:
+                chosen = set(victims)
+                for family in rotation:
+                    for index in ranked_by_family[family]:
+                        if len(victims) >= quota:
+                            break
+                        if index not in chosen:
+                            victims.append(index)
+                            chosen.add(index)
+                    if len(victims) >= quota:
+                        break
+        victims.sort()
+        rounds.append(
+            ChurnRound(
+                index=r,
+                delete_names=tuple(
+                    corpus.spec(i).name for i in victims
+                ),
+                republish_indices=tuple(victims),
+            )
+        )
+    return rounds
 
 
 def scale_corpus(

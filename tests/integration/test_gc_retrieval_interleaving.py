@@ -111,3 +111,51 @@ class TestGCRetrievalInterleaving:
             item.report.vmi.full_manifest() == before.vmi.full_manifest()
         )
         assert check_repository(system.repo).clean
+
+
+class TestMaintenancePlannerInteraction:
+    """Incremental GC invalidates exactly the plans it must: requests
+    against rebuilt (dirty) masters re-derive, requests against bases
+    the pass never touched keep hitting the cache."""
+
+    def test_family_clustered_churn_preserves_clean_plans(self, corpus):
+        from repro.workloads.scale import ChurnConfig, churn_schedule
+
+        system = Expelliarmus()
+        publish = system.publish_many(list(corpus.build_all()))
+        assert publish.n_failed == 0
+        names = system.published_names()
+
+        # victims cluster in few families; other families stay clean
+        [round1] = churn_schedule(
+            corpus,
+            ChurnConfig(n_rounds=1, churn_pct=15, mode="family"),
+        )
+        survivors = [
+            n for n in names if n not in set(round1.delete_names)
+        ]
+
+        warmup = system.retrieve_many(names)
+        assert warmup.n_failed == 0
+
+        deleted = system.delete_many(
+            list(round1.delete_names), gc_threshold_bytes=0
+        )
+        assert deleted.n_failed == 0
+        assert deleted.gc_passes >= 1
+        assert check_repository(system.repo).clean
+
+        batch = system.retrieve_many(survivors)
+        assert batch.n_failed == 0
+        stats = batch.planner_stats
+        # clean-base plans kept serving; dirty-base plans re-derived
+        assert stats.plan_hits > 0
+        assert stats.plans_derived > 0
+
+        # served output still matches a cold sequential reference
+        for item in batch.results[:5]:
+            reference = system.retrieve(item.name)
+            assert (
+                item.report.imported_packages
+                == reference.imported_packages
+            )

@@ -9,7 +9,7 @@ data — even though the repository never stored the image as a whole.
 import pytest
 
 from repro.core.system import Expelliarmus
-from repro.workloads.vmi_specs import TABLE_II_ORDER, spec_for
+from repro.workloads.vmi_specs import TABLE_II_ORDER
 
 
 @pytest.fixture(scope="module")

@@ -11,7 +11,6 @@ independent.
 import pytest
 
 from repro.core.system import Expelliarmus
-from repro.guestos.catalog import Catalog
 from repro.image.builder import BuildRecipe, ImageBuilder
 from repro.model.package import DependencySpec, make_package
 

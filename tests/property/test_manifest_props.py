@@ -4,7 +4,7 @@ These are the invariants every dedup store's byte accounting rests on.
 """
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.image.manifest import FileManifest

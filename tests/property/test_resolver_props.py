@@ -5,10 +5,9 @@ yields a plan that is dependency-closed, correctly ordered and version
 consistent — including catalogs with dependency cycles.
 """
 
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import DependencyError, UnknownPackageError
 from repro.guestos.catalog import Catalog
 from repro.model.package import DependencySpec, make_package
 

@@ -3,11 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.analysis.clustering import (
-    ClusterResult,
-    k_medoids,
-    similarity_matrix,
-)
+from repro.analysis.clustering import k_medoids, similarity_matrix
 
 
 class TestSimilarityMatrix:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.assembly_plan import AssemblyPlanner, RetrievalRequest
+from repro.core.assembly_plan import RetrievalRequest
 from repro.errors import NotInRepositoryError, RetrievalError
 from repro.image.builder import BuildRecipe
 from repro.model.graph import PackageRole

@@ -4,10 +4,7 @@ import pytest
 
 from repro.core.base_selection import select_base_image
 from repro.image.builder import BaseTemplate, BuildRecipe, ImageBuilder
-from repro.repository.master_graphs import (
-    MasterGraph,
-    base_subgraph_of,
-)
+from repro.repository.master_graphs import MasterGraph
 from repro.repository.repo import Repository
 
 from tests.conftest import BASE_PACKAGE_NAMES, make_mini_template

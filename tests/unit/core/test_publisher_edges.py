@@ -1,6 +1,5 @@
 """Edge cases of the publishing pipeline."""
 
-import pytest
 
 from repro.image.builder import BuildRecipe
 

@@ -1,6 +1,5 @@
 """Unit tests for the Expelliarmus facade."""
 
-import pytest
 
 from repro.core.system import Expelliarmus
 from repro.image.builder import BuildRecipe

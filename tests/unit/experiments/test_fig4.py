@@ -1,6 +1,5 @@
 """Tests for the Figure 4 harnesses (publishing time)."""
 
-import pytest
 
 
 class TestFig4aShape:

@@ -1,6 +1,5 @@
 """Unit tests for the experiment runner and registry."""
 
-import pytest
 
 from repro.experiments.runner import ALL_EXPERIMENTS, run_all
 

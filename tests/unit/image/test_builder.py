@@ -1,6 +1,5 @@
 """Unit tests for the virt-builder stand-in."""
 
-import pytest
 
 from repro.image.builder import BuildRecipe
 from repro.model.graph import PackageRole

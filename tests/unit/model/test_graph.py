@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import GraphModelError
 from repro.model.attributes import BaseImageAttrs
-from repro.model.graph import NodeKind, PackageRole, SemanticGraph
+from repro.model.graph import PackageRole, SemanticGraph
 from repro.model.package import make_package
 
 ATTRS = BaseImageAttrs("linux", "ubuntu", "16.04", "amd64")

@@ -192,3 +192,52 @@ class TestRetrievability:
         findings = report.by_kind("unretrievable-package")
         assert len(findings) == 1
         assert "libssl" in findings[0].detail
+
+
+class TestRefcountDrift:
+    """The liveness counters must match a from-scratch recomputation."""
+
+    def test_clean_counters_pass(self, system):
+        assert not check_repository(system.repo).by_kind(
+            "refcount-drift"
+        )
+
+    def test_package_drift_detected(self, system):
+        key = system.repo.db.vmi_package_keys("redis-vm")[0]
+        system.repo._pkg_refs[key] += 1
+        findings = check_repository(system.repo).by_kind(
+            "refcount-drift"
+        )
+        assert findings
+        assert "package" in findings[0].subject
+
+    def test_base_drift_detected(self, system):
+        record = system.repo.get_vmi_record("redis-vm")
+        system.repo._base_refs[record.base_key] = 0
+        findings = check_repository(system.repo).by_kind(
+            "refcount-drift"
+        )
+        assert findings
+        assert "base" in findings[0].subject
+
+    def test_data_drift_detected(self, system):
+        record = system.repo.get_vmi_record("redis-vm")
+        system.repo._data_refs[record.data_label] = 7
+        findings = check_repository(system.repo).by_kind(
+            "refcount-drift"
+        )
+        assert findings
+        assert "user data" in findings[0].subject
+
+    def test_clean_across_churn_lifecycle(self, system, mini_builder):
+        system.publish(
+            mini_builder.build(
+                BuildRecipe(name="nginx-vm", primaries=("nginx",))
+            )
+        )
+        system.delete("redis-vm")
+        assert not check_repository(system.repo).by_kind(
+            "refcount-drift"
+        )
+        system.garbage_collect()
+        assert check_repository(system.repo).clean

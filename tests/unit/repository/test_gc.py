@@ -99,6 +99,116 @@ class TestCollect:
         assert master.member_vmis == ["a"]
 
 
+class TestIncrementalGC:
+    def test_modes_reported(self, mini_system, mini_builder):
+        publish(mini_system, mini_builder, "a", ("redis-server",))
+        mini_system.delete("a")
+        assert mini_system.garbage_collect().mode == "incremental"
+        assert mini_system.garbage_collect(full=True).mode == "full"
+
+    def test_incremental_scans_only_dirty_bases(
+        self, mini_system, mini_builder
+    ):
+        publish(mini_system, mini_builder, "a", ("redis-server",))
+        publish(mini_system, mini_builder, "b", ("nginx",))
+        mini_system.delete("b")
+        report = mini_system.garbage_collect()
+        # one dirty base, its one surviving record scanned
+        assert report.graph_rebuilds == 1
+        assert report.records_scanned == 1
+
+    def test_clean_repository_pass_is_free(
+        self, mini_system, mini_builder
+    ):
+        publish(mini_system, mini_builder, "a", ("redis-server",))
+        report = mini_system.garbage_collect()
+        assert report.records_scanned == 0
+        assert report.graph_rebuilds == 0
+        assert not report.removed_anything
+
+    def test_full_pass_scans_everything(
+        self, mini_system, mini_builder
+    ):
+        publish(mini_system, mini_builder, "a", ("redis-server",))
+        publish(mini_system, mini_builder, "b", ("nginx",))
+        report = mini_system.garbage_collect(full=True)
+        assert report.records_scanned == 2
+        assert report.graph_rebuilds == 1
+
+    def test_gc_charges_simulated_time(self, mini_system, mini_builder):
+        publish(mini_system, mini_builder, "a", ("redis-server",))
+        mini_system.delete("a")
+        report = mini_system.garbage_collect()
+        assert report.gc_seconds > 0
+
+    def test_collector_works_without_clock(
+        self, mini_system, mini_builder
+    ):
+        publish(mini_system, mini_builder, "a", ("redis-server",))
+        mini_system.delete("a")
+        report = GarbageCollector(mini_system.repo).collect()
+        assert report.removed_anything
+        assert report.gc_seconds == 0
+
+    def test_reclaimable_estimate_exact(self, mini_system, mini_builder):
+        publish(mini_system, mini_builder, "a", ("redis-server",))
+        publish(mini_system, mini_builder, "b", ("nginx",))
+        mini_system.delete("b")
+        estimate = mini_system.repo.reclaimable_bytes()
+        assert estimate > 0
+        report = mini_system.garbage_collect()
+        assert report.reclaimed_bytes == estimate
+        assert mini_system.repo.reclaimable_bytes() == 0
+
+
+class TestRefcounts:
+    def test_publish_references_objects(self, mini_system, mini_builder):
+        publish(mini_system, mini_builder, "a", ("redis-server",))
+        repo = mini_system.repo
+        record = repo.get_vmi_record("a")
+        assert repo.base_refs(record.base_key) == 1
+        assert repo.data_refs(record.data_label) == 1
+        for key in repo.db.vmi_package_keys("a"):
+            assert repo.package_refs(key) == 1
+
+    def test_shared_package_counts_both(self, mini_system, mini_builder):
+        publish(mini_system, mini_builder, "a", ("redis-server",))
+        publish(mini_system, mini_builder, "b", ("nginx",))
+        repo = mini_system.repo
+        [libssl] = repo.packages_named("libssl")
+        assert repo.package_refs(libssl.blob_key()) == 2
+
+    def test_delete_decrements_and_marks_dirty(
+        self, mini_system, mini_builder
+    ):
+        publish(mini_system, mini_builder, "a", ("redis-server",))
+        repo = mini_system.repo
+        record = repo.get_vmi_record("a")
+        mini_system.delete("a")
+        assert repo.base_refs(record.base_key) == 0
+        assert record.base_key in repo.dirty_bases()
+        assert record.base_key in repo.zero_ref_bases()
+
+    def test_gc_clears_dirty_set(self, mini_system, mini_builder):
+        publish(mini_system, mini_builder, "a", ("redis-server",))
+        publish(mini_system, mini_builder, "b", ("nginx",))
+        mini_system.delete("b")
+        assert mini_system.repo.dirty_bases()
+        mini_system.garbage_collect()
+        assert not mini_system.repo.dirty_bases()
+
+    def test_rebuild_refcounts_matches_eager(
+        self, mini_system, mini_builder
+    ):
+        publish(mini_system, mini_builder, "a", ("redis-server",))
+        publish(mini_system, mini_builder, "b", ("nginx",))
+        mini_system.delete("a")
+        repo = mini_system.repo
+        eager = repo.refcounts()
+        repo.rebuild_refcounts()
+        assert repo.refcounts() == eager
+
+
 class TestDelete:
     def test_delete_unknown_raises(self, mini_system):
         with pytest.raises(NotInRepositoryError):

@@ -1,0 +1,115 @@
+"""Unit tests for the maintenance service (batched deletes + GC)."""
+
+import pytest
+
+from repro.errors import NotInRepositoryError
+from repro.image.builder import BuildRecipe
+from repro.service.maintenance import MaintenanceService
+
+
+def publish(system, builder, name, primaries):
+    system.publish(
+        builder.build(
+            BuildRecipe(
+                name=name,
+                primaries=primaries,
+                user_data_size=100_000,
+                user_data_files=2,
+            )
+        )
+    )
+
+
+@pytest.fixture
+def populated(mini_system, mini_builder):
+    publish(mini_system, mini_builder, "a", ("redis-server",))
+    publish(mini_system, mini_builder, "b", ("nginx",))
+    publish(mini_system, mini_builder, "c", ("bigapp",))
+    return mini_system
+
+
+class TestDeleteMany:
+    def test_deletes_all(self, populated):
+        report = populated.delete_many(["a", "b"])
+        assert report.n_deleted == 2
+        assert report.n_failed == 0
+        assert populated.published_names() == ["c"]
+
+    def test_failure_isolation(self, populated):
+        report = populated.delete_many(["a", "ghost", "b"])
+        assert report.n_deleted == 2
+        assert report.n_failed == 1
+        assert report.failures()[0].name == "ghost"
+        assert "ghost" in report.failures()[0].error
+
+    def test_on_error_raise(self, populated):
+        with pytest.raises(NotInRepositoryError):
+            populated.delete_many(["ghost"], on_error="raise")
+        with pytest.raises(ValueError):
+            populated.delete_many(["a"], on_error="bogus")
+
+    def test_progress_callback(self, populated):
+        seen = []
+        populated.delete_many(
+            ["a", "b"],
+            progress=lambda done, total, item: seen.append(
+                (done, total, item.name, item.ok)
+            ),
+        )
+        assert seen == [(1, 2, "a", True), (2, 2, "b", True)]
+
+    def test_charges_delete_time(self, populated):
+        report = populated.delete_many(["a", "b"])
+        assert report.simulated_seconds > 0
+
+    def test_blobs_stay_without_threshold(self, populated):
+        before = populated.repository_size
+        report = populated.delete_many(["a", "b", "c"])
+        assert report.gc_passes == 0
+        assert populated.repository_size == before
+        assert report.reclaimable_after == before
+
+    def test_render_mentions_outcome(self, populated):
+        report = populated.delete_many(["a", "ghost"])
+        text = report.render()
+        assert "deleted 1/2 VMIs" in text
+        assert "FAILED ghost" in text
+
+
+class TestGCScheduling:
+    def test_threshold_zero_collects_eagerly(self, populated):
+        report = populated.delete_many(
+            ["a", "b", "c"], gc_threshold_bytes=0
+        )
+        assert report.gc_passes >= 1
+        assert report.reclaimable_after == 0
+        assert populated.repository_size == 0
+
+    def test_threshold_defers_until_crossed(self, populated):
+        # bigapp alone dwarfs the threshold; a + b together don't
+        threshold = populated.repository_size  # never crossed
+        report = populated.delete_many(
+            ["a"], gc_threshold_bytes=threshold
+        )
+        assert report.gc_passes == 0
+
+    def test_gc_reports_ride_along(self, populated):
+        report = populated.delete_many(
+            ["a", "b", "c"], gc_threshold_bytes=0
+        )
+        reclaimed = sum(g.reclaimed_bytes for g in report.gc_reports)
+        assert reclaimed == report.reclaimed_bytes
+        assert all(g.mode == "incremental" for g in report.gc_reports)
+        assert "gc pass 1" in report.render()
+
+    def test_service_collect_modes(self, populated):
+        service = MaintenanceService(populated.repo)
+        populated.delete("a")
+        report = service.collect()
+        assert report.mode == "incremental"
+        assert service.collect(full=True).mode == "full"
+
+    def test_maybe_collect_without_threshold(self, populated):
+        service = MaintenanceService(populated.repo)
+        populated.delete("a")
+        assert service.maybe_collect() is None

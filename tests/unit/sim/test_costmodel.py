@@ -112,3 +112,29 @@ class TestAnchors:
             + model.vmi_reset()
         )
         assert t == pytest.approx(24.64, rel=0.15)
+
+
+class TestLifecycleCosts:
+    """Deletion / GC primitives (DESIGN.md §10)."""
+
+    def test_delete_record_includes_metadata(self, model):
+        assert model.delete_record() > model.metadata_update()
+
+    def test_unlink_blob_positive(self, model):
+        assert model.unlink_blob() > 0
+
+    def test_gc_record_scan_positive(self, model):
+        assert model.gc_record_scan() > 0
+
+    def test_master_rebuild_scales_with_primaries(self, model):
+        empty = model.master_rebuild(0)
+        ten = model.master_rebuild(10)
+        twenty = model.master_rebuild(20)
+        assert empty > 0
+        assert twenty - ten == pytest.approx(ten - empty)
+
+    def test_gc_work_far_cheaper_than_io(self, model):
+        # a thousand-record mark pass costs less than one base write
+        assert 1000 * model.gc_record_scan() < model.write_bytes(
+            1_830_000_000
+        )

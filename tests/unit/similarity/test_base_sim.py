@@ -1,6 +1,5 @@
 """Unit tests for simBI (base-image similarity)."""
 
-import pytest
 
 from repro.model.attributes import ARCH_ALL, BaseImageAttrs
 from repro.similarity.base import base_similarity, same_base_attrs

@@ -155,3 +155,74 @@ class TestRetrieveMany:
     def test_bad_scale_clean_error(self, capsys):
         assert main(["retrieve-many", "--scale", "0"]) == 2
         assert "n_vmis must be positive" in capsys.readouterr().err
+
+
+class TestLifecycleCommands:
+    def test_delete_reports_maintenance(self, capsys):
+        assert main(
+            ["delete", "--scale", "20", "--families", "2",
+             "--churn", "20", "--progress"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "deleting 4" in out
+        assert "deleted 4/4 VMIs" in out
+        assert "awaiting GC" in out
+
+    def test_delete_with_threshold_runs_gc(self, capsys):
+        assert main(
+            ["delete", "--scale", "20", "--families", "2",
+             "--churn", "20", "--gc-threshold-gb", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "gc pass 1 (incremental)" in out
+
+    def test_delete_rejects_bad_churn(self, capsys):
+        assert main(["delete", "--churn", "0"]) == 2
+        assert "--churn" in capsys.readouterr().err
+
+    def test_gc_incremental_default(self, capsys):
+        assert main(
+            ["gc", "--scale", "20", "--families", "2", "--churn", "20"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "gc (incremental): reclaimed" in out
+        assert "master graphs rebuilt" in out
+
+    def test_gc_full_flag(self, capsys):
+        assert main(["gc", "Mini", "Redis", "--churn", "50", "--full"])\
+            == 0
+        out = capsys.readouterr().out
+        assert "gc (full): reclaimed" in out
+
+    def test_fsck_clean_exits_zero(self, capsys):
+        assert main(["fsck", "Mini", "Redis"]) == 0
+        out = capsys.readouterr().out
+        assert "repository clean" in out
+
+    def test_fsck_churn_lifecycle_clean(self, capsys):
+        assert main(
+            ["fsck", "--scale", "20", "--families", "2",
+             "--churn", "25"]
+        ) == 0
+        assert "repository clean" in capsys.readouterr().out
+
+    def test_fsck_findings_exit_nonzero(self, capsys, monkeypatch):
+        from repro.core.system import Expelliarmus
+        from repro.repository.fsck import FsckReport, Inconsistency
+
+        finding = Inconsistency("missing-blob", "ghost", "gone")
+        monkeypatch.setattr(
+            Expelliarmus,
+            "fsck",
+            lambda self: FsckReport(
+                findings=(finding,), checked_blobs=1, checked_vmis=1
+            ),
+        )
+        assert main(["fsck", "Mini"]) == 1
+        err = capsys.readouterr().err
+        assert "1 inconsistencies found" in err
+        assert "missing-blob" in err
+
+    def test_unknown_corpus_name_rejected(self, capsys):
+        assert main(["gc", "NoSuchImage"]) == 2
+        assert "unknown corpus image" in capsys.readouterr().err

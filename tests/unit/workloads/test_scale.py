@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.workloads.scale import ScaleConfig, ScaleCorpus, scale_corpus
+from repro.workloads.scale import (
+    ChurnConfig,
+    ScaleConfig,
+    ScaleCorpus,
+    churn_schedule,
+    scale_corpus,
+)
 
 
 class TestScaleConfig:
@@ -81,3 +87,92 @@ class TestScaleCorpus:
         spec = corpus.spec(3)
         for primary in spec.primaries:
             assert result.vmi.has_package(primary)
+
+
+class TestChurnSchedule:
+    def test_deterministic(self):
+        corpus = scale_corpus(40, n_families=4)
+        config = ChurnConfig(n_rounds=2, churn_pct=10)
+        assert churn_schedule(corpus, config) == churn_schedule(
+            corpus, config
+        )
+
+    def test_quota_tracks_churn_pct(self):
+        corpus = scale_corpus(50, n_families=5)
+        # 90 exceeds one family_fraction pass over the rotation — the
+        # fill pass must still deliver the full quota
+        for pct in (10, 20, 50, 90):
+            rounds = churn_schedule(
+                corpus, ChurnConfig(n_rounds=1, churn_pct=pct)
+            )
+            assert len(rounds[0].delete_names) == (50 * pct + 99) // 100
+
+    def test_republish_matches_deletes(self):
+        corpus = scale_corpus(30, n_families=3)
+        [round1] = churn_schedule(corpus, ChurnConfig(n_rounds=1))
+        republished = {
+            corpus.spec(i).name for i in round1.republish_indices
+        }
+        assert republished == set(round1.delete_names)
+
+    def test_family_mode_concentrates_victims(self):
+        corpus = scale_corpus(100, n_families=10)
+        [family_round] = churn_schedule(
+            corpus, ChurnConfig(n_rounds=1, churn_pct=10, mode="family")
+        )
+        [uniform_round] = churn_schedule(
+            corpus,
+            ChurnConfig(n_rounds=1, churn_pct=10, mode="uniform"),
+        )
+
+        def families_of(round_):
+            return {
+                corpus.spec(i).family
+                for i in round_.republish_indices
+            }
+
+        assert len(families_of(family_round)) < len(
+            families_of(uniform_round)
+        )
+
+    def test_rounds_rotate_families(self):
+        corpus = scale_corpus(60, n_families=6)
+        rounds = churn_schedule(
+            corpus, ChurnConfig(n_rounds=3, churn_pct=10)
+        )
+        touched = [
+            {corpus.spec(i).family for i in r.republish_indices}
+            for r in rounds
+        ]
+        # consecutive rounds do not hammer one family forever
+        assert touched[0] != touched[1] or touched[1] != touched[2]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ChurnConfig(n_rounds=0)
+        with pytest.raises(ValueError):
+            ChurnConfig(churn_pct=0)
+        with pytest.raises(ValueError):
+            ChurnConfig(mode="bogus")
+        with pytest.raises(ValueError):
+            ChurnConfig(family_fraction=0)
+
+    def test_rounds_apply_cleanly(self):
+        """Two churn rounds publish/delete/republish through the system."""
+        from repro.core.system import Expelliarmus
+
+        corpus = scale_corpus(20, n_families=2)
+        system = Expelliarmus()
+        assert system.publish_many(list(corpus.build_all())).n_failed == 0
+        for round_ in churn_schedule(
+            corpus, ChurnConfig(n_rounds=2, churn_pct=20)
+        ):
+            deleted = system.delete_many(list(round_.delete_names))
+            assert deleted.n_failed == 0
+            system.garbage_collect()
+            republished = system.publish_many(
+                [corpus.build(i) for i in round_.republish_indices]
+            )
+            assert republished.n_failed == 0
+            assert system.fsck().clean
+        assert len(system.published_names()) == 20
