@@ -24,6 +24,7 @@ paper's tables and figures, and DESIGN.md for the system inventory.
 
 from repro.core.system import Expelliarmus
 from repro.model.attributes import BaseImageAttrs, PackageAttrs
+from repro.repository.workspace import Workspace
 from repro.model.graph import PackageRole, SemanticGraph
 from repro.model.package import DependencySpec, Package, make_package
 from repro.model.versions import Version
@@ -41,6 +42,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Expelliarmus",
+    "Workspace",
     "BaseImageAttrs",
     "PackageAttrs",
     "PackageRole",

@@ -4,25 +4,41 @@ Subcommands:
 
 * ``experiments [ids...]`` — run the paper's tables/figures (default:
   all) and print measured-vs-paper rows;
-* ``publish <names...>`` — publish corpus images into a fresh
-  repository and report per-image publish statistics;
+* ``publish <names...>`` — publish corpus images into a repository
+  and report per-image publish statistics;
 * ``publish-many [names...]`` — batch-publish a corpus through the
   scale-out pipeline (dedup-aware ordering, aggregated accounting);
   ``--scale N`` publishes an N-VMI generated multi-family corpus;
-* ``retrieve-many [names...]`` — publish a corpus, then batch-retrieve
-  every published VMI through the plan-caching pipeline (base-affine
-  ordering, per-component accounting); ``--cold`` serves each request
-  through the sequential cache-less assembler for comparison;
-* ``delete`` — publish a corpus, then batch-delete a churn fraction
-  through the maintenance pipeline (``--gc-threshold-gb`` interleaves
-  incremental GC passes scheduled by the reclaimable-bytes estimate);
-* ``gc`` — publish a corpus, churn it, and run one garbage-collection
-  pass (incremental by default, ``--full`` for the stop-the-world
-  verification mode), reporting reclaimed bytes and the pass's work;
-* ``fsck`` — publish a corpus (optionally churn + GC it), run every
-  repository consistency check, and exit non-zero on findings — the
-  integrity gate CI and operators script against;
-* ``corpus`` — list the evaluation images and their characteristics.
+* ``retrieve-many [names...]`` — batch-retrieve published VMIs through
+  the plan-caching pipeline (base-affine ordering, per-component
+  accounting); ``--cold`` serves each request through the sequential
+  cache-less assembler for comparison;
+* ``delete`` — batch-delete VMIs through the maintenance pipeline
+  (``--gc-threshold-gb`` interleaves incremental GC passes scheduled
+  by the reclaimable-bytes estimate);
+* ``gc`` — run one garbage-collection pass (incremental by default,
+  ``--full`` for the stop-the-world verification mode), reporting
+  reclaimed bytes and the pass's work;
+* ``fsck`` — run every repository consistency check and exit non-zero
+  on findings — the integrity gate CI and operators script against;
+* ``snapshot`` — checkpoint a workspace (snapshot + op-log truncate);
+* ``compact`` — garbage-collect a workspace, then checkpoint it;
+* ``corpus`` — list the evaluation images and their characteristics;
+* ``stats`` — attribute repository storage.
+
+**Workspaces.**  ``--workspace PATH`` (global, or after any repository
+subcommand) makes the command operate on one *durable* store instead
+of a throwaway in-process repository: the first command initialises
+the directory, every state-changing operation is journaled to its
+write-ahead op-log before it applies, and later invocations — other
+processes included — reopen the same repository via snapshot + replay.
+``publish`` into a workspace in one process, ``retrieve-many`` /
+``gc`` / ``fsck`` it in the next.  Without ``--workspace``, the
+repository-facing subcommands synthesize a corpus in memory and exit,
+exactly as before; with it, corpus synthesis happens only for the
+publishing subcommands (``retrieve-many``, ``delete``, ``gc``,
+``fsck`` and ``stats`` operate on what the workspace already holds,
+and their corpus/churn flags are ignored).
 """
 
 from __future__ import annotations
@@ -44,7 +60,40 @@ def build_parser() -> argparse.ArgumentParser:
             "Semantics-aware VMI management (IPDPS 2019 reproduction)"
         ),
     )
+    parser.add_argument(
+        "--workspace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "operate on a durable repository at PATH (snapshot + "
+            "write-ahead op-log) instead of a throwaway in-memory one"
+        ),
+    )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    #: the same flag after the subcommand; SUPPRESS keeps a value
+    #: parsed at the top level from being clobbered by this default
+    workspace_flags = argparse.ArgumentParser(add_help=False)
+    workspace_flags.add_argument(
+        "--workspace",
+        metavar="PATH",
+        default=argparse.SUPPRESS,
+        help="durable repository directory (same as the global flag)",
+    )
+
+    #: checkpoint policy for the write-path subcommands
+    checkpoint_flags = argparse.ArgumentParser(add_help=False)
+    checkpoint_flags.add_argument(
+        "--checkpoint-every",
+        type=int,
+        metavar="OPS",
+        default=None,
+        help=(
+            "with --workspace: write a snapshot checkpoint whenever "
+            "the op-log exceeds OPS entries (bounds reopen replay "
+            "cost; default: journal only)"
+        ),
+    )
 
     exp = sub.add_parser(
         "experiments", help="run the paper's tables and figures"
@@ -62,7 +111,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     pub = sub.add_parser(
-        "publish", help="publish corpus images into a fresh repository"
+        "publish",
+        help="publish corpus images into a repository",
+        parents=[workspace_flags, checkpoint_flags],
     )
     pub.add_argument("names", nargs="+", help="corpus image names")
 
@@ -92,7 +143,7 @@ def build_parser() -> argparse.ArgumentParser:
     many = sub.add_parser(
         "publish-many",
         help="batch-publish a corpus through the scale-out pipeline",
-        parents=[corpus_flags],
+        parents=[corpus_flags, workspace_flags, checkpoint_flags],
     )
     many.add_argument(
         "--order",
@@ -114,7 +165,7 @@ def build_parser() -> argparse.ArgumentParser:
     ret = sub.add_parser(
         "retrieve-many",
         help="batch-retrieve a published corpus with warm plan caches",
-        parents=[corpus_flags],
+        parents=[corpus_flags, workspace_flags],
     )
     ret.add_argument(
         "--repeat",
@@ -142,8 +193,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     delete = sub.add_parser(
         "delete",
-        help="publish a corpus, then batch-delete a churn fraction",
-        parents=[corpus_flags],
+        help="batch-delete published VMIs (a churn fraction, or "
+        "named ones from a workspace)",
+        parents=[corpus_flags, workspace_flags, checkpoint_flags],
     )
     delete.add_argument(
         "--churn",
@@ -169,8 +221,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     gc = sub.add_parser(
         "gc",
-        help="publish a corpus, churn it, run one GC pass",
-        parents=[corpus_flags],
+        help="run one GC pass (on a workspace, or a churned corpus)",
+        parents=[corpus_flags, workspace_flags],
     )
     gc.add_argument(
         "--churn",
@@ -188,7 +240,7 @@ def build_parser() -> argparse.ArgumentParser:
     fsck = sub.add_parser(
         "fsck",
         help="run repository consistency checks (non-zero on findings)",
-        parents=[corpus_flags],
+        parents=[corpus_flags, workspace_flags],
     )
     fsck.add_argument(
         "--churn",
@@ -205,10 +257,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats = sub.add_parser(
         "stats",
-        help="publish corpus images, then attribute repository storage",
+        help="attribute repository storage (a workspace's, or a "
+        "freshly published corpus)",
+        parents=[workspace_flags],
     )
     stats.add_argument(
         "names", nargs="*", help="corpus images (default: all 19)"
+    )
+
+    sub.add_parser(
+        "snapshot",
+        help="checkpoint a workspace: write a snapshot, truncate "
+        "the op-log",
+        parents=[workspace_flags],
+    )
+
+    compact = sub.add_parser(
+        "compact",
+        help="garbage-collect a workspace, then checkpoint it",
+        parents=[workspace_flags],
+    )
+    compact.add_argument(
+        "--full",
+        action="store_true",
+        help="stop-the-world verification GC instead of incremental",
     )
     return parser
 
@@ -225,22 +297,51 @@ def _cmd_experiments(ids: Sequence[str], figures: bool = False) -> int:
     return 0
 
 
-def _cmd_publish(names: Sequence[str]) -> int:
+def _make_system(args, **kwargs):
+    """An Expelliarmus over the ``--workspace`` store, or a fresh one.
+
+    Opening a workspace replays its write-ahead op-log on top of the
+    last snapshot; a fresh directory comes up empty and durable.
+    """
     from repro.core.system import Expelliarmus
+
+    path = getattr(args, "workspace", None)
+    if path is None:
+        return Expelliarmus(**kwargs)
+    return Expelliarmus.open(path, **kwargs)
+
+
+def _finish(system, args) -> None:
+    """Honour the checkpoint policy, then detach from the workspace."""
+    if system.workspace is not None:
+        system.checkpoint_if_due(getattr(args, "checkpoint_every", None))
+        system.close()
+
+
+def _cmd_publish(args) -> int:
+    from repro.errors import ReproError
     from repro.workloads.generator import standard_corpus
 
     corpus = standard_corpus()
-    system = Expelliarmus()
-    for name in names:
-        report = system.publish(corpus.build(name))
-        print(
-            f"{name}: published in {fmt_seconds(report.publish_time)}, "
-            f"similarity {report.similarity:.2f}, "
-            f"exported {len(report.exported_packages)} packages, "
-            f"deduplicated {len(report.deduplicated_packages)}, "
-            f"repository now {fmt_gb(system.repository_size)}"
-        )
-    return 0
+    system = _make_system(args)
+    try:
+        for name in args.names:
+            try:
+                report = system.publish(corpus.build(name))
+            except ReproError as exc:
+                print(f"error: {name}: {exc}", file=sys.stderr)
+                return 1
+            print(
+                f"{name}: published in "
+                f"{fmt_seconds(report.publish_time)}, "
+                f"similarity {report.similarity:.2f}, "
+                f"exported {len(report.exported_packages)} packages, "
+                f"deduplicated {len(report.deduplicated_packages)}, "
+                f"repository now {fmt_gb(system.repository_size)}"
+            )
+        return 0
+    finally:
+        _finish(system, args)
 
 
 def _resolve_corpus(args):
@@ -276,13 +377,11 @@ def _resolve_corpus(args):
 
 
 def _cmd_publish_many(args) -> int:
-    from repro.core.system import Expelliarmus
-
     vmis = _resolve_corpus(args)
     if isinstance(vmis, int):
         return vmis
 
-    system = Expelliarmus(indexed_selection=not args.scan)
+    system = _make_system(args, indexed_selection=not args.scan)
 
     def echo_progress(done, total, item):
         status = (
@@ -292,40 +391,82 @@ def _cmd_publish_many(args) -> int:
         )
         print(f"[{done:>4}/{total}] {item.name:<16} {status}")
 
-    report = system.publish_many(
-        vmis,
-        order=args.order,
-        progress=echo_progress if args.progress else None,
-    )
-    print(report.render())
-    return 1 if report.n_failed else 0
+    try:
+        report = system.publish_many(
+            vmis,
+            order=args.order,
+            progress=echo_progress if args.progress else None,
+        )
+        print(report.render())
+        return 1 if report.n_failed else 0
+    finally:
+        _finish(system, args)
 
 
 def _cmd_retrieve_many(args) -> int:
-    from repro.core.system import Expelliarmus
-
     if args.repeat < 1:
         print("error: --repeat must be positive", file=sys.stderr)
         return 2
-    vmis = _resolve_corpus(args)
-    if isinstance(vmis, int):
-        return vmis
 
-    system = Expelliarmus()
-    published = system.publish_many(vmis)
-    if published.n_failed:
-        print(published.render(), file=sys.stderr)
-        return 1
-    print(
-        f"published {published.n_published} VMIs "
-        f"({system.repository_size / 1e9:.3f} GB); retrieving "
-        f"x{args.repeat}"
-    )
+    if getattr(args, "workspace", None) is not None:
+        # retrieve what the workspace already holds — published by an
+        # earlier invocation, possibly by another process
+        system = _make_system(args)
+        published = system.published_names()
+        if args.names:
+            unknown = [n for n in args.names if n not in published]
+            if unknown:
+                print(
+                    f"error: not published in this workspace: "
+                    f"{', '.join(unknown)}",
+                    file=sys.stderr,
+                )
+                _finish(system, args)
+                return 2
+            targets = list(args.names)
+        else:
+            targets = published
+        if not targets:
+            print(
+                "error: workspace holds no published VMIs",
+                file=sys.stderr,
+            )
+            _finish(system, args)
+            return 2
+        print(
+            f"workspace holds {len(published)} VMIs "
+            f"({system.repository_size / 1e9:.3f} GB); retrieving "
+            f"{len(targets)} x{args.repeat}"
+        )
+        requests = [n for _ in range(args.repeat) for n in targets]
+    else:
+        vmis = _resolve_corpus(args)
+        if isinstance(vmis, int):
+            return vmis
+        system = _make_system(args)
+        published = system.publish_many(vmis)
+        if published.n_failed:
+            print(published.render(), file=sys.stderr)
+            return 1
+        print(
+            f"published {published.n_published} VMIs "
+            f"({system.repository_size / 1e9:.3f} GB); retrieving "
+            f"x{args.repeat}"
+        )
+        requests = [
+            r.name
+            for _ in range(args.repeat)
+            for r in system.repo.vmi_records()
+        ]
 
-    requests = [
-        r.name for _ in range(args.repeat) for r in system.repo.vmi_records()
-    ]
+    try:
+        return _run_retrieval(system, requests, args)
+    finally:
+        _finish(system, args)
 
+
+def _run_retrieval(system, requests, args) -> int:
+    """The shared retrieval body: cold sequential or warm batch."""
     if args.cold:
         from repro.errors import ReproError
         from repro.service.retrieval import components_line
@@ -408,19 +549,41 @@ def _churn_victims(names, pct: int, seed: str) -> list[str]:
 
 
 def _cmd_delete(args) -> int:
-    if not 0 < args.churn <= 100:
-        print("error: --churn must be in (0, 100]", file=sys.stderr)
-        return 2
-    prepared = _published_system(args)
-    if isinstance(prepared, int):
-        return prepared
-    system, names = prepared
-    victims = _churn_victims(names, args.churn, args.seed)
-    print(
-        f"published {len(names)} VMIs "
-        f"({system.repository_size / 1e9:.3f} GB); deleting "
-        f"{len(victims)}"
-    )
+    if getattr(args, "workspace", None) is not None:
+        system = _make_system(args)
+        names = system.published_names()
+        if args.names:
+            # explicit victims; unknown names surface as per-item
+            # failures through the pipeline's isolation
+            victims = list(args.names)
+        else:
+            if not 0 < args.churn <= 100:
+                print(
+                    "error: --churn must be in (0, 100]",
+                    file=sys.stderr,
+                )
+                _finish(system, args)
+                return 2
+            victims = _churn_victims(names, args.churn, args.seed)
+        print(
+            f"workspace holds {len(names)} VMIs "
+            f"({system.repository_size / 1e9:.3f} GB); deleting "
+            f"{len(victims)}"
+        )
+    else:
+        if not 0 < args.churn <= 100:
+            print("error: --churn must be in (0, 100]", file=sys.stderr)
+            return 2
+        prepared = _published_system(args)
+        if isinstance(prepared, int):
+            return prepared
+        system, names = prepared
+        victims = _churn_victims(names, args.churn, args.seed)
+        print(
+            f"published {len(names)} VMIs "
+            f"({system.repository_size / 1e9:.3f} GB); deleting "
+            f"{len(victims)}"
+        )
 
     def echo_progress(done, total, item):
         status = "deleted" if item.ok else f"FAILED ({item.error})"
@@ -431,16 +594,51 @@ def _cmd_delete(args) -> int:
         if args.gc_threshold_gb is not None
         else None
     )
-    report = system.delete_many(
-        victims,
-        progress=echo_progress if args.progress else None,
-        gc_threshold_bytes=threshold,
+    try:
+        report = system.delete_many(
+            victims,
+            progress=echo_progress if args.progress else None,
+            gc_threshold_bytes=threshold,
+            checkpoint_every_ops=getattr(args, "checkpoint_every", None),
+        )
+        print(report.render())
+        return 1 if report.n_failed else 0
+    finally:
+        _finish(system, args)
+
+
+def _print_gc_report(report) -> None:
+    print(
+        f"gc ({report.mode}): reclaimed "
+        f"{report.reclaimed_bytes / 1e9:.3f} GB — "
+        f"{report.removed_packages} packages, "
+        f"{report.removed_user_data} user data, "
+        f"{report.removed_bases} bases"
     )
-    print(report.render())
-    return 1 if report.n_failed else 0
+    print(
+        f"  work: {report.graph_rebuilds} master graphs rebuilt, "
+        f"{report.records_scanned} records scanned, "
+        f"{report.gc_seconds:.2f} simulated s"
+    )
 
 
 def _cmd_gc(args) -> int:
+    if getattr(args, "workspace", None) is not None:
+        # collect the workspace's pending garbage — churned by earlier
+        # delete invocations, possibly in other processes
+        system = _make_system(args)
+        try:
+            reclaimable = system.repo.reclaimable_bytes()
+            print(
+                f"workspace holds "
+                f"{len(system.published_names())} VMIs; "
+                f"{reclaimable / 1e9:.3f} GB reclaimable"
+            )
+            _print_gc_report(system.garbage_collect(full=args.full))
+            return 0
+        finally:
+            _finish(system, args)
+
     if not 0 < args.churn <= 100:
         print("error: --churn must be in (0, 100]", file=sys.stderr)
         return 2
@@ -458,23 +656,20 @@ def _cmd_gc(args) -> int:
         f"published {len(names)} VMIs, deleted {len(victims)}; "
         f"{reclaimable / 1e9:.3f} GB reclaimable"
     )
-    report = system.garbage_collect(full=args.full)
-    print(
-        f"gc ({report.mode}): reclaimed "
-        f"{report.reclaimed_bytes / 1e9:.3f} GB — "
-        f"{report.removed_packages} packages, "
-        f"{report.removed_user_data} user data, "
-        f"{report.removed_bases} bases"
-    )
-    print(
-        f"  work: {report.graph_rebuilds} master graphs rebuilt, "
-        f"{report.records_scanned} records scanned, "
-        f"{report.gc_seconds:.2f} simulated s"
-    )
+    _print_gc_report(system.garbage_collect(full=args.full))
     return 0
 
 
 def _cmd_fsck(args) -> int:
+    if getattr(args, "workspace", None) is not None:
+        # the cross-process integrity gate: check the store exactly as
+        # the last invocation left it
+        system = _make_system(args)
+        try:
+            return _print_fsck_report(system.fsck())
+        finally:
+            _finish(system, args)
+
     if not 0 <= args.churn <= 100:
         print("error: --churn must be in [0, 100]", file=sys.stderr)
         return 2
@@ -486,7 +681,10 @@ def _cmd_fsck(args) -> int:
         victims = _churn_victims(names, args.churn, args.seed)
         system.delete_many(victims)
         system.garbage_collect()
-    report = system.fsck()
+    return _print_fsck_report(system.fsck())
+
+
+def _print_fsck_report(report) -> int:
     if report.clean:
         print(
             f"repository clean: {report.checked_blobs} blobs, "
@@ -518,18 +716,25 @@ def _cmd_corpus() -> int:
     return 0
 
 
-def _cmd_stats(names: Sequence[str]) -> int:
+def _cmd_stats(args) -> int:
     from repro.analysis.storage_report import storage_report
-    from repro.core.system import Expelliarmus
     from repro.workloads.generator import standard_corpus
     from repro.workloads.vmi_specs import TABLE_II_ORDER
 
-    corpus = standard_corpus()
-    system = Expelliarmus()
-    for name in names or TABLE_II_ORDER:
-        system.publish(corpus.build(name))
-    report = storage_report(system.repo)
+    system = _make_system(args)
+    try:
+        if getattr(args, "workspace", None) is None:
+            corpus = standard_corpus()
+            for name in args.names or TABLE_II_ORDER:
+                system.publish(corpus.build(name))
+        report = storage_report(system.repo)
+        _print_stats(report)
+        return 0
+    finally:
+        _finish(system, args)
 
+
+def _print_stats(report) -> None:
     print(f"repository: {fmt_gb(report.total_bytes)} across "
           f"{report.n_vmis} published VMIs")
     print(f"  base images : {fmt_gb(report.base_bytes)}")
@@ -545,29 +750,77 @@ def _cmd_stats(names: Sequence[str]) -> int:
     for pkg in report.most_shared(8):
         print(f"  {pkg.name:<28} x{pkg.ref_count:<3} "
               f"amortized {pkg.amortized_size / 1e6:.1f} MB/VMI")
-    return 0
+
+
+def _require_workspace(args) -> str | None:
+    path = getattr(args, "workspace", None)
+    if path is None:
+        print(
+            f"error: {args.command} requires --workspace",
+            file=sys.stderr,
+        )
+    return path
+
+
+def _cmd_snapshot(args) -> int:
+    if _require_workspace(args) is None:
+        return 2
+    system = _make_system(args)
+    try:
+        ops = system.workspace.ops_since_checkpoint
+        size = system.save()
+        print(
+            f"checkpoint written: {size / 1e6:.2f} MB snapshot, "
+            f"{ops} journaled op(s) folded in; next reopen replays 0"
+        )
+        return 0
+    finally:
+        _finish(system, args)
+
+
+def _cmd_compact(args) -> int:
+    if _require_workspace(args) is None:
+        return 2
+    system = _make_system(args)
+    try:
+        _print_gc_report(system.garbage_collect(full=args.full))
+        size = system.save()
+        print(
+            f"checkpoint written: {size / 1e6:.2f} MB snapshot, "
+            f"op-log truncated"
+        )
+        return 0
+    finally:
+        _finish(system, args)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    from repro.errors import WorkspaceError
+
     args = build_parser().parse_args(argv)
-    if args.command == "experiments":
-        return _cmd_experiments(args.ids, figures=args.figures)
-    if args.command == "publish":
-        return _cmd_publish(args.names)
-    if args.command == "publish-many":
-        return _cmd_publish_many(args)
-    if args.command == "retrieve-many":
-        return _cmd_retrieve_many(args)
-    if args.command == "delete":
-        return _cmd_delete(args)
-    if args.command == "gc":
-        return _cmd_gc(args)
-    if args.command == "fsck":
-        return _cmd_fsck(args)
-    if args.command == "corpus":
-        return _cmd_corpus()
-    if args.command == "stats":
-        return _cmd_stats(args.names)
+    dispatch = {
+        "publish": _cmd_publish,
+        "publish-many": _cmd_publish_many,
+        "retrieve-many": _cmd_retrieve_many,
+        "delete": _cmd_delete,
+        "gc": _cmd_gc,
+        "fsck": _cmd_fsck,
+        "stats": _cmd_stats,
+        "snapshot": _cmd_snapshot,
+        "compact": _cmd_compact,
+    }
+    try:
+        if args.command == "experiments":
+            return _cmd_experiments(args.ids, figures=args.figures)
+        if args.command == "corpus":
+            return _cmd_corpus()
+        if args.command in dispatch:
+            return dispatch[args.command](args)
+    except WorkspaceError as exc:
+        # a broken or mismatched durable store is an operator error,
+        # not a crash: report it the way fsck reports findings
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

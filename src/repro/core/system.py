@@ -8,6 +8,8 @@ uploaded VMI and *retrieve* a requested one.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from repro.core.analyzer import SemanticAnalyzer
 from repro.core.assembler import RetrievalReport, VMIAssembler
 from repro.core.assembly_plan import AssemblyPlanner
@@ -41,10 +43,22 @@ class Expelliarmus:
         db_path: str = ":memory:",
         dedup_packages: bool = True,
         indexed_selection: bool = True,
+        repository: Repository | None = None,
     ) -> None:
+        """``repository=`` adopts an existing (e.g. reloaded)
+        repository instead of building a fresh one — the publisher,
+        assembler and planner are all bound to it, so publish, retrieve
+        and GC work on the injected instance exactly as the persistence
+        docstring promises.  ``db_path`` is ignored when a repository
+        is injected (it already carries its metadata database)."""
         self.clock = SimulatedClock()
         self.cost = CostModel(params)
-        self.repo = Repository(db_path)
+        self.repo = (
+            repository if repository is not None else Repository(db_path)
+        )
+        #: the durable workspace backing ``repo`` (set by :meth:`open`
+        #: / :meth:`save`); None for a purely in-memory system
+        self.workspace = None
         self.analyzer = SemanticAnalyzer(self.clock, self.cost)
         self.publisher = VMIPublisher(
             self.repo,
@@ -60,6 +74,78 @@ class Expelliarmus:
         #: replacements and GC between batches can never serve a stale
         #: plan
         self.planner = AssemblyPlanner(self.repo, self.clock, self.cost)
+
+    # ------------------------------------------------------------------
+    # durable workspaces (persistence across process restarts)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(cls, path, **kwargs) -> "Expelliarmus":
+        """Open (or initialise) a durable workspace at ``path``.
+
+        Reopen = last snapshot + write-ahead op-log replay, so the
+        cost scales with the ops since the last checkpoint, not with
+        the repository.  Every subsequent state-changing operation is
+        journaled before it applies — the returned system survives
+        process exits and crashes without an explicit save.
+
+        Raises:
+            WorkspaceError: the directory holds a mismatched or
+                unreadable snapshot/op-log pair.
+        """
+        from repro.repository.workspace import Workspace
+
+        workspace = Workspace(path)
+        system = cls(repository=workspace.load(), **kwargs)
+        system.workspace = workspace
+        return system
+
+    def save(self, path=None) -> int:
+        """Checkpoint to the workspace; returns the snapshot bytes.
+
+        With ``path``, an in-memory system becomes durable there (the
+        repository is adopted by a fresh workspace and journaled from
+        now on).  Without, the backing workspace writes a snapshot and
+        truncates its op-log, so the next reopen pays pure
+        snapshot-load cost.
+
+        Raises:
+            WorkspaceError: no workspace and no ``path``, or ``path``
+                already holds a different repository.
+        """
+        from repro.errors import WorkspaceError
+        from repro.repository.workspace import Workspace
+
+        if path is None:
+            if self.workspace is None:
+                raise WorkspaceError(
+                    "system has no workspace — pass save(path)"
+                )
+            return self.workspace.checkpoint()
+        if self.workspace is not None and Path(path).resolve() == (
+            self.workspace.path.resolve()
+        ):
+            return self.workspace.checkpoint()
+        workspace = Workspace(path)
+        size = workspace.adopt(self.repo)
+        self.workspace = workspace
+        return size
+
+    def checkpoint_if_due(self, every_ops: int | None) -> bool:
+        """Checkpoint when the op-log reached ``every_ops`` entries.
+
+        Delegates to the workspace's op-count policy; False without a
+        workspace.
+        """
+        if self.workspace is None:
+            return False
+        return self.workspace.checkpoint_if_due(every_ops)
+
+    def close(self) -> None:
+        """Detach from the workspace (journal closed, state kept)."""
+        if self.workspace is not None:
+            self.workspace.close()
+            self.workspace = None
 
     # ------------------------------------------------------------------
     # the two user-facing operations of Figure 2
@@ -153,13 +239,17 @@ class Expelliarmus:
         progress=None,
         on_error: str = "continue",
         gc_threshold_bytes: int | None = None,
+        checkpoint_every_ops: int | None = None,
     ):
         """Batch-delete VMIs through the maintenance pipeline.
 
         Isolates per-item failures, tracks the reclaimable-bytes
         estimate as it grows, and — when ``gc_threshold_bytes`` is set —
         interleaves incremental GC passes whenever the estimate crosses
-        the threshold.  Returns the aggregated
+        the threshold.  On a workspace-backed system,
+        ``checkpoint_every_ops`` additionally schedules snapshot
+        checkpoints whenever the op-log grows past that many entries,
+        bounding reopen replay cost.  Returns the aggregated
         :class:`~repro.service.maintenance.MaintenanceReport`.
         """
         from repro.service.maintenance import MaintenanceService
@@ -169,6 +259,8 @@ class Expelliarmus:
             self.clock,
             self.cost,
             gc_threshold_bytes=gc_threshold_bytes,
+            workspace=self.workspace,
+            checkpoint_every_ops=checkpoint_every_ops,
         ).delete_many(names, progress=progress, on_error=on_error)
 
     def garbage_collect(self, *, full: bool = False):

@@ -19,6 +19,7 @@ __all__ = [
     "RepositoryError",
     "NotInRepositoryError",
     "DuplicateEntryError",
+    "WorkspaceError",
     "PublishError",
     "RetrievalError",
     "IncompatibleImageError",
@@ -89,6 +90,12 @@ class NotInRepositoryError(RepositoryError):
 
 class DuplicateEntryError(RepositoryError):
     """An object with the same identity is already stored."""
+
+
+class WorkspaceError(RepositoryError):
+    """A durable workspace (snapshot + op-log) is unusable as found —
+    mismatched snapshot/op-log pair, unreadable op-log header, or an
+    op the replayer does not know."""
 
 
 # ---------------------------------------------------------------------------

@@ -11,16 +11,25 @@ Three layers:
   package index;
 * :class:`~repro.repository.repo.Repository` — the facade Algorithms
   1-3 program against: packages, base images, user data, master graphs.
+
+Durability rides on top: :class:`~repro.repository.workspace.Workspace`
+pairs a snapshot (:mod:`~repro.repository.persistence`, format v2) with
+a write-ahead op-log (:mod:`~repro.repository.oplog`), so one store
+survives process restarts and crashes across CLI invocations.
 """
 
 from repro.repository.blobstore import BlobKind, BlobStore
 from repro.repository.database import MetadataDatabase
+from repro.repository.oplog import OpLog
 from repro.repository.repo import Repository, VMIRecord
+from repro.repository.workspace import Workspace
 
 __all__ = [
     "BlobKind",
     "BlobStore",
     "MetadataDatabase",
+    "OpLog",
     "Repository",
     "VMIRecord",
+    "Workspace",
 ]

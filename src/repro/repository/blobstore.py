@@ -65,15 +65,6 @@ class BlobStore:
         self._blobs[key] = record
         return record
 
-    def put_if_absent(
-        self, key: int, kind: BlobKind, size: int, label: str
-    ) -> bool:
-        """Store unless present; True when bytes were actually written."""
-        if key in self._blobs:
-            return False
-        self.put(key, kind, size, label)
-        return True
-
     def remove(self, key: int) -> BlobRecord:
         """Delete a blob, reclaiming its bytes.
 

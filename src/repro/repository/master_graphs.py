@@ -15,7 +15,6 @@ their master graphs when one base can replace the others.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 
 from repro.errors import GraphModelError
@@ -25,10 +24,77 @@ from repro.model.package import Package
 from repro.model.vmi import BaseImage
 from repro.similarity.compatibility import is_compatible
 
-__all__ = ["MasterGraph", "base_subgraph_of"]
+__all__ = [
+    "MasterGraph",
+    "base_subgraph_of",
+    "ensure_revision_floor",
+    "master_state",
+    "master_from_state",
+]
 
-#: process-wide revision source for :attr:`MasterGraph.revision`
-_REVISIONS = itertools.count(1)
+
+class _RevisionSource:
+    """Process-wide monotonic source for :attr:`MasterGraph.revision`.
+
+    ``(base_key, revision)`` must never name two different membership
+    states — including across snapshot reloads, where restored masters
+    carry revisions issued by an *earlier* process.  Restoring code
+    raises the floor past the highest restored revision so freshly
+    issued revisions can never collide with restored ones.
+    """
+
+    def __init__(self) -> None:
+        self._last = 0
+
+    def advance(self) -> int:
+        self._last += 1
+        return self._last
+
+    def ensure_floor(self, floor: int) -> None:
+        self._last = max(self._last, floor)
+
+
+_REVISIONS = _RevisionSource()
+
+
+def ensure_revision_floor(floor: int) -> None:
+    """Guarantee future revisions exceed ``floor`` (snapshot restore)."""
+    _REVISIONS.ensure_floor(floor)
+
+
+def master_state(master: "MasterGraph") -> dict:
+    """A master's reload-relevant content as plain data.
+
+    Everything a snapshot or op-log entry must carry that cannot be
+    re-derived from the stored base alone: the merged package graph,
+    the member list, and the membership revision.  The values are the
+    *live* objects — consumers that persist the state must serialise
+    eagerly (the repository journal contract).
+    """
+    return {
+        "base_key": master.base_key,
+        "package_graph": master.package_graph,
+        "member_vmis": list(master.member_vmis),
+        "revision": master.revision,
+    }
+
+
+def master_from_state(base: BaseImage, state: dict) -> "MasterGraph":
+    """Rebuild a master graph around a stored base from saved state.
+
+    Restores the saved membership revision exactly — a reloaded plan
+    cache revalidates against the same ``(base_key, revision)`` pair it
+    was derived under — and raises the process-wide revision floor so
+    post-reload mutations can never reissue a restored revision for
+    different membership.  Legacy state without a revision (snapshot
+    format v1) restores at revision 0.
+    """
+    master = MasterGraph.for_base(base)
+    master.package_graph = state["package_graph"]
+    master.member_vmis = list(state["member_vmis"])
+    master.revision = state.get("revision", 0)
+    ensure_revision_floor(master.revision)
+    return master
 
 
 def base_subgraph_of(base: BaseImage) -> SemanticGraph:
@@ -98,7 +164,7 @@ class MasterGraph:
                 f"{self.base.attrs}"
             )
         self.package_graph.union_update(subgraph)
-        self.revision = next(_REVISIONS)
+        self.revision = _REVISIONS.advance()
         if vmi_name is not None and vmi_name not in self.member_vmis:
             self.member_vmis.append(vmi_name)
 

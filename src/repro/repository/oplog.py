@@ -1,0 +1,276 @@
+"""The repository write-ahead op-log.
+
+A snapshot alone makes durability *expensive*: every publish would have
+to re-serialise the whole repository to survive a crash.  The op-log
+makes it cheap — the repository journals each state-changing primitive
+(store/remove/record/delete/reassign/repoint/master-put/dirty marks)
+*before* applying it, and reopening a workspace is
+
+    last snapshot  +  replay of the ops appended since,
+
+so reopen cost is O(ops since checkpoint), not O(repository).
+
+Log layout: one header record naming the op-log format version and the
+``mutations`` counter of the snapshot this log continues from (so a
+mismatched snapshot/op-log pair is detected instead of replayed), then
+one pickled ``(op, args)`` record per journaled primitive.  Ops are the
+repository's own public method names with their call arguments, so
+replay is a dispatch loop over the same primitives that produced the
+state — there is no second implementation of the mutation semantics to
+drift.
+
+Crash consistency: records are flushed per append and applied to the
+repository only after the append returns, so the log always describes
+at least the state the repository reached.  A crash mid-append leaves a
+*torn tail* — a final, partially written record.  Readers stop at the
+last complete record and report the torn bytes; reopening for append
+truncates them, which is exactly the classic WAL recovery contract:
+an operation whose journal record never became durable never happened.
+
+Like snapshots, the log is pickle-based and must only be read from
+trusted sources (it is produced and consumed by the same application).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import WorkspaceError
+from repro.repository.master_graphs import master_from_state
+from repro.repository.repo import Repository
+
+__all__ = ["OpLog", "OpLogRecord", "ReplayReport", "replay_ops"]
+
+_OPLOG_VERSION = 1
+
+#: the primitives the replayer understands — exactly the journaled
+#: surface of :class:`~repro.repository.repo.Repository`
+_REPLAYABLE_OPS = frozenset({
+    "store_package",
+    "store_user_data",
+    "store_base_image",
+    "remove_package",
+    "remove_user_data",
+    "remove_base_image",
+    "record_vmi",
+    "delete_vmi_record",
+    "reassign_vmi_packages",
+    "repoint_vmis",
+    "put_master_graph",
+    "mark_base_dirty",
+    "clear_base_dirty",
+})
+
+
+@dataclass(frozen=True)
+class OpLogRecord:
+    """One journaled primitive: the op name and its call arguments."""
+
+    op: str
+    args: tuple
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """What reading (and replaying) one op-log found."""
+
+    #: ``mutations`` counter of the snapshot the log continues from
+    snapshot_mutations: int
+    #: complete records read, in append order
+    ops: tuple[OpLogRecord, ...]
+    #: bytes of a torn tail record (crash mid-append); 0 when clean
+    torn_bytes: int
+
+    @property
+    def n_ops(self) -> int:
+        return len(self.ops)
+
+
+def apply_op(repo: Repository, record: OpLogRecord) -> None:
+    """Apply one journaled primitive to a repository.
+
+    Raises:
+        WorkspaceError: an op name outside the journaled surface.
+    """
+    if record.op not in _REPLAYABLE_OPS:
+        raise WorkspaceError(f"unknown op-log operation {record.op!r}")
+    if record.op == "put_master_graph":
+        (state,) = record.args
+        base = repo.get_base_image(state["base_key"])
+        repo.put_master_graph(master_from_state(base, state))
+        return
+    getattr(repo, record.op)(*record.args)
+
+
+def replay_ops(repo: Repository, ops) -> int:
+    """Apply journaled ops in order; returns how many were applied.
+
+    The repository must not have a journal attached (replay would
+    re-journal every op); callers attach afterwards.
+    """
+    n = 0
+    for record in ops:
+        apply_op(repo, record)
+        n += 1
+    return n
+
+
+class OpLog:
+    """Append-only write-ahead journal over one log file.
+
+    Use :meth:`create` to start a fresh log paired with a snapshot,
+    :meth:`read` to scan one without touching it, and :meth:`open` to
+    continue appending (recovering from a torn tail first).  ``append``
+    serialises eagerly and flushes before returning — the repository's
+    journal contract.
+    """
+
+    def __init__(self, path: str | Path, file, op_count: int) -> None:
+        self.path = Path(path)
+        self._file = file
+        self._op_count = op_count
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls, path: str | Path, *, snapshot_mutations: int
+    ) -> "OpLog":
+        """Start a fresh (truncated) log continuing a snapshot.
+
+        The header lands atomically (temp + rename): at no instant
+        does ``path`` hold a headerless file, so a crash anywhere in
+        log creation leaves either the previous log or a complete new
+        one — never an unopenable workspace.
+        """
+        path = Path(path)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "wb") as file:
+            pickle.dump(
+                {
+                    "oplog": _OPLOG_VERSION,
+                    "snapshot_mutations": snapshot_mutations,
+                },
+                file,
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            file.flush()
+        os.replace(tmp, path)
+        return cls(path, open(path, "ab"), op_count=0)
+
+    @classmethod
+    def _load_header(cls, file, path) -> dict:
+        try:
+            header = pickle.load(file)
+        except Exception as exc:
+            raise WorkspaceError(
+                f"op-log {path} has no readable header: {exc}"
+            ) from exc
+        if (
+            not isinstance(header, dict)
+            or header.get("oplog") != _OPLOG_VERSION
+        ):
+            raise WorkspaceError(
+                f"op-log {path} has unsupported header {header!r}"
+            )
+        return header
+
+    @classmethod
+    def read_header(cls, path: str | Path) -> int:
+        """Just the header's snapshot pairing token, no record scan.
+
+        Lets a reopen decide whether the log matches the snapshot
+        before paying the full replay read.
+
+        Raises:
+            WorkspaceError: unreadable or version-mismatched header.
+            FileNotFoundError: missing log file.
+        """
+        with open(path, "rb") as file:
+            return cls._load_header(file, path)["snapshot_mutations"]
+
+    @classmethod
+    def read(cls, path: str | Path) -> ReplayReport:
+        """Scan a log: header + complete records + torn-tail size.
+
+        Raises:
+            WorkspaceError: unreadable or version-mismatched header.
+            FileNotFoundError: missing log file.
+        """
+        with open(path, "rb") as file:
+            header = cls._load_header(file, path)
+            ops: list[OpLogRecord] = []
+            good_end = file.tell()
+            file_size = os.fstat(file.fileno()).st_size
+            while True:
+                try:
+                    op, args = pickle.load(file)
+                except EOFError:
+                    break
+                except Exception:
+                    # torn tail: a crash interrupted the last append —
+                    # everything before it is intact and replayable
+                    break
+                ops.append(OpLogRecord(op=op, args=tuple(args)))
+                good_end = file.tell()
+        return ReplayReport(
+            snapshot_mutations=header["snapshot_mutations"],
+            ops=tuple(ops),
+            torn_bytes=file_size - good_end,
+        )
+
+    @classmethod
+    def open(cls, path: str | Path) -> tuple["OpLog", ReplayReport]:
+        """Open an existing log for append, recovering a torn tail.
+
+        Returns the appendable log plus the scan of what it already
+        held — the ops a reopen must replay on top of the snapshot.
+        """
+        report = cls.read(path)
+        if report.torn_bytes:
+            # WAL recovery: an append that never completed never
+            # happened — drop the torn bytes so new records stay
+            # readable
+            size = os.path.getsize(path)
+            with open(path, "rb+") as file:
+                file.truncate(size - report.torn_bytes)
+        file = open(path, "ab")
+        return cls(path, file, op_count=report.n_ops), report
+
+    # ------------------------------------------------------------------
+    # appending
+    # ------------------------------------------------------------------
+
+    @property
+    def op_count(self) -> int:
+        """Ops this log holds — the replay work a reopen would pay."""
+        return self._op_count
+
+    def append(self, op: str, args: tuple) -> None:
+        """Journal one primitive (the Repository journal hook).
+
+        Pickles immediately — the args may reference live mutable
+        state — and flushes before returning, so the record is handed
+        to the OS before the repository applies the mutation.
+        """
+        if self._file.closed:  # pragma: no cover - guards misuse
+            raise WorkspaceError(f"op-log {self.path} is closed")
+        pickle.dump(
+            (op, tuple(args)),
+            self._file,
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        self._file.flush()
+        self._op_count += 1
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<OpLog {self.path} ops={self._op_count}>"

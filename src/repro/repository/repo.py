@@ -23,7 +23,7 @@ from repro.repository.database import (
     MetadataDatabase,
     PackageRow,
 )
-from repro.repository.master_graphs import MasterGraph
+from repro.repository.master_graphs import MasterGraph, master_state
 from repro.similarity.base import compatible_arch, same_release_version
 
 __all__ = ["Repository", "VMIRecord", "base_image_qcow2"]
@@ -100,6 +100,33 @@ class Repository:
         #: re-derived by the next GC pass (a deletion or base
         #: replacement touched them since the last pass)
         self._dirty_bases: set[int] = set()
+        #: write-ahead journal sink (the workspace op-log); every
+        #: state-changing primitive appends its op *before* applying
+        self._journal = None
+
+    # ------------------------------------------------------------------
+    # write-ahead journaling
+    # ------------------------------------------------------------------
+
+    def attach_journal(self, journal) -> None:
+        """Journal every state-changing primitive to ``journal``.
+
+        ``journal`` needs one method, ``append(op, args)``, and must
+        serialise its arguments *eagerly* — some ops pass live mutable
+        state (master package graphs) that later operations mutate in
+        place.  Ops are appended before the mutation is applied
+        (write-ahead), so a journal that reached durable storage always
+        describes at least the state the repository reached.
+        """
+        self._journal = journal
+
+    def detach_journal(self) -> None:
+        """Stop journaling (snapshot load / op-log replay run bare)."""
+        self._journal = None
+
+    def _log(self, op: str, *args) -> None:
+        if self._journal is not None:
+            self._journal.append(op, args)
 
     # ------------------------------------------------------------------
     # revision hooks (cache invalidation)
@@ -117,6 +144,26 @@ class Repository:
 
     def _mutated(self) -> None:
         self._mutations += 1
+
+    def restore_mutations(self, count: int) -> None:
+        """Restore the mutation counter from a snapshot (reload only).
+
+        Snapshot fidelity requires the reloaded counter to equal the
+        saved one exactly: derived-state caches persisted across
+        sessions key their fast-path validity on this counter, so a
+        reloaded repository that restarted it from the rebuild's op
+        count could falsely validate them.  Monotonicity is preserved —
+        the counter only ever moves forward.
+
+        Raises:
+            ValueError: ``count`` is behind the current counter.
+        """
+        if count < self._mutations:
+            raise ValueError(
+                f"mutation counter may not move backwards "
+                f"({self._mutations} -> {count})"
+            )
+        self._mutations = count
 
     def master_revision(self, base_key: int) -> int | None:
         """The master-graph revision for a base, ``None`` when absent.
@@ -157,9 +204,11 @@ class Repository:
         return frozenset(self._dirty_bases)
 
     def mark_base_dirty(self, key: int) -> None:
+        self._log("mark_base_dirty", key)
         self._dirty_bases.add(key)
 
     def clear_base_dirty(self, key: int) -> None:
+        self._log("clear_base_dirty", key)
         self._dirty_bases.discard(key)
 
     def zero_ref_packages(self) -> frozenset[int]:
@@ -242,6 +291,7 @@ class Repository:
         new = set(package_keys)
         if old == new:
             return False
+        self._log("reassign_vmi_packages", name, sorted(new))
         self._mutated()
         for key in old - new:
             self._decr(self._pkg_refs, self._zero_packages, key)
@@ -261,10 +311,10 @@ class Repository:
     def store_package(self, pkg: Package) -> bool:
         """Store a packaged ``.deb``; False when already present."""
         key = pkg.blob_key()
-        if not self.blobs.put_if_absent(
-            key, BlobKind.PACKAGE, pkg.deb_size, str(pkg)
-        ):
+        if self.blobs.contains(key):
             return False
+        self._log("store_package", pkg)
+        self.blobs.put(key, BlobKind.PACKAGE, pkg.deb_size, str(pkg))
         self._mutated()
         self._packages[key] = pkg
         self._pkg_refs.setdefault(key, 0)
@@ -299,16 +349,30 @@ class Repository:
             for row in self.db.packages_named(name)
         ]
 
+    def packages(self) -> list[Package]:
+        """All stored packages, metadata-index order.
+
+        The public iteration surface snapshot code uses — persistence
+        must never reach into the object caches directly, or it
+        silently desynchronises from internal refactors.
+        """
+        return [
+            self._packages[row.blob_key]
+            for row in self.db.all_packages()
+        ]
+
     # ------------------------------------------------------------------
     # user data
     # ------------------------------------------------------------------
 
     def store_user_data(self, data: UserData) -> bool:
         """Store a user-data payload; False when already present."""
-        if not self.blobs.put_if_absent(
-            data.blob_key(), BlobKind.USER_DATA, data.size, data.label
-        ):
+        if self.blobs.contains(data.blob_key()):
             return False
+        self._log("store_user_data", data)
+        self.blobs.put(
+            data.blob_key(), BlobKind.USER_DATA, data.size, data.label
+        )
         self._mutated()
         self._data[data.label] = data
         self._data_refs.setdefault(data.label, 0)
@@ -326,6 +390,10 @@ class Repository:
     def user_data_labels(self) -> list[str]:
         return sorted(self._data)
 
+    def stored_user_data(self) -> list[UserData]:
+        """All stored user-data payloads, label order."""
+        return [self._data[label] for label in self.user_data_labels()]
+
     # ------------------------------------------------------------------
     # base images
     # ------------------------------------------------------------------
@@ -336,11 +404,13 @@ class Repository:
     def store_base_image(self, base: BaseImage) -> bool:
         """Store a base image qcow2; False when already present."""
         key = base.blob_key()
-        qcow = base_image_qcow2(base)
-        if not self.blobs.put_if_absent(
-            key, BlobKind.BASE_IMAGE, qcow.size, str(base.attrs)
-        ):
+        if self.blobs.contains(key):
             return False
+        self._log("store_base_image", base)
+        qcow = base_image_qcow2(base)
+        self.blobs.put(
+            key, BlobKind.BASE_IMAGE, qcow.size, str(base.attrs)
+        )
         self._mutated()
         self._bases[key] = base
         self._base_refs.setdefault(key, 0)
@@ -365,9 +435,10 @@ class Repository:
         Raises:
             NotInRepositoryError: unknown key.
         """
-        base = self._bases.pop(key, None)
-        if base is None:
+        if key not in self._bases:
             raise NotInRepositoryError("base image", key)
+        self._log("remove_base_image", key)
+        base = self._bases.pop(key)
         self._mutated()
         self.blobs.remove(key)
         self.db.delete_base_image(key)
@@ -445,6 +516,10 @@ class Repository:
         return base_key in self._masters
 
     def put_master_graph(self, master: MasterGraph) -> None:
+        # the journal entry is the master's *content* (not the object):
+        # the base is already journaled by its own store op, so the
+        # entry carries exactly what a reload cannot re-derive
+        self._log("put_master_graph", master_state(master))
         self._mutated()
         siblings = self._masters_by_attrs.setdefault(
             master.attrs.key(), []
@@ -479,6 +554,7 @@ class Repository:
         """Index a published VMI; ``package_keys`` is its retrieval
         import closure (stored blobs Algorithm 3 would install), the
         contribution the liveness refcounts track."""
+        self._log("record_vmi", record, list(package_keys))
         self._mutated()
         self._vmi_records[record.name] = record
         self.db.insert_vmi(
@@ -500,6 +576,11 @@ class Repository:
     def vmi_records(self) -> list[VMIRecord]:
         return [self._vmi_records[r.name] for r in self.db.vmis()]
 
+    def vmi_contribution(self, name: str) -> list[int]:
+        """The stored blob keys a record's retrieval imports (its
+        liveness contribution — the join rows ``record_vmi`` wrote)."""
+        return self.db.vmi_package_keys(name)
+
     def vmi_records_for_base(self, base_key: int) -> list[VMIRecord]:
         """Live records on one base, record order (indexed lookup)."""
         return [
@@ -519,6 +600,7 @@ class Repository:
         """
         record = self.get_vmi_record(name)
         contribution = self.db.vmi_package_keys(name)
+        self._log("delete_vmi_record", name)
         self._mutated()
         self.db.delete_vmi(name)
         del self._vmi_records[name]
@@ -536,9 +618,10 @@ class Repository:
         Raises:
             NotInRepositoryError: unknown key.
         """
-        pkg = self._packages.pop(key, None)
-        if pkg is None:
+        if key not in self._packages:
             raise NotInRepositoryError("package", key)
+        self._log("remove_package", key)
+        pkg = self._packages.pop(key)
         self._mutated()
         self.blobs.remove(key)
         self.db.delete_package(key)
@@ -552,9 +635,10 @@ class Repository:
         Raises:
             NotInRepositoryError: unknown label.
         """
-        data = self._data.pop(label, None)
-        if data is None:
+        if label not in self._data:
             raise NotInRepositoryError("user data", label)
+        self._log("remove_user_data", label)
+        data = self._data.pop(label)
         self._mutated()
         self.blobs.remove(data.blob_key())
         self._data_refs.pop(label, None)
@@ -563,8 +647,11 @@ class Repository:
 
     def repoint_vmis(self, old_base_key: int, new_base_key: int) -> int:
         """Re-point published VMIs after a base replacement; returns count."""
+        records = self.vmi_records_for_base(old_base_key)
+        if records:
+            self._log("repoint_vmis", old_base_key, new_base_key)
         n = 0
-        for rec in self.vmi_records_for_base(old_base_key):
+        for rec in records:
             updated = VMIRecord(
                 name=rec.name,
                 base_key=new_base_key,

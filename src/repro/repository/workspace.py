@@ -1,0 +1,230 @@
+"""Durable repository workspaces: snapshot + write-ahead op-log.
+
+A *workspace* is a directory that makes one repository survive process
+exits the way the paper's SQLite-on-SSD store does:
+
+* ``snapshot.bin`` — the last checkpoint (snapshot format v2, exact
+  round-trip: master revisions, mutation counter, dirty state);
+* ``oplog.bin`` — the write-ahead journal of every repository primitive
+  applied since that checkpoint.
+
+Opening a workspace loads the snapshot, replays the op-log on top, and
+re-attaches the journal — so reopen cost is O(ops since checkpoint),
+not O(repository), and a process crash loses at most a torn tail
+record (an operation whose journal entry never became durable, i.e. an
+operation that never logically happened).
+
+Checkpointing writes a fresh snapshot atomically (temp file +
+``os.replace``) and *then* starts a fresh op-log.  The crash window
+between the two leaves a snapshot newer than the log header; since no
+operation can run inside that window, the stale log is provably
+subsumed by the snapshot and is discarded on the next open.  Any other
+snapshot/op-log disagreement is a real pairing error and raises
+:class:`~repro.errors.WorkspaceError` instead of replaying garbage.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+
+from repro.errors import WorkspaceError
+from repro.repository.oplog import OpLog, replay_ops
+from repro.repository.persistence import repository_state, restore_into
+from repro.repository.repo import Repository
+
+__all__ = ["Workspace"]
+
+_SNAPSHOT_NAME = "snapshot.bin"
+_OPLOG_NAME = "oplog.bin"
+
+
+class Workspace:
+    """One durable repository rooted at a directory."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._repo: Repository | None = None
+        self._oplog: OpLog | None = None
+        #: ops replayed by the last :meth:`load` (reopen cost probe)
+        self.replayed_ops = 0
+        #: checkpoints written through this instance
+        self.checkpoints_written = 0
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+
+    @property
+    def snapshot_path(self) -> Path:
+        return self.path / _SNAPSHOT_NAME
+
+    @property
+    def oplog_path(self) -> Path:
+        return self.path / _OPLOG_NAME
+
+    def is_initialized(self) -> bool:
+        """Has this directory ever held a repository?"""
+        return self.snapshot_path.exists() or self.oplog_path.exists()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def repo(self) -> Repository:
+        """The loaded repository.
+
+        Raises:
+            WorkspaceError: :meth:`load` has not run.
+        """
+        if self._repo is None:
+            raise WorkspaceError(f"workspace {self.path} is not loaded")
+        return self._repo
+
+    def load(self) -> Repository:
+        """Open (or initialise) the workspace; returns its repository.
+
+        Snapshot restore + op-log replay + journal re-attachment.  A
+        fresh directory comes up as an empty repository with an empty
+        journal — durability starts with the first operation.
+
+        Raises:
+            WorkspaceError: mismatched snapshot/op-log pair, or an
+                unreadable op-log.
+        """
+        if self._repo is not None:
+            return self._repo
+        self.path.mkdir(parents=True, exist_ok=True)
+
+        repo = Repository()
+        if self.snapshot_path.exists():
+            state = pickle.loads(self.snapshot_path.read_bytes())
+            try:
+                restore_into(repo, state)
+            except ValueError as exc:
+                raise WorkspaceError(
+                    f"workspace {self.path}: {exc}"
+                ) from exc
+
+        self.replayed_ops = 0
+        if self.oplog_path.exists():
+            paired = OpLog.read_header(self.oplog_path)
+            if paired == repo.mutations:
+                oplog, scan = OpLog.open(self.oplog_path)
+                self.replayed_ops = replay_ops(repo, scan.ops)
+                self._oplog = oplog
+            elif paired < repo.mutations:
+                # crash between checkpoint's snapshot write and its
+                # op-log reset: nothing ran in that window, so the
+                # snapshot subsumes every logged op — start fresh
+                self._oplog = OpLog.create(
+                    self.oplog_path, snapshot_mutations=repo.mutations
+                )
+            else:
+                raise WorkspaceError(
+                    f"workspace {self.path}: op-log continues a "
+                    f"snapshot at mutation {paired}, but the stored "
+                    f"snapshot is at {repo.mutations} — not a "
+                    "matching pair"
+                )
+        else:
+            self._oplog = OpLog.create(
+                self.oplog_path, snapshot_mutations=repo.mutations
+            )
+
+        repo.attach_journal(self._oplog)
+        self._repo = repo
+        return repo
+
+    def adopt(self, repo: Repository) -> int:
+        """Become durable storage for an existing in-memory repository.
+
+        Writes the first checkpoint and journals the repository from
+        now on; returns the snapshot bytes.  Refuses a directory that
+        already holds a repository — adopting over one would silently
+        discard it.
+
+        Raises:
+            WorkspaceError: the directory is already initialised, or
+                this workspace already carries a repository.
+        """
+        if self._repo is not None:
+            raise WorkspaceError(
+                f"workspace {self.path} already carries a repository"
+            )
+        if self.is_initialized():
+            raise WorkspaceError(
+                f"workspace {self.path} already holds a repository — "
+                "open it instead of adopting over it"
+            )
+        self.path.mkdir(parents=True, exist_ok=True)
+        self._repo = repo
+        return self.checkpoint()
+
+    def checkpoint(self) -> int:
+        """Write a snapshot and truncate the op-log; returns its bytes.
+
+        After a checkpoint the op-log is empty, so the next reopen
+        pays pure snapshot-load cost.  The snapshot write is atomic
+        (temp + rename); see the module docstring for the crash window
+        between the write and the log reset.
+        """
+        repo = self.repo
+        blob = pickle.dumps(
+            repository_state(repo), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        tmp = self.snapshot_path.with_suffix(".tmp")
+        tmp.write_bytes(blob)
+        os.replace(tmp, self.snapshot_path)
+        if self._oplog is not None:
+            self._oplog.close()
+        self._oplog = OpLog.create(
+            self.oplog_path, snapshot_mutations=repo.mutations
+        )
+        repo.attach_journal(self._oplog)
+        self.checkpoints_written += 1
+        return len(blob)
+
+    @property
+    def ops_since_checkpoint(self) -> int:
+        """Journal length — the replay work a reopen would pay now."""
+        return self._oplog.op_count if self._oplog is not None else 0
+
+    def checkpoint_if_due(self, every_ops: int | None) -> bool:
+        """Checkpoint when the journal reached ``every_ops`` entries.
+
+        The single home of the op-count policy (the facade and the
+        maintenance service both delegate here): bounds the replay
+        work a reopen pays without re-snapshotting per operation.
+        ``None`` disables it.
+        """
+        if every_ops is None:
+            return False
+        if self.ops_since_checkpoint < max(every_ops, 1):
+            return False
+        self.checkpoint()
+        return True
+
+    def close(self) -> None:
+        """Detach the journal and close the op-log (state stays)."""
+        if self._repo is not None:
+            self._repo.detach_journal()
+        if self._oplog is not None:
+            self._oplog.close()
+        self._repo = None
+        self._oplog = None
+
+    def __enter__(self) -> "Workspace":
+        self.load()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Workspace {self.path} "
+            f"ops_since_checkpoint={self.ops_since_checkpoint}>"
+        )

@@ -19,6 +19,12 @@ and without letting garbage pile up unboundedly either.
   ``gc_threshold_bytes`` — mid-batch if the batch is large — instead of
   guessing on a timer.  ``gc_threshold_bytes=None`` defers collection
   entirely; ``0`` collects after every delete that strands bytes.
+* **Checkpoint scheduling.**  On a workspace-backed repository the
+  write-ahead op-log grows with every delete and GC sweep; reopen cost
+  is O(ops since the last checkpoint).  With ``checkpoint_every_ops``
+  set, the service writes a snapshot checkpoint (truncating the log)
+  whenever the journal crosses that many entries — the op-count policy
+  that bounds replay work without re-snapshotting per operation.
 * **Cache interaction safety.**  Every delete bumps the repository's
   ``mutations`` counter and every GC rebuild moves the affected master
   revisions, so :class:`~repro.core.assembly_plan.AssemblyPlanner`
@@ -78,6 +84,8 @@ class MaintenanceReport:
     reclaimable_after: int
     #: simulated seconds charged by the batch (deletes + GC passes)
     simulated_seconds: float = 0.0
+    #: snapshot checkpoints the op-count policy scheduled mid-batch
+    checkpoints: int = 0
 
     # -- outcomes -------------------------------------------------------
 
@@ -125,6 +133,11 @@ class MaintenanceReport:
                 f"{gc.graph_rebuilds} master graphs over "
                 f"{gc.records_scanned} records"
             )
+        if self.checkpoints:
+            lines.append(
+                f"  {self.checkpoints} snapshot checkpoint(s) written "
+                "(op-count policy)"
+            )
         for failure in self.failures():
             lines.append(f"  FAILED {failure.name}: {failure.error}")
         return "\n".join(lines)
@@ -141,12 +154,17 @@ class MaintenanceService:
         *,
         gc_threshold_bytes: int | None = None,
         full_gc: bool = False,
+        workspace=None,
+        checkpoint_every_ops: int | None = None,
     ) -> None:
         self.repo = repo
         self.clock = clock
         self.cost = cost
         self.gc_threshold_bytes = gc_threshold_bytes
         self.full_gc = full_gc
+        #: the durable workspace journaling ``repo`` (checkpoint target)
+        self.workspace = workspace
+        self.checkpoint_every_ops = checkpoint_every_ops
         self._collector = GarbageCollector(repo, clock, cost)
 
     # ------------------------------------------------------------------
@@ -164,6 +182,14 @@ class MaintenanceService:
         if self.repo.reclaimable_bytes() < max(self.gc_threshold_bytes, 1):
             return None
         return self.collect()
+
+    def maybe_checkpoint(self) -> bool:
+        """Checkpoint iff the op-log crossed the op-count threshold."""
+        if self.workspace is None:
+            return False
+        return self.workspace.checkpoint_if_due(
+            self.checkpoint_every_ops
+        )
 
     def delete_many(
         self,
@@ -190,6 +216,7 @@ class MaintenanceService:
         seconds_before = self.clock.now if self.clock else 0.0
         results: list[DeleteItemResult] = []
         gc_reports: list[GCReport] = []
+        checkpoints = 0
 
         for position, name in enumerate(names):
             try:
@@ -213,6 +240,8 @@ class MaintenanceService:
                 triggered = self.maybe_collect()
                 if triggered is not None:
                     gc_reports.append(triggered)
+                if self.maybe_checkpoint():
+                    checkpoints += 1
 
         seconds_after = self.clock.now if self.clock else 0.0
         return MaintenanceReport(
@@ -222,4 +251,5 @@ class MaintenanceService:
             repo_bytes_after=self.repo.total_bytes(),
             reclaimable_after=self.repo.reclaimable_bytes(),
             simulated_seconds=seconds_after - seconds_before,
+            checkpoints=checkpoints,
         )

@@ -25,6 +25,11 @@ from repro.workloads.generator import (
     standard_corpus,
 )
 from repro.workloads.ide_builds import ide_build_recipes
+from repro.workloads.restart import (
+    RestartConfig,
+    SessionPlan,
+    restart_schedule,
+)
 from repro.workloads.scale import ChurnConfig, ChurnRound, churn_schedule
 from repro.workloads.vmi_specs import (
     FOUR_VMI_NAMES,
@@ -40,8 +45,11 @@ __all__ = [
     "ChurnRound",
     "churn_schedule",
     "Corpus",
+    "RestartConfig",
     "ScaleConfig",
     "ScaleCorpus",
+    "SessionPlan",
+    "restart_schedule",
     "scale_corpus",
     "standard_corpus",
     "ide_build_recipes",

@@ -1,0 +1,120 @@
+"""Restart/crash workloads: the lifecycle durability must survive.
+
+The paper's repository lives in SQLite on an external SSD precisely so
+it outlives processes.  This module generates the matching scenario
+family for the reproduction's workspace subsystem: a corpus is worked
+on across *sessions*, each session publishing some images, deleting
+others, maybe collecting garbage — and each session ending either
+cleanly (a checkpoint is written) or in a simulated *crash* (the
+process dies with only the write-ahead op-log flushed).  The next
+session must reopen the store and find exactly the state the previous
+one reached.
+
+The schedule is pure data (deterministic in the seed), so benchmarks,
+property tests and the CI round-trip smoke can all drive the same
+scenarios: benchmarks measure reopen cost per session, tests assert
+reopened state ≡ pre-restart state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ids import content_id
+from repro.workloads.scale import ScaleCorpus
+
+__all__ = ["RestartConfig", "SessionPlan", "restart_schedule"]
+
+
+@dataclass(frozen=True)
+class RestartConfig:
+    """Knobs of the restart/crash schedule generator."""
+
+    #: process sessions the workload spans
+    n_sessions: int = 4
+    #: fraction of each session's previously live VMIs it deletes
+    churn_pct: int = 20
+    #: fraction of sessions that end in a crash (no checkpoint; the
+    #: next reopen must recover purely from the op-log)
+    crash_fraction: float = 0.25
+    #: run one incremental GC pass at the end of each session
+    gc_each_session: bool = True
+    #: determinism root for crash placement and victim selection
+    seed: str = "restart"
+
+    def __post_init__(self) -> None:
+        if self.n_sessions < 1:
+            raise ValueError("n_sessions must be positive")
+        if not 0 <= self.churn_pct <= 100:
+            raise ValueError("churn_pct must be in [0, 100]")
+        if not 0 <= self.crash_fraction <= 1:
+            raise ValueError("crash_fraction must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class SessionPlan:
+    """One process lifetime: its operations and how it ends."""
+
+    index: int
+    #: corpus indices this session publishes
+    publish_indices: tuple[int, ...]
+    #: previously published VMI names this session deletes
+    delete_names: tuple[str, ...]
+    #: run an incremental GC pass before exiting
+    run_gc: bool
+    #: True: the session dies without a checkpoint — reopening relies
+    #: on write-ahead op-log replay alone
+    crash: bool
+
+
+def restart_schedule(
+    corpus: ScaleCorpus, config: RestartConfig | None = None
+) -> list[SessionPlan]:
+    """Deterministic multi-session publish/delete/crash schedule.
+
+    The corpus is partitioned across sessions in index order, so every
+    image is published exactly once over the workload's lifetime.
+    Each session (after the first) also deletes ``churn_pct`` percent
+    of the VMIs live when it starts, hash-ranked for determinism.
+    Crashes land on the sessions whose seed hash falls below
+    ``crash_fraction`` — reproducible, but spread the way real crashes
+    are.
+    """
+    config = config or RestartConfig()
+    n = corpus.config.n_vmis
+    per_session = (n + config.n_sessions - 1) // config.n_sessions
+
+    live: list[str] = []
+    plans: list[SessionPlan] = []
+    for s in range(config.n_sessions):
+        publishes = tuple(
+            range(s * per_session, min((s + 1) * per_session, n))
+        )
+        victims: tuple[str, ...] = ()
+        if live and config.churn_pct:
+            quota = max(
+                1, (len(live) * config.churn_pct + 99) // 100
+            )
+            ranked = sorted(
+                live,
+                key=lambda name: content_id(
+                    f"{config.seed}/session{s}/{name}"
+                ),
+            )
+            victims = tuple(sorted(ranked[:quota]))
+        # 64-bit hash → [0, 1): deterministic crash placement
+        crashes = (
+            content_id(f"{config.seed}/crash/{s}") % 10_000
+        ) / 10_000 < config.crash_fraction
+        plans.append(
+            SessionPlan(
+                index=s,
+                publish_indices=publishes,
+                delete_names=victims,
+                run_gc=config.gc_each_session,
+                crash=crashes,
+            )
+        )
+        live = [name for name in live if name not in set(victims)]
+        live.extend(corpus.spec(i).name for i in publishes)
+    return plans

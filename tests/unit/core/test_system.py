@@ -51,3 +51,34 @@ class TestFacade:
         slow_report = slow.publish(mini_builder.build(redis_recipe))
         fast_report = fast.publish(mini_builder.build(redis_recipe))
         assert slow_report.publish_time > fast_report.publish_time
+
+
+class TestRepositoryInjection:
+    def test_components_bind_to_injected_repository(self):
+        from repro.repository.repo import Repository
+
+        repo = Repository()
+        system = Expelliarmus(repository=repo)
+        assert system.repo is repo
+        assert system.publisher.repo is repo
+        assert system.assembler.repo is repo
+        assert system.planner.repo is repo
+
+    def test_injected_repository_serves_the_full_cycle(
+        self, mini_builder, redis_recipe
+    ):
+        from repro.repository.repo import Repository
+
+        system = Expelliarmus(repository=Repository())
+        system.publish(mini_builder.build(redis_recipe))
+        assert system.retrieve("redis-vm").vmi.has_package(
+            "redis-server"
+        )
+        system.delete("redis-vm")
+        assert system.garbage_collect().removed_anything
+        assert system.fsck().clean
+
+    def test_default_builds_fresh_repository(self):
+        a = Expelliarmus()
+        b = Expelliarmus()
+        assert a.repo is not b.repo

@@ -23,9 +23,6 @@ class TestPut:
         with pytest.raises(DuplicateEntryError):
             store.put(1, BlobKind.PACKAGE, 100, "pkg")
 
-    def test_put_if_absent(self, store):
-        assert store.put_if_absent(1, BlobKind.PACKAGE, 100, "pkg")
-        assert not store.put_if_absent(1, BlobKind.PACKAGE, 100, "pkg")
         assert store.total_bytes() == 100
 
     def test_negative_size_rejected(self, store):

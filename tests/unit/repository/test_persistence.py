@@ -58,10 +58,9 @@ class TestRoundTrip:
     ):
         path = tmp_path / "repo.snapshot"
         save_repository(populated.repo, path)
-        restored_system = Expelliarmus()
-        restored_system.repo = load_repository(path)
-        restored_system.publisher.repo = restored_system.repo
-        restored_system.assembler.repo = restored_system.repo
+        # repository injection binds publisher, assembler and planner
+        # to the reloaded instance — no manual rebinding
+        restored_system = Expelliarmus(repository=load_repository(path))
         report = restored_system.publish(
             mini_builder.build(
                 BuildRecipe(name="third", primaries=("bigapp",))
@@ -80,6 +79,79 @@ class TestRoundTrip:
         primaries = {p.name for p in masters[0].primary_packages()}
         assert primaries == {"redis-server", "nginx"}
         assert masters[0].check_invariant()
+
+    def test_master_revisions_survive_exactly(
+        self, populated, tmp_path
+    ):
+        """The format-v2 fidelity fix: revisions must not reset to 0.
+
+        A reloaded master at revision 0 would let any derived cache
+        keyed on ``(base_key, revision)`` falsely validate across a
+        session boundary.
+        """
+        path = tmp_path / "repo.snapshot"
+        save_repository(populated.repo, path)
+        restored = load_repository(path)
+        original = {
+            m.base_key: m.revision
+            for m in populated.repo.master_graphs()
+        }
+        assert all(rev > 0 for rev in original.values())
+        assert {
+            m.base_key: m.revision for m in restored.master_graphs()
+        } == original
+
+    def test_new_revisions_never_collide_with_restored(
+        self, populated, mini_builder, tmp_path
+    ):
+        path = tmp_path / "repo.snapshot"
+        save_repository(populated.repo, path)
+        restored_system = Expelliarmus(repository=load_repository(path))
+        before = {
+            m.revision for m in restored_system.repo.master_graphs()
+        }
+        restored_system.publish(
+            mini_builder.build(
+                BuildRecipe(name="third", primaries=("bigapp",))
+            )
+        )
+        after = {
+            m.revision for m in restored_system.repo.master_graphs()
+        }
+        # membership changed, so the moved revision is brand new —
+        # above the restored floor, never a reissued old token
+        assert after != before
+        assert max(after) > max(before)
+
+    def test_mutations_counter_survives_exactly(
+        self, populated, tmp_path
+    ):
+        """The second fidelity fix: the freshness counter round-trips.
+
+        Rebuilding resets it to the replayed-op count, which is lower
+        than the lived history (deletes, reassignments) — a cache
+        validated against the saved count could falsely revalidate.
+        """
+        populated.delete("redis-vm")
+        path = tmp_path / "repo.snapshot"
+        save_repository(populated.repo, path)
+        restored = load_repository(path)
+        assert restored.mutations == populated.repo.mutations
+
+    def test_dirty_and_zero_ref_state_survive(
+        self, populated, tmp_path
+    ):
+        populated.delete("redis-vm")  # pending garbage, dirty base
+        repo = populated.repo
+        assert repo.dirty_bases()
+        path = tmp_path / "repo.snapshot"
+        save_repository(repo, path)
+        restored = load_repository(path)
+        assert restored.dirty_bases() == repo.dirty_bases()
+        assert restored.zero_ref_packages() == repo.zero_ref_packages()
+        assert restored.zero_ref_data() == repo.zero_ref_data()
+        assert restored.refcounts() == repo.refcounts()
+        assert restored.reclaimable_bytes() == repo.reclaimable_bytes()
 
     def test_version_check(self, populated, tmp_path):
         import pickle

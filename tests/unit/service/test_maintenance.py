@@ -113,3 +113,42 @@ class TestGCScheduling:
         service = MaintenanceService(populated.repo)
         populated.delete("a")
         assert service.maybe_collect() is None
+
+
+class TestCheckpointScheduling:
+    @pytest.fixture
+    def durable(self, mini_builder, tmp_path):
+        from repro.core.system import Expelliarmus
+
+        system = Expelliarmus.open(tmp_path / "store")
+        publish(system, mini_builder, "a", ("redis-server",))
+        publish(system, mini_builder, "b", ("nginx",))
+        publish(system, mini_builder, "c", ("bigapp",))
+        yield system
+        system.close()
+
+    def test_checkpoints_by_op_count(self, durable):
+        report = durable.delete_many(
+            ["a", "b", "c"], checkpoint_every_ops=1
+        )
+        assert report.checkpoints == 3
+        assert durable.workspace.ops_since_checkpoint == 0
+        assert "snapshot checkpoint" in report.render()
+
+    def test_no_policy_no_checkpoints(self, durable):
+        report = durable.delete_many(["a", "b"])
+        assert report.checkpoints == 0
+        assert durable.workspace.ops_since_checkpoint > 0
+        assert "checkpoint" not in report.render()
+
+    def test_high_threshold_defers(self, durable):
+        report = durable.delete_many(
+            ["a"], checkpoint_every_ops=10_000
+        )
+        assert report.checkpoints == 0
+
+    def test_maybe_checkpoint_without_workspace(self, populated):
+        service = MaintenanceService(
+            populated.repo, checkpoint_every_ops=1
+        )
+        assert not service.maybe_checkpoint()

@@ -226,3 +226,116 @@ class TestLifecycleCommands:
     def test_unknown_corpus_name_rejected(self, capsys):
         assert main(["gc", "NoSuchImage"]) == 2
         assert "unknown corpus image" in capsys.readouterr().err
+
+
+class TestWorkspace:
+    """Cross-invocation durability through the --workspace flag.
+
+    Each ``main([...])`` call builds its world from scratch, so two
+    calls sharing only the workspace directory model two processes.
+    """
+
+    def _ws(self, tmp_path):
+        return str(tmp_path / "store")
+
+    def test_publish_then_fsck_in_second_invocation(
+        self, capsys, tmp_path
+    ):
+        ws = self._ws(tmp_path)
+        assert main(
+            ["publish-many", "--workspace", ws, "Mini", "Redis"]
+        ) == 0
+        assert "published 2/2 VMIs" in capsys.readouterr().out
+        assert main(["fsck", "--workspace", ws]) == 0
+        out = capsys.readouterr().out
+        assert "repository clean" in out
+        assert "2 VMIs checked" in out
+
+    def test_global_flag_position(self, capsys, tmp_path):
+        ws = self._ws(tmp_path)
+        assert main(["--workspace", ws, "publish-many", "Mini"]) == 0
+        capsys.readouterr()
+        assert main(["--workspace", ws, "stats"]) == 0
+        assert "1 published VMIs" in capsys.readouterr().out
+
+    def test_retrieve_from_earlier_invocation(self, capsys, tmp_path):
+        ws = self._ws(tmp_path)
+        assert main(
+            ["publish-many", "--workspace", ws, "Mini", "Redis"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["retrieve-many", "--workspace", ws]) == 0
+        out = capsys.readouterr().out
+        assert "workspace holds 2 VMIs" in out
+        assert "retrieved" not in out or "2/2" in out
+
+    def test_retrieve_unknown_name_rejected(self, capsys, tmp_path):
+        ws = self._ws(tmp_path)
+        assert main(["publish-many", "--workspace", ws, "Mini"]) == 0
+        capsys.readouterr()
+        assert main(
+            ["retrieve-many", "--workspace", ws, "Ghost"]
+        ) == 2
+        assert "not published" in capsys.readouterr().err
+
+    def test_retrieve_empty_workspace_rejected(self, capsys, tmp_path):
+        assert main(
+            ["retrieve-many", "--workspace", self._ws(tmp_path)]
+        ) == 2
+        assert "no published VMIs" in capsys.readouterr().err
+
+    def test_delete_named_then_gc(self, capsys, tmp_path):
+        ws = self._ws(tmp_path)
+        assert main(
+            ["publish-many", "--workspace", ws, "Mini", "Redis"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["delete", "--workspace", ws, "Redis"]) == 0
+        out = capsys.readouterr().out
+        assert "deleting 1" in out
+        assert main(["gc", "--workspace", ws]) == 0
+        assert "gc (incremental)" in capsys.readouterr().out
+        assert main(["fsck", "--workspace", ws]) == 0
+
+    def test_republish_into_workspace_fails_cleanly(
+        self, capsys, tmp_path
+    ):
+        ws = self._ws(tmp_path)
+        assert main(["publish", "--workspace", ws, "Mini"]) == 0
+        capsys.readouterr()
+        assert main(["publish", "--workspace", ws, "Mini"]) == 1
+        assert "already published" in capsys.readouterr().err
+
+    def test_snapshot_and_compact(self, capsys, tmp_path):
+        ws = self._ws(tmp_path)
+        assert main(["publish-many", "--workspace", ws, "Mini"]) == 0
+        capsys.readouterr()
+        assert main(["snapshot", "--workspace", ws]) == 0
+        assert "checkpoint written" in capsys.readouterr().out
+        assert main(["compact", "--workspace", ws]) == 0
+        out = capsys.readouterr().out
+        assert "gc (" in out
+        assert "op-log truncated" in out
+
+    def test_snapshot_requires_workspace(self, capsys):
+        assert main(["snapshot"]) == 2
+        assert "requires --workspace" in capsys.readouterr().err
+        assert main(["compact"]) == 2
+
+    def test_checkpoint_every_bounds_replay(self, capsys, tmp_path):
+        ws = self._ws(tmp_path)
+        assert main(
+            ["publish-many", "--workspace", ws,
+             "--checkpoint-every", "1", "Mini"]
+        ) == 0
+        capsys.readouterr()
+        # the post-batch checkpoint left nothing to fold in
+        assert main(["snapshot", "--workspace", ws]) == 0
+        assert "0 journaled op(s)" in capsys.readouterr().out
+
+    def test_broken_workspace_clean_error(self, capsys, tmp_path):
+        ws = tmp_path / "store"
+        ws.mkdir()
+        (ws / "oplog.bin").write_bytes(b"garbage not a pickle")
+        assert main(["fsck", "--workspace", str(ws)]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,78 @@
+"""Unit tests for the restart/crash workload generator."""
+
+import pytest
+
+from repro.workloads.restart import (
+    RestartConfig,
+    restart_schedule,
+)
+from repro.workloads.scale import scale_corpus
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return scale_corpus(24, n_families=3)
+
+
+class TestSchedule:
+    def test_deterministic(self, corpus):
+        a = restart_schedule(corpus, RestartConfig(seed="x"))
+        b = restart_schedule(corpus, RestartConfig(seed="x"))
+        assert a == b
+        c = restart_schedule(corpus, RestartConfig(seed="y"))
+        assert a != c
+
+    def test_publishes_partition_corpus_exactly_once(self, corpus):
+        plans = restart_schedule(corpus, RestartConfig(n_sessions=5))
+        published = [
+            i for plan in plans for i in plan.publish_indices
+        ]
+        assert sorted(published) == list(range(24))
+        assert len(published) == len(set(published))
+
+    def test_victims_are_previously_published_live_names(self, corpus):
+        plans = restart_schedule(
+            corpus, RestartConfig(n_sessions=4, churn_pct=30)
+        )
+        assert plans[0].delete_names == ()  # nothing live yet
+        live: set[str] = set()
+        for plan in plans:
+            assert set(plan.delete_names) <= live
+            live -= set(plan.delete_names)
+            live |= {
+                corpus.spec(i).name for i in plan.publish_indices
+            }
+
+    def test_crash_fraction_edges(self, corpus):
+        never = restart_schedule(
+            corpus, RestartConfig(crash_fraction=0.0)
+        )
+        assert not any(p.crash for p in never)
+        always = restart_schedule(
+            corpus, RestartConfig(crash_fraction=1.0)
+        )
+        assert all(p.crash for p in always)
+
+    def test_no_churn(self, corpus):
+        plans = restart_schedule(corpus, RestartConfig(churn_pct=0))
+        assert all(p.delete_names == () for p in plans)
+
+    def test_gc_flag_propagates(self, corpus):
+        plans = restart_schedule(
+            corpus, RestartConfig(gc_each_session=False)
+        )
+        assert not any(p.run_gc for p in plans)
+
+
+class TestValidation:
+    def test_rejects_bad_sessions(self):
+        with pytest.raises(ValueError):
+            RestartConfig(n_sessions=0)
+
+    def test_rejects_bad_churn(self):
+        with pytest.raises(ValueError):
+            RestartConfig(churn_pct=101)
+
+    def test_rejects_bad_crash_fraction(self):
+        with pytest.raises(ValueError):
+            RestartConfig(crash_fraction=1.5)
