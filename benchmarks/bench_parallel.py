@@ -1,0 +1,175 @@
+"""Bench: parallel pipeline overlap — critical-path vs summed time.
+
+Publishes a generated multi-family corpus through the sharded executor
+(:mod:`repro.service.parallel`) at parallelism 1 → 8, then serves the
+whole corpus back the same way, and reports the *simulated* cost model
+of the overlap: each shard's simulated seconds are its sequential span,
+the batch's critical path is the slowest shard, and speedup is the
+summed work over that critical path.  Parallelism 1 is the sequential
+reference (one shard = the whole batch), so speedups are anchored to
+the same executor rather than a different code path.
+
+Correctness rides along: every parallelism level must leave the
+repository in the *identical* end state (blobs, bytes, refcounts) and
+fsck-clean — the benchmark re-asserts the differential suite's
+invariant at scale on every run.
+
+Run with ``pytest benchmarks/bench_parallel.py`` (add ``-k smoke`` for
+the CI-sized corpus).  With ``BENCH_JSON_DIR`` set, the sweep is
+written as ``BENCH_parallel.json`` for the perf-trajectory artifacts
+and the perf-regression gate.
+"""
+
+import pytest
+
+from benchmarks.conftest import attach_series, write_bench_json
+from repro.core.system import Expelliarmus
+from repro.experiments.reporting import ExperimentResult, Series
+from repro.workloads.scale import scale_corpus
+
+#: (corpus size, OS families, parallelism levels) — the paper-scale
+#: headline point is 500 VMIs across 20 families
+SWEEP = (500, 20, (1, 2, 4, 8))
+SMOKE_SWEEP = (120, 8, (1, 2, 4))
+
+#: acceptance floor: overlap at parallelism 4 vs the sequential anchor
+MIN_SPEEDUP_AT_4 = 2.0
+
+
+def _fingerprint(system) -> dict:
+    repo = system.repo
+    return {
+        "blobs": {
+            (r.key, r.kind.value, r.size) for r in repo.blobs.records()
+        },
+        "bytes": repo.bytes_by_kind(),
+        "refcounts": repo.refcounts(),
+    }
+
+
+def _run_level(vmis_builder, names, parallelism: int) -> dict:
+    system = Expelliarmus()
+    published = system.publish_many(
+        vmis_builder(), parallelism=parallelism
+    )
+    assert published.n_failed == 0
+    retrieved = system.retrieve_many(names, parallelism=parallelism)
+    assert retrieved.n_failed == 0
+    assert system.fsck().clean
+    return {
+        "parallelism": parallelism,
+        "publish_critical_s": published.critical_path_seconds,
+        "publish_total_s": published.simulated_seconds,
+        "retrieve_critical_s": retrieved.critical_path_seconds,
+        "retrieve_total_s": retrieved.simulated_seconds,
+        "fingerprint": _fingerprint(system),
+    }
+
+
+def _sweep(n_vmis: int, n_families: int, levels) -> ExperimentResult:
+    corpus = scale_corpus(n_vmis, n_families=n_families)
+    names = [corpus.spec(i).name for i in range(n_vmis)]
+
+    def vmis_builder():
+        return [corpus.build(i) for i in range(n_vmis)]
+
+    rows = []
+    pub_cp, ret_cp, pub_speedup, ret_speedup = [], [], [], []
+    anchor = None
+    for parallelism in levels:
+        m = _run_level(vmis_builder, names, parallelism)
+        if anchor is None:
+            anchor = m
+        # every level converges on the identical repository
+        assert m["fingerprint"] == anchor["fingerprint"]
+        pub_x = m["publish_total_s"] / m["publish_critical_s"]
+        ret_x = m["retrieve_total_s"] / m["retrieve_critical_s"]
+        rows.append(
+            (
+                parallelism,
+                round(m["publish_critical_s"], 1),
+                round(pub_x, 2),
+                round(m["retrieve_critical_s"], 1),
+                round(ret_x, 2),
+            )
+        )
+        pub_cp.append(m["publish_critical_s"])
+        ret_cp.append(m["retrieve_critical_s"])
+        pub_speedup.append(
+            anchor["publish_critical_s"] / m["publish_critical_s"]
+        )
+        ret_speedup.append(
+            anchor["retrieve_critical_s"] / m["retrieve_critical_s"]
+        )
+
+    return ExperimentResult(
+        experiment_id="bench-parallel",
+        title=(
+            f"Parallel pipeline overlap at {n_vmis} VMIs / "
+            f"{n_families} families: critical path vs summed work"
+        ),
+        columns=(
+            "parallel",
+            "publish_cp[s]",
+            "pub_overlap[x]",
+            "retrieve_cp[s]",
+            "ret_overlap[x]",
+        ),
+        rows=tuple(rows),
+        series=(
+            Series("publish-critical-path-s", tuple(pub_cp)),
+            Series("retrieve-critical-path-s", tuple(ret_cp)),
+            Series("publish-speedup", tuple(pub_speedup)),
+            Series("retrieve-speedup", tuple(ret_speedup)),
+        ),
+        notes=(
+            "critical path = slowest shard's simulated span; speedup "
+            "is anchored to the same executor at parallelism 1, and "
+            "every level is asserted to leave a byte-identical "
+            "repository (the schedule is invisible, only the overlap "
+            "moves)",
+        ),
+    )
+
+
+def _assert_overlap(result: ExperimentResult, levels) -> None:
+    series = {s.label: s.values for s in result.series}
+    speedups = dict(zip(levels, series["publish-speedup"]))
+    retrieval = dict(zip(levels, series["retrieve-speedup"]))
+    # the acceptance floor: >= 2x critical-path speedup at parallelism
+    # 4 against the sequential anchor, on both pipelines
+    assert speedups[4] >= MIN_SPEEDUP_AT_4, speedups
+    assert retrieval[4] >= MIN_SPEEDUP_AT_4, retrieval
+    # overlap never makes the critical path longer than sequential
+    assert all(x >= 1.0 - 1e-9 for x in series["publish-speedup"])
+    assert all(x >= 1.0 - 1e-9 for x in series["retrieve-speedup"])
+
+
+@pytest.mark.benchmark(group="parallel")
+def test_parallel_sweep(benchmark, report_result):
+    """The headline sweep: parallelism 1 -> 8 at 500 VMIs."""
+    n_vmis, n_families, levels = SWEEP
+    result = benchmark.pedantic(
+        lambda: _sweep(n_vmis, n_families, levels),
+        rounds=1,
+        iterations=1,
+    )
+    report_result(result)
+    attach_series(benchmark, result)
+    write_bench_json(result, "parallel")
+    _assert_overlap(result, levels)
+
+
+@pytest.mark.benchmark(group="parallel")
+def test_parallel_smoke(benchmark, report_result):
+    """CI-sized corpus: same assertions, seconds of wall clock."""
+    n_vmis, n_families, levels = SMOKE_SWEEP
+    result = benchmark.pedantic(
+        lambda: _sweep(n_vmis, n_families, levels),
+        rounds=1,
+        iterations=1,
+    )
+    report_result(result)
+    attach_series(benchmark, result)
+    write_bench_json(result, "parallel")
+    _assert_overlap(result, levels)

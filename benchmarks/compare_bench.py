@@ -1,0 +1,204 @@
+"""Perf-regression gate: diff fresh BENCH_*.json against baselines.
+
+The perf-trajectory CI job runs every benchmark's smoke sweep and
+writes machine-readable ``BENCH_<name>.json`` summaries (see
+``write_bench_json`` in ``benchmarks/conftest.py``).  This script
+compares those fresh summaries against the *committed* reference copies
+in ``benchmarks/baselines/`` and fails (exit 1) when any tracked metric
+regressed by more than the threshold — so a PR that quietly makes
+publishing scan more bases, retrieval derive more plans, GC rescan the
+world or the parallel overlap collapse is caught by CI instead of by
+the next reader of the trajectory artifacts.
+
+Only *simulated / algorithmic* series are tracked: they are pure
+functions of the corpus and the algorithms, so they are bit-stable
+across machines and Python versions.  Wall-clock series (the
+persistence bench's reopen timings) vary with hardware and are
+deliberately untracked.
+
+Refreshing baselines after an *intentional* perf change (the five
+tracked bench files are named explicitly — pytest's default collection
+skips ``bench_*.py`` when handed a bare directory)::
+
+    BENCH_JSON_DIR=benchmarks/baselines PYTHONPATH=src \
+        python -m pytest -q benchmarks/bench_{scale,retrieval,churn,persistence,parallel}.py -k smoke
+
+then commit the updated JSON together with the change that explains it
+(README "Perf-regression gate" documents the workflow).
+
+Usage::
+
+    python benchmarks/compare_bench.py \
+        --baseline benchmarks/baselines --current bench-out \
+        [--threshold 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: tracked series per experiment id: (series label, better direction).
+#: "lower" fails when current > baseline * (1 + threshold);
+#: "higher" fails when current < baseline * (1 - threshold).
+TRACKED_METRICS: dict[str, tuple[tuple[str, str], ...]] = {
+    "bench-scale": (
+        ("indexed-work-per-publish", "lower"),
+        ("scan-work-per-publish", "lower"),
+        ("stored-bases", "lower"),
+    ),
+    "bench-retrieval": (
+        ("cold-base-copy-seconds", "lower"),
+        ("warm-base-copy-seconds", "lower"),
+        ("plans-derived-per-request", "lower"),
+    ),
+    "bench-churn": (
+        ("inc-graph-rebuilds", "lower"),
+        ("inc-records-scanned", "lower"),
+    ),
+    "bench-persistence": (
+        # the only machine-independent persistence series: the replay
+        # work a crash reopen pays (wall-clock reopen timings are not
+        # comparable across runners and stay untracked)
+        ("ops-since-checkpoint", "lower"),
+    ),
+    "bench-parallel": (
+        ("publish-critical-path-s", "lower"),
+        ("retrieve-critical-path-s", "lower"),
+        ("publish-speedup", "higher"),
+        ("retrieve-speedup", "higher"),
+    ),
+}
+
+
+def compare_payloads(
+    baseline: dict, current: dict, threshold: float
+) -> list[str]:
+    """Regression messages for one experiment pair (empty = pass).
+
+    A tracked series missing from either side is itself a failure —
+    silently dropping a metric must not green the gate.
+    """
+    experiment = baseline.get("experiment", "?")
+    tracked = TRACKED_METRICS.get(experiment)
+    if tracked is None:
+        return [f"{experiment}: no tracked metrics registered"]
+    problems: list[str] = []
+    for label, direction in tracked:
+        base_series = baseline.get("series", {}).get(label)
+        cur_series = current.get("series", {}).get(label)
+        if not base_series or not cur_series:
+            problems.append(
+                f"{experiment}/{label}: series missing "
+                f"(baseline={bool(base_series)}, "
+                f"current={bool(cur_series)})"
+            )
+            continue
+        base = float(base_series[-1])
+        cur = float(cur_series[-1])
+        if direction == "lower":
+            limit = base * (1.0 + threshold)
+            regressed = cur > limit if base else cur > 0
+        else:
+            limit = base * (1.0 - threshold)
+            regressed = cur < limit
+        if regressed:
+            problems.append(
+                f"{experiment}/{label}: {cur:g} vs baseline {base:g} "
+                f"(allowed {'<=' if direction == 'lower' else '>='} "
+                f"{limit:g}, {direction} is better)"
+            )
+    return problems
+
+
+def compare_dirs(
+    baseline_dir: Path, current_dir: Path, threshold: float
+) -> tuple[list[str], list[str]]:
+    """Compare every baseline BENCH_*.json; (passes, problems)."""
+    passes: list[str] = []
+    problems: list[str] = []
+    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        problems.append(f"no BENCH_*.json baselines in {baseline_dir}")
+    for baseline_path in baselines:
+        current_path = current_dir / baseline_path.name
+        if not current_path.exists():
+            problems.append(
+                f"{baseline_path.name}: no fresh run found in "
+                f"{current_dir} (did the smoke job write it?)"
+            )
+            continue
+        baseline = json.loads(baseline_path.read_text())
+        current = json.loads(current_path.read_text())
+        found = compare_payloads(baseline, current, threshold)
+        if found:
+            problems.extend(found)
+        else:
+            tracked = TRACKED_METRICS.get(
+                baseline.get("experiment", "?"), ()
+            )
+            passes.append(
+                f"{baseline_path.name}: {len(tracked)} tracked "
+                f"metric(s) within {threshold:.0%}"
+            )
+    return passes, problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=(
+            "Fail when fresh BENCH_*.json summaries regress >threshold "
+            "against the committed baselines"
+        )
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path("benchmarks/baselines"),
+        help="directory of committed reference BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--current",
+        type=Path,
+        default=Path("bench-out"),
+        help="directory of freshly produced BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed relative regression per metric (default: 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    passes, problems = compare_dirs(
+        args.baseline, args.current, args.threshold
+    )
+    for line in passes:
+        print(f"ok: {line}")
+    if problems:
+        print(
+            f"\n{len(problems)} perf-gate failure(s) "
+            f"(threshold {args.threshold:.0%}):",
+            file=sys.stderr,
+        )
+        for line in problems:
+            print(f"  REGRESSION {line}", file=sys.stderr)
+        print(
+            "\nIf this change is intentional, refresh the baselines:\n"
+            "  BENCH_JSON_DIR=benchmarks/baselines PYTHONPATH=src "
+            "python -m pytest -q "
+            "benchmarks/bench_{scale,retrieval,churn,persistence,"
+            "parallel}.py -k smoke\n"
+            "and commit the updated JSON with an explanation.",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"perf gate passed: {len(passes)} benchmark(s) compared")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,10 +9,13 @@ Subcommands:
 * ``publish-many [names...]`` — batch-publish a corpus through the
   scale-out pipeline (dedup-aware ordering, aggregated accounting);
   ``--scale N`` publishes an N-VMI generated multi-family corpus;
+  ``--parallel N`` runs family-affine shards on a thread pool with
+  critical-path accounting;
 * ``retrieve-many [names...]`` — batch-retrieve published VMIs through
   the plan-caching pipeline (base-affine ordering, per-component
   accounting); ``--cold`` serves each request through the sequential
-  cache-less assembler for comparison;
+  cache-less assembler for comparison; ``--parallel N`` serves
+  base-affine shards concurrently under the shared read lock;
 * ``delete`` — batch-delete VMIs through the maintenance pipeline
   (``--gc-threshold-gb`` interleaves incremental GC passes scheduled
   by the reclaimable-bytes estimate);
@@ -157,6 +160,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="paper-literal full-scan base selection (no index)",
     )
     many.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "publish through N family-affine shards on a thread pool "
+            "(write-lock serialized; default: sequential pipeline)"
+        ),
+    )
+    many.add_argument(
         "--progress",
         action="store_true",
         help="print one line per published image",
@@ -184,6 +197,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--cold",
         action="store_true",
         help="sequential cache-less retrieval (Algorithm 3 per request)",
+    )
+    ret.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "retrieve through N base-affine shards on a thread pool "
+            "(read-lock shared; default: sequential pipeline)"
+        ),
     )
     ret.add_argument(
         "--progress",
@@ -377,6 +400,9 @@ def _resolve_corpus(args):
 
 
 def _cmd_publish_many(args) -> int:
+    if args.parallel is not None and args.parallel < 1:
+        print("error: --parallel must be positive", file=sys.stderr)
+        return 2
     vmis = _resolve_corpus(args)
     if isinstance(vmis, int):
         return vmis
@@ -396,6 +422,7 @@ def _cmd_publish_many(args) -> int:
             vmis,
             order=args.order,
             progress=echo_progress if args.progress else None,
+            parallelism=args.parallel,
         )
         print(report.render())
         return 1 if report.n_failed else 0
@@ -406,6 +433,16 @@ def _cmd_publish_many(args) -> int:
 def _cmd_retrieve_many(args) -> int:
     if args.repeat < 1:
         print("error: --repeat must be positive", file=sys.stderr)
+        return 2
+    if args.parallel is not None and args.parallel < 1:
+        print("error: --parallel must be positive", file=sys.stderr)
+        return 2
+    if args.cold and args.parallel is not None:
+        print(
+            "error: --cold is the sequential cache-less reference; "
+            "drop --parallel",
+            file=sys.stderr,
+        )
         return 2
 
     if getattr(args, "workspace", None) is not None:
@@ -512,6 +549,7 @@ def _run_retrieval(system, requests, args) -> int:
         requests,
         order=args.order,
         progress=echo_progress if args.progress else None,
+        parallelism=args.parallel,
     )
     print(report.render())
     return 1 if report.n_failed else 0

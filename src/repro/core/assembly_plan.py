@@ -42,6 +42,7 @@ test_retrieval_props.py`` pin that equivalence down.
 from __future__ import annotations
 
 import dataclasses
+import threading
 from dataclasses import dataclass
 
 from repro.core.assembler import RetrievalReport
@@ -191,6 +192,12 @@ class AssemblyPlanner:
         self.clock = clock
         self.cost = cost
         self.stats = PlannerStats()
+        #: one planner may serve many retrieval threads (DESIGN.md
+        #: §12): the plan dict, warm-base set and work counters mutate
+        #: only under this mutex, so a reader can never observe a torn
+        #: cache entry or serve a half-derived plan.  Reentrant, so
+        #: derivation helpers may take it again.
+        self._mutex = threading.RLock()
         self._plans: dict[tuple, _CacheEntry] = {}
         #: base blobs with a warm local copy; entries are only trusted
         #: while the blob is still stored
@@ -201,12 +208,14 @@ class AssemblyPlanner:
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._plans)
+        with self._mutex:
+            return len(self._plans)
 
     def clear(self) -> None:
         """Drop every cached plan and warm base copy."""
-        self._plans.clear()
-        self._warm_bases.clear()
+        with self._mutex:
+            self._plans.clear()
+            self._warm_bases.clear()
 
     def plan_for(self, request: RetrievalRequest) -> tuple[AssemblyPlan, bool]:
         """The plan for ``request``: ``(plan, served_from_cache)``.
@@ -220,23 +229,24 @@ class AssemblyPlanner:
                 the Algorithm 3 line-2 precondition.
         """
         key = request.plan_key()
-        entry = self._plans.get(key)
-        if entry is not None:
-            if entry.validated_at == self.repo.mutations:
-                # nothing in the repository changed since validation
-                self.stats.plan_hits += 1
-                return entry.plan, True
-            if self._still_valid(entry.plan):
-                entry.validated_at = self.repo.mutations
-                self.stats.plan_hits += 1
-                return entry.plan, True
-            self.stats.plan_invalidations += 1
-            del self._plans[key]
-        plan = self._derive(request)
-        self._plans[key] = _CacheEntry(
-            plan=plan, validated_at=self.repo.mutations
-        )
-        return plan, False
+        with self._mutex:
+            entry = self._plans.get(key)
+            if entry is not None:
+                if entry.validated_at == self.repo.mutations:
+                    # nothing in the repository changed since validation
+                    self.stats.plan_hits += 1
+                    return entry.plan, True
+                if self._still_valid(entry.plan):
+                    entry.validated_at = self.repo.mutations
+                    self.stats.plan_hits += 1
+                    return entry.plan, True
+                self.stats.plan_invalidations += 1
+                del self._plans[key]
+            plan = self._derive(request)
+            self._plans[key] = _CacheEntry(
+                plan=plan, validated_at=self.repo.mutations
+            )
+            return plan, False
 
     def _still_valid(self, plan: AssemblyPlan) -> bool:
         """Is the repository state the plan was derived from intact?"""
@@ -304,7 +314,8 @@ class AssemblyPlanner:
         Raises the same errors as :meth:`~repro.core.assembler.
         VMIAssembler.assemble` under the same conditions.
         """
-        self.stats.requests += 1
+        with self._mutex:
+            self.stats.requests += 1
         plan, plan_hit = self.plan_for(request)
         with self.clock.measure() as breakdown:
             vmi, warm = self._execute(request, plan)
@@ -359,18 +370,19 @@ class AssemblyPlanner:
         silently demotes back to a cold read of the re-stored content.
         """
         key = plan.base_key
-        if key in self._warm_bases:
-            if self.repo.blobs.contains(key):
-                self.stats.base_cache_hits += 1
-                self.clock.advance(
-                    self.cost.base_cache_clone(plan.base_bytes),
-                    "base-copy",
-                )
-                return True
-            self._warm_bases.discard(key)
-        self.stats.base_copies += 1
-        self.clock.advance(
-            self.cost.read_bytes(plan.base_bytes), "base-copy"
-        )
-        self._warm_bases.add(key)
-        return False
+        with self._mutex:
+            if key in self._warm_bases:
+                if self.repo.blobs.contains(key):
+                    self.stats.base_cache_hits += 1
+                    self.clock.advance(
+                        self.cost.base_cache_clone(plan.base_bytes),
+                        "base-copy",
+                    )
+                    return True
+                self._warm_bases.discard(key)
+            self.stats.base_copies += 1
+            self.clock.advance(
+                self.cost.read_bytes(plan.base_bytes), "base-copy"
+            )
+            self._warm_bases.add(key)
+            return False

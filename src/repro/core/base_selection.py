@@ -45,6 +45,8 @@ hits are always sound.
 
 from __future__ import annotations
 
+import dataclasses
+import threading
 from dataclasses import dataclass
 
 from repro.model.graph import SemanticGraph
@@ -114,13 +116,14 @@ class SelectionStats:
     compat_cache_hits: int = 0
 
     def snapshot(self) -> "SelectionStats":
-        return SelectionStats(
-            calls=self.calls,
-            bases_considered=self.bases_considered,
-            candidates=self.candidates,
-            compat_checks=self.compat_checks,
-            compat_cache_hits=self.compat_cache_hits,
-        )
+        return dataclasses.replace(self)
+
+    def since(self, before: "SelectionStats") -> "SelectionStats":
+        """The counter delta between ``before`` and now."""
+        return SelectionStats(**{
+            f.name: getattr(self, f.name) - getattr(before, f.name)
+            for f in dataclasses.fields(self)
+        })
 
 
 class SelectionMemo:
@@ -141,6 +144,11 @@ class SelectionMemo:
 
     def __init__(self) -> None:
         self.stats = SelectionStats()
+        #: several publish shards may share one memo (DESIGN.md §12):
+        #: every cache read-through and counter bump happens under this
+        #: mutex, so a concurrent reader can never observe a torn entry
+        #: or a half-updated verdict
+        self._mutex = threading.RLock()
         #: blob key -> GI[BI] for stored bases without a master graph
         self._base_subgraphs: dict[int, SemanticGraph] = {}
         #: blob key -> total installed size of the base's packages
@@ -155,67 +163,77 @@ class SelectionMemo:
         ] = {}
 
     def clear(self) -> None:
-        self._base_subgraphs.clear()
-        self._base_pkg_sizes.clear()
-        self._compat.clear()
-        self._member_subgraphs.clear()
+        with self._mutex:
+            self._base_subgraphs.clear()
+            self._base_pkg_sizes.clear()
+            self._compat.clear()
+            self._member_subgraphs.clear()
 
     def forget_base(self, key: int) -> None:
         """Drop everything derived from a removed base blob."""
-        self._base_subgraphs.pop(key, None)
-        self._base_pkg_sizes.pop(key, None)
-        self._member_subgraphs.pop(key, None)
-        for pair in [p for p in self._compat if key in p]:
-            del self._compat[pair]
+        with self._mutex:
+            self._base_subgraphs.pop(key, None)
+            self._base_pkg_sizes.pop(key, None)
+            self._member_subgraphs.pop(key, None)
+            for pair in [p for p in self._compat if key in p]:
+                del self._compat[pair]
 
     # -- cached derivations --------------------------------------------
 
     def base_subgraph(self, stored: BaseImage, key: int) -> SemanticGraph:
-        sub = self._base_subgraphs.get(key)
-        if sub is None:
-            sub = base_subgraph_of(stored)
-            self._base_subgraphs[key] = sub
-        return sub
+        with self._mutex:
+            sub = self._base_subgraphs.get(key)
+            if sub is None:
+                sub = base_subgraph_of(stored)
+                self._base_subgraphs[key] = sub
+            return sub
 
     def base_package_size(self, cand: "_Candidate") -> int:
-        size = self._base_pkg_sizes.get(cand.key)
-        if size is None:
-            size = sum(
-                p.installed_size for p in cand.base_subgraph.packages()
-            )
-            self._base_pkg_sizes[cand.key] = size
-        return size
+        with self._mutex:
+            size = self._base_pkg_sizes.get(cand.key)
+            if size is None:
+                size = sum(
+                    p.installed_size
+                    for p in cand.base_subgraph.packages()
+                )
+                self._base_pkg_sizes[cand.key] = size
+            return size
 
     def member_subgraphs(
         self, master: MasterGraph
     ) -> tuple[SemanticGraph, ...]:
-        hit = self._member_subgraphs.get(master.base_key)
-        if hit is not None and hit[0] == master.revision:
-            return hit[1]
-        subs = tuple(
-            master.extract_primary_subgraph(p.name, str(p.version))
-            for p in master.primary_packages()
-        )
-        self._member_subgraphs[master.base_key] = (master.revision, subs)
-        return subs
+        with self._mutex:
+            hit = self._member_subgraphs.get(master.base_key)
+            if hit is not None and hit[0] == master.revision:
+                return hit[1]
+            subs = tuple(
+                master.extract_primary_subgraph(p.name, str(p.version))
+                for p in master.primary_packages()
+            )
+            self._member_subgraphs[master.base_key] = (
+                master.revision,
+                subs,
+            )
+            return subs
 
     def can_replace(self, cand: "_Candidate", other: "_Candidate") -> bool:
         """Is ``cand``'s base compatible with all of ``other``'s members?"""
-        self.stats.compat_checks += 1
-        cache_key = None
-        if other.member_revision is not None:
-            cache_key = (cand.key, other.key)
-            hit = self._compat.get(cache_key)
-            if hit is not None and hit[0] == other.member_revision:
-                self.stats.compat_cache_hits += 1
-                return hit[1]
-        verdict = all(
-            is_compatible(cand.base_subgraph, sub)
-            for sub in other.primary_subgraphs
-        )
-        if cache_key is not None:
-            self._compat[cache_key] = (other.member_revision, verdict)
-        return verdict
+        with self._mutex:
+            self.stats.compat_checks += 1
+            cache_key = None
+            if other.member_revision is not None:
+                cache_key = (cand.key, other.key)
+                hit = self._compat.get(cache_key)
+                if hit is not None and hit[0] == other.member_revision:
+                    self.stats.compat_cache_hits += 1
+                    return hit[1]
+            verdict = all(
+                is_compatible(cand.base_subgraph, sub)
+                for sub in other.primary_subgraphs
+            )
+            if cache_key is not None:
+                self._compat[cache_key] = (other.member_revision, verdict)
+            return verdict
 
 
 def select_base_image(

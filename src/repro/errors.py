@@ -19,7 +19,9 @@ __all__ = [
     "RepositoryError",
     "NotInRepositoryError",
     "DuplicateEntryError",
+    "LockTimeoutError",
     "WorkspaceError",
+    "WorkspaceLockedError",
     "PublishError",
     "RetrievalError",
     "IncompatibleImageError",
@@ -92,10 +94,45 @@ class DuplicateEntryError(RepositoryError):
     """An object with the same identity is already stored."""
 
 
+class LockTimeoutError(RepositoryError):
+    """A repository lock acquisition did not succeed within its timeout.
+
+    Raised by :class:`~repro.repository.locking.RepositoryLock` so
+    callers distinguish contention (back off and retry) from the data
+    errors the rest of the hierarchy names.
+    """
+
+    def __init__(self, mode: str, timeout: float) -> None:
+        super().__init__(
+            f"could not acquire the repository {mode} lock within "
+            f"{timeout:.3f} s"
+        )
+        self.mode = mode
+        self.timeout = timeout
+
+
 class WorkspaceError(RepositoryError):
     """A durable workspace (snapshot + op-log) is unusable as found —
     mismatched snapshot/op-log pair, unreadable op-log header, or an
     op the replayer does not know."""
+
+
+class WorkspaceLockedError(WorkspaceError):
+    """Another live process holds the workspace's advisory lock.
+
+    The workspace is healthy — it just cannot be opened *now*.  Callers
+    (the CLI in particular) fail fast with the holder's pid instead of
+    interleaving two processes' journals over one op-log.
+    """
+
+    def __init__(self, path, holder_pid: int) -> None:
+        super().__init__(
+            f"workspace {path} is locked by running process "
+            f"{holder_pid} — wait for it to finish (the lock is "
+            f"released the moment its holder exits, cleanly or not)"
+        )
+        self.path = path
+        self.holder_pid = holder_pid
 
 
 # ---------------------------------------------------------------------------

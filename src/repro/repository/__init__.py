@@ -15,11 +15,18 @@ Three layers:
 Durability rides on top: :class:`~repro.repository.workspace.Workspace`
 pairs a snapshot (:mod:`~repro.repository.persistence`, format v2) with
 a write-ahead op-log (:mod:`~repro.repository.oplog`), so one store
-survives process restarts and crashes across CLI invocations.
+survives process restarts and crashes across CLI invocations — one
+live process at a time, enforced by the workspace's advisory lock.
+
+Concurrency rides alongside: every repository carries a
+:class:`~repro.repository.locking.RepositoryLock` (reentrant
+reader-writer, write-preferring, timeouts), the transaction core the
+parallel service executors serialize whole operations on.
 """
 
 from repro.repository.blobstore import BlobKind, BlobStore
 from repro.repository.database import MetadataDatabase
+from repro.repository.locking import RepositoryLock
 from repro.repository.oplog import OpLog
 from repro.repository.repo import Repository, VMIRecord
 from repro.repository.workspace import Workspace
@@ -30,6 +37,7 @@ __all__ = [
     "MetadataDatabase",
     "OpLog",
     "Repository",
+    "RepositoryLock",
     "VMIRecord",
     "Workspace",
 ]

@@ -85,7 +85,12 @@ class MetadataDatabase:
     """Thin typed layer over the SQLite schema above."""
 
     def __init__(self, path: str = ":memory:") -> None:
-        self._conn = sqlite3.connect(path)
+        # check_same_thread=False: the parallel service executors reach
+        # this connection from pool threads, always serialized by the
+        # repository lock (writes exclusive, reads against a quiescent
+        # writer side) — the cross-thread handoff SQLite's default
+        # check exists to catch cannot interleave statements here
+        self._conn = sqlite3.connect(path, check_same_thread=False)
         self._conn.execute("PRAGMA foreign_keys = ON")
         self._conn.executescript(_SCHEMA)
         self._seq = 0

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -132,6 +133,9 @@ class OpLog:
         self.path = Path(path)
         self._file = file
         self._op_count = op_count
+        #: appends serialise internally; ordering across *operations*
+        #: is the repository write lock's job (DESIGN.md §12)
+        self._append_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # constructors
@@ -258,15 +262,16 @@ class OpLog:
         state — and flushes before returning, so the record is handed
         to the OS before the repository applies the mutation.
         """
-        if self._file.closed:  # pragma: no cover - guards misuse
-            raise WorkspaceError(f"op-log {self.path} is closed")
-        pickle.dump(
-            (op, tuple(args)),
-            self._file,
-            protocol=pickle.HIGHEST_PROTOCOL,
-        )
-        self._file.flush()
-        self._op_count += 1
+        with self._append_lock:
+            if self._file.closed:  # pragma: no cover - guards misuse
+                raise WorkspaceError(f"op-log {self.path} is closed")
+            pickle.dump(
+                (op, tuple(args)),
+                self._file,
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            self._file.flush()
+            self._op_count += 1
 
     def close(self) -> None:
         if not self._file.closed:

@@ -10,6 +10,7 @@ each figure can attribute durations to the operations the paper names.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import wraps
 
 from repro.errors import NotInRepositoryError
 from repro.guestos.filesystem import package_manifest
@@ -23,10 +24,28 @@ from repro.repository.database import (
     MetadataDatabase,
     PackageRow,
 )
+from repro.repository.locking import RepositoryLock
 from repro.repository.master_graphs import MasterGraph, master_state
 from repro.similarity.base import compatible_arch, same_release_version
 
 __all__ = ["Repository", "VMIRecord", "base_image_qcow2"]
+
+
+def _exclusive(method):
+    """Run a state-changing primitive under the repository write lock.
+
+    Primitives self-protect so interleaved threads can never tear the
+    journal/mutation-counter pairing; the lock is reentrant, so a
+    service holding the *operation-level* write lock (a whole publish
+    or GC pass) pays only a depth increment per primitive.
+    """
+
+    @wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self.lock.write():
+            return method(self, *args, **kwargs)
+
+    return wrapper
 
 
 def base_image_qcow2(base: BaseImage) -> Qcow2Image:
@@ -65,6 +84,11 @@ class Repository:
     """Packages + base images + user data + master graphs + VMI index."""
 
     def __init__(self, db_path: str = ":memory:") -> None:
+        #: the coarse transaction lock (DESIGN.md §12): primitives
+        #: below take it for writes; services take it around whole
+        #: operations (reentrancy makes the nesting free) and use
+        #: ``lock.read()`` for shared read-only access
+        self.lock = RepositoryLock()
         self.blobs = BlobStore()
         self.db = MetadataDatabase(db_path)
         self._packages: dict[int, Package] = {}
@@ -108,6 +132,7 @@ class Repository:
     # write-ahead journaling
     # ------------------------------------------------------------------
 
+    @_exclusive
     def attach_journal(self, journal) -> None:
         """Journal every state-changing primitive to ``journal``.
 
@@ -117,9 +142,15 @@ class Repository:
         place.  Ops are appended before the mutation is applied
         (write-ahead), so a journal that reached durable storage always
         describes at least the state the repository reached.
+
+        The swap runs under the write lock, and every primitive both
+        journals and applies under that same lock — so under parallel
+        execution the op-log's append order *is* the application order
+        and crash replay stays deterministic.
         """
         self._journal = journal
 
+    @_exclusive
     def detach_journal(self) -> None:
         """Stop journaling (snapshot load / op-log replay run bare)."""
         self._journal = None
@@ -145,6 +176,7 @@ class Repository:
     def _mutated(self) -> None:
         self._mutations += 1
 
+    @_exclusive
     def restore_mutations(self, count: int) -> None:
         """Restore the mutation counter from a snapshot (reload only).
 
@@ -203,10 +235,12 @@ class Repository:
         """Bases the next GC pass must re-derive."""
         return frozenset(self._dirty_bases)
 
+    @_exclusive
     def mark_base_dirty(self, key: int) -> None:
         self._log("mark_base_dirty", key)
         self._dirty_bases.add(key)
 
+    @_exclusive
     def clear_base_dirty(self, key: int) -> None:
         self._log("clear_base_dirty", key)
         self._dirty_bases.discard(key)
@@ -246,6 +280,7 @@ class Repository:
         if count == 0:
             zero.add(key)
 
+    @_exclusive
     def rebuild_refcounts(self) -> None:
         """Recompute every refcount from the records and join rows.
 
@@ -279,6 +314,7 @@ class Repository:
             k for k, n in self._base_refs.items() if n == 0
         }
 
+    @_exclusive
     def reassign_vmi_packages(
         self, name: str, package_keys: list[int]
     ) -> bool:
@@ -308,6 +344,7 @@ class Repository:
         """Does this exact (name, version, arch) package exist?"""
         return self.blobs.contains(pkg.blob_key())
 
+    @_exclusive
     def store_package(self, pkg: Package) -> bool:
         """Store a packaged ``.deb``; False when already present."""
         key = pkg.blob_key()
@@ -365,6 +402,7 @@ class Repository:
     # user data
     # ------------------------------------------------------------------
 
+    @_exclusive
     def store_user_data(self, data: UserData) -> bool:
         """Store a user-data payload; False when already present."""
         if self.blobs.contains(data.blob_key()):
@@ -401,6 +439,7 @@ class Repository:
     def has_base_image(self, base: BaseImage) -> bool:
         return self.blobs.contains(base.blob_key())
 
+    @_exclusive
     def store_base_image(self, base: BaseImage) -> bool:
         """Store a base image qcow2; False when already present."""
         key = base.blob_key()
@@ -429,6 +468,7 @@ class Repository:
         )
         return True
 
+    @_exclusive
     def remove_base_image(self, key: int) -> BaseImage:
         """Delete an obsolete base (Algorithm 1 line 27) and its master.
 
@@ -515,6 +555,7 @@ class Repository:
     def has_master_graph(self, base_key: int) -> bool:
         return base_key in self._masters
 
+    @_exclusive
     def put_master_graph(self, master: MasterGraph) -> None:
         # the journal entry is the master's *content* (not the object):
         # the base is already journaled by its own store op, so the
@@ -550,6 +591,7 @@ class Repository:
     # VMI records
     # ------------------------------------------------------------------
 
+    @_exclusive
     def record_vmi(self, record: VMIRecord, package_keys: list[int]) -> None:
         """Index a published VMI; ``package_keys`` is its retrieval
         import closure (stored blobs Algorithm 3 would install), the
@@ -588,6 +630,7 @@ class Repository:
             for row in self.db.vmis_for_base(base_key)
         ]
 
+    @_exclusive
     def delete_vmi_record(self, name: str) -> VMIRecord:
         """Drop a published VMI from the index (blobs stay until GC).
 
@@ -612,6 +655,7 @@ class Repository:
         self._dirty_bases.add(record.base_key)
         return record
 
+    @_exclusive
     def remove_package(self, key: int) -> Package:
         """Delete a stored package blob (garbage collection only).
 
@@ -629,6 +673,7 @@ class Repository:
         self._zero_packages.discard(key)
         return pkg
 
+    @_exclusive
     def remove_user_data(self, label: str) -> UserData:
         """Delete a stored user-data blob (garbage collection only).
 
@@ -645,6 +690,7 @@ class Repository:
         self._zero_data.discard(label)
         return data
 
+    @_exclusive
     def repoint_vmis(self, old_base_key: int, new_base_key: int) -> int:
         """Re-point published VMIs after a base replacement; returns count."""
         records = self.vmi_records_for_base(old_base_key)

@@ -21,6 +21,18 @@ operation can run inside that window, the stale log is provably
 subsumed by the snapshot and is discarded on the next open.  Any other
 snapshot/op-log disagreement is a real pairing error and raises
 :class:`~repro.errors.WorkspaceError` instead of replaying garbage.
+
+**Advisory locking.**  A workspace admits one live process at a time:
+opening (or adopting into) a directory takes an exclusive
+``flock(2)`` on its ``lock`` file and records the holder's pid in it
+for diagnostics.  A second live process fails fast with
+:class:`~repro.errors.WorkspaceLockedError` naming the holder — the
+contract the CI workspace-roundtrip gate asserts — instead of
+interleaving two journals over one op-log.  The kernel releases the
+lock when its holder dies, so a crashed run can never wedge the store
+and there is no stale-lock breaking to race on; a handle abandoned by
+*this* process (a crash simulated without :meth:`Workspace.close`) is
+closed — releasing its lock — when the process reopens the path.
 """
 
 from __future__ import annotations
@@ -29,7 +41,12 @@ import os
 import pickle
 from pathlib import Path
 
-from repro.errors import WorkspaceError
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
+from repro.errors import WorkspaceError, WorkspaceLockedError
 from repro.repository.oplog import OpLog, replay_ops
 from repro.repository.persistence import repository_state, restore_into
 from repro.repository.repo import Repository
@@ -38,6 +55,16 @@ __all__ = ["Workspace"]
 
 _SNAPSHOT_NAME = "snapshot.bin"
 _OPLOG_NAME = "oplog.bin"
+_LOCK_NAME = "lock"
+
+#: locks this process holds, keyed by resolved lock-file path, valued
+#: ``(token, fd)`` — lets a later open of the same workspace break its
+#: own *abandoned* handle (the crash-simulation idiom the restart
+#: suites use) by closing the old fd, which releases its flock.  The
+#: per-acquisition token lets the abandoned handle's own eventual
+#: ``close()`` recognise it was taken over (fd numbers get reused, so
+#: the fd alone could not)
+_HELD_LOCKS: dict[str, tuple[object, int]] = {}
 
 
 class Workspace:
@@ -47,6 +74,8 @@ class Workspace:
         self.path = Path(path)
         self._repo: Repository | None = None
         self._oplog: OpLog | None = None
+        self._holds_lock = False
+        self._lock_token: object | None = None
         #: ops replayed by the last :meth:`load` (reopen cost probe)
         self.replayed_ops = 0
         #: checkpoints written through this instance
@@ -64,9 +93,75 @@ class Workspace:
     def oplog_path(self) -> Path:
         return self.path / _OPLOG_NAME
 
+    @property
+    def lock_path(self) -> Path:
+        return self.path / _LOCK_NAME
+
     def is_initialized(self) -> bool:
         """Has this directory ever held a repository?"""
         return self.snapshot_path.exists() or self.oplog_path.exists()
+
+    # ------------------------------------------------------------------
+    # advisory cross-process locking
+    # ------------------------------------------------------------------
+
+    def lock_holder(self) -> int | None:
+        """Pid recorded in the lock file, None when unlocked/unreadable."""
+        try:
+            return int(self.lock_path.read_text().strip())
+        except (OSError, ValueError):
+            return None
+
+    @property
+    def _lock_key(self) -> str:
+        return str(self.lock_path.resolve())
+
+    def _acquire_lock(self) -> None:
+        """Claim the workspace for this process via ``flock``.
+
+        The kernel owns liveness: a holder that exits or crashes drops
+        its lock automatically, so there is no stale-lock detection to
+        race on.  A handle this process itself abandoned (crash
+        simulation) is closed first, releasing its lock.
+
+        Raises:
+            WorkspaceLockedError: another live process holds it.
+        """
+        abandoned = _HELD_LOCKS.pop(self._lock_key, None)
+        if abandoned is not None:
+            os.close(abandoned[1])
+        fd = os.open(self.lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        if fcntl is not None:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                holder = self.lock_holder()
+                os.close(fd)
+                raise WorkspaceLockedError(self.path, holder or 0)
+        os.ftruncate(fd, 0)
+        os.write(fd, f"{os.getpid()}\n".encode())
+        self._lock_token = object()
+        _HELD_LOCKS[self._lock_key] = (self._lock_token, fd)
+        self._holds_lock = True
+
+    def _release_lock(self) -> None:
+        if not self._holds_lock:
+            return
+        self._holds_lock = False
+        token = self._lock_token
+        self._lock_token = None
+        held = _HELD_LOCKS.get(self._lock_key)
+        if held is None or held[0] is not token:
+            # an abandoned handle this process already took over (and
+            # whose fd it already closed) — nothing left to release
+            return
+        del _HELD_LOCKS[self._lock_key]
+        # empty the diagnostics pid before the flock drops, so
+        # lock_holder() reads None the instant we are out; the file
+        # itself stays (unlinking a contended flock file is the
+        # classic lost-lock race, so we never do)
+        os.ftruncate(held[1], 0)
+        os.close(held[1])
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -93,11 +188,28 @@ class Workspace:
         Raises:
             WorkspaceError: mismatched snapshot/op-log pair, or an
                 unreadable op-log.
+            WorkspaceLockedError: another live process holds the
+                workspace's advisory lock.
         """
         if self._repo is not None:
             return self._repo
         self.path.mkdir(parents=True, exist_ok=True)
+        self._acquire_lock()
+        try:
+            repo = self._load_locked()
+        except BaseException:
+            # a broken store must not stay locked against other
+            # processes for this process's lifetime
+            if self._oplog is not None:
+                self._oplog.close()
+                self._oplog = None
+            self._release_lock()
+            raise
+        self._repo = repo
+        return repo
 
+    def _load_locked(self) -> Repository:
+        """The snapshot-restore + replay body; lock already held."""
         repo = Repository()
         if self.snapshot_path.exists():
             state = pickle.loads(self.snapshot_path.read_bytes())
@@ -135,7 +247,6 @@ class Workspace:
             )
 
         repo.attach_journal(self._oplog)
-        self._repo = repo
         return repo
 
     def adopt(self, repo: Repository) -> int:
@@ -149,6 +260,8 @@ class Workspace:
         Raises:
             WorkspaceError: the directory is already initialised, or
                 this workspace already carries a repository.
+            WorkspaceLockedError: another live process holds the
+                workspace's advisory lock.
         """
         if self._repo is not None:
             raise WorkspaceError(
@@ -160,8 +273,14 @@ class Workspace:
                 "open it instead of adopting over it"
             )
         self.path.mkdir(parents=True, exist_ok=True)
+        self._acquire_lock()
         self._repo = repo
-        return self.checkpoint()
+        try:
+            return self.checkpoint()
+        except BaseException:
+            self._repo = None
+            self._release_lock()
+            raise
 
     def checkpoint(self) -> int:
         """Write a snapshot and truncate the op-log; returns its bytes.
@@ -208,13 +327,15 @@ class Workspace:
         return True
 
     def close(self) -> None:
-        """Detach the journal and close the op-log (state stays)."""
+        """Detach the journal, close the op-log, release the lock
+        (state stays)."""
         if self._repo is not None:
             self._repo.detach_journal()
         if self._oplog is not None:
             self._oplog.close()
         self._repo = None
         self._oplog = None
+        self._release_lock()
 
     def __enter__(self) -> "Workspace":
         self.load()

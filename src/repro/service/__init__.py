@@ -37,6 +37,14 @@ read-heavy traffic:
   cost accounting: the Figure-5a component stack for the batch plus
   the planner's plan-cache and base-cache work counters.
 
+:mod:`repro.service.parallel` runs both pipelines *concurrently*:
+:class:`~repro.service.parallel.ParallelPublisher` and
+:class:`~repro.service.parallel.ParallelRetriever` shard a batch by
+base/family affinity (:func:`~repro.service.parallel.plan_shards`) onto
+a thread pool — publishes under the repository's exclusive write lock,
+retrievals under the shared read lock — and report critical-path
+(overlapped) simulated time per shard on top of the sequential reports.
+
 :mod:`repro.service.maintenance` closes the lifecycle — the deletion
 and reclamation half an operator runs against a churning repository:
 
@@ -63,6 +71,14 @@ from repro.service.maintenance import (
     MaintenanceReport,
     MaintenanceService,
 )
+from repro.service.parallel import (
+    ParallelPublisher,
+    ParallelPublishReport,
+    ParallelRetriever,
+    ParallelRetrieveReport,
+    ShardAccount,
+    plan_shards,
+)
 from repro.service.retrieval import (
     BatchRetrieveReport,
     BatchRetriever,
@@ -79,7 +95,13 @@ __all__ = [
     "DeleteItemResult",
     "MaintenanceReport",
     "MaintenanceService",
+    "ParallelPublishReport",
+    "ParallelPublisher",
+    "ParallelRetrieveReport",
+    "ParallelRetriever",
     "RetrieveItemResult",
+    "ShardAccount",
     "base_affine_order",
     "dedup_aware_order",
+    "plan_shards",
 ]

@@ -61,14 +61,15 @@ def dedup_aware_order(
 
     The sort is stable, so equal-key uploads keep their given order.
     """
-    return sorted(
-        vmis,
-        key=lambda vmi: (
-            vmi.base.attrs.key(),
-            len(vmi.base.packages),
-            len(vmi.primary_names()),
-            vmi.name,
-        ),
+    return sorted(vmis, key=_dedup_key)
+
+
+def _dedup_key(vmi: VirtualMachineImage) -> tuple:
+    return (
+        vmi.base.attrs.key(),
+        len(vmi.base.packages),
+        len(vmi.primary_names()),
+        vmi.name,
     )
 
 
@@ -240,19 +241,5 @@ class BatchPublisher:
             results=tuple(results),
             repo_bytes_before=bytes_before,
             repo_bytes_after=repo.total_bytes(),
-            selection_stats=SelectionStats(
-                calls=stats_after.calls - stats_before.calls,
-                bases_considered=(
-                    stats_after.bases_considered
-                    - stats_before.bases_considered
-                ),
-                candidates=stats_after.candidates - stats_before.candidates,
-                compat_checks=(
-                    stats_after.compat_checks - stats_before.compat_checks
-                ),
-                compat_cache_hits=(
-                    stats_after.compat_cache_hits
-                    - stats_before.compat_cache_hits
-                ),
-            ),
+            selection_stats=stats_after.since(stats_before),
         )

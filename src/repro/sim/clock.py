@@ -5,10 +5,19 @@ Every expensive operation in the substrate advances a
 (``"base-copy"``, ``"import"`` ...).  Figure 5a needs exactly this
 breakdown: retrieval time split into base-image copy, guestfs handle
 creation, VMI reset and package import.
+
+Thread safety (DESIGN.md §12): one clock may be shared by the parallel
+service executors.  ``now`` accumulates under a mutex and therefore
+counts the *summed* work of all threads; measurement windows are
+*thread-local*, so a ``measure()`` block captures exactly the time its
+own thread charged — per-item breakdowns stay correct when items run on
+worker threads, and the executors derive critical-path (overlapped)
+time from the per-shard sums instead of this global total.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
@@ -45,18 +54,28 @@ class SimulatedClock:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._windows: list[dict[str, float]] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    @property
+    def _windows(self) -> list[dict[str, float]]:
+        """This thread's stack of open measurement windows."""
+        stack = getattr(self._local, "windows", None)
+        if stack is None:
+            stack = self._local.windows = []
+        return stack
 
     @property
     def now(self) -> float:
-        """Simulated seconds since the clock was created."""
+        """Simulated seconds charged so far (summed across threads)."""
         return self._now
 
     def advance(self, seconds: float, label: str = "other") -> None:
         """Advance time; negative durations are a programming error."""
         if seconds < 0:
             raise ValueError(f"cannot advance clock by {seconds} s")
-        self._now += seconds
+        with self._lock:
+            self._now += seconds
         for window in self._windows:
             window[label] = window.get(label, 0.0) + seconds
 

@@ -1,0 +1,184 @@
+"""Unit contract of the repository reader-writer lock (DESIGN.md §12)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import LockTimeoutError, RepositoryError
+from repro.repository.locking import RepositoryLock
+
+
+def run_thread(fn):
+    """Run ``fn`` on a worker thread; re-raise anything it raised."""
+    box = {}
+
+    def wrapper():
+        try:
+            box["result"] = fn()
+        except BaseException as exc:  # noqa: BLE001 - test relay
+            box["error"] = exc
+
+    t = threading.Thread(target=wrapper)
+    t.start()
+    t.join(timeout=10)
+    assert not t.is_alive(), "worker thread hung"
+    if "error" in box:
+        raise box["error"]
+    return box.get("result")
+
+
+class TestReentrancy:
+    def test_write_in_write(self):
+        lock = RepositoryLock()
+        with lock.write():
+            with lock.write():
+                assert lock.write_held
+            assert lock.write_held
+        assert not lock.write_held
+
+    def test_read_in_read(self):
+        lock = RepositoryLock()
+        with lock.read():
+            with lock.read():
+                assert lock.active_readers == 1
+            assert lock.active_readers == 1
+        assert lock.active_readers == 0
+
+    def test_read_inside_held_write(self):
+        lock = RepositoryLock()
+        with lock.write():
+            with lock.read():
+                assert lock.write_held
+        assert not lock.write_held
+        # fully released: another thread can write immediately
+        run_thread(lambda: lock.acquire_write(timeout=1))
+
+    def test_upgrade_is_refused(self):
+        lock = RepositoryLock()
+        with lock.read():
+            with pytest.raises(RuntimeError, match="upgrade"):
+                lock.acquire_write()
+
+    def test_unbalanced_releases_are_programming_errors(self):
+        lock = RepositoryLock()
+        with pytest.raises(RuntimeError):
+            lock.release_read()
+        with pytest.raises(RuntimeError):
+            lock.release_write()
+
+
+class TestSharingAndExclusion:
+    def test_reads_are_shared_across_threads(self):
+        lock = RepositoryLock()
+        with lock.read():
+            # a second thread's read goes straight through
+            run_thread(lambda: lock.acquire_read(timeout=1))
+            assert lock.active_readers == 2
+
+    def test_write_excludes_other_writers(self):
+        lock = RepositoryLock()
+        with lock.write():
+            with pytest.raises(LockTimeoutError):
+                run_thread(lambda: lock.acquire_write(timeout=0.05))
+
+    def test_write_excludes_readers(self):
+        lock = RepositoryLock()
+        with lock.write():
+            with pytest.raises(LockTimeoutError):
+                run_thread(lambda: lock.acquire_read(timeout=0.05))
+
+    def test_readers_block_writers_until_released(self):
+        lock = RepositoryLock()
+        lock.acquire_read()
+        acquired = threading.Event()
+
+        def writer():
+            lock.acquire_write()
+            acquired.set()
+            lock.release_write()
+
+        t = threading.Thread(target=writer)
+        t.start()
+        time.sleep(0.05)
+        assert not acquired.is_set()
+        lock.release_read()
+        t.join(timeout=10)
+        assert acquired.is_set()
+
+    def test_waiting_writer_holds_back_new_readers(self):
+        lock = RepositoryLock()
+        lock.acquire_read()
+        entered = threading.Event()
+
+        def writer():
+            lock.acquire_write()
+            entered.set()
+            lock.release_write()
+
+        t = threading.Thread(target=writer)
+        t.start()
+        time.sleep(0.05)  # writer is now parked behind the reader
+        # write preference: a *new* reader must wait behind the parked
+        # writer instead of starving it
+        with pytest.raises(LockTimeoutError):
+            run_thread(lambda: lock.acquire_read(timeout=0.05))
+        lock.release_read()
+        t.join(timeout=10)
+        assert entered.is_set()
+
+
+class TestTimeouts:
+    def test_timeout_error_is_a_repository_error(self):
+        lock = RepositoryLock()
+        with lock.write():
+            try:
+                run_thread(lambda: lock.acquire_write(timeout=0.01))
+            except LockTimeoutError as exc:
+                assert isinstance(exc, RepositoryError)
+                assert exc.mode == "write"
+                assert exc.timeout == pytest.approx(0.01)
+            else:  # pragma: no cover - the acquire must time out
+                pytest.fail("expected LockTimeoutError")
+
+    def test_timed_out_writer_does_not_wedge_readers(self):
+        lock = RepositoryLock()
+        lock.acquire_read()
+        # a writer times out behind the reader ...
+        with pytest.raises(LockTimeoutError):
+            run_thread(lambda: lock.acquire_write(timeout=0.05))
+        # ... and new readers flow again once it gave up
+        run_thread(lambda: lock.acquire_read(timeout=1))
+        lock.release_read()
+
+    def test_zero_contention_acquires_ignore_timeout(self):
+        lock = RepositoryLock()
+        with lock.write(timeout=0.001):
+            pass
+        with lock.read(timeout=0.001):
+            pass
+
+
+class TestMutualExclusionUnderLoad:
+    def test_writers_serialize_a_shared_counter(self):
+        lock = RepositoryLock()
+        state = {"value": 0, "concurrent": 0, "max_concurrent": 0}
+
+        def bump():
+            for _ in range(200):
+                with lock.write():
+                    state["concurrent"] += 1
+                    state["max_concurrent"] = max(
+                        state["max_concurrent"], state["concurrent"]
+                    )
+                    value = state["value"]
+                    state["value"] = value + 1
+                    state["concurrent"] -= 1
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert state["value"] == 8 * 200
+        assert state["max_concurrent"] == 1

@@ -1,0 +1,166 @@
+"""The workspace advisory lock: one live process per durable store.
+
+The lock is an exclusive ``flock`` on the workspace's ``lock`` file —
+the kernel releases it when the holder dies, so crashes can never
+wedge a store and there is no stale-lock breaking to race on.  A
+foreign holder is simulated here by flocking the file through a raw,
+separately opened descriptor (``flock`` owners are open file
+descriptions, so this contends exactly like another process would).
+"""
+
+import os
+
+import pytest
+
+from repro.errors import WorkspaceError, WorkspaceLockedError
+from repro.repository.workspace import Workspace
+
+fcntl = pytest.importorskip("fcntl")
+
+
+def _foreign_hold(path, pid=4242):
+    """Hold the lock file the way another live process would."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd = os.open(path, os.O_CREAT | os.O_RDWR)
+    os.write(fd, f"{pid}\n".encode())
+    fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+    return fd
+
+
+def _flock_is_free(path) -> bool:
+    fd = os.open(path, os.O_CREAT | os.O_RDWR)
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+    except OSError:
+        return False
+    finally:
+        os.close(fd)
+    return True
+
+
+def test_load_takes_and_close_releases_the_lock(tmp_path):
+    workspace = Workspace(tmp_path / "ws")
+    workspace.load()
+    assert workspace.lock_path.exists()
+    assert workspace.lock_holder() == os.getpid()
+    assert not _flock_is_free(workspace.lock_path)
+    workspace.close()
+    # the file stays (unlinking a contended flock file is itself a
+    # race) but the lock is released and the holder pid emptied
+    assert workspace.lock_holder() is None
+    assert _flock_is_free(workspace.lock_path)
+
+
+def test_live_foreign_holder_fails_fast(tmp_path):
+    path = tmp_path / "ws"
+    fd = _foreign_hold(path / "lock", pid=4242)
+    try:
+        with pytest.raises(WorkspaceLockedError) as excinfo:
+            Workspace(path).load()
+        assert excinfo.value.holder_pid == 4242
+        assert "locked by running process 4242" in str(excinfo.value)
+        # catchable as the generic workspace failure the CLI maps to
+        # exit code 1
+        assert isinstance(excinfo.value, WorkspaceError)
+    finally:
+        os.close(fd)
+    # the holder's exit (close) releases the lock: load now succeeds
+    workspace = Workspace(path)
+    workspace.load()
+    assert workspace.lock_holder() == os.getpid()
+    workspace.close()
+
+
+def test_dead_holders_leftover_file_does_not_wedge(tmp_path):
+    """A lock file left by a crashed process carries no flock — the
+    kernel dropped it — so the next open just takes over."""
+    path = tmp_path / "ws"
+    path.mkdir()
+    (path / "lock").write_text("99999999\n")
+    workspace = Workspace(path)
+    workspace.load()
+    assert workspace.lock_holder() == os.getpid()
+    workspace.close()
+
+
+def test_unreadable_lock_file_content_is_ignored(tmp_path):
+    path = tmp_path / "ws"
+    path.mkdir()
+    (path / "lock").write_text("not-a-pid\n")
+    workspace = Workspace(path)
+    workspace.load()
+    assert workspace.lock_holder() == os.getpid()
+    workspace.close()
+
+
+def test_same_process_reopen_breaks_its_own_abandoned_handle(tmp_path):
+    """A crash simulated by abandoning the handle must not wedge the
+    store for the process's own later reopen."""
+    path = tmp_path / "ws"
+    abandoned = Workspace(path)
+    abandoned.load()  # never closed — the crash-simulation idiom
+    reopened = Workspace(path)
+    reopened.load()
+    assert reopened.lock_holder() == os.getpid()
+    reopened.close()
+
+
+def test_abandoned_handles_late_close_cannot_release_a_successor(
+    tmp_path,
+):
+    """Closing a taken-over handle after the fact must not drop the
+    successor's lock (per-acquisition tokens guard fd reuse)."""
+    path = tmp_path / "ws"
+    abandoned = Workspace(path)
+    abandoned.load()
+    successor = Workspace(path)
+    successor.load()  # takes over the abandoned handle's lock
+    abandoned.close()  # late close of the zombie handle
+    # the successor still holds the lock
+    assert successor.lock_holder() == os.getpid()
+    assert not _flock_is_free(successor.lock_path)
+    successor.close()
+    assert _flock_is_free(successor.lock_path)
+
+
+def test_adopt_takes_the_lock(tmp_path):
+    from repro.repository.repo import Repository
+
+    path = tmp_path / "ws"
+    workspace = Workspace(path)
+    workspace.adopt(Repository())
+    assert workspace.lock_holder() == os.getpid()
+    assert not _flock_is_free(workspace.lock_path)
+    workspace.close()
+    assert workspace.lock_holder() is None
+
+
+def test_adopt_respects_a_live_foreign_holder(tmp_path):
+    from repro.repository.repo import Repository
+
+    path = tmp_path / "ws"
+    fd = _foreign_hold(path / "lock")
+    try:
+        with pytest.raises(WorkspaceLockedError):
+            Workspace(path).adopt(Repository())
+    finally:
+        os.close(fd)
+
+
+def test_failed_load_releases_the_lock(tmp_path):
+    """A broken store must not stay locked for this process's
+    lifetime: a load() that raises drops the flock on its way out."""
+    path = tmp_path / "ws"
+    built = Workspace(path)
+    built.load()
+    built.close()
+    # corrupt the pairing: an op-log continuing a snapshot that is not
+    # the stored one
+    from repro.repository.oplog import OpLog
+
+    OpLog.create(path / "oplog.bin", snapshot_mutations=999).close()
+    (path / "snapshot.bin").unlink(missing_ok=True)
+    with pytest.raises(WorkspaceError):
+        Workspace(path).load()
+    assert Workspace(path).lock_holder() is None
+    assert _flock_is_free(path / "lock")

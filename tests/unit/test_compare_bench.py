@@ -1,0 +1,177 @@
+"""The perf-regression gate's comparison logic, pinned in isolation.
+
+The CI ``perf-gate`` job runs ``benchmarks/compare_bench.py`` against
+the committed baselines; these tests prove the gate's core properties
+without running any benchmark: equal runs pass, improvements pass,
+a >threshold degradation fails (in the right direction per metric),
+and missing files or series fail loudly instead of greening the gate.
+"""
+
+import json
+
+import pytest
+
+from benchmarks.compare_bench import (
+    TRACKED_METRICS,
+    compare_dirs,
+    compare_payloads,
+    main,
+)
+
+
+def payload(experiment: str, **series) -> dict:
+    return {
+        "experiment": experiment,
+        "series": {label: list(vals) for label, vals in series.items()},
+    }
+
+
+def parallel_payload(speedup=4.0, critical=300.0) -> dict:
+    return payload(
+        "bench-parallel",
+        **{
+            "publish-critical-path-s": [1200.0, critical],
+            "retrieve-critical-path-s": [1500.0, critical],
+            "publish-speedup": [1.0, speedup],
+            "retrieve-speedup": [1.0, speedup],
+        },
+    )
+
+
+class TestComparePayloads:
+    def test_identical_runs_pass(self):
+        base = parallel_payload()
+        assert compare_payloads(base, parallel_payload(), 0.25) == []
+
+    def test_improvement_passes(self):
+        problems = compare_payloads(
+            parallel_payload(),
+            parallel_payload(speedup=6.0, critical=200.0),
+            0.25,
+        )
+        assert problems == []
+
+    def test_lower_is_better_fails_on_26_percent_increase(self):
+        problems = compare_payloads(
+            parallel_payload(critical=100.0),
+            parallel_payload(critical=126.0),
+            0.25,
+        )
+        assert any("critical-path" in p for p in problems)
+
+    def test_higher_is_better_fails_on_26_percent_drop(self):
+        problems = compare_payloads(
+            parallel_payload(speedup=4.0),
+            parallel_payload(speedup=4.0 * 0.74),
+            0.25,
+        )
+        assert any("speedup" in p for p in problems)
+
+    def test_within_threshold_drift_passes(self):
+        problems = compare_payloads(
+            parallel_payload(speedup=4.0, critical=100.0),
+            parallel_payload(speedup=4.0 * 0.8, critical=120.0),
+            0.25,
+        )
+        assert problems == []
+
+    def test_missing_series_fails_loudly(self):
+        broken = parallel_payload()
+        del broken["series"]["publish-speedup"]
+        problems = compare_payloads(parallel_payload(), broken, 0.25)
+        assert any("missing" in p for p in problems)
+
+    def test_unregistered_experiment_fails(self):
+        unknown = payload("bench-mystery", whatever=[1.0])
+        problems = compare_payloads(unknown, unknown, 0.25)
+        assert any("no tracked metrics" in p for p in problems)
+
+    def test_zero_baseline_tolerates_zero_but_not_growth(self):
+        base = payload("bench-churn", **{
+            "inc-graph-rebuilds": [0.0],
+            "inc-records-scanned": [0.0],
+        })
+        same = payload("bench-churn", **{
+            "inc-graph-rebuilds": [0.0],
+            "inc-records-scanned": [0.0],
+        })
+        worse = payload("bench-churn", **{
+            "inc-graph-rebuilds": [3.0],
+            "inc-records-scanned": [0.0],
+        })
+        assert compare_payloads(base, same, 0.25) == []
+        assert compare_payloads(base, worse, 0.25)
+
+    def test_every_committed_baseline_is_registered(self):
+        from pathlib import Path
+
+        for path in Path("benchmarks/baselines").glob("BENCH_*.json"):
+            data = json.loads(path.read_text())
+            assert data["experiment"] in TRACKED_METRICS, path.name
+            for label, direction in TRACKED_METRICS[data["experiment"]]:
+                assert label in data["series"], (path.name, label)
+                assert direction in ("lower", "higher")
+
+
+class TestCompareDirs:
+    def _write(self, directory, name, data):
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / name).write_text(json.dumps(data))
+
+    def test_matching_dirs_pass(self, tmp_path):
+        self._write(
+            tmp_path / "base", "BENCH_parallel.json", parallel_payload()
+        )
+        self._write(
+            tmp_path / "cur", "BENCH_parallel.json", parallel_payload()
+        )
+        passes, problems = compare_dirs(
+            tmp_path / "base", tmp_path / "cur", 0.25
+        )
+        assert problems == []
+        assert len(passes) == 1
+
+    def test_missing_current_file_fails(self, tmp_path):
+        self._write(
+            tmp_path / "base", "BENCH_parallel.json", parallel_payload()
+        )
+        (tmp_path / "cur").mkdir()
+        _, problems = compare_dirs(
+            tmp_path / "base", tmp_path / "cur", 0.25
+        )
+        assert any("no fresh run" in p for p in problems)
+
+    def test_empty_baseline_dir_fails(self, tmp_path):
+        (tmp_path / "base").mkdir()
+        (tmp_path / "cur").mkdir()
+        _, problems = compare_dirs(
+            tmp_path / "base", tmp_path / "cur", 0.25
+        )
+        assert any("no BENCH_" in p for p in problems)
+
+    @pytest.mark.parametrize(
+        "degrade,expected_exit", [(1.0, 0), (1.4, 1)]
+    )
+    def test_main_exit_codes(
+        self, tmp_path, capsys, degrade, expected_exit
+    ):
+        """The acceptance demonstration: a hand-degraded baseline
+        metric (+40% demanded speedup) flips the gate to failure."""
+        base = parallel_payload(speedup=4.0 * degrade)
+        self._write(tmp_path / "base", "BENCH_parallel.json", base)
+        self._write(
+            tmp_path / "cur", "BENCH_parallel.json", parallel_payload()
+        )
+        code = main(
+            [
+                "--baseline", str(tmp_path / "base"),
+                "--current", str(tmp_path / "cur"),
+                "--threshold", "0.25",
+            ]
+        )
+        assert code == expected_exit
+        out = capsys.readouterr()
+        if expected_exit:
+            assert "REGRESSION" in out.err
+        else:
+            assert "perf gate passed" in out.out
