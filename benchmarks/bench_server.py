@@ -1,0 +1,252 @@
+"""Bench: the image server under multi-tenant open-loop traffic.
+
+Drives a real :class:`~repro.service.server.ImageServer` (sockets,
+framing, admission, tenancy — the whole request path) with the
+deterministic open-loop schedule of
+:mod:`repro.workloads.traffic`, then reports *simulated-time* service
+quality so the numbers are machine-independent and gateable:
+
+1. the schedule is replayed through one
+   :class:`~repro.service.client.RemoteClient` per tenant, collecting
+   every request's simulated service seconds from the response —
+   deterministic, because schedule and cost model both are;
+2. an analytic ``c``-server queue (c = the worker count) replays the
+   arrivals against those service times in simulated time: a request
+   waits for the earliest free worker, its latency is queueing wait +
+   service.  Throughput is requests over the simulated makespan,
+   latency percentiles are p50/p95/p99 over the per-request latencies.
+
+Correctness rides along, as in every bench here: after the replay the
+server's repository must equal — blob for blob, refcount for
+refcount — a local :class:`~repro.core.system.Expelliarmus` that
+applied the same namespaced operations sequentially, and fsck must
+come back clean through the wire.
+
+Run with ``pytest benchmarks/bench_server.py`` (add ``-k smoke`` for
+the CI-sized schedule).  With ``BENCH_JSON_DIR`` set, the sweep is
+written as ``BENCH_server.json`` for the perf-trajectory artifacts
+and the perf-regression gate.
+"""
+
+import heapq
+
+from benchmarks.conftest import attach_series, write_bench_json
+from repro.core.system import Expelliarmus
+from repro.experiments.reporting import ExperimentResult, Series
+from repro.service.client import RemoteClient
+from repro.service.protocol import scale_source
+from repro.service.server import ImageServer, ServerConfig
+from repro.service.tenancy import namespaced
+from repro.workloads.scale import scale_corpus
+from repro.workloads.traffic import TrafficConfig, traffic_schedule
+
+import pytest
+
+#: (traffic config, worker counts of the sweep)
+SWEEP = (
+    TrafficConfig(
+        n_tenants=4,
+        n_requests=240,
+        n_vmis=48,
+        arrival_rate=0.05,
+        seed="bench-traffic",
+    ),
+    (1, 2, 4, 8),
+)
+SMOKE_SWEEP = (
+    TrafficConfig(
+        n_tenants=3,
+        n_requests=60,
+        n_vmis=18,
+        arrival_rate=0.05,
+        seed="bench-traffic-smoke",
+    ),
+    (1, 4),
+)
+
+
+def _percentile(sorted_values, q: float) -> float:
+    """Nearest-rank percentile over an ascending list."""
+    idx = max(0, -(-int(q * len(sorted_values) + 0.5)) - 1)
+    return sorted_values[min(idx, len(sorted_values) - 1)]
+
+
+def _replay_service_times(config: TrafficConfig) -> list[float]:
+    """Run the schedule through a live server; per-request simulated
+    service seconds, in arrival order.  Also asserts server ≡ local."""
+    events = traffic_schedule(config)
+    source = scale_source(config.n_vmis, seed=config.seed)
+
+    with ImageServer(Expelliarmus(), ServerConfig(workers=4)) as server:
+        host, port = server.endpoint
+        clients = {
+            f"tenant-{t}": RemoteClient(
+                host, port, tenant=f"tenant-{t}"
+            )
+            for t in range(config.n_tenants)
+        }
+        times = []
+        try:
+            for ev in events:
+                client = clients[ev.tenant]
+                if ev.op == "publish":
+                    r = client.publish(source, ev.item)
+                elif ev.op == "retrieve":
+                    r = client.retrieve(ev.name)
+                else:
+                    r = client.delete(ev.name)
+                times.append(r["simulated_seconds"])
+            assert clients[events[0].tenant].fsck()["clean"]
+        finally:
+            for client in clients.values():
+                client.close()
+        server_state = _fingerprint(server.system)
+
+    assert server_state == _fingerprint(
+        _local_reference(config, events)
+    ), "server repository diverged from the sequential local reference"
+    return times
+
+
+def _local_reference(config: TrafficConfig, events) -> Expelliarmus:
+    """The same namespaced ops applied sequentially to a local system."""
+    corpus = scale_corpus(config.n_vmis, seed=config.seed)
+    system = Expelliarmus()
+    for ev in events:
+        if ev.op == "publish":
+            vmi = corpus.build(ev.item)
+            vmi.name = namespaced(ev.tenant, vmi.name)
+            system.publish(vmi)
+        elif ev.op == "retrieve":
+            system.retrieve(namespaced(ev.tenant, ev.name))
+        else:
+            system.delete(namespaced(ev.tenant, ev.name))
+    return system
+
+
+def _fingerprint(system) -> dict:
+    repo = system.repo
+    return {
+        "blobs": {
+            (r.key, r.kind.value, r.size) for r in repo.blobs.records()
+        },
+        "bytes": repo.bytes_by_kind(),
+        "records": sorted(r.name for r in repo.vmi_records()),
+        "refcounts": repo.refcounts(),
+    }
+
+
+def _queue_replay(events, service_s, workers: int) -> dict:
+    """Analytic c-server open-loop queue in simulated time."""
+    free_at = [0.0] * workers
+    heapq.heapify(free_at)
+    latencies = []
+    makespan = 0.0
+    for ev, service in zip(events, service_s):
+        start = max(ev.arrival_s, heapq.heappop(free_at))
+        done = start + service
+        heapq.heappush(free_at, done)
+        latencies.append(done - ev.arrival_s)
+        makespan = max(makespan, done)
+    latencies.sort()
+    return {
+        "throughput_rps": len(events) / makespan,
+        "p50": _percentile(latencies, 0.50),
+        "p95": _percentile(latencies, 0.95),
+        "p99": _percentile(latencies, 0.99),
+    }
+
+
+def _sweep(config: TrafficConfig, worker_levels) -> ExperimentResult:
+    events = traffic_schedule(config)
+    service_s = _replay_service_times(config)
+    assert len(service_s) == len(events)
+
+    rows = []
+    throughput, p50s, p95s, p99s = [], [], [], []
+    for workers in worker_levels:
+        q = _queue_replay(events, service_s, workers)
+        rows.append(
+            (
+                workers,
+                round(q["throughput_rps"], 4),
+                round(q["p50"], 1),
+                round(q["p95"], 1),
+                round(q["p99"], 1),
+            )
+        )
+        throughput.append(q["throughput_rps"])
+        p50s.append(q["p50"])
+        p95s.append(q["p95"])
+        p99s.append(q["p99"])
+
+    return ExperimentResult(
+        experiment_id="bench-server",
+        title=(
+            f"Image server under open-loop traffic: "
+            f"{len(events)} requests, {config.n_tenants} tenants, "
+            f"{config.n_vmis}-VMI corpus"
+        ),
+        columns=(
+            "workers",
+            "throughput[req/s]",
+            "p50[s]",
+            "p95[s]",
+            "p99[s]",
+        ),
+        rows=tuple(rows),
+        series=(
+            Series("throughput-rps", tuple(throughput)),
+            Series("p50-latency-s", tuple(p50s)),
+            Series("p95-latency-s", tuple(p95s)),
+            Series("p99-latency-s", tuple(p99s)),
+        ),
+        notes=(
+            "service times measured through a live server (sockets, "
+            "admission, tenancy) in simulated seconds; latency = "
+            "queueing wait + service in an analytic c-server replay "
+            "of the same open-loop arrivals, so the numbers are "
+            "machine-independent and comparable across runs",
+            "the server's end state is asserted blob-identical to a "
+            "sequential local replay of the same namespaced ops, and "
+            "fsck-clean through the wire",
+        ),
+    )
+
+
+def _assert_quality(result: ExperimentResult, worker_levels) -> None:
+    series = {s.label: s.values for s in result.series}
+    # more workers never hurt simulated tail latency or throughput
+    assert list(series["p99-latency-s"]) == sorted(
+        series["p99-latency-s"], reverse=True
+    ), series
+    assert all(x > 0 for x in series["throughput-rps"])
+    # queueing must actually shrink: the widest worker level clears
+    # the p99 tail of the single-worker anchor
+    assert series["p99-latency-s"][-1] <= series["p99-latency-s"][0]
+
+
+@pytest.mark.benchmark(group="server")
+def test_server_sweep(benchmark, report_result):
+    """The headline sweep: workers 1 -> 8 at 240 requests."""
+    config, levels = SWEEP
+    result = benchmark.pedantic(
+        lambda: _sweep(config, levels), rounds=1, iterations=1
+    )
+    report_result(result)
+    attach_series(benchmark, result)
+    write_bench_json(result, "server")
+    _assert_quality(result, levels)
+
+
+@pytest.mark.benchmark(group="server")
+def test_server_smoke(benchmark, report_result):
+    """CI-sized schedule: same assertions, seconds of wall clock."""
+    config, levels = SMOKE_SWEEP
+    result = benchmark.pedantic(
+        lambda: _sweep(config, levels), rounds=1, iterations=1
+    )
+    report_result(result)
+    attach_series(benchmark, result)
+    write_bench_json(result, "server")
+    _assert_quality(result, levels)

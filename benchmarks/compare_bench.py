@@ -16,12 +16,12 @@ across machines and Python versions.  Wall-clock series (the
 persistence bench's reopen timings) vary with hardware and are
 deliberately untracked.
 
-Refreshing baselines after an *intentional* perf change (the five
+Refreshing baselines after an *intentional* perf change (the six
 tracked bench files are named explicitly — pytest's default collection
 skips ``bench_*.py`` when handed a bare directory)::
 
     BENCH_JSON_DIR=benchmarks/baselines PYTHONPATH=src \
-        python -m pytest -q benchmarks/bench_{scale,retrieval,churn,persistence,parallel}.py -k smoke
+        python -m pytest -q benchmarks/bench_{scale,retrieval,churn,persistence,parallel,server}.py -k smoke
 
 then commit the updated JSON together with the change that explains it
 (README "Perf-regression gate" documents the workflow).
@@ -69,6 +69,15 @@ TRACKED_METRICS: dict[str, tuple[tuple[str, str], ...]] = {
         ("retrieve-critical-path-s", "lower"),
         ("publish-speedup", "higher"),
         ("retrieve-speedup", "higher"),
+    ),
+    "bench-server": (
+        # simulated-time service quality of the image server under
+        # the deterministic open-loop traffic schedule (the final
+        # series point is the widest worker level of the sweep)
+        ("throughput-rps", "higher"),
+        ("p50-latency-s", "lower"),
+        ("p95-latency-s", "lower"),
+        ("p99-latency-s", "lower"),
     ),
 }
 
@@ -191,7 +200,7 @@ def main(argv=None) -> int:
             "  BENCH_JSON_DIR=benchmarks/baselines PYTHONPATH=src "
             "python -m pytest -q "
             "benchmarks/bench_{scale,retrieval,churn,persistence,"
-            "parallel}.py -k smoke\n"
+            "parallel,server}.py -k smoke\n"
             "and commit the updated JSON with an explanation.",
             file=sys.stderr,
         )

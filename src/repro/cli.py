@@ -27,7 +27,10 @@ Subcommands:
 * ``snapshot`` — checkpoint a workspace (snapshot + op-log truncate);
 * ``compact`` — garbage-collect a workspace, then checkpoint it;
 * ``corpus`` — list the evaluation images and their characteristics;
-* ``stats`` — attribute repository storage.
+* ``stats`` — attribute repository storage;
+* ``serve`` — run the long-running multi-tenant image server over a
+  workspace (or an in-memory store); drains gracefully on SIGTERM;
+* ``shutdown`` — ask a remote server to drain and exit.
 
 **Workspaces.**  ``--workspace PATH`` (global, or after any repository
 subcommand) makes the command operate on one *durable* store instead
@@ -42,6 +45,17 @@ exactly as before; with it, corpus synthesis happens only for the
 publishing subcommands (``retrieve-many``, ``delete``, ``gc``,
 ``fsck`` and ``stats`` operate on what the workspace already holds,
 and their corpus/churn flags are ignored).
+
+**Remote mode.**  ``--remote HOST:PORT`` points a repository
+subcommand at a running ``expelliarmus serve`` daemon instead of a
+local store: the same publish / retrieve-many / delete / gc / fsck /
+stats / snapshot verbs travel over the image-service protocol, inside
+the namespace of ``--tenant`` (default ``default``).  VMIs are named
+by corpus reference (the server builds them), admission rejections and
+quota errors come back as machine-readable codes, and ``shutdown``
+drains the daemon gracefully.  ``--remote`` excludes ``--workspace``
+and the local-only execution flags (``--parallel``, ``--cold``,
+``--scan``) — the server owns those decisions.
 """
 
 from __future__ import annotations
@@ -72,6 +86,21 @@ def build_parser() -> argparse.ArgumentParser:
             "write-ahead op-log) instead of a throwaway in-memory one"
         ),
     )
+    parser.add_argument(
+        "--remote",
+        metavar="HOST:PORT",
+        default=None,
+        help=(
+            "run the subcommand against a running 'expelliarmus "
+            "serve' daemon instead of a local store"
+        ),
+    )
+    parser.add_argument(
+        "--tenant",
+        metavar="NAME",
+        default="default",
+        help="tenant namespace for --remote requests (default: default)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     #: the same flag after the subcommand; SUPPRESS keeps a value
@@ -82,6 +111,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=argparse.SUPPRESS,
         help="durable repository directory (same as the global flag)",
+    )
+
+    #: the remote-mode flags after the subcommand, same SUPPRESS trick
+    remote_flags = argparse.ArgumentParser(add_help=False)
+    remote_flags.add_argument(
+        "--remote",
+        metavar="HOST:PORT",
+        default=argparse.SUPPRESS,
+        help="image-server endpoint (same as the global flag)",
+    )
+    remote_flags.add_argument(
+        "--tenant",
+        metavar="NAME",
+        default=argparse.SUPPRESS,
+        help="tenant namespace (same as the global flag)",
     )
 
     #: checkpoint policy for the write-path subcommands
@@ -116,7 +160,7 @@ def build_parser() -> argparse.ArgumentParser:
     pub = sub.add_parser(
         "publish",
         help="publish corpus images into a repository",
-        parents=[workspace_flags, checkpoint_flags],
+        parents=[workspace_flags, checkpoint_flags, remote_flags],
     )
     pub.add_argument("names", nargs="+", help="corpus image names")
 
@@ -146,7 +190,12 @@ def build_parser() -> argparse.ArgumentParser:
     many = sub.add_parser(
         "publish-many",
         help="batch-publish a corpus through the scale-out pipeline",
-        parents=[corpus_flags, workspace_flags, checkpoint_flags],
+        parents=[
+            corpus_flags,
+            workspace_flags,
+            checkpoint_flags,
+            remote_flags,
+        ],
     )
     many.add_argument(
         "--order",
@@ -178,7 +227,7 @@ def build_parser() -> argparse.ArgumentParser:
     ret = sub.add_parser(
         "retrieve-many",
         help="batch-retrieve a published corpus with warm plan caches",
-        parents=[corpus_flags, workspace_flags],
+        parents=[corpus_flags, workspace_flags, remote_flags],
     )
     ret.add_argument(
         "--repeat",
@@ -218,7 +267,12 @@ def build_parser() -> argparse.ArgumentParser:
         "delete",
         help="batch-delete published VMIs (a churn fraction, or "
         "named ones from a workspace)",
-        parents=[corpus_flags, workspace_flags, checkpoint_flags],
+        parents=[
+            corpus_flags,
+            workspace_flags,
+            checkpoint_flags,
+            remote_flags,
+        ],
     )
     delete.add_argument(
         "--churn",
@@ -245,7 +299,7 @@ def build_parser() -> argparse.ArgumentParser:
     gc = sub.add_parser(
         "gc",
         help="run one GC pass (on a workspace, or a churned corpus)",
-        parents=[corpus_flags, workspace_flags],
+        parents=[corpus_flags, workspace_flags, remote_flags],
     )
     gc.add_argument(
         "--churn",
@@ -263,7 +317,7 @@ def build_parser() -> argparse.ArgumentParser:
     fsck = sub.add_parser(
         "fsck",
         help="run repository consistency checks (non-zero on findings)",
-        parents=[corpus_flags, workspace_flags],
+        parents=[corpus_flags, workspace_flags, remote_flags],
     )
     fsck.add_argument(
         "--churn",
@@ -282,7 +336,7 @@ def build_parser() -> argparse.ArgumentParser:
         "stats",
         help="attribute repository storage (a workspace's, or a "
         "freshly published corpus)",
-        parents=[workspace_flags],
+        parents=[workspace_flags, remote_flags],
     )
     stats.add_argument(
         "names", nargs="*", help="corpus images (default: all 19)"
@@ -292,7 +346,7 @@ def build_parser() -> argparse.ArgumentParser:
         "snapshot",
         help="checkpoint a workspace: write a snapshot, truncate "
         "the op-log",
-        parents=[workspace_flags],
+        parents=[workspace_flags, remote_flags],
     )
 
     compact = sub.add_parser(
@@ -304,6 +358,80 @@ def build_parser() -> argparse.ArgumentParser:
         "--full",
         action="store_true",
         help="stop-the-world verification GC instead of incremental",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant image server (drains on SIGTERM)",
+        parents=[workspace_flags],
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="bind port (default: 0 = ephemeral; see --port-file)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        metavar="N",
+        help="request handler threads (default: 4)",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=16,
+        metavar="N",
+        help=(
+            "admitted requests beyond the executing ones before "
+            "'overloaded' rejections start (default: 16)"
+        ),
+    )
+    serve.add_argument(
+        "--quota-gb",
+        type=float,
+        default=None,
+        metavar="GB",
+        help=(
+            "per-tenant logical stored-bytes quota (default: "
+            "unlimited)"
+        ),
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "per-tenant concurrent in-flight request ceiling "
+            "(default: unlimited)"
+        ),
+    )
+    serve.add_argument(
+        "--checkpoint-idle",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help=(
+            "with --workspace: checkpoint after S quiet seconds "
+            "(default: 1.0; negative disables)"
+        ),
+    )
+    serve.add_argument(
+        "--port-file",
+        metavar="PATH",
+        default=None,
+        help="write the bound HOST:PORT to PATH once listening",
+    )
+
+    sub.add_parser(
+        "shutdown",
+        help="drain a remote image server gracefully",
+        parents=[remote_flags],
     )
     return parser
 
@@ -832,6 +960,379 @@ def _cmd_compact(args) -> int:
         _finish(system, args)
 
 
+def _cmd_serve(args) -> int:
+    """Run the image server until a drain (SIGTERM / remote shutdown).
+
+    A second daemon pointed at the same workspace fails fast with the
+    holder's pid on stderr (the workspace's advisory lock), exit 1 —
+    never a traceback.
+    """
+    import signal
+
+    from repro.service.server import ImageServer, ServerConfig
+    from repro.service.tenancy import TenantQuota
+
+    if args.workers < 1:
+        print("error: --workers must be positive", file=sys.stderr)
+        return 2
+    if args.queue_limit < 0:
+        print(
+            "error: --queue-limit must be non-negative",
+            file=sys.stderr,
+        )
+        return 2
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        default_quota=TenantQuota(
+            max_bytes=(
+                int(args.quota_gb * 1e9)
+                if args.quota_gb is not None
+                else None
+            ),
+            max_inflight=args.max_inflight,
+        ),
+        checkpoint_idle_s=(
+            None
+            if args.checkpoint_idle < 0
+            else args.checkpoint_idle
+        ),
+    )
+    path = getattr(args, "workspace", None)
+    if path is not None:
+        server = ImageServer.for_workspace(path, config)
+    else:
+        from repro.core.system import Expelliarmus
+
+        server = ImageServer(Expelliarmus(), config)
+    host, port = server.start()
+    print(f"listening on {host}:{port}", flush=True)
+    if args.port_file:
+        with open(args.port_file, "w", encoding="utf-8") as fh:
+            fh.write(f"{host}:{port}\n")
+
+    def _on_signal(signum, frame):
+        server.request_shutdown()
+
+    try:
+        signal.signal(signal.SIGTERM, _on_signal)
+        signal.signal(signal.SIGINT, _on_signal)
+    except ValueError:
+        # not the main thread (in-process tests drive the lifecycle
+        # through the protocol's shutdown op instead)
+        pass
+    server.wait()
+    server.stop()
+    print(
+        f"drained: {server.requests_served} request(s) served",
+        flush=True,
+    )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# remote mode: the same verbs against a running daemon
+# ---------------------------------------------------------------------------
+
+
+def _remote_source_items(args):
+    """(source descriptor, item list) from the corpus flags, or ``2``.
+
+    Remote publishes ship corpus *references*; the daemon builds the
+    images (the corpora are pure functions of their configuration).
+    """
+    from repro.service.protocol import scale_source, table2_source
+    from repro.workloads.vmi_specs import TABLE_II_ORDER
+
+    if getattr(args, "scale", None) is not None:
+        if args.scale < 1:
+            print("error: --scale must be positive", file=sys.stderr)
+            return 2
+        return (
+            scale_source(
+                args.scale,
+                n_families=args.families,
+                seed=args.seed,
+            ),
+            list(range(args.scale)),
+        )
+    names = list(getattr(args, "names", None) or TABLE_II_ORDER)
+    unknown = [n for n in names if n not in TABLE_II_ORDER]
+    if unknown:
+        print(
+            f"error: unknown corpus image(s): {', '.join(unknown)} "
+            f"(see 'expelliarmus corpus')",
+            file=sys.stderr,
+        )
+        return 2
+    return table2_source(), names
+
+
+def _remote_publish(client, args) -> int:
+    from repro.service.protocol import table2_source
+
+    for name in args.names:
+        result = client.publish(table2_source(), name)
+        print(
+            f"{name}: published as {result['name']} in "
+            f"{fmt_seconds(result['simulated_seconds'])}, "
+            f"similarity {result['similarity']:.2f}, "
+            f"exported {result['exported_packages']} packages, "
+            f"deduplicated {result['deduplicated_packages']}"
+        )
+    return 0
+
+
+def _remote_publish_many(client, args) -> int:
+    prepared = _remote_source_items(args)
+    if isinstance(prepared, int):
+        return prepared
+    source, items = prepared
+    result = client.publish_many(source, items)
+    for row in result["results"]:
+        if "error" in row:
+            print(
+                f"  {row['item']}: FAILED "
+                f"({row['error']['code']}: "
+                f"{row['error']['message']})",
+                file=sys.stderr,
+            )
+        elif args.progress:
+            print(
+                f"  {row['item']}: {row['name']} "
+                f"{row['simulated_seconds']:7.2f}s"
+            )
+    print(
+        f"published {result['n_published']}/{result['n_items']} "
+        f"VMIs in {result['simulated_seconds']:.1f} simulated s "
+        f"(remote, tenant {client.tenant!r})"
+    )
+    return 1 if result["n_failed"] else 0
+
+
+def _remote_retrieve_many(client, args) -> int:
+    if args.repeat < 1:
+        print("error: --repeat must be positive", file=sys.stderr)
+        return 2
+    names = list(args.names) if args.names else None
+    retrieved = failed = 0
+    simulated = 0.0
+    for _ in range(args.repeat):
+        result = client.retrieve_many(names)
+        retrieved += result["n_retrieved"]
+        failed += result["n_failed"]
+        simulated += result["simulated_seconds"]
+        for row in result["results"]:
+            if "error" in row:
+                print(
+                    f"  {row['name']}: FAILED "
+                    f"({row['error']['code']}: "
+                    f"{row['error']['message']})",
+                    file=sys.stderr,
+                )
+            elif args.progress:
+                print(
+                    f"  {row['name']}: "
+                    f"{row['simulated_seconds']:7.2f}s "
+                    f"digest {row['manifest_digest'][:12]}"
+                )
+    print(
+        f"retrieved {retrieved}/{retrieved + failed} VMIs in "
+        f"{simulated:.1f} simulated s (remote, tenant "
+        f"{client.tenant!r})"
+    )
+    return 1 if failed else 0
+
+
+def _remote_delete(client, args) -> int:
+    if not args.names:
+        print(
+            "error: remote delete needs explicit image names "
+            "(churn selection is a local-store feature)",
+            file=sys.stderr,
+        )
+        return 2
+    result = client.delete_many(list(args.names))
+    for row in result["results"]:
+        if "error" in row:
+            print(
+                f"  {row['name']}: FAILED "
+                f"({row['error']['code']}: "
+                f"{row['error']['message']})",
+                file=sys.stderr,
+            )
+        elif args.progress:
+            print(f"  {row['name']}: deleted")
+    print(
+        f"deleted {result['n_deleted']}/{result['n_items']} VMIs "
+        f"(remote, tenant {client.tenant!r})"
+    )
+    return 1 if result["n_failed"] else 0
+
+
+def _remote_gc(client, args) -> int:
+    result = client.gc(full=args.full)
+    print(
+        f"gc ({result['mode']}): reclaimed "
+        f"{result['reclaimed_bytes'] / 1e9:.3f} GB — "
+        f"{result['removed_packages']} packages, "
+        f"{result['removed_user_data']} user data, "
+        f"{result['removed_bases']} bases"
+    )
+    print(
+        f"  work: {result['graph_rebuilds']} master graphs rebuilt, "
+        f"{result['records_scanned']} records scanned, "
+        f"{result['simulated_seconds']:.2f} simulated s"
+    )
+    return 0
+
+
+def _remote_fsck(client, args) -> int:
+    result = client.fsck()
+    if result["clean"]:
+        print(
+            f"repository clean: {result['checked_blobs']} blobs, "
+            f"{result['checked_vmis']} VMIs checked"
+        )
+        return 0
+    print(
+        f"{len(result['findings'])} inconsistencies found:",
+        file=sys.stderr,
+    )
+    for finding in result["findings"]:
+        print(f"  {finding}", file=sys.stderr)
+    return 1
+
+
+def _remote_stats(client, args) -> int:
+    result = client.stats()
+    repo = result["repository"]
+    print(
+        f"repository: {fmt_gb(repo['total_bytes'])} across "
+        f"{repo['n_vmis']} published VMIs"
+    )
+    for kind, n_bytes in sorted(repo["bytes_by_kind"].items()):
+        print(f"  {kind:<12}: {fmt_gb(n_bytes)}")
+    print("\ntenants:")
+    for name, usage in sorted(result["tenants"].items()):
+        limit = (
+            fmt_gb(usage["max_bytes"])
+            if usage["max_bytes"] is not None
+            else "unlimited"
+        )
+        print(
+            f"  {name:<16} {fmt_gb(usage['bytes_stored'])} of "
+            f"{limit}, {usage['published']} image(s), "
+            f"{usage['requests']} request(s), "
+            f"{usage['quota_rejections'] + usage['busy_rejections']}"
+            f" rejection(s)"
+        )
+    server = result["server"]
+    print(
+        f"\nserver: {server['admitted']} admitted, "
+        f"{server['rejected']} rejected (overload), peak "
+        f"{server['peak_active']}/{server['workers']}+"
+        f"{server['queue_limit']} in flight, "
+        f"{server['idle_checkpoints']} idle checkpoint(s)"
+    )
+    return 0
+
+
+def _remote_snapshot(client, args) -> int:
+    result = client.checkpoint()
+    if not result["checkpointed"]:
+        print(
+            f"error: server did not checkpoint "
+            f"({result['reason']})",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"checkpoint written: "
+        f"{result['snapshot_bytes'] / 1e6:.2f} MB snapshot, "
+        f"{result['ops_folded']} journaled op(s) folded in"
+    )
+    return 0
+
+
+def _remote_shutdown(client, args) -> int:
+    client.shutdown()
+    print(f"server at {client.host}:{client.port} is draining")
+    return 0
+
+
+_REMOTE_DISPATCH = {
+    "publish": _remote_publish,
+    "publish-many": _remote_publish_many,
+    "retrieve-many": _remote_retrieve_many,
+    "delete": _remote_delete,
+    "gc": _remote_gc,
+    "fsck": _remote_fsck,
+    "stats": _remote_stats,
+    "snapshot": _remote_snapshot,
+    "shutdown": _remote_shutdown,
+}
+
+
+def _dispatch_remote(args) -> int:
+    """Route one CLI invocation to a remote daemon.
+
+    Typed service errors come back as machine-readable one-liners
+    (``error [code]: message``) with exit 1; flag combinations that
+    only make sense against a local store exit 2.
+    """
+    from repro.errors import ReproError
+    from repro.service.client import RemoteClient
+
+    if getattr(args, "workspace", None) is not None:
+        print(
+            "error: --remote and --workspace are exclusive (the "
+            "daemon owns the store)",
+            file=sys.stderr,
+        )
+        return 2
+    for flag in ("parallel", "cold", "scan"):
+        if getattr(args, flag, None):
+            print(
+                f"error: --{flag} is a local-execution flag; the "
+                "server decides its own execution strategy",
+                file=sys.stderr,
+            )
+            return 2
+    handler = _REMOTE_DISPATCH.get(args.command)
+    if handler is None:
+        print(
+            f"error: {args.command!r} cannot run remotely",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        client = RemoteClient.connect(args.remote, tenant=args.tenant)
+    except (OSError, ReproError) as exc:
+        print(
+            f"error: cannot reach image server at {args.remote!r}: "
+            f"{exc}",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        with client:
+            return handler(client, args)
+    except ReproError as exc:
+        code = getattr(exc, "code", None)
+        label = f"error [{code}]" if code else "error"
+        print(f"{label}: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(
+            f"error: connection to {args.remote} failed: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     from repro.errors import WorkspaceError
 
@@ -846,7 +1347,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         "stats": _cmd_stats,
         "snapshot": _cmd_snapshot,
         "compact": _cmd_compact,
+        "serve": _cmd_serve,
     }
+    if getattr(args, "remote", None) is not None:
+        return _dispatch_remote(args)
+    if args.command == "shutdown":
+        print(
+            "error: shutdown requires --remote HOST:PORT",
+            file=sys.stderr,
+        )
+        return 2
     try:
         if args.command == "experiments":
             return _cmd_experiments(args.ids, figures=args.figures)
@@ -855,8 +1365,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command in dispatch:
             return dispatch[args.command](args)
     except WorkspaceError as exc:
-        # a broken or mismatched durable store is an operator error,
-        # not a crash: report it the way fsck reports findings
+        # a broken, mismatched or (for serve) already-locked durable
+        # store is an operator error, not a crash: one line on stderr
+        # — a WorkspaceLockedError's line names the holding pid
         print(f"error: {exc}", file=sys.stderr)
         return 1
     raise AssertionError(f"unhandled command {args.command!r}")

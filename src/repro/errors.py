@@ -26,6 +26,12 @@ __all__ = [
     "RetrievalError",
     "IncompatibleImageError",
     "GraphModelError",
+    "ServiceError",
+    "ProtocolError",
+    "AdmissionRejectedError",
+    "QuotaExceededError",
+    "UnknownTenantError",
+    "RemoteError",
 ]
 
 
@@ -133,6 +139,95 @@ class WorkspaceLockedError(WorkspaceError):
         )
         self.path = path
         self.holder_pid = holder_pid
+
+
+# ---------------------------------------------------------------------------
+# image service (server / remote client)
+# ---------------------------------------------------------------------------
+
+
+class ServiceError(ReproError):
+    """Problems in the multi-tenant image service layer."""
+
+
+class ProtocolError(ServiceError):
+    """A wire frame or message violates the service protocol —
+    oversized, torn mid-frame, not JSON, or structurally invalid."""
+
+
+class AdmissionRejectedError(ServiceError):
+    """The server refused to take the request *right now* (429-style).
+
+    The request itself is well-formed; the server is protecting itself
+    (bounded queue full, per-tenant in-flight ceiling, drain in
+    progress).  ``retriable`` is always True — clients back off and
+    retry, which is exactly what open-loop traffic generators and the
+    CLI do not do silently: they surface the machine-readable
+    ``code``.
+    """
+
+    retriable = True
+
+    def __init__(
+        self, code: str, message: str, *, tenant: str | None = None
+    ) -> None:
+        super().__init__(message)
+        #: machine-readable reason: "overloaded", "tenant-busy",
+        #: "draining"
+        self.code = code
+        self.tenant = tenant
+
+
+class QuotaExceededError(ServiceError):
+    """A tenant's stored-bytes quota cannot fit the request (413-style).
+
+    Not retriable as-is: the tenant must delete images (and let GC
+    reclaim them) or be granted a larger quota.
+    """
+
+    retriable = False
+
+    def __init__(
+        self,
+        tenant: str,
+        *,
+        requested_bytes: int,
+        used_bytes: int,
+        limit_bytes: int,
+    ) -> None:
+        super().__init__(
+            f"tenant {tenant!r} quota exceeded: storing "
+            f"{requested_bytes} bytes on top of {used_bytes} would "
+            f"pass the {limit_bytes}-byte limit"
+        )
+        self.tenant = tenant
+        self.requested_bytes = requested_bytes
+        self.used_bytes = used_bytes
+        self.limit_bytes = limit_bytes
+
+
+class UnknownTenantError(ServiceError):
+    """The server runs a closed tenant registry and this name is not
+    in it."""
+
+    def __init__(self, tenant: str) -> None:
+        super().__init__(
+            f"unknown tenant {tenant!r} (the server registry is "
+            "closed; ask the operator to register the tenant)"
+        )
+        self.tenant = tenant
+
+
+class RemoteError(ServiceError):
+    """A server-side failure that maps to no more specific class.
+
+    Carries the server's machine-readable ``code`` so scripted
+    clients can still branch on it.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
 
 
 # ---------------------------------------------------------------------------

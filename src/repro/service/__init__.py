@@ -55,17 +55,29 @@ and reclamation half an operator runs against a churning repository:
   accounting: per-item outcomes, interleaved GC reports, exact byte
   movement and the charged delete/GC seconds.
 
+:mod:`repro.service.server` / :mod:`repro.service.client` put the
+whole thing behind a socket — a long-running multi-tenant daemon
+(:class:`~repro.service.server.ImageServer`) that owns a durable
+workspace, serves many concurrent clients over the length-prefixed
+JSON protocol of :mod:`repro.service.protocol`, enforces per-tenant
+namespaces and quotas (:mod:`repro.service.tenancy`) and bounds its
+own load (:mod:`repro.service.admission`); the typed
+:class:`~repro.service.client.RemoteClient` is what the CLI's
+``--remote`` mode and the differential suites speak.
+
 See DESIGN.md ("Scale-out publish pipeline", "Retrieval scale-out",
-"Deletion and garbage collection") for how this layer relates to the
-per-upload / per-request paths.
+"Deletion and garbage collection", "The image server") for how this
+layer relates to the per-upload / per-request paths.
 """
 
+from repro.service.admission import AdmissionController
 from repro.service.batch import (
     BatchItemResult,
     BatchPublisher,
     BatchPublishReport,
     dedup_aware_order,
 )
+from repro.service.client import RemoteClient, parse_endpoint
 from repro.service.maintenance import (
     DeleteItemResult,
     MaintenanceReport,
@@ -85,8 +97,17 @@ from repro.service.retrieval import (
     RetrieveItemResult,
     base_affine_order,
 )
+from repro.service.server import ImageServer, ServerConfig
+from repro.service.tenancy import (
+    TenantQuota,
+    TenantRegistry,
+    TenantUsage,
+    namespaced,
+    split_namespace,
+)
 
 __all__ = [
+    "AdmissionController",
     "BatchItemResult",
     "BatchPublisher",
     "BatchPublishReport",
@@ -97,11 +118,20 @@ __all__ = [
     "MaintenanceService",
     "ParallelPublishReport",
     "ParallelPublisher",
+    "ImageServer",
     "ParallelRetrieveReport",
     "ParallelRetriever",
+    "RemoteClient",
     "RetrieveItemResult",
+    "ServerConfig",
     "ShardAccount",
+    "TenantQuota",
+    "TenantRegistry",
+    "TenantUsage",
     "base_affine_order",
     "dedup_aware_order",
+    "namespaced",
+    "parse_endpoint",
     "plan_shards",
+    "split_namespace",
 ]

@@ -1,0 +1,785 @@
+"""The long-running multi-tenant image server (DESIGN.md §13).
+
+One daemon owns one repository (usually a durable
+:class:`~repro.repository.workspace.Workspace`) and multiplexes many
+concurrent clients onto it over the length-prefixed JSON protocol of
+:mod:`repro.service.protocol`:
+
+* **Concurrency.**  A thread-per-connection reader feeds a
+  :class:`~concurrent.futures.ThreadPoolExecutor` of ``workers``
+  request handlers.  Retrievals, fsck and stats run under the
+  repository's *shared* read lock and overlap freely; publishes,
+  deletes, GC and checkpoints run under the *exclusive* write lock —
+  the same coarse transaction model the in-process parallel executors
+  use, so everything the differential suites proved about lock-mediated
+  interleavings carries over to the socket boundary.
+* **Admission control.**  Occupancy is bounded at
+  ``workers + queue_limit`` by the
+  :class:`~repro.service.admission.AdmissionController`; requests
+  beyond it are rejected immediately with the machine-readable
+  ``overloaded`` code instead of queueing without bound.  Per-tenant
+  in-flight ceilings and stored-bytes quotas are enforced by the
+  :class:`~repro.service.tenancy.TenantRegistry` (codes
+  ``tenant-busy`` / ``quota-exceeded``).
+* **Checkpoint on idle.**  A workspace-backed server folds its
+  write-ahead op-log into a snapshot whenever it has been quiet for
+  ``checkpoint_idle_s`` — reopen cost stays bounded without stealing
+  time from a busy serving loop.
+* **Graceful drain.**  :meth:`ImageServer.stop` (the CLI wires it to
+  SIGTERM) stops accepting connections, lets every in-flight request
+  finish, rejects late frames with code ``draining``, writes a final
+  checkpoint and releases the workspace.  A SIGKILL instead loses at
+  most the op the journal never reached — the workspace's write-ahead
+  recovery contract, which the lifecycle suite exercises end-to-end.
+
+The request path minus the sockets is :meth:`ImageServer.
+handle_message` — a pure ``dict -> dict`` function, which is what the
+unit suites drive; the socket layer is exercised by the property,
+lifecycle and CLI suites.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.core.system import Expelliarmus
+from repro.errors import (
+    AdmissionRejectedError,
+    ProtocolError,
+    ReproError,
+)
+from repro.service.admission import AdmissionController
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    REQUEST_OPS,
+    error_payload,
+    manifest_digest,
+    ok_payload,
+    recv_message,
+    send_message,
+)
+from repro.service.tenancy import (
+    TenantQuota,
+    TenantRegistry,
+    namespaced,
+    split_namespace,
+)
+
+__all__ = ["ImageServer", "ServerConfig"]
+
+#: ops that act inside a tenant namespace and therefore require one
+_TENANT_OPS = frozenset(
+    {
+        "publish",
+        "publish-many",
+        "retrieve",
+        "retrieve-many",
+        "delete",
+        "delete-many",
+    }
+)
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything an operator tunes about one daemon."""
+
+    host: str = "127.0.0.1"
+    #: 0 = ephemeral (the bound port comes back from ``start()``)
+    port: int = 0
+    #: handler threads — concurrent request executions
+    workers: int = 4
+    #: admitted requests that may wait for a worker beyond the
+    #: executing ones; past ``workers + queue_limit`` requests are
+    #: rejected with code ``overloaded``
+    queue_limit: int = 16
+    #: quota applied to tenants without an explicit entry
+    default_quota: TenantQuota = field(default_factory=TenantQuota)
+    #: explicit per-tenant quotas (pre-registered names)
+    tenants: dict[str, TenantQuota] | None = None
+    #: True: only pre-registered tenants are served
+    strict_tenants: bool = False
+    #: quiet seconds before a workspace-backed server checkpoints;
+    #: None disables idle checkpointing
+    checkpoint_idle_s: float | None = 1.0
+    #: ceiling on waiting for in-flight requests during drain
+    drain_timeout_s: float = 30.0
+
+
+class ImageServer:
+    """A daemon serving one :class:`Expelliarmus` to many clients."""
+
+    def __init__(
+        self,
+        system: Expelliarmus,
+        config: ServerConfig | None = None,
+    ) -> None:
+        self.system = system
+        self.config = config or ServerConfig()
+        self.tenants = TenantRegistry(
+            default_quota=self.config.default_quota,
+            tenants=self.config.tenants,
+            strict=self.config.strict_tenants,
+        )
+        self.admission = AdmissionController(
+            self.config.workers, self.config.queue_limit
+        )
+        self._pool: ThreadPoolExecutor | None = None
+        self._listener: socket.socket | None = None
+        self._threads: list[threading.Thread] = []
+        self._connections: set[socket.socket] = set()
+        self._conn_lock = threading.Lock()
+        self._draining = threading.Event()
+        self._stopped = threading.Event()
+        self._stop_once = threading.Lock()
+        self._last_activity = time.monotonic()
+        self._inflight = 0
+        #: requests between arrival and *response sent* — the window
+        #: the drain must wait out (``_inflight`` alone ends when the
+        #: handler returns, before the reply hits the socket)
+        self._responding = 0
+        self._inflight_lock = threading.Lock()
+        #: idle checkpoints written by the background policy
+        self.idle_checkpoints = 0
+        #: requests served (ok or error response sent)
+        self.requests_served = 0
+        #: corpora built on demand, cached by canonical source key
+        self._corpora: dict[tuple, object] = {}
+        self._corpora_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def for_workspace(
+        cls, path, config: ServerConfig | None = None
+    ) -> "ImageServer":
+        """A server owning the durable workspace at ``path``.
+
+        Raises:
+            WorkspaceError: broken snapshot/op-log pair.
+            WorkspaceLockedError: another live process (e.g. a second
+                daemon) holds the workspace — the holder pid travels
+                in the error, and the CLI surfaces it instead of a
+                traceback.
+        """
+        return cls(Expelliarmus.open(path), config)
+
+    @property
+    def endpoint(self) -> tuple[str, int]:
+        """The bound ``(host, port)``.
+
+        Raises:
+            RuntimeError: the server was never started.
+        """
+        if self._listener is None:
+            raise RuntimeError("server is not listening")
+        addr = self._listener.getsockname()
+        return addr[0], addr[1]
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> tuple[str, int]:
+        """Bind, spawn the accept loop and workers; returns the
+        endpoint.  Idempotent once started."""
+        if self._listener is not None:
+            return self.endpoint
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(
+            socket.SOL_SOCKET, socket.SO_REUSEADDR, 1
+        )
+        listener.bind((self.config.host, self.config.port))
+        listener.listen(128)
+        listener.settimeout(0.2)
+        self._listener = listener
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="image-server",
+        )
+        accept = threading.Thread(
+            target=self._accept_loop, name="server-accept", daemon=True
+        )
+        accept.start()
+        self._threads.append(accept)
+        if (
+            self.config.checkpoint_idle_s is not None
+            and self.system.workspace is not None
+        ):
+            idle = threading.Thread(
+                target=self._idle_loop, name="server-idle", daemon=True
+            )
+            idle.start()
+            self._threads.append(idle)
+        return self.endpoint
+
+    def request_shutdown(self) -> None:
+        """Begin the drain (signal-handler safe: only sets a flag)."""
+        self._draining.set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until a shutdown is requested; True when it was."""
+        return self._draining.wait(timeout)
+
+    def stop(self) -> None:
+        """Drain and shut down: no new connections, in-flight requests
+        finish, late frames get ``draining`` rejections, a final
+        checkpoint is written, the workspace lock is released.
+        Idempotent."""
+        self.request_shutdown()
+        with self._stop_once:
+            if self._stopped.is_set():
+                return
+            if self._listener is not None:
+                self._listener.close()
+            deadline = (
+                time.monotonic() + self.config.drain_timeout_s
+            )
+            while (
+                self._inflight or self._responding
+            ) and time.monotonic() < deadline:
+                time.sleep(0.01)
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+            with self._conn_lock:
+                conns = list(self._connections)
+                self._connections.clear()
+            for conn in conns:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover - already gone
+                    pass
+            if self.system.workspace is not None:
+                with self.system.repo.lock.write():
+                    self.system.save()
+                self.system.close()
+            self._stopped.set()
+
+    def serve_forever(self) -> None:
+        """Start, then block until a shutdown request drains us."""
+        self.start()
+        self.wait()
+        self.stop()
+
+    def __enter__(self) -> "ImageServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # socket plumbing
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._draining.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            with self._conn_lock:
+                self._connections.add(conn)
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                daemon=True,
+            )
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            conn.settimeout(None)
+            while True:
+                try:
+                    message = recv_message(conn)
+                except ProtocolError as exc:
+                    # a framing violation poisons the stream: answer
+                    # once (best effort), then hang up
+                    self._respond(conn, error_payload(exc))
+                    return
+                if message is None:
+                    return
+                with self._inflight_lock:
+                    self._responding += 1
+                try:
+                    response = self._handle_on_pool(message)
+                    delivered = self._respond(conn, response)
+                finally:
+                    with self._inflight_lock:
+                        self._responding -= 1
+                if not delivered:
+                    return
+        finally:
+            with self._conn_lock:
+                self._connections.discard(conn)
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already gone
+                pass
+
+    def _respond(self, conn: socket.socket, response: dict) -> bool:
+        try:
+            send_message(conn, response)
+        except OSError:
+            return False
+        self.requests_served += 1
+        return True
+
+    def _handle_on_pool(self, message: dict) -> dict:
+        """Admit, then execute on a worker thread (the reader waits)."""
+        if self._draining.is_set():
+            return error_payload(
+                AdmissionRejectedError(
+                    "draining",
+                    "server is draining — retry against the "
+                    "restarted instance",
+                )
+            )
+        try:
+            with self.admission.admit():
+                future = self._pool.submit(
+                    self.handle_message, message
+                )
+                return future.result()
+        except AdmissionRejectedError as exc:
+            return error_payload(exc)
+
+    # ------------------------------------------------------------------
+    # idle checkpoint policy
+    # ------------------------------------------------------------------
+
+    def _idle_loop(self) -> None:
+        idle_s = self.config.checkpoint_idle_s
+        tick = min(max(idle_s / 4.0, 0.02), 0.5)
+        while not self._draining.wait(tick):
+            if self._inflight:
+                continue
+            if time.monotonic() - self._last_activity < idle_s:
+                continue
+            workspace = self.system.workspace
+            if (
+                workspace is None
+                or workspace.ops_since_checkpoint == 0
+            ):
+                continue
+            with self.system.repo.lock.write():
+                # re-check under the lock: a request may have landed
+                if self._inflight:
+                    continue
+                self.system.save()
+            self.idle_checkpoints += 1
+
+    # ------------------------------------------------------------------
+    # the request path (sockets excluded): dict -> dict
+    # ------------------------------------------------------------------
+
+    def handle_message(self, message: dict) -> dict:
+        """Validate, authorize and dispatch one request."""
+        with self._inflight_lock:
+            self._inflight += 1
+        try:
+            return self._handle_inner(message)
+        except ReproError as exc:
+            return error_payload(exc)
+        except Exception as exc:  # noqa: BLE001 - the wire boundary
+            return error_payload(exc)
+        finally:
+            with self._inflight_lock:
+                self._inflight -= 1
+            self._last_activity = time.monotonic()
+
+    def _handle_inner(self, message: dict) -> dict:
+        op = message.get("op")
+        if op not in REQUEST_OPS:
+            return {
+                "ok": False,
+                "error": {
+                    "code": "unknown-op",
+                    "message": f"unknown operation {op!r}",
+                    "retriable": False,
+                    "known_ops": list(REQUEST_OPS),
+                },
+            }
+        tenant = message.get("tenant")
+        args = message.get("args") or {}
+        if not isinstance(args, dict):
+            raise ProtocolError("request args must be an object")
+        if op in _TENANT_OPS:
+            if tenant is None:
+                raise ProtocolError(
+                    f"operation {op!r} requires a tenant"
+                )
+            with self.tenants.slot(tenant):
+                return ok_payload(
+                    self._dispatch(op, tenant, args)
+                )
+        return ok_payload(self._dispatch(op, tenant, args))
+
+    def _dispatch(
+        self, op: str, tenant: str | None, args: dict
+    ) -> dict:
+        handler = getattr(self, "_op_" + op.replace("-", "_"))
+        return handler(tenant, args)
+
+    # ------------------------------------------------------------------
+    # corpus sources
+    # ------------------------------------------------------------------
+
+    def _corpus(self, source: dict):
+        """The (cached) corpus a source descriptor names.
+
+        Raises:
+            ProtocolError: unknown or malformed source descriptor.
+        """
+        if not isinstance(source, dict):
+            raise ProtocolError("publish source must be an object")
+        kind = source.get("kind")
+        if kind == "table2":
+            key: tuple = ("table2",)
+        elif kind == "scale":
+            try:
+                key = (
+                    "scale",
+                    int(source["n_vmis"]),
+                    int(source.get("n_families", 8)),
+                    str(source.get("seed", "scale")),
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ProtocolError(
+                    f"malformed scale source: {exc}"
+                ) from exc
+        else:
+            raise ProtocolError(
+                f"unknown corpus source kind {kind!r}"
+            )
+        with self._corpora_lock:
+            corpus = self._corpora.get(key)
+            if corpus is None:
+                if key[0] == "table2":
+                    from repro.workloads.generator import (
+                        standard_corpus,
+                    )
+
+                    corpus = standard_corpus()
+                else:
+                    from repro.workloads.scale import scale_corpus
+
+                    corpus = scale_corpus(
+                        key[1], n_families=key[2], seed=key[3]
+                    )
+                self._corpora[key] = corpus
+            return corpus
+
+    def _build_item(self, source: dict, item):
+        """Build the VMI one (source, item) reference names.
+
+        Raises:
+            ProtocolError: item of the wrong type for the source, or
+                outside the corpus.
+        """
+        corpus = self._corpus(source)
+        try:
+            if source.get("kind") == "scale":
+                return corpus.build(int(item))
+            return corpus.build(str(item))
+        except (IndexError, KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(
+                f"corpus item {item!r} is not buildable: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+
+    def _op_ping(self, tenant, args) -> dict:
+        return {
+            "pong": True,
+            "version": PROTOCOL_VERSION,
+            "pid": os.getpid(),
+        }
+
+    def _publish_one(self, tenant: str, source: dict, item) -> dict:
+        vmi = self._build_item(source, item)
+        vmi.name = namespaced(tenant, vmi.name)
+        charge = vmi.mounted_size
+        # reserve quota before touching the repository, so a tenant at
+        # its ceiling never costs the store any work
+        self.tenants.charge_publish(tenant, charge)
+        try:
+            with self.system.repo.lock.write():
+                report = self.system.publish(vmi)
+        except BaseException:
+            self.tenants.refund_publish(tenant, charge)
+            raise
+        return {
+            "name": vmi.name,
+            "simulated_seconds": report.publish_time,
+            "similarity": report.similarity,
+            "exported_packages": len(report.exported_packages),
+            "deduplicated_packages": len(
+                report.deduplicated_packages
+            ),
+            "charged_bytes": charge,
+        }
+
+    def _op_publish(self, tenant, args) -> dict:
+        return self._publish_one(
+            tenant, args.get("source"), args.get("item")
+        )
+
+    def _op_publish_many(self, tenant, args) -> dict:
+        source = args.get("source")
+        items = args.get("items")
+        if not isinstance(items, list):
+            raise ProtocolError(
+                "publish-many needs an 'items' list"
+            )
+        results = []
+        simulated = 0.0
+        failed = 0
+        for item in items:
+            try:
+                result = self._publish_one(tenant, source, item)
+            except ReproError as exc:
+                failed += 1
+                results.append(
+                    {
+                        "item": item,
+                        "error": error_payload(exc)["error"],
+                    }
+                )
+            else:
+                simulated += result["simulated_seconds"]
+                results.append({"item": item, **result})
+        return {
+            "n_items": len(items),
+            "n_published": len(items) - failed,
+            "n_failed": failed,
+            "simulated_seconds": simulated,
+            "results": results,
+        }
+
+    def _retrieve_one(self, tenant: str, name: str) -> dict:
+        stored = namespaced(tenant, name)
+        with self.system.repo.lock.read():
+            report = self.system.retrieve(stored)
+        return {
+            "name": name,
+            "stored_name": stored,
+            "simulated_seconds": report.retrieval_time,
+            "manifest_digest": manifest_digest(
+                report.vmi.full_manifest()
+            ),
+            "imported_packages": list(report.imported_packages),
+            "mounted_size": report.vmi.mounted_size,
+            "n_files": report.vmi.n_files,
+            "components": dict(report.breakdown.totals),
+        }
+
+    def _op_retrieve(self, tenant, args) -> dict:
+        name = args.get("name")
+        if not isinstance(name, str):
+            raise ProtocolError("retrieve needs a 'name' string")
+        return self._retrieve_one(tenant, name)
+
+    def _tenant_published(self, tenant: str) -> list[str]:
+        """The tenant's published (un-namespaced) names, sorted."""
+        with self.system.repo.lock.read():
+            stored = self.system.published_names()
+        names = []
+        for full in stored:
+            owner, name = split_namespace(full)
+            if owner == tenant:
+                names.append(name)
+        return sorted(names)
+
+    def _op_retrieve_many(self, tenant, args) -> dict:
+        names = args.get("names")
+        if names is None:
+            names = self._tenant_published(tenant)
+        if not isinstance(names, list):
+            raise ProtocolError(
+                "retrieve-many needs a 'names' list (or null for "
+                "all of the tenant's images)"
+            )
+        results = []
+        simulated = 0.0
+        failed = 0
+        for name in names:
+            try:
+                result = self._retrieve_one(tenant, str(name))
+            except ReproError as exc:
+                failed += 1
+                results.append(
+                    {
+                        "name": name,
+                        "error": error_payload(exc)["error"],
+                    }
+                )
+            else:
+                simulated += result["simulated_seconds"]
+                results.append(result)
+        return {
+            "n_items": len(names),
+            "n_retrieved": len(names) - failed,
+            "n_failed": failed,
+            "simulated_seconds": simulated,
+            "results": results,
+        }
+
+    def _delete_one(self, tenant: str, name: str) -> dict:
+        stored = namespaced(tenant, name)
+        with self.system.repo.lock.write():
+            record = self.system.repo.get_vmi_record(stored)
+            with self.system.clock.measure() as window:
+                self.system.delete(stored)
+        self.tenants.credit_delete(tenant, record.mounted_size)
+        return {
+            "name": name,
+            "stored_name": stored,
+            "simulated_seconds": window.total,
+            "credited_bytes": record.mounted_size,
+        }
+
+    def _op_delete(self, tenant, args) -> dict:
+        name = args.get("name")
+        if not isinstance(name, str):
+            raise ProtocolError("delete needs a 'name' string")
+        return self._delete_one(tenant, name)
+
+    def _op_delete_many(self, tenant, args) -> dict:
+        names = args.get("names")
+        if not isinstance(names, list):
+            raise ProtocolError("delete-many needs a 'names' list")
+        results = []
+        failed = 0
+        for name in names:
+            try:
+                results.append(self._delete_one(tenant, str(name)))
+            except ReproError as exc:
+                failed += 1
+                results.append(
+                    {
+                        "name": name,
+                        "error": error_payload(exc)["error"],
+                    }
+                )
+        return {
+            "n_items": len(names),
+            "n_deleted": len(names) - failed,
+            "n_failed": failed,
+            "results": results,
+        }
+
+    def _op_gc(self, tenant, args) -> dict:
+        with self.system.repo.lock.write():
+            report = self.system.garbage_collect(
+                full=bool(args.get("full", False))
+            )
+        return {
+            "mode": report.mode,
+            "reclaimed_bytes": report.reclaimed_bytes,
+            "removed_packages": report.removed_packages,
+            "removed_user_data": report.removed_user_data,
+            "removed_bases": report.removed_bases,
+            "records_scanned": report.records_scanned,
+            "graph_rebuilds": report.graph_rebuilds,
+            "simulated_seconds": report.gc_seconds,
+        }
+
+    def _op_fsck(self, tenant, args) -> dict:
+        with self.system.repo.lock.read():
+            report = self.system.fsck()
+        return {
+            "clean": report.clean,
+            "checked_blobs": report.checked_blobs,
+            "checked_vmis": report.checked_vmis,
+            "findings": [str(f) for f in report.findings],
+        }
+
+    def _op_stats(self, tenant, args) -> dict:
+        with self.system.repo.lock.read():
+            by_kind = self.system.repository_breakdown()
+            total = self.system.repository_size
+            n_vmis = len(self.system.published_names())
+        usages = self.tenants.usages()
+        workspace = self.system.workspace
+        return {
+            "repository": {
+                "total_bytes": total,
+                "bytes_by_kind": by_kind,
+                "n_vmis": n_vmis,
+            },
+            "tenants": {
+                name: {
+                    "bytes_stored": u.bytes_stored,
+                    "published": u.published,
+                    "inflight": u.inflight,
+                    "requests": u.requests,
+                    "quota_rejections": u.quota_rejections,
+                    "busy_rejections": u.busy_rejections,
+                    "max_bytes": u.quota.max_bytes,
+                    "max_inflight": u.quota.max_inflight,
+                }
+                for name, u in usages.items()
+            },
+            "server": {
+                "workers": self.config.workers,
+                "queue_limit": self.config.queue_limit,
+                "admitted": self.admission.admitted,
+                "rejected": self.admission.rejected,
+                "peak_active": self.admission.peak_active,
+                "idle_checkpoints": self.idle_checkpoints,
+                "draining": self._draining.is_set(),
+            },
+            "workspace": (
+                None
+                if workspace is None
+                else {
+                    "path": str(workspace.path),
+                    "ops_since_checkpoint": (
+                        workspace.ops_since_checkpoint
+                    ),
+                    "checkpoints_written": (
+                        workspace.checkpoints_written
+                    ),
+                }
+            ),
+        }
+
+    def _op_checkpoint(self, tenant, args) -> dict:
+        if self.system.workspace is None:
+            return {"checkpointed": False, "reason": "no workspace"}
+        with self.system.repo.lock.write():
+            ops = self.system.workspace.ops_since_checkpoint
+            size = self.system.save()
+        return {
+            "checkpointed": True,
+            "snapshot_bytes": size,
+            "ops_folded": ops,
+        }
+
+    def _op_shutdown(self, tenant, args) -> dict:
+        self.request_shutdown()
+        return {"draining": True}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        where = (
+            f"{self.endpoint[0]}:{self.endpoint[1]}"
+            if self._listener is not None
+            else "unbound"
+        )
+        return (
+            f"<ImageServer {where} inflight={self._inflight} "
+            f"served={self.requests_served}>"
+        )

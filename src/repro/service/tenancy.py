@@ -1,0 +1,286 @@
+"""Multi-tenant namespaces and quota accounting (DESIGN.md §13).
+
+The server multiplexes many tenants onto one repository.  Isolation is
+by *namespace prefix*: tenant ``acme`` publishing ``web-frontend``
+stores the record under ``acme/web-frontend``, and every retrieval,
+deletion and listing the server performs on the tenant's behalf is
+prefixed the same way — a pure function of ``(tenant, name)``, which
+is what lets the differential suite replay a multi-tenant workload
+against a plain local library and demand identical repositories.
+Deduplicated *content* (packages, bases, user data) is deliberately
+shared across namespaces: tenants isolate what they can see, not what
+the store is allowed to dedup — that sharing is the whole point of the
+paper's scheme.
+
+Quotas are *logical*: a publish charges the tenant the VMI's mounted
+size (the bytes the tenant asked the service to hold), a deletion
+credits the recorded mounted size back.  Charging physical
+(deduplicated) bytes would make one tenant's bill depend on another
+tenant's uploads — logical bytes are stable, predictable, and exactly
+the Table II column operators reason in.
+
+:class:`TenantRegistry` is the single synchronized home of per-tenant
+state: quota configuration, stored-bytes accounting, the per-tenant
+in-flight ceiling (one slow tenant cannot occupy every worker) and
+rejection counters.  The registry is *open* by default — first use
+registers a tenant with the default quota — or *closed*
+(``strict=True``), where unknown names are refused with
+:class:`~repro.errors.UnknownTenantError`, the calm-style
+per-maintainer authorization model.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.errors import (
+    AdmissionRejectedError,
+    ProtocolError,
+    QuotaExceededError,
+    UnknownTenantError,
+)
+
+__all__ = [
+    "NAMESPACE_SEPARATOR",
+    "TenantQuota",
+    "TenantRegistry",
+    "TenantUsage",
+    "namespaced",
+    "split_namespace",
+]
+
+NAMESPACE_SEPARATOR = "/"
+
+#: tenant names are path-safe identifiers; the separator is reserved
+_TENANT_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+def validate_tenant_name(name: str) -> str:
+    """Return the name, or raise for one that cannot be a namespace.
+
+    Raises:
+        ProtocolError: empty, too long, or containing the namespace
+            separator / other unsafe characters.
+    """
+    if not isinstance(name, str) or not _TENANT_NAME.match(name):
+        raise ProtocolError(
+            f"invalid tenant name {name!r}: expected 1-64 chars of "
+            "[A-Za-z0-9._-] starting alphanumeric"
+        )
+    return name
+
+
+def namespaced(tenant: str, name: str) -> str:
+    """The stored name of ``name`` inside ``tenant``'s namespace."""
+    return f"{tenant}{NAMESPACE_SEPARATOR}{name}"
+
+
+def split_namespace(stored_name: str) -> tuple[str | None, str]:
+    """Invert :func:`namespaced`; ``(None, name)`` for global names."""
+    tenant, sep, rest = stored_name.partition(NAMESPACE_SEPARATOR)
+    if not sep:
+        return None, stored_name
+    return tenant, rest
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant ceilings; ``None`` disables a dimension."""
+
+    #: logical (mounted) bytes the tenant may keep published
+    max_bytes: int | None = None
+    #: concurrent in-flight requests the tenant may hold
+    max_inflight: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_bytes is not None and self.max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ValueError("max_inflight must be positive")
+
+
+@dataclass(frozen=True)
+class TenantUsage:
+    """Snapshot of one tenant's accounting (what ``stats`` reports)."""
+
+    tenant: str
+    bytes_stored: int
+    published: int
+    inflight: int
+    requests: int
+    quota_rejections: int
+    busy_rejections: int
+    quota: TenantQuota
+
+
+class _TenantState:
+    """Mutable per-tenant counters; guarded by the registry lock."""
+
+    __slots__ = (
+        "quota",
+        "bytes_stored",
+        "published",
+        "inflight",
+        "requests",
+        "quota_rejections",
+        "busy_rejections",
+    )
+
+    def __init__(self, quota: TenantQuota) -> None:
+        self.quota = quota
+        self.bytes_stored = 0
+        self.published = 0
+        self.inflight = 0
+        self.requests = 0
+        self.quota_rejections = 0
+        self.busy_rejections = 0
+
+
+class TenantRegistry:
+    """Synchronized per-tenant quota and usage accounting."""
+
+    def __init__(
+        self,
+        *,
+        default_quota: TenantQuota | None = None,
+        tenants: dict[str, TenantQuota] | None = None,
+        strict: bool = False,
+    ) -> None:
+        """``tenants`` pre-registers names with explicit quotas;
+        ``strict=True`` closes the registry to exactly those names.
+
+        Raises:
+            ValueError: a closed registry with no registered tenants
+                could never admit a request.
+        """
+        if strict and not tenants:
+            raise ValueError(
+                "strict registry needs at least one registered tenant"
+            )
+        self.default_quota = default_quota or TenantQuota()
+        self.strict = strict
+        self._lock = threading.Lock()
+        self._tenants: dict[str, _TenantState] = {}
+        for name, quota in (tenants or {}).items():
+            self._tenants[validate_tenant_name(name)] = _TenantState(
+                quota
+            )
+
+    def _state(self, tenant: str) -> _TenantState:
+        """Look up (or, when open, auto-register) a tenant.
+
+        Caller holds the lock.
+
+        Raises:
+            UnknownTenantError: closed registry, unregistered name.
+            ProtocolError: invalid tenant name.
+        """
+        state = self._tenants.get(tenant)
+        if state is None:
+            validate_tenant_name(tenant)
+            if self.strict:
+                raise UnknownTenantError(tenant)
+            state = self._tenants[tenant] = _TenantState(
+                self.default_quota
+            )
+        return state
+
+    def known_tenants(self) -> list[str]:
+        with self._lock:
+            return sorted(self._tenants)
+
+    # ------------------------------------------------------------------
+    # in-flight slots (per-tenant admission)
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def slot(self, tenant: str):
+        """Hold one of the tenant's in-flight slots for the block.
+
+        Raises:
+            AdmissionRejectedError: the tenant is already at its
+                ``max_inflight`` ceiling (code ``tenant-busy``).
+            UnknownTenantError / ProtocolError: bad tenant.
+        """
+        with self._lock:
+            state = self._state(tenant)
+            limit = state.quota.max_inflight
+            if limit is not None and state.inflight >= limit:
+                state.busy_rejections += 1
+                raise AdmissionRejectedError(
+                    "tenant-busy",
+                    f"tenant {tenant!r} already has {state.inflight} "
+                    f"request(s) in flight (limit {limit})",
+                    tenant=tenant,
+                )
+            state.inflight += 1
+            state.requests += 1
+        try:
+            yield
+        finally:
+            with self._lock:
+                state.inflight -= 1
+
+    # ------------------------------------------------------------------
+    # stored-bytes quota
+    # ------------------------------------------------------------------
+
+    def charge_publish(self, tenant: str, n_bytes: int) -> None:
+        """Reserve ``n_bytes`` of the tenant's logical quota.
+
+        Raises:
+            QuotaExceededError: the charge would pass ``max_bytes``.
+        """
+        with self._lock:
+            state = self._state(tenant)
+            limit = state.quota.max_bytes
+            if (
+                limit is not None
+                and state.bytes_stored + n_bytes > limit
+            ):
+                state.quota_rejections += 1
+                raise QuotaExceededError(
+                    tenant,
+                    requested_bytes=n_bytes,
+                    used_bytes=state.bytes_stored,
+                    limit_bytes=limit,
+                )
+            state.bytes_stored += n_bytes
+            state.published += 1
+
+    def refund_publish(self, tenant: str, n_bytes: int) -> None:
+        """Undo a charge whose publish failed after reservation."""
+        with self._lock:
+            state = self._state(tenant)
+            state.bytes_stored = max(0, state.bytes_stored - n_bytes)
+            state.published = max(0, state.published - 1)
+
+    def credit_delete(self, tenant: str, n_bytes: int) -> None:
+        """Release quota held by a now-deleted image."""
+        self.refund_publish(tenant, n_bytes)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def usage(self, tenant: str) -> TenantUsage:
+        with self._lock:
+            state = self._state(tenant)
+            return TenantUsage(
+                tenant=tenant,
+                bytes_stored=state.bytes_stored,
+                published=state.published,
+                inflight=state.inflight,
+                requests=state.requests,
+                quota_rejections=state.quota_rejections,
+                busy_rejections=state.busy_rejections,
+                quota=state.quota,
+            )
+
+    def usages(self) -> dict[str, TenantUsage]:
+        with self._lock:
+            names = sorted(self._tenants)
+        return {name: self.usage(name) for name in names}

@@ -31,6 +31,11 @@ from repro.workloads.restart import (
     restart_schedule,
 )
 from repro.workloads.scale import ChurnConfig, ChurnRound, churn_schedule
+from repro.workloads.traffic import (
+    TrafficConfig,
+    TrafficEvent,
+    traffic_schedule,
+)
 from repro.workloads.vmi_specs import (
     FOUR_VMI_NAMES,
     TABLE_II_ORDER,
@@ -49,7 +54,10 @@ __all__ = [
     "ScaleConfig",
     "ScaleCorpus",
     "SessionPlan",
+    "TrafficConfig",
+    "TrafficEvent",
     "restart_schedule",
+    "traffic_schedule",
     "scale_corpus",
     "standard_corpus",
     "ide_build_recipes",

@@ -1,0 +1,196 @@
+"""Multi-tenant traffic schedules for the image server.
+
+The server benchmark and stress suites need *request streams*, not
+corpora: who asks for what, in which order, at what (simulated) time.
+This module generates them the way every other workload module does —
+as pure data, deterministic in the seed via
+:func:`~repro.ids.content_id`, so the benchmark, the property suite
+and the CI stress job can all drive byte-identical scenarios.
+
+The schedule is **open-loop**: arrival times follow the configured
+rate regardless of how fast the server answers (exponential
+inter-arrivals, the standard Poisson-process model of independent
+clients).  Closed-loop generators hide overload — each client waits
+for its previous response, so a slow server conveniently slows the
+offered load.  Open-loop is what admission control exists for, and the
+generated timestamps let the benchmark compute queueing latency in
+simulated time on any machine.
+
+Validity is maintained *during generation*: the generator tracks each
+tenant's published set, so a retrieve or delete always names an image
+that exists at that point of the schedule, and every tenant's
+sub-stream stays valid under any interleaving of the other tenants
+(namespaces are disjoint).  The op mix is weighted toward retrieval —
+the read-mostly shape of a production registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ids import content_id
+
+__all__ = ["TrafficConfig", "TrafficEvent", "traffic_schedule"]
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Knobs of the traffic generator."""
+
+    #: tenants issuing requests (named tenant-0 .. tenant-N-1)
+    n_tenants: int = 4
+    #: total requests across all tenants
+    n_requests: int = 200
+    #: corpus size the publishes draw from (indices are partitioned
+    #: across tenants so no two tenants publish the same item)
+    n_vmis: int = 40
+    #: mean request arrival rate, requests per simulated second
+    arrival_rate: float = 2.0
+    #: op mix weights (publish, retrieve, delete); retrieval-heavy by
+    #: default, like a production registry
+    publish_weight: int = 3
+    retrieve_weight: int = 6
+    delete_weight: int = 1
+    #: determinism root for arrivals, tenant choice and the op mix
+    seed: str = "traffic"
+
+    def __post_init__(self) -> None:
+        if self.n_tenants < 1:
+            raise ValueError("n_tenants must be positive")
+        if self.n_requests < 1:
+            raise ValueError("n_requests must be positive")
+        if self.n_vmis < self.n_tenants:
+            raise ValueError(
+                "need at least one corpus item per tenant"
+            )
+        if self.arrival_rate <= 0:
+            raise ValueError("arrival_rate must be positive")
+        weights = (
+            self.publish_weight,
+            self.retrieve_weight,
+            self.delete_weight,
+        )
+        if any(w < 0 for w in weights) or not any(weights):
+            raise ValueError(
+                "op weights must be non-negative and not all zero"
+            )
+
+
+@dataclass(frozen=True)
+class TrafficEvent:
+    """One request of the schedule."""
+
+    #: position in the global arrival order
+    index: int
+    #: simulated arrival time (seconds from schedule start)
+    arrival_s: float
+    #: issuing tenant
+    tenant: str
+    #: "publish" | "retrieve" | "delete"
+    op: str
+    #: corpus index for a publish; None otherwise
+    item: int | None
+    #: (un-namespaced) image name for retrieve/delete; None otherwise
+    name: str | None
+
+
+def _unit(seed: str) -> float:
+    """Deterministic hash → [0, 1) with 1e-4 granularity, never 0."""
+    return ((content_id(seed) % 10_000) + 1) / 10_001
+
+
+def _exp_gap(seed: str, rate: float) -> float:
+    """Exponential inter-arrival via inverse-CDF of a hashed unit."""
+    import math
+
+    return -math.log(_unit(seed)) / rate
+
+
+def traffic_schedule(
+    config: TrafficConfig | None = None,
+) -> list[TrafficEvent]:
+    """Generate the deterministic open-loop request schedule.
+
+    Corpus indices are partitioned across tenants round-robin
+    (``index % n_tenants == tenant``), so tenants never collide on an
+    item even though the underlying store dedups their content.  Every
+    retrieve/delete names an image its tenant has published and not
+    yet deleted at that point in the schedule; when a tenant has
+    nothing published (or nothing left to publish), the op falls back
+    to whichever action is valid.
+    """
+    config = config or TrafficConfig()
+    seed = config.seed
+    weights = (
+        ("publish", config.publish_weight),
+        ("retrieve", config.retrieve_weight),
+        ("delete", config.delete_weight),
+    )
+    total_weight = sum(w for _op, w in weights)
+
+    # per-tenant generation state
+    unpublished: list[list[int]] = [
+        [
+            i
+            for i in range(config.n_vmis)
+            if i % config.n_tenants == t
+        ]
+        for t in range(config.n_tenants)
+    ]
+    live: list[dict[str, int]] = [
+        {} for _ in range(config.n_tenants)
+    ]
+
+    events: list[TrafficEvent] = []
+    clock = 0.0
+    for k in range(config.n_requests):
+        clock += _exp_gap(f"{seed}/gap/{k}", config.arrival_rate)
+        t = content_id(f"{seed}/tenant/{k}") % config.n_tenants
+        tenant = f"tenant-{t}"
+
+        pick = content_id(f"{seed}/op/{k}") % total_weight
+        op = "delete"
+        for candidate, weight in weights:
+            if pick < weight:
+                op = candidate
+                break
+            pick -= weight
+
+        # fall back to a valid op for this tenant's current state
+        if op != "publish" and not live[t]:
+            op = "publish"
+        if op == "publish" and not unpublished[t]:
+            op = "retrieve" if live[t] else "delete"
+        if not live[t] and not unpublished[t]:
+            # tenant exhausted: published everything, deleted
+            # everything — retire the slot by retrieving nothing;
+            # practically unreachable under sane configs, but the
+            # generator must never emit an invalid event
+            continue
+
+        item: int | None = None
+        name: str | None = None
+        if op == "publish":
+            pos = content_id(f"{seed}/item/{k}") % len(
+                unpublished[t]
+            )
+            item = unpublished[t].pop(pos)
+            live[t][f"vmi-{item:05d}"] = item
+        else:
+            names = sorted(live[t])
+            name = names[
+                content_id(f"{seed}/name/{k}") % len(names)
+            ]
+            if op == "delete":
+                unpublished[t].append(live[t].pop(name))
+        events.append(
+            TrafficEvent(
+                index=len(events),
+                arrival_s=clock,
+                tenant=tenant,
+                op=op,
+                item=item,
+                name=name,
+            )
+        )
+    return events

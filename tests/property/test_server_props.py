@@ -1,0 +1,288 @@
+"""Property: the image server ≡ the local library, op for op.
+
+The server is a *transport*, not a semantics layer: any multi-tenant
+interleaving of publish / retrieve / delete requests pushed through
+the socket protocol must leave the repository indistinguishable from
+applying the same namespaced operations sequentially to a plain local
+:class:`~repro.core.system.Expelliarmus`:
+
+* identical state fingerprints (blobs, bytes by kind, records,
+  refcounts, per-VMI contributions);
+* every live image retrieves to the **identical manifest digest** on
+  both sides;
+* a GC round lands both on the **identical post-GC state**;
+* **fsck is clean** — asserted through the wire.
+
+Hypothesis draws the tenancy, the op mix and the interleaving; the
+raw draws are normalised into concrete valid operations by one state
+machine shared by both replays, so server and local reference always
+execute the same logical workload.
+
+The CI ``server-stress`` job re-runs this suite with a higher example
+budget (``SERVER_PROP_EXAMPLES``).
+"""
+
+import os
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.system import Expelliarmus
+from repro.service.client import RemoteClient
+from repro.service.protocol import manifest_digest, scale_source
+from repro.service.server import ImageServer, ServerConfig
+from repro.service.tenancy import namespaced
+
+#: per-test example budget; the CI server-stress job raises it to >=25
+_EXAMPLES = int(os.environ.get("SERVER_PROP_EXAMPLES", "6"))
+
+#: corpus configuration shared by the server and the local reference
+N_VMIS = 10
+N_FAMILIES = 3
+SEED = "server-props"
+
+_TENANTS = ("alpha", "beta", "gamma")
+
+
+def _state_fingerprint(system) -> dict:
+    repo = system.repo
+    return {
+        "blobs": {
+            (r.key, r.kind.value, r.size) for r in repo.blobs.records()
+        },
+        "bytes": repo.bytes_by_kind(),
+        "records": {r.name for r in repo.vmi_records()},
+        "refcounts": repo.refcounts(),
+        "contributions": {
+            r.name: sorted(repo.vmi_contribution(r.name))
+            for r in repo.vmi_records()
+        },
+    }
+
+
+def _normalise(raw_steps):
+    """Raw hypothesis draws -> concrete valid (tenant, op, item/name).
+
+    One deterministic state machine turns arbitrary (tenant, kind,
+    choice) triples into operations that are always legal at their
+    position: publishes draw from the tenant's unpublished pool,
+    retrieves and deletes from its live set, with fallbacks when a
+    pool is empty.  Both replays execute this exact op list.
+    """
+    unpublished = {t: list(range(N_VMIS)) for t in _TENANTS}
+    live = {t: [] for t in _TENANTS}
+    ops = []
+    for tenant_i, kind, choice in raw_steps:
+        tenant = _TENANTS[tenant_i % len(_TENANTS)]
+        if kind != 0 and not live[tenant]:
+            kind = 0
+        if kind == 0 and not unpublished[tenant]:
+            if not live[tenant]:
+                continue
+            kind = 1
+        if kind == 0:
+            item = unpublished[tenant].pop(
+                choice % len(unpublished[tenant])
+            )
+            live[tenant].append(f"vmi-{item:05d}")
+            ops.append((tenant, "publish", item))
+        else:
+            name = sorted(live[tenant])[choice % len(live[tenant])]
+            if kind == 2:
+                live[tenant].remove(name)
+                ops.append((tenant, "delete", name))
+            else:
+                ops.append((tenant, "retrieve", name))
+    survivors = {
+        t: sorted(names) for t, names in live.items() if names
+    }
+    return ops, survivors
+
+
+def _replay_remote(ops):
+    """Apply the op list through a live server; returns the server's
+    system (for fingerprinting) plus per-retrieve digests."""
+    source = scale_source(N_VMIS, n_families=N_FAMILIES, seed=SEED)
+    digests = []
+    server = ImageServer(
+        Expelliarmus(), ServerConfig(workers=2, queue_limit=8)
+    )
+    server.start()
+    host, port = server.endpoint
+    clients = {
+        t: RemoteClient(host, port, tenant=t) for t in _TENANTS
+    }
+    try:
+        for tenant, op, arg in ops:
+            client = clients[tenant]
+            if op == "publish":
+                client.publish(source, arg)
+            elif op == "retrieve":
+                digests.append(
+                    client.retrieve(arg)["manifest_digest"]
+                )
+            else:
+                client.delete(arg)
+        fsck = clients[_TENANTS[0]].fsck()
+        assert fsck["clean"], fsck["findings"]
+    finally:
+        for client in clients.values():
+            client.close()
+        # keep the system open for fingerprinting: request the drain
+        # but do not close the (in-memory) repository
+        server.request_shutdown()
+        server.stop()
+    return server.system, digests
+
+
+def _replay_local(ops, corpus):
+    """The same namespaced ops, sequentially, on a local system."""
+    system = Expelliarmus()
+    digests = []
+    for tenant, op, arg in ops:
+        if op == "publish":
+            vmi = corpus.build(arg)
+            vmi.name = namespaced(tenant, vmi.name)
+            system.publish(vmi)
+        elif op == "retrieve":
+            report = system.retrieve(namespaced(tenant, arg))
+            digests.append(
+                manifest_digest(report.vmi.full_manifest())
+            )
+        else:
+            system.delete(namespaced(tenant, arg))
+    return system, digests
+
+
+_STEPS = st.lists(
+    st.tuples(
+        st.integers(0, len(_TENANTS) - 1),
+        st.integers(0, 2),
+        st.integers(0, 1_000_000),
+    ),
+    min_size=3,
+    max_size=24,
+)
+
+
+class TestServerEqualsLocal:
+    @settings(max_examples=_EXAMPLES, deadline=None)
+    @given(raw_steps=_STEPS)
+    def test_interleaved_ops_differential(
+        self, scale_corpus_factory, raw_steps
+    ):
+        """Any multi-tenant interleaving: server ≡ sequential local."""
+        corpus = scale_corpus_factory(
+            N_VMIS, n_families=N_FAMILIES, seed=SEED
+        )
+        ops, survivors = _normalise(raw_steps)
+
+        remote_system, remote_digests = _replay_remote(ops)
+        local_system, local_digests = _replay_local(ops, corpus)
+
+        assert remote_digests == local_digests
+        assert _state_fingerprint(remote_system) == (
+            _state_fingerprint(local_system)
+        )
+        # every survivor still retrieves identically on both sides
+        for tenant, names in survivors.items():
+            for name in names:
+                stored = namespaced(tenant, name)
+                assert manifest_digest(
+                    remote_system.retrieve(stored).vmi.full_manifest()
+                ) == manifest_digest(
+                    local_system.retrieve(stored).vmi.full_manifest()
+                )
+        assert local_system.fsck().clean
+
+    @settings(max_examples=_EXAMPLES, deadline=None)
+    @given(raw_steps=_STEPS, full_gc=st.booleans())
+    def test_post_gc_states_converge(
+        self, scale_corpus_factory, raw_steps, full_gc
+    ):
+        """After churn, a GC round lands both sides on the identical
+        post-GC state — through the wire on the server side."""
+        corpus = scale_corpus_factory(
+            N_VMIS, n_families=N_FAMILIES, seed=SEED
+        )
+        ops, _survivors = _normalise(raw_steps)
+
+        source = scale_source(
+            N_VMIS, n_families=N_FAMILIES, seed=SEED
+        )
+        server = ImageServer(Expelliarmus(), ServerConfig(workers=2))
+        server.start()
+        host, port = server.endpoint
+        clients = {
+            t: RemoteClient(host, port, tenant=t) for t in _TENANTS
+        }
+        try:
+            for tenant, op, arg in ops:
+                if op == "publish":
+                    clients[tenant].publish(source, arg)
+                elif op == "retrieve":
+                    clients[tenant].retrieve(arg)
+                else:
+                    clients[tenant].delete(arg)
+            gc_result = clients[_TENANTS[0]].gc(full=full_gc)
+            assert gc_result["reclaimed_bytes"] >= 0
+            assert clients[_TENANTS[0]].fsck()["clean"]
+        finally:
+            for client in clients.values():
+                client.close()
+            server.request_shutdown()
+            server.stop()
+
+        local_system, _ = _replay_local(ops, corpus)
+        local_system.garbage_collect(full=full_gc)
+
+        assert _state_fingerprint(server.system) == (
+            _state_fingerprint(local_system)
+        )
+        assert local_system.fsck().clean
+
+    @settings(max_examples=_EXAMPLES, deadline=None)
+    @given(
+        items=st.lists(
+            st.integers(0, N_VMIS - 1),
+            min_size=1,
+            max_size=N_VMIS,
+            unique=True,
+        ),
+        tenant_i=st.integers(0, len(_TENANTS) - 1),
+    )
+    def test_batch_publish_equals_singles(
+        self, scale_corpus_factory, items, tenant_i
+    ):
+        """publish-many ≡ the same publishes one by one."""
+        corpus = scale_corpus_factory(
+            N_VMIS, n_families=N_FAMILIES, seed=SEED
+        )
+        tenant = _TENANTS[tenant_i]
+        source = scale_source(
+            N_VMIS, n_families=N_FAMILIES, seed=SEED
+        )
+
+        server = ImageServer(Expelliarmus(), ServerConfig(workers=2))
+        server.start()
+        host, port = server.endpoint
+        try:
+            with RemoteClient(
+                host, port, tenant=tenant
+            ) as client:
+                result = client.publish_many(source, items)
+                assert result["n_failed"] == 0
+                assert result["n_published"] == len(items)
+        finally:
+            server.request_shutdown()
+            server.stop()
+
+        local = Expelliarmus()
+        for item in items:
+            vmi = corpus.build(item)
+            vmi.name = namespaced(tenant, vmi.name)
+            local.publish(vmi)
+
+        assert _state_fingerprint(server.system) == (
+            _state_fingerprint(local)
+        )

@@ -1,0 +1,99 @@
+"""Unit: the bounded-occupancy admission controller."""
+
+import threading
+
+import pytest
+
+from repro.errors import AdmissionRejectedError
+from repro.service.admission import AdmissionController
+
+
+class TestValidation:
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError, match="max_active"):
+            AdmissionController(0, 4)
+
+    def test_negative_queue_rejected(self):
+        with pytest.raises(ValueError, match="max_queued"):
+            AdmissionController(4, -1)
+
+    def test_capacity_is_workers_plus_queue(self):
+        assert AdmissionController(4, 16).capacity == 20
+        assert AdmissionController(1, 0).capacity == 1
+
+
+class TestAdmission:
+    def test_admit_releases_on_exit(self):
+        controller = AdmissionController(2, 0)
+        with controller.admit():
+            assert controller.active == 1
+        assert controller.active == 0
+        assert controller.admitted == 1
+        assert controller.rejected == 0
+
+    def test_admit_releases_on_exception(self):
+        controller = AdmissionController(2, 0)
+        with pytest.raises(RuntimeError):
+            with controller.admit():
+                raise RuntimeError("handler blew up")
+        assert controller.active == 0
+
+    def test_rejection_at_capacity_is_non_blocking(self):
+        controller = AdmissionController(1, 1)
+        with controller.admit(), controller.admit():
+            with pytest.raises(AdmissionRejectedError) as excinfo:
+                with controller.admit():
+                    pass
+            assert excinfo.value.code == "overloaded"
+        assert controller.rejected == 1
+        # capacity freed: admits again
+        with controller.admit():
+            pass
+        assert controller.admitted == 3
+
+    def test_peak_tracks_high_water_mark(self):
+        controller = AdmissionController(4, 0)
+        with controller.admit(), controller.admit(), controller.admit():
+            pass
+        with controller.admit():
+            pass
+        assert controller.peak_active == 3
+
+    def test_rejection_message_is_actionable(self):
+        controller = AdmissionController(1, 0)
+        with controller.admit():
+            with pytest.raises(
+                AdmissionRejectedError, match="back off"
+            ):
+                with controller.admit():
+                    pass
+
+    def test_concurrent_hammer_never_exceeds_capacity(self):
+        controller = AdmissionController(3, 2)
+        barrier = threading.Barrier(16)
+        overshoot = []
+        rejections = []
+
+        def worker():
+            barrier.wait()
+            for _ in range(50):
+                try:
+                    with controller.admit():
+                        if controller.active > controller.capacity:
+                            overshoot.append(controller.active)
+                except AdmissionRejectedError:
+                    rejections.append(1)
+
+        threads = [
+            threading.Thread(target=worker) for _ in range(16)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not overshoot
+        assert controller.active == 0
+        assert controller.peak_active <= controller.capacity
+        assert (
+            controller.admitted + controller.rejected == 16 * 50
+        )

@@ -1,0 +1,200 @@
+"""Unit: tenant namespacing, quotas and the per-tenant slot ceiling."""
+
+import pytest
+
+from repro.errors import (
+    AdmissionRejectedError,
+    ProtocolError,
+    QuotaExceededError,
+    UnknownTenantError,
+)
+from repro.service.tenancy import (
+    TenantQuota,
+    TenantRegistry,
+    namespaced,
+    split_namespace,
+    validate_tenant_name,
+)
+
+
+class TestNames:
+    @pytest.mark.parametrize(
+        "name", ["acme", "a", "Tenant-1", "x" * 64, "0.dots_ok-too"]
+    )
+    def test_valid_names_pass_through(self, name):
+        assert validate_tenant_name(name) == name
+
+    @pytest.mark.parametrize(
+        "name",
+        ["", "a/b", "-leading-dash", ".dot", "x" * 65, "sp ace", None, 7],
+    )
+    def test_invalid_names_rejected(self, name):
+        with pytest.raises(ProtocolError, match="invalid tenant"):
+            validate_tenant_name(name)
+
+    def test_namespace_round_trip(self):
+        stored = namespaced("acme", "web-frontend")
+        assert stored == "acme/web-frontend"
+        assert split_namespace(stored) == ("acme", "web-frontend")
+
+    def test_global_names_have_no_tenant(self):
+        assert split_namespace("plain") == (None, "plain")
+
+    def test_split_keeps_inner_separators(self):
+        # only the first separator is the namespace boundary
+        assert split_namespace("acme/a/b") == ("acme", "a/b")
+
+
+class TestQuotaValidation:
+    def test_defaults_are_unlimited(self):
+        quota = TenantQuota()
+        assert quota.max_bytes is None
+        assert quota.max_inflight is None
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError, match="max_bytes"):
+            TenantQuota(max_bytes=-1)
+
+    def test_zero_inflight_rejected(self):
+        with pytest.raises(ValueError, match="max_inflight"):
+            TenantQuota(max_inflight=0)
+
+
+class TestByteAccounting:
+    def test_charge_then_credit_returns_to_zero(self):
+        registry = TenantRegistry(
+            default_quota=TenantQuota(max_bytes=1000)
+        )
+        registry.charge_publish("acme", 600)
+        usage = registry.usage("acme")
+        assert usage.bytes_stored == 600
+        assert usage.published == 1
+        registry.credit_delete("acme", 600)
+        usage = registry.usage("acme")
+        assert usage.bytes_stored == 0
+        assert usage.published == 0
+
+    def test_charge_past_limit_rejected_with_arithmetic(self):
+        registry = TenantRegistry(
+            default_quota=TenantQuota(max_bytes=1000)
+        )
+        registry.charge_publish("acme", 800)
+        with pytest.raises(QuotaExceededError) as excinfo:
+            registry.charge_publish("acme", 300)
+        exc = excinfo.value
+        assert exc.tenant == "acme"
+        assert exc.requested_bytes == 300
+        assert exc.used_bytes == 800
+        assert exc.limit_bytes == 1000
+        # the failed charge reserved nothing, and was counted
+        usage = registry.usage("acme")
+        assert usage.bytes_stored == 800
+        assert usage.quota_rejections == 1
+
+    def test_exact_fit_is_allowed(self):
+        registry = TenantRegistry(
+            default_quota=TenantQuota(max_bytes=1000)
+        )
+        registry.charge_publish("acme", 1000)
+        assert registry.usage("acme").bytes_stored == 1000
+
+    def test_refund_undoes_a_failed_publish(self):
+        registry = TenantRegistry()
+        registry.charge_publish("acme", 500)
+        registry.refund_publish("acme", 500)
+        usage = registry.usage("acme")
+        assert usage.bytes_stored == 0
+        assert usage.published == 0
+
+    def test_refund_never_goes_negative(self):
+        registry = TenantRegistry()
+        registry.refund_publish("acme", 999)
+        assert registry.usage("acme").bytes_stored == 0
+
+    def test_quotas_are_per_tenant(self):
+        registry = TenantRegistry(
+            default_quota=TenantQuota(max_bytes=100)
+        )
+        registry.charge_publish("a", 100)
+        registry.charge_publish("b", 100)  # b's quota is its own
+        with pytest.raises(QuotaExceededError):
+            registry.charge_publish("a", 1)
+
+
+class TestInflightSlots:
+    def test_slot_ceiling_rejects_with_tenant_busy(self):
+        registry = TenantRegistry(
+            default_quota=TenantQuota(max_inflight=2)
+        )
+        with registry.slot("acme"), registry.slot("acme"):
+            with pytest.raises(AdmissionRejectedError) as excinfo:
+                with registry.slot("acme"):
+                    pass
+            assert excinfo.value.code == "tenant-busy"
+            assert excinfo.value.tenant == "acme"
+        # slots released: admits again
+        with registry.slot("acme"):
+            pass
+        usage = registry.usage("acme")
+        assert usage.inflight == 0
+        assert usage.busy_rejections == 1
+        assert usage.requests == 3
+
+    def test_slots_are_per_tenant(self):
+        registry = TenantRegistry(
+            default_quota=TenantQuota(max_inflight=1)
+        )
+        with registry.slot("a"):
+            with registry.slot("b"):
+                pass
+
+    def test_unlimited_inflight_by_default(self):
+        registry = TenantRegistry()
+        with registry.slot("acme"), registry.slot("acme"):
+            assert registry.usage("acme").inflight == 2
+
+
+class TestRegistryModes:
+    def test_open_registry_auto_registers(self):
+        registry = TenantRegistry()
+        assert registry.known_tenants() == []
+        registry.charge_publish("new-tenant", 1)
+        assert registry.known_tenants() == ["new-tenant"]
+
+    def test_strict_registry_refuses_unknown(self):
+        registry = TenantRegistry(
+            tenants={"acme": TenantQuota()}, strict=True
+        )
+        registry.charge_publish("acme", 1)
+        with pytest.raises(UnknownTenantError):
+            registry.charge_publish("ghost", 1)
+
+    def test_strict_without_tenants_is_an_error(self):
+        with pytest.raises(ValueError, match="strict"):
+            TenantRegistry(strict=True)
+
+    def test_preregistered_quota_wins_over_default(self):
+        registry = TenantRegistry(
+            default_quota=TenantQuota(max_bytes=10),
+            tenants={"big": TenantQuota(max_bytes=1000)},
+        )
+        registry.charge_publish("big", 500)
+        with pytest.raises(QuotaExceededError):
+            registry.charge_publish("other", 500)
+
+    def test_invalid_preregistered_name_rejected(self):
+        with pytest.raises(ProtocolError):
+            TenantRegistry(tenants={"a/b": TenantQuota()})
+
+    def test_invalid_name_rejected_on_use(self):
+        registry = TenantRegistry()
+        with pytest.raises(ProtocolError):
+            registry.charge_publish("no/slashes", 1)
+
+    def test_usages_snapshots_every_tenant(self):
+        registry = TenantRegistry()
+        registry.charge_publish("a", 10)
+        registry.charge_publish("b", 20)
+        usages = registry.usages()
+        assert set(usages) == {"a", "b"}
+        assert usages["b"].bytes_stored == 20

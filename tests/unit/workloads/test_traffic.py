@@ -1,0 +1,154 @@
+"""Unit: the deterministic open-loop traffic generator."""
+
+import pytest
+
+from repro.workloads.traffic import (
+    TrafficConfig,
+    TrafficEvent,
+    traffic_schedule,
+)
+
+
+def _replay_validity(events, config):
+    """Assert every event is legal at its position in the schedule."""
+    live = {f"tenant-{t}": set() for t in range(config.n_tenants)}
+    for ev in events:
+        if ev.op == "publish":
+            assert ev.item is not None and ev.name is None
+            assert 0 <= ev.item < config.n_vmis
+            stored = f"vmi-{ev.item:05d}"
+            assert stored not in live[ev.tenant]
+            live[ev.tenant].add(stored)
+        else:
+            assert ev.name is not None and ev.item is None
+            assert ev.name in live[ev.tenant]
+            if ev.op == "delete":
+                live[ev.tenant].remove(ev.name)
+
+
+class TestConfigValidation:
+    def test_defaults_are_valid(self):
+        TrafficConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_tenants": 0},
+            {"n_requests": 0},
+            {"n_vmis": 2, "n_tenants": 3},
+            {"arrival_rate": 0.0},
+            {"publish_weight": -1},
+            {
+                "publish_weight": 0,
+                "retrieve_weight": 0,
+                "delete_weight": 0,
+            },
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TrafficConfig(**kwargs)
+
+
+class TestSchedule:
+    CONFIG = TrafficConfig(
+        n_tenants=3, n_requests=120, n_vmis=15, seed="unit-traffic"
+    )
+
+    def test_deterministic_in_the_seed(self):
+        assert traffic_schedule(self.CONFIG) == traffic_schedule(
+            self.CONFIG
+        )
+
+    def test_different_seed_different_schedule(self):
+        other = TrafficConfig(
+            n_tenants=3, n_requests=120, n_vmis=15, seed="other"
+        )
+        assert traffic_schedule(self.CONFIG) != traffic_schedule(
+            other
+        )
+
+    def test_every_event_is_valid_at_its_position(self):
+        events = traffic_schedule(self.CONFIG)
+        assert len(events) == self.CONFIG.n_requests
+        _replay_validity(events, self.CONFIG)
+
+    def test_arrivals_are_strictly_increasing(self):
+        events = traffic_schedule(self.CONFIG)
+        assert all(
+            a.arrival_s < b.arrival_s
+            for a, b in zip(events, events[1:])
+        )
+        assert events[0].arrival_s > 0
+        assert [ev.index for ev in events] == list(
+            range(len(events))
+        )
+
+    def test_mean_arrival_rate_tracks_config(self):
+        config = TrafficConfig(
+            n_requests=400, arrival_rate=2.0, seed="rate-check"
+        )
+        events = traffic_schedule(config)
+        empirical = len(events) / events[-1].arrival_s
+        assert empirical == pytest.approx(2.0, rel=0.25)
+
+    def test_items_partitioned_across_tenants(self):
+        events = traffic_schedule(self.CONFIG)
+        for ev in events:
+            if ev.op == "publish":
+                t = int(ev.tenant.removeprefix("tenant-"))
+                assert ev.item % self.CONFIG.n_tenants == t
+
+    def test_every_tenant_and_op_appears(self):
+        events = traffic_schedule(self.CONFIG)
+        assert {ev.tenant for ev in events} == {
+            f"tenant-{t}" for t in range(self.CONFIG.n_tenants)
+        }
+        assert {ev.op for ev in events} == {
+            "publish",
+            "retrieve",
+            "delete",
+        }
+
+    def test_retrieval_heavy_default_mix(self):
+        events = traffic_schedule(
+            TrafficConfig(n_requests=400, seed="mix-check")
+        )
+        ops = [ev.op for ev in events]
+        assert ops.count("retrieve") > ops.count("publish")
+        assert ops.count("publish") > ops.count("delete")
+
+    def test_publish_only_mix(self):
+        config = TrafficConfig(
+            n_tenants=2,
+            n_requests=10,
+            n_vmis=20,
+            retrieve_weight=0,
+            delete_weight=0,
+            seed="publish-only",
+        )
+        events = traffic_schedule(config)
+        assert all(ev.op == "publish" for ev in events)
+        _replay_validity(events, config)
+
+    def test_tiny_corpus_exhaustion_stays_valid(self):
+        # publish pool drains fast: fallbacks must keep every event
+        # legal (and may drop unservable slots, never emit bad ones)
+        config = TrafficConfig(
+            n_tenants=2,
+            n_requests=200,
+            n_vmis=2,
+            publish_weight=6,
+            retrieve_weight=1,
+            delete_weight=6,
+            seed="exhaustion",
+        )
+        events = traffic_schedule(config)
+        assert events
+        _replay_validity(events, config)
+
+    def test_events_are_frozen_records(self):
+        event = traffic_schedule(self.CONFIG)[0]
+        assert isinstance(event, TrafficEvent)
+        with pytest.raises(AttributeError):
+            event.op = "mutate"
