@@ -1,0 +1,238 @@
+"""Bench: federated repository throughput vs shard count.
+
+Replays a deterministic Poisson request schedule
+(:mod:`repro.workloads.traffic`) against a
+:class:`~repro.repository.federation.FederatedRepository` at 1 → N
+shards.  The schedule is cut into arrival-order waves; each wave's
+publishes, retrieves and deletes go through the federation's batch
+pipelines, and the wave's cost is its *critical path* — the slowest
+shard's simulated span (deletes run sequentially and are charged in
+full).  One shard is the sequential anchor, so throughput scaling is
+pure routing: the same requests, the same cost model, only the family
+placement changes.
+
+Correctness rides along, as in every bench here: every shard count
+must leave the *union* repository byte-identical to the single-shard
+anchor (blobs, bytes, refcounts — the global base-image index at
+work: scaling out never costs stored bytes), and federation fsck (the
+per-shard checks plus the cross-shard invariants) must come back
+clean.
+
+Run with ``pytest benchmarks/bench_federation.py`` (add ``-k smoke``
+for the CI-sized schedule).  With ``BENCH_JSON_DIR`` set, the sweep is
+written as ``BENCH_federation.json`` for the perf-trajectory artifacts
+and the perf-regression gate.
+"""
+
+import pytest
+
+from benchmarks.conftest import attach_series, write_bench_json
+from repro.experiments.reporting import ExperimentResult, Series
+from repro.repository.federation import FederatedRepository
+from repro.workloads.scale import scale_corpus
+from repro.workloads.traffic import TrafficConfig, traffic_schedule
+
+#: (traffic config, corpus families, shard counts of the sweep)
+SWEEP = (
+    TrafficConfig(
+        n_tenants=8,
+        n_requests=360,
+        n_vmis=120,
+        delete_weight=1,
+        seed="bench-federation",
+    ),
+    16,
+    (1, 2, 4, 8),
+)
+SMOKE_SWEEP = (
+    TrafficConfig(
+        n_tenants=4,
+        n_requests=120,
+        n_vmis=48,
+        delete_weight=1,
+        seed="bench-federation-smoke",
+    ),
+    8,
+    (1, 2, 4),
+)
+
+#: events per batched wave of the replay
+WAVE_SIZE = 24
+
+#: acceptance floor: critical-path speedup at 4 shards vs 1 shard
+MIN_SPEEDUP_AT_4 = 1.5
+
+
+def _fingerprint(fed) -> dict:
+    return {
+        "blobs": {
+            (r.key, r.kind.value, r.size) for r in fed.blobs.records()
+        },
+        "bytes": fed.bytes_by_kind(),
+        "records": sorted(r.name for r in fed.vmi_records()),
+        "refcounts": fed.refcounts(),
+    }
+
+
+def _waves(events):
+    """Cut the schedule into batched waves, flushing early when a
+    publish re-uses a name deleted earlier in the same wave (the one
+    ordering hazard of running a wave as publish → retrieve →
+    delete)."""
+    wave, deleted = [], set()
+    for ev in events:
+        republish = (
+            ev.op == "publish" and f"vmi-{ev.item:05d}" in deleted
+        )
+        if wave and (len(wave) >= WAVE_SIZE or republish):
+            yield wave
+            wave, deleted = [], set()
+        wave.append(ev)
+        if ev.op == "delete":
+            deleted.add(ev.name)
+    if wave:
+        yield wave
+
+
+def _replay(config: TrafficConfig, n_families: int, shards: int) -> dict:
+    corpus = scale_corpus(
+        config.n_vmis, n_families=n_families, seed=config.seed
+    )
+    events = traffic_schedule(config)
+    fed = FederatedRepository(shards=shards)
+    critical = 0.0
+    for wave in _waves(events):
+        publishes = [ev.item for ev in wave if ev.op == "publish"]
+        retrieves = [ev.name for ev in wave if ev.op == "retrieve"]
+        deletes = [ev.name for ev in wave if ev.op == "delete"]
+        if publishes:
+            report = fed.publish_many(
+                [corpus.build(i) for i in publishes], order="given"
+            )
+            assert report.n_failed == 0, report.failures()
+            critical += report.critical_path_seconds
+        if retrieves:
+            report = fed.retrieve_many(retrieves, order="given")
+            assert report.n_failed == 0
+            critical += report.critical_path_seconds
+        if deletes:
+            report = fed.delete_many(deletes)
+            assert report.n_failed == 0
+            critical += report.simulated_seconds
+    fsck = fed.fsck()
+    assert fsck.clean, [str(f) for f in fsck.findings]
+    return {
+        "shards": shards,
+        "critical_s": critical,
+        "throughput_rps": len(events) / critical,
+        "stored_bytes": fed.total_bytes(),
+        "fingerprint": _fingerprint(fed),
+    }
+
+
+def _sweep(
+    config: TrafficConfig, n_families: int, shard_levels
+) -> ExperimentResult:
+    rows = []
+    critical, throughput, speedup, byte_ratio = [], [], [], []
+    anchor = None
+    for shards in shard_levels:
+        m = _replay(config, n_families, shards)
+        if anchor is None:
+            anchor = m
+        # scaling out is invisible to the stored state: the union
+        # equals the single-shard repository exactly
+        assert m["fingerprint"] == anchor["fingerprint"]
+        ratio = m["stored_bytes"] / anchor["stored_bytes"]
+        x = anchor["critical_s"] / m["critical_s"]
+        rows.append(
+            (
+                shards,
+                round(m["critical_s"], 1),
+                round(m["throughput_rps"], 4),
+                round(x, 2),
+                round(ratio, 4),
+            )
+        )
+        critical.append(m["critical_s"])
+        throughput.append(m["throughput_rps"])
+        speedup.append(x)
+        byte_ratio.append(ratio)
+
+    return ExperimentResult(
+        experiment_id="bench-federation",
+        title=(
+            f"Federated repository under open-loop traffic: "
+            f"{config.n_requests} requests over "
+            f"{config.n_vmis} VMIs / {n_families} families, "
+            f"1 → {shard_levels[-1]} shards"
+        ),
+        columns=(
+            "shards",
+            "critical[s]",
+            "throughput[req/s]",
+            "speedup[x]",
+            "bytes_vs_single",
+        ),
+        rows=tuple(rows),
+        series=(
+            Series("critical-path-s", tuple(critical)),
+            Series("throughput-rps", tuple(throughput)),
+            Series("federation-speedup", tuple(speedup)),
+            Series("stored-bytes-ratio", tuple(byte_ratio)),
+        ),
+        notes=(
+            "waves of the Poisson schedule run through the "
+            "federation's batch pipelines; a wave costs its critical "
+            "path (slowest shard's simulated span), so speedup is "
+            "pure family-placement overlap against the one-shard "
+            "sequential anchor",
+            "every shard count is asserted to leave the identical "
+            "union repository (blobs, bytes, refcounts) and a clean "
+            "federation fsck — scale-out never costs stored bytes",
+        ),
+    )
+
+
+def _assert_scaling(result: ExperimentResult, shard_levels) -> None:
+    series = {s.label: s.values for s in result.series}
+    speedups = dict(zip(shard_levels, series["federation-speedup"]))
+    assert speedups[4] >= MIN_SPEEDUP_AT_4, speedups
+    # sharding never makes the critical path longer than sequential
+    assert all(
+        x >= 1.0 - 1e-9 for x in series["federation-speedup"]
+    ), series
+    # and never costs stored bytes: the union is the single repository
+    assert all(
+        abs(r - 1.0) < 1e-12 for r in series["stored-bytes-ratio"]
+    ), series
+
+
+@pytest.mark.benchmark(group="federation")
+def test_federation_sweep(benchmark, report_result):
+    """The headline sweep: shards 1 -> 8 at 360 requests."""
+    config, n_families, levels = SWEEP
+    result = benchmark.pedantic(
+        lambda: _sweep(config, n_families, levels),
+        rounds=1,
+        iterations=1,
+    )
+    report_result(result)
+    attach_series(benchmark, result)
+    write_bench_json(result, "federation")
+    _assert_scaling(result, levels)
+
+
+@pytest.mark.benchmark(group="federation")
+def test_federation_smoke(benchmark, report_result):
+    """CI-sized schedule: same assertions, seconds of wall clock."""
+    config, n_families, levels = SMOKE_SWEEP
+    result = benchmark.pedantic(
+        lambda: _sweep(config, n_families, levels),
+        rounds=1,
+        iterations=1,
+    )
+    report_result(result)
+    attach_series(benchmark, result)
+    write_bench_json(result, "federation")
+    _assert_scaling(result, levels)

@@ -16,12 +16,12 @@ across machines and Python versions.  Wall-clock series (the
 persistence bench's reopen timings) vary with hardware and are
 deliberately untracked.
 
-Refreshing baselines after an *intentional* perf change (the six
+Refreshing baselines after an *intentional* perf change (the seven
 tracked bench files are named explicitly — pytest's default collection
 skips ``bench_*.py`` when handed a bare directory)::
 
     BENCH_JSON_DIR=benchmarks/baselines PYTHONPATH=src \
-        python -m pytest -q benchmarks/bench_{scale,retrieval,churn,persistence,parallel,server}.py -k smoke
+        python -m pytest -q benchmarks/bench_{scale,retrieval,churn,persistence,parallel,server,federation}.py -k smoke
 
 then commit the updated JSON together with the change that explains it
 (README "Perf-regression gate" documents the workflow).
@@ -69,6 +69,17 @@ TRACKED_METRICS: dict[str, tuple[tuple[str, str], ...]] = {
         ("retrieve-critical-path-s", "lower"),
         ("publish-speedup", "higher"),
         ("retrieve-speedup", "higher"),
+    ),
+    "bench-federation": (
+        # critical-path scaling of the sharded federation under the
+        # same traffic generator (the final series point is the widest
+        # shard level of the sweep); stored-bytes-ratio guards the
+        # global base-image index: scale-out must stay at exactly 1.0x
+        # the single-shard repository
+        ("critical-path-s", "lower"),
+        ("throughput-rps", "higher"),
+        ("federation-speedup", "higher"),
+        ("stored-bytes-ratio", "lower"),
     ),
     "bench-server": (
         # simulated-time service quality of the image server under
@@ -200,7 +211,7 @@ def main(argv=None) -> int:
             "  BENCH_JSON_DIR=benchmarks/baselines PYTHONPATH=src "
             "python -m pytest -q "
             "benchmarks/bench_{scale,retrieval,churn,persistence,"
-            "parallel,server}.py -k smoke\n"
+            "parallel,server,federation}.py -k smoke\n"
             "and commit the updated JSON with an explanation.",
             file=sys.stderr,
         )

@@ -96,6 +96,18 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        metavar="N",
+        default=None,
+        help=(
+            "scale the store out to N federated shard repositories "
+            "(with --workspace: PATH becomes the federation root "
+            "holding shard-NN workspaces; a federation root reopens "
+            "with its persisted shard count)"
+        ),
+    )
+    parser.add_argument(
         "--tenant",
         metavar="NAME",
         default="default",
@@ -111,6 +123,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=argparse.SUPPRESS,
         help="durable repository directory (same as the global flag)",
+    )
+    workspace_flags.add_argument(
+        "--shards",
+        type=int,
+        metavar="N",
+        default=argparse.SUPPRESS,
+        help="shard-count for a federated store (same as the global flag)",
     )
 
     #: the remote-mode flags after the subcommand, same SUPPRESS trick
@@ -453,10 +472,29 @@ def _make_system(args, **kwargs):
 
     Opening a workspace replays its write-ahead op-log on top of the
     last snapshot; a fresh directory comes up empty and durable.
+    ``--shards N`` swaps in a
+    :class:`~repro.repository.federation.FederatedRepository` (same
+    facade surface); a workspace that is already a federation root is
+    reopened as one even without the flag.
     """
+    from pathlib import Path
+
     from repro.core.system import Expelliarmus
 
     path = getattr(args, "workspace", None)
+    shards = getattr(args, "shards", None)
+    if shards is None and path is not None:
+        from repro.repository.federation import MANIFEST_NAME
+
+        if (Path(path) / MANIFEST_NAME).exists():
+            shards = 0  # sentinel: reopen with the persisted count
+    if shards is not None:
+        from repro.repository.federation import FederatedRepository
+
+        shards = shards or None
+        if path is None:
+            return FederatedRepository(shards=shards, **kwargs)
+        return FederatedRepository.open(path, shards=shards, **kwargs)
     if path is None:
         return Expelliarmus(**kwargs)
     return Expelliarmus.open(path, **kwargs)
@@ -893,11 +931,33 @@ def _cmd_stats(args) -> int:
             corpus = standard_corpus()
             for name in args.names or TABLE_II_ORDER:
                 system.publish(corpus.build(name))
-        report = storage_report(system.repo)
-        _print_stats(report)
+        from repro.repository.federation import FederatedRepository
+
+        if isinstance(system, FederatedRepository):
+            _print_federation_stats(system)
+        else:
+            report = storage_report(system.repo)
+            _print_stats(report)
         return 0
     finally:
         _finish(system, args)
+
+
+def _print_federation_stats(fed) -> None:
+    print(
+        f"federation: {fed.n_shards} shard(s), "
+        f"{len(fed.published_names())} published VMIs, "
+        f"{fmt_gb(fed.total_bytes())} logical "
+        f"({fmt_gb(fed.physical_bytes())} across shard disks)"
+    )
+    for index, size in enumerate(fed.shard_bytes()):
+        n_vmis = len(fed.systems[index].repo.vmi_records())
+        print(
+            f"  shard-{index:02d}: {fmt_gb(size)}, {n_vmis} VMI(s)"
+        )
+    print("\nbase-image index (family -> home shard):")
+    for family, shard in sorted(fed.base_index.items()):
+        print(f"  {family[0]}/{family[1]:<24} shard-{shard:02d}")
 
 
 def _print_stats(report) -> None:
@@ -916,6 +976,14 @@ def _print_stats(report) -> None:
     for pkg in report.most_shared(8):
         print(f"  {pkg.name:<28} x{pkg.ref_count:<3} "
               f"amortized {pkg.amortized_size / 1e6:.1f} MB/VMI")
+
+
+def _is_federation_root(path) -> bool:
+    from pathlib import Path
+
+    from repro.repository.federation import MANIFEST_NAME
+
+    return (Path(path) / MANIFEST_NAME).exists()
 
 
 def _require_workspace(args) -> str | None:
@@ -1001,7 +1069,13 @@ def _cmd_serve(args) -> int:
         ),
     )
     path = getattr(args, "workspace", None)
-    if path is not None:
+    shards = getattr(args, "shards", None)
+    if shards is not None or (
+        path is not None and _is_federation_root(path)
+    ):
+        # the daemon fronts a federation: same protocol, N shards
+        server = ImageServer(_make_system(args), config)
+    elif path is not None:
         server = ImageServer.for_workspace(path, config)
     else:
         from repro.core.system import Expelliarmus
@@ -1293,7 +1367,7 @@ def _dispatch_remote(args) -> int:
             file=sys.stderr,
         )
         return 2
-    for flag in ("parallel", "cold", "scan"):
+    for flag in ("parallel", "cold", "scan", "shards"):
         if getattr(args, flag, None):
             print(
                 f"error: --{flag} is a local-execution flag; the "
@@ -1337,6 +1411,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     from repro.errors import WorkspaceError
 
     args = build_parser().parse_args(argv)
+    shards = getattr(args, "shards", None)
+    if shards is not None and shards < 1:
+        print("error: --shards must be positive", file=sys.stderr)
+        return 2
     dispatch = {
         "publish": _cmd_publish,
         "publish-many": _cmd_publish_many,

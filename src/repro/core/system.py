@@ -44,14 +44,18 @@ class Expelliarmus:
         dedup_packages: bool = True,
         indexed_selection: bool = True,
         repository: Repository | None = None,
+        clock: SimulatedClock | None = None,
     ) -> None:
         """``repository=`` adopts an existing (e.g. reloaded)
         repository instead of building a fresh one — the publisher,
         assembler and planner are all bound to it, so publish, retrieve
         and GC work on the injected instance exactly as the persistence
         docstring promises.  ``db_path`` is ignored when a repository
-        is injected (it already carries its metadata database)."""
-        self.clock = SimulatedClock()
+        is injected (it already carries its metadata database).
+        ``clock=`` shares an external simulated clock — the federation
+        router injects one clock across all its shard systems so
+        per-shard charges land in a single accounting domain."""
+        self.clock = clock if clock is not None else SimulatedClock()
         self.cost = CostModel(params)
         self.repo = (
             repository if repository is not None else Repository(db_path)
@@ -80,7 +84,7 @@ class Expelliarmus:
     # ------------------------------------------------------------------
 
     @classmethod
-    def open(cls, path, **kwargs) -> "Expelliarmus":
+    def open(cls, path, *, federation: int | None = None, **kwargs):
         """Open (or initialise) a durable workspace at ``path``.
 
         Reopen = last snapshot + write-ahead op-log replay, so the
@@ -89,10 +93,24 @@ class Expelliarmus:
         journaled before it applies — the returned system survives
         process exits and crashes without an explicit save.
 
+        ``federation=N`` opens ``path`` as a *federation root* of N
+        shard workspaces instead and returns a
+        :class:`~repro.repository.federation.FederatedRepository` —
+        the same facade surface (publish/retrieve/delete/GC/fsck),
+        scaled out across shards.
+
         Raises:
             WorkspaceError: the directory holds a mismatched or
-                unreadable snapshot/op-log pair.
+                unreadable snapshot/op-log pair (or, federated, a
+                root whose persisted shard count contradicts
+                ``federation``).
         """
+        if federation is not None:
+            from repro.repository.federation import FederatedRepository
+
+            return FederatedRepository.open(
+                path, shards=federation, **kwargs
+            )
         from repro.repository.workspace import Workspace
 
         workspace = Workspace(path)

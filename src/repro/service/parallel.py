@@ -85,8 +85,10 @@ def plan_shards(
     preserved), then whole groups are packed largest-first onto the
     least-loaded shard.  Guarantees: every item is assigned to exactly
     one shard, and two items with equal affinity keys always share a
-    shard.  Deterministic — ties break on the group key's repr and the
-    shard index — so a batch plans identically on every run.
+    shard.  Deterministic — ties break on the group's first appearance
+    in the batch and the shard index — so a batch plans identically on
+    every run even when affinity keys have unstable (``id()``-based)
+    reprs.
 
     Shards may come back empty when the batch has fewer affinity
     groups than ``n_shards``.
@@ -97,9 +99,14 @@ def plan_shards(
     if n_shards < 1:
         raise ValueError(f"n_shards must be positive, got {n_shards}")
     groups: dict[Hashable, list[T]] = {}
+    arrival: dict[Hashable, int] = {}
     for item in items:
-        groups.setdefault(affinity(item), []).append(item)
-    order = sorted(groups, key=lambda k: (-len(groups[k]), repr(k)))
+        key = affinity(item)
+        if key not in groups:
+            groups[key] = []
+            arrival[key] = len(arrival)
+        groups[key].append(item)
+    order = sorted(groups, key=lambda k: (-len(groups[k]), arrival[k]))
     shards: list[list[T]] = [[] for _ in range(n_shards)]
     loads = [0] * n_shards
     for key in order:

@@ -40,18 +40,22 @@ lifecycle and CLI suites.
 
 from __future__ import annotations
 
+import json
 import os
 import socket
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.core.system import Expelliarmus
 from repro.errors import (
     AdmissionRejectedError,
+    NotInRepositoryError,
     ProtocolError,
     ReproError,
+    UnknownTenantError,
 )
 from repro.service.admission import AdmissionController
 from repro.service.protocol import (
@@ -69,6 +73,12 @@ from repro.service.tenancy import (
     namespaced,
     split_namespace,
 )
+
+#: per-workspace ownership journal: stored name -> publishing tenant.
+#: What keeps a pre-existing *global* name shaped like ``acme/web``
+#: (published locally, never through the daemon) invisible to tenant
+#: ``acme`` even though the namespace prefix matches.
+OWNERS_FILE = "owners.json"
 
 __all__ = ["ImageServer", "ServerConfig"]
 
@@ -151,6 +161,41 @@ class ImageServer:
         #: corpora built on demand, cached by canonical source key
         self._corpora: dict[tuple, object] = {}
         self._corpora_lock = threading.Lock()
+        #: ownership journal beside the workspace (None in-memory);
+        #: rewritten on every ownership change, loaded on construction
+        self._owners_path: Path | None = None
+        self._owners_lock = threading.Lock()
+        workspace = self.system.workspace
+        if workspace is not None and workspace.path is not None:
+            self._owners_path = Path(workspace.path) / OWNERS_FILE
+            self._load_owners()
+
+    def _load_owners(self) -> None:
+        if self._owners_path is None or not self._owners_path.exists():
+            return
+        try:
+            data = json.loads(self._owners_path.read_text())
+        except (OSError, ValueError):
+            return
+        if not isinstance(data, dict):
+            return
+        for stored, tenant in data.items():
+            try:
+                self.tenants.record_owned(str(tenant), str(stored))
+            except UnknownTenantError:
+                # strict registry, tenant no longer provisioned — the
+                # image stays stored but is not served to anyone
+                continue
+
+    def _save_owners(self) -> None:
+        if self._owners_path is None:
+            return
+        with self._owners_lock:
+            tmp = self._owners_path.with_suffix(".tmp")
+            tmp.write_text(
+                json.dumps(self.tenants.owners(), sort_keys=True)
+            )
+            tmp.replace(self._owners_path)
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -521,6 +566,8 @@ class ImageServer:
         except BaseException:
             self.tenants.refund_publish(tenant, charge)
             raise
+        self.tenants.record_owned(tenant, vmi.name)
+        self._save_owners()
         return {
             "name": vmi.name,
             "simulated_seconds": report.publish_time,
@@ -571,6 +618,11 @@ class ImageServer:
 
     def _retrieve_one(self, tenant: str, name: str) -> dict:
         stored = namespaced(tenant, name)
+        # authorization by recorded ownership, not by prefix shape: a
+        # pre-existing global name that merely *looks* namespaced
+        # (e.g. a local publish of 'acme/web') is not the tenant's
+        if not self.tenants.owns(tenant, stored):
+            raise NotInRepositoryError("VMI", stored)
         with self.system.repo.lock.read():
             report = self.system.retrieve(stored)
         return {
@@ -593,14 +645,16 @@ class ImageServer:
         return self._retrieve_one(tenant, name)
 
     def _tenant_published(self, tenant: str) -> list[str]:
-        """The tenant's published (un-namespaced) names, sorted."""
-        with self.system.repo.lock.read():
-            stored = self.system.published_names()
+        """The tenant's published (un-namespaced) names, sorted.
+
+        Catalogued by recorded ownership — the same authorization
+        source retrieval uses — so a global name with a look-alike
+        prefix never appears in another tenant's listing.
+        """
         names = []
-        for full in stored:
-            owner, name = split_namespace(full)
-            if owner == tenant:
-                names.append(name)
+        for stored in self.tenants.owned_names(tenant):
+            _, name = split_namespace(stored)
+            names.append(name)
         return sorted(names)
 
     def _op_retrieve_many(self, tenant, args) -> dict:
@@ -639,11 +693,15 @@ class ImageServer:
 
     def _delete_one(self, tenant: str, name: str) -> dict:
         stored = namespaced(tenant, name)
+        if not self.tenants.owns(tenant, stored):
+            raise NotInRepositoryError("VMI", stored)
         with self.system.repo.lock.write():
             record = self.system.repo.get_vmi_record(stored)
             with self.system.clock.measure() as window:
                 self.system.delete(stored)
         self.tenants.credit_delete(tenant, record.mounted_size)
+        self.tenants.forget_owned(tenant, stored)
+        self._save_owners()
         return {
             "name": name,
             "stored_name": stored,
@@ -700,11 +758,21 @@ class ImageServer:
     def _op_fsck(self, tenant, args) -> dict:
         with self.system.repo.lock.read():
             report = self.system.fsck()
+        findings = [str(f) for f in report.findings]
+        # the refund clamp records every mismatched credit; surface it
+        # alongside the repository checks instead of silently zeroing
+        drift_bytes, drift_events = self.tenants.total_drift()
+        if drift_events:
+            findings.append(
+                "[quota-drift] tenant-registry: "
+                f"{drift_events} refund event(s) clamped, "
+                f"{drift_bytes} byte(s) unaccounted"
+            )
         return {
-            "clean": report.clean,
+            "clean": report.clean and not drift_events,
             "checked_blobs": report.checked_blobs,
             "checked_vmis": report.checked_vmis,
-            "findings": [str(f) for f in report.findings],
+            "findings": findings,
         }
 
     def _op_stats(self, tenant, args) -> dict:
@@ -728,6 +796,8 @@ class ImageServer:
                     "requests": u.requests,
                     "quota_rejections": u.quota_rejections,
                     "busy_rejections": u.busy_rejections,
+                    "drift_bytes": u.drift_bytes,
+                    "drift_events": u.drift_events,
                     "max_bytes": u.quota.max_bytes,
                     "max_inflight": u.quota.max_inflight,
                 }

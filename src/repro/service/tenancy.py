@@ -50,6 +50,9 @@ __all__ = [
     "TenantUsage",
     "namespaced",
     "split_namespace",
+    "validate_image_name",
+    "validate_stored_name",
+    "validate_tenant_name",
 ]
 
 NAMESPACE_SEPARATOR = "/"
@@ -73,8 +76,68 @@ def validate_tenant_name(name: str) -> str:
     return name
 
 
+def validate_image_name(name: str) -> str:
+    """Return the name, or raise for one unusable inside a namespace.
+
+    Image names are the *tenant-visible* half of a stored name.  A
+    separator inside one would make ``split_namespace`` ambiguous: a
+    local publish of ``acme/web`` would later be misattributed to
+    tenant ``acme`` by any daemon serving the same repository.  The
+    service boundary (server ops, the federation router) therefore
+    refuses separator-bearing names outright.
+
+    Raises:
+        ProtocolError: not a string, empty, or containing the
+            namespace separator.
+    """
+    if not isinstance(name, str) or not name:
+        raise ProtocolError(
+            f"invalid image name {name!r}: expected a non-empty string"
+        )
+    if NAMESPACE_SEPARATOR in name:
+        raise ProtocolError(
+            f"invalid image name {name!r}: the namespace separator "
+            f"{NAMESPACE_SEPARATOR!r} is reserved for tenant prefixes"
+        )
+    return name
+
+
+def validate_stored_name(name: str) -> str:
+    """Return a *stored* name, or raise for an unroutable one.
+
+    A stored name is either a bare image name or exactly
+    ``tenant/name`` — what :func:`namespaced` produces.  Anything with
+    more separators (or an invalid tenant half) cannot round-trip
+    through :func:`split_namespace` and is refused.  The federation
+    router runs every published name through this check, so a sharded
+    repository can never hold a name the service layer would
+    misattribute.
+
+    Raises:
+        ProtocolError: empty, non-string, or an ambiguous namespace
+            shape.
+    """
+    if not isinstance(name, str) or not name:
+        raise ProtocolError(
+            f"invalid stored name {name!r}: expected a non-empty string"
+        )
+    tenant, sep, rest = name.partition(NAMESPACE_SEPARATOR)
+    if not sep:
+        return validate_image_name(name)
+    validate_tenant_name(tenant)
+    validate_image_name(rest)
+    return name
+
+
 def namespaced(tenant: str, name: str) -> str:
-    """The stored name of ``name`` inside ``tenant``'s namespace."""
+    """The stored name of ``name`` inside ``tenant``'s namespace.
+
+    Raises:
+        ProtocolError: ``name`` itself carries the separator — the
+            resulting stored name would not round-trip through
+            :func:`split_namespace`.
+    """
+    validate_image_name(name)
     return f"{tenant}{NAMESPACE_SEPARATOR}{name}"
 
 
@@ -114,6 +177,11 @@ class TenantUsage:
     quota_rejections: int
     busy_rejections: int
     quota: TenantQuota
+    #: bytes a refund/credit tried to release beyond what the tenant
+    #: held — every non-zero value is an accounting bug made visible
+    drift_bytes: int = 0
+    #: how many refunds hit the zero floor instead of balancing
+    drift_events: int = 0
 
 
 class _TenantState:
@@ -127,6 +195,9 @@ class _TenantState:
         "requests",
         "quota_rejections",
         "busy_rejections",
+        "drift_bytes",
+        "drift_events",
+        "owned",
     )
 
     def __init__(self, quota: TenantQuota) -> None:
@@ -137,6 +208,11 @@ class _TenantState:
         self.requests = 0
         self.quota_rejections = 0
         self.busy_rejections = 0
+        self.drift_bytes = 0
+        self.drift_events = 0
+        #: stored names this tenant published through the service —
+        #: the authorization set for retrieve/delete/listing
+        self.owned: set[str] = set()
 
 
 class TenantRegistry:
@@ -252,9 +328,21 @@ class TenantRegistry:
             state.published += 1
 
     def refund_publish(self, tenant: str, n_bytes: int) -> None:
-        """Undo a charge whose publish failed after reservation."""
+        """Undo a charge whose publish failed after reservation.
+
+        The balance still floors at zero (a broken credit must not
+        turn into negative billing), but any shortfall is *counted*:
+        ``drift_bytes``/``drift_events`` in the tenant's usage expose
+        double refunds and mismatched credits instead of silently
+        zeroing them, and federation-level fsck flags the drift.
+        """
         with self._lock:
             state = self._state(tenant)
+            over = n_bytes - state.bytes_stored
+            drifted = over > 0 or state.published == 0
+            if drifted:
+                state.drift_events += 1
+                state.drift_bytes += max(over, 0)
             state.bytes_stored = max(0, state.bytes_stored - n_bytes)
             state.published = max(0, state.published - 1)
 
@@ -263,24 +351,99 @@ class TenantRegistry:
         self.refund_publish(tenant, n_bytes)
 
     # ------------------------------------------------------------------
-    # reporting
+    # published-name ownership
+    # ------------------------------------------------------------------
+
+    def record_owned(self, tenant: str, stored_name: str) -> None:
+        """Remember that ``tenant`` published ``stored_name``."""
+        with self._lock:
+            self._state(tenant).owned.add(stored_name)
+
+    def forget_owned(self, tenant: str, stored_name: str) -> None:
+        """Drop a deleted image from the tenant's ownership set."""
+        with self._lock:
+            state = self._tenants.get(tenant)
+            if state is not None:
+                state.owned.discard(stored_name)
+
+    def owns(self, tenant: str, stored_name: str) -> bool:
+        """Did ``tenant`` publish ``stored_name`` through the service?
+
+        Read-only: an unknown tenant owns nothing and is *not*
+        registered by asking.  This is the authorization check that
+        keeps a pre-existing global name like ``acme/web`` (published
+        locally, never through the service) invisible to tenant
+        ``acme`` — prefix match alone would misattribute it.
+        """
+        with self._lock:
+            state = self._tenants.get(tenant)
+            return state is not None and stored_name in state.owned
+
+    def owned_names(self, tenant: str) -> list[str]:
+        """Stored names the tenant published; empty for unknown names
+        (read-only — never registers)."""
+        with self._lock:
+            state = self._tenants.get(tenant)
+            if state is None:
+                return []
+            return sorted(state.owned)
+
+    def owners(self) -> dict[str, str]:
+        """Every owned stored name → its tenant (the persistence dump
+        the server journals beside its workspace)."""
+        with self._lock:
+            return {
+                stored: tenant
+                for tenant, state in sorted(self._tenants.items())
+                for stored in sorted(state.owned)
+            }
+
+    # ------------------------------------------------------------------
+    # reporting (read-only: never registers a tenant)
     # ------------------------------------------------------------------
 
     def usage(self, tenant: str) -> TenantUsage:
+        """Snapshot one tenant's accounting.
+
+        Raises:
+            UnknownTenantError: the tenant has never touched the
+                registry.  Reporting must not mutate: a ``stats``
+                query for a typo'd name used to auto-register it
+                permanently and pollute every later report.
+        """
         with self._lock:
-            state = self._state(tenant)
-            return TenantUsage(
-                tenant=tenant,
-                bytes_stored=state.bytes_stored,
-                published=state.published,
-                inflight=state.inflight,
-                requests=state.requests,
-                quota_rejections=state.quota_rejections,
-                busy_rejections=state.busy_rejections,
-                quota=state.quota,
-            )
+            state = self._tenants.get(tenant)
+            if state is None:
+                raise UnknownTenantError(tenant)
+            return self._usage_locked(tenant, state)
+
+    def _usage_locked(
+        self, tenant: str, state: _TenantState
+    ) -> TenantUsage:
+        return TenantUsage(
+            tenant=tenant,
+            bytes_stored=state.bytes_stored,
+            published=state.published,
+            inflight=state.inflight,
+            requests=state.requests,
+            quota_rejections=state.quota_rejections,
+            busy_rejections=state.busy_rejections,
+            quota=state.quota,
+            drift_bytes=state.drift_bytes,
+            drift_events=state.drift_events,
+        )
 
     def usages(self) -> dict[str, TenantUsage]:
         with self._lock:
-            names = sorted(self._tenants)
-        return {name: self.usage(name) for name in names}
+            return {
+                name: self._usage_locked(name, self._tenants[name])
+                for name in sorted(self._tenants)
+            }
+
+    def total_drift(self) -> tuple[int, int]:
+        """Registry-wide ``(drift_bytes, drift_events)`` totals."""
+        with self._lock:
+            return (
+                sum(s.drift_bytes for s in self._tenants.values()),
+                sum(s.drift_events for s in self._tenants.values()),
+            )

@@ -62,6 +62,48 @@ class TestPlanShards:
         with pytest.raises(ValueError):
             plan_shards([1, 2], 0, affinity=lambda it: it)
 
+    def test_stable_across_repr_unstable_keys(self):
+        """Regression: same-size group ties used to break on
+        ``repr(key)``, so keys with id-based reprs (the default for
+        plain objects) planned differently run to run.  Ties now break
+        on first appearance in the input."""
+
+        class Family:
+            # default object repr: "<...Family object at 0x...>" —
+            # different addresses every construction
+            def __init__(self, label):
+                self.label = label
+
+        def build(n_groups, per_group):
+            keys = [Family(f"g{g}") for g in range(n_groups)]
+            items = [
+                (g * per_group + i, keys[g])
+                for g in range(n_groups)
+                for i in range(per_group)
+            ]
+            return items, keys
+
+        items_a, keys_a = build(6, 2)
+        items_b, keys_b = build(6, 2)
+        plan_a = plan_shards(items_a, 3, affinity=lambda it: it[1])
+        plan_b = plan_shards(items_b, 3, affinity=lambda it: it[1])
+        # identical group structure must plan identically even though
+        # every key reprs differently between the two runs
+        shape_a = [[i for i, _ in shard] for shard in plan_a]
+        shape_b = [[i for i, _ in shard] for shard in plan_b]
+        assert shape_a == shape_b
+
+    def test_ties_break_on_first_appearance(self):
+        # four equal groups, two shards: first-seen groups fill the
+        # shards in arrival order, independent of key repr
+        items = [(i, ("z" if i % 4 == 0 else f"k{i % 4}"))
+                 for i in range(8)]
+        shards = plan_shards(items, 2, affinity=lambda it: it[1])
+        first_shard_groups = {key for _, key in shards[0]}
+        # "z" (items 0,4) arrived first, so it lands in shard 0 even
+        # though it sorts last lexicographically
+        assert "z" in first_shard_groups
+
 
 # ---------------------------------------------------------------------------
 # parallel publishing

@@ -390,3 +390,131 @@ class TestWorkspaceBackedServer:
             assert reopened.fsck().clean
         finally:
             reopened.close()
+
+
+class TestNamespaceInjection:
+    """Regression: separator-bearing image names crossing the tenant
+    boundary (DESIGN.md §13 behavior change)."""
+
+    @pytest.mark.parametrize("op", ["retrieve", "delete"])
+    def test_separator_names_rejected_at_the_boundary(self, op):
+        error = _error(_call(_server(), op, name="other/web"))
+        assert error["code"] == "bad-request"
+        assert "reserved" in error["message"]
+
+    def test_preexisting_global_lookalike_is_not_served(self, tmp_path):
+        """A literal ``acme/web`` published *locally* (never through
+        the service) must stay invisible to tenant ``acme`` — prefix
+        shape alone used to leak it into the tenant's namespace."""
+        from repro.workloads.scale import scale_corpus
+
+        local = Expelliarmus.open(tmp_path / "ws")
+        vmi = scale_corpus(2, n_families=1, seed="injection").build(0)
+        vmi.name = "acme/web"
+        local.publish(vmi)
+        local.save()
+        local.close()
+
+        server = ImageServer.for_workspace(
+            tmp_path / "ws", ServerConfig(checkpoint_idle_s=None)
+        )
+        try:
+            # the record is in the repository the server fronts...
+            assert "acme/web" in server.system.published_names()
+            # ...but tenant acme neither sees nor can touch it
+            error = _error(_call(server, "retrieve", name="web"))
+            assert error["code"] == "not-found"
+            error = _error(_call(server, "delete", name="web"))
+            assert error["code"] == "not-found"
+            result = _result(_call(server, "retrieve-many"))
+            assert result["n_items"] == 0
+            # and deleting it was refused, so the local record stays
+            assert "acme/web" in server.system.published_names()
+        finally:
+            server.stop()
+
+    def test_service_published_names_are_still_served(self, tmp_path):
+        server = ImageServer.for_workspace(
+            tmp_path / "ws", ServerConfig(checkpoint_idle_s=None)
+        )
+        try:
+            _result(_call(server, "publish", source=SOURCE, item=0))
+            result = _result(
+                _call(server, "retrieve", name="vmi-00000")
+            )
+            assert result["stored_name"] == "acme/vmi-00000"
+        finally:
+            server.stop()
+
+
+class TestOwnershipPersistence:
+    def test_ownership_survives_daemon_restart(self, tmp_path):
+        """The owners journal beside the workspace re-grants tenants
+        access to their images after a restart."""
+        server = ImageServer.for_workspace(
+            tmp_path / "ws", ServerConfig(checkpoint_idle_s=None)
+        )
+        _result(_call(server, "publish", source=SOURCE, item=0))
+        server.stop()
+        assert (tmp_path / "ws" / "owners.json").exists()
+
+        reborn = ImageServer.for_workspace(
+            tmp_path / "ws", ServerConfig(checkpoint_idle_s=None)
+        )
+        try:
+            result = _result(
+                _call(reborn, "retrieve", name="vmi-00000")
+            )
+            assert result["stored_name"] == "acme/vmi-00000"
+            # other tenants still see nothing
+            error = _error(
+                _call(reborn, "retrieve", tenant="b", name="vmi-00000")
+            )
+            assert error["code"] == "not-found"
+        finally:
+            reborn.stop()
+
+    def test_corrupt_owners_journal_is_tolerated(self, tmp_path):
+        server = ImageServer.for_workspace(
+            tmp_path / "ws", ServerConfig(checkpoint_idle_s=None)
+        )
+        _result(_call(server, "publish", source=SOURCE, item=0))
+        server.stop()
+        (tmp_path / "ws" / "owners.json").write_text("not json{")
+        reborn = ImageServer.for_workspace(
+            tmp_path / "ws", ServerConfig(checkpoint_idle_s=None)
+        )
+        try:
+            # degraded to an empty ownership map, not a crash
+            error = _error(
+                _call(reborn, "retrieve", name="vmi-00000")
+            )
+            assert error["code"] == "not-found"
+        finally:
+            reborn.stop()
+
+
+class TestDriftSurfacing:
+    def test_fsck_flags_quota_drift(self):
+        server = _server()
+        server.tenants.charge_publish("acme", 10)
+        server.tenants.refund_publish("acme", 25)
+        fsck = _result(_call(server, "fsck", tenant=None))
+        assert fsck["clean"] is False
+        assert any("quota-drift" in f for f in fsck["findings"])
+
+    def test_stats_expose_drift_counters(self):
+        server = _server()
+        server.tenants.charge_publish("acme", 10)
+        server.tenants.refund_publish("acme", 25)
+        stats = _result(_call(server, "stats", tenant=None))
+        tenant = stats["tenants"]["acme"]
+        assert tenant["drift_bytes"] == 15
+        assert tenant["drift_events"] == 1
+
+    def test_clean_accounting_keeps_fsck_clean(self):
+        server = _server()
+        _result(_call(server, "publish", source=SOURCE, item=0))
+        _result(_call(server, "delete", name="vmi-00000"))
+        fsck = _result(_call(server, "fsck", tenant=None))
+        assert fsck["clean"] is True

@@ -13,6 +13,8 @@ from repro.service.tenancy import (
     TenantRegistry,
     namespaced,
     split_namespace,
+    validate_image_name,
+    validate_stored_name,
     validate_tenant_name,
 )
 
@@ -43,6 +45,44 @@ class TestNames:
     def test_split_keeps_inner_separators(self):
         # only the first separator is the namespace boundary
         assert split_namespace("acme/a/b") == ("acme", "a/b")
+
+
+class TestImageNameValidation:
+    """Regression: separator injection through image names.
+
+    ``namespaced("acme", "web/../../etc")``-style names used to pass
+    straight through and later be misattributed by
+    ``split_namespace``; the protocol boundary now refuses them.
+    """
+
+    @pytest.mark.parametrize(
+        "name", ["web", "a", "web-frontend.v2", "x" * 200]
+    )
+    def test_plain_names_accepted(self, name):
+        assert validate_image_name(name) == name
+
+    @pytest.mark.parametrize(
+        "name", ["", None, 7, "a/b", "acme/web", "/", "a/b/c"]
+    )
+    def test_empty_and_separator_names_rejected(self, name):
+        with pytest.raises(ProtocolError, match="invalid image name"):
+            validate_image_name(name)
+
+    def test_namespaced_rejects_separator_bearing_name(self):
+        with pytest.raises(ProtocolError, match="reserved"):
+            namespaced("acme", "a/b")
+
+    @pytest.mark.parametrize("name", ["web", "acme/web", "t-1/img.v2"])
+    def test_stored_names_accept_bare_and_single_prefix(self, name):
+        assert validate_stored_name(name) == name
+
+    @pytest.mark.parametrize(
+        "name",
+        ["", None, "a/b/c", "acme/", "/web", "-bad/web", "sp ace/x"],
+    )
+    def test_stored_names_reject_ambiguous_shapes(self, name):
+        with pytest.raises(ProtocolError):
+            validate_stored_name(name)
 
 
 class TestQuotaValidation:
@@ -110,6 +150,34 @@ class TestByteAccounting:
         registry = TenantRegistry()
         registry.refund_publish("acme", 999)
         assert registry.usage("acme").bytes_stored == 0
+
+    def test_over_refund_counts_drift(self):
+        """Regression: the zero floor used to *silently* swallow
+        mismatched credits — now every clamped byte is counted."""
+        registry = TenantRegistry()
+        registry.charge_publish("acme", 100)
+        registry.refund_publish("acme", 250)
+        usage = registry.usage("acme")
+        assert usage.bytes_stored == 0
+        assert usage.drift_bytes == 150
+        assert usage.drift_events == 1
+
+    def test_balanced_refund_has_no_drift(self):
+        registry = TenantRegistry()
+        registry.charge_publish("acme", 100)
+        registry.refund_publish("acme", 100)
+        usage = registry.usage("acme")
+        assert usage.drift_bytes == 0
+        assert usage.drift_events == 0
+
+    def test_total_drift_sums_across_tenants(self):
+        registry = TenantRegistry()
+        registry.charge_publish("a", 10)
+        registry.refund_publish("a", 30)  # 20 bytes over
+        registry.refund_publish("b", 5)  # refund with nothing charged
+        drift_bytes, drift_events = registry.total_drift()
+        assert drift_bytes == 25
+        assert drift_events == 2
 
     def test_quotas_are_per_tenant(self):
         registry = TenantRegistry(
@@ -198,3 +266,62 @@ class TestRegistryModes:
         usages = registry.usages()
         assert set(usages) == {"a", "b"}
         assert usages["b"].bytes_stored == 20
+
+
+class TestReadOnlyReporting:
+    def test_usage_does_not_register_unknown_tenants(self):
+        """Regression: ``usage()`` for a never-seen name used to
+        auto-register it; a typo'd stats query polluted the registry
+        permanently."""
+        registry = TenantRegistry()
+        registry.charge_publish("real", 1)
+        with pytest.raises(UnknownTenantError):
+            registry.usage("typo-tenant")
+        assert registry.known_tenants() == ["real"]
+        assert set(registry.usages()) == {"real"}
+
+    def test_usage_still_validates_known_tenants(self):
+        registry = TenantRegistry()
+        registry.charge_publish("acme", 42)
+        assert registry.usage("acme").bytes_stored == 42
+
+
+class TestOwnership:
+    def test_owns_only_after_record(self):
+        registry = TenantRegistry()
+        assert not registry.owns("acme", "acme/web")
+        registry.record_owned("acme", "acme/web")
+        assert registry.owns("acme", "acme/web")
+        assert registry.owned_names("acme") == ["acme/web"]
+
+    def test_prefix_match_alone_grants_nothing(self):
+        # a stored name with the tenant's prefix that the tenant never
+        # published (e.g. a locally-published literal "acme/web") is
+        # NOT owned
+        registry = TenantRegistry()
+        registry.charge_publish("acme", 1)
+        assert not registry.owns("acme", "acme/web")
+
+    def test_owns_is_read_only_for_unknown_tenants(self):
+        registry = TenantRegistry()
+        assert not registry.owns("ghost", "ghost/x")
+        assert registry.owned_names("ghost") == []
+        assert registry.known_tenants() == []
+
+    def test_forget_owned_drops_the_name(self):
+        registry = TenantRegistry()
+        registry.record_owned("acme", "acme/web")
+        registry.forget_owned("acme", "acme/web")
+        assert not registry.owns("acme", "acme/web")
+        registry.forget_owned("acme", "never-owned")  # no-op
+
+    def test_owners_dumps_every_owned_name(self):
+        registry = TenantRegistry()
+        registry.record_owned("acme", "acme/web")
+        registry.record_owned("acme", "acme/db")
+        registry.record_owned("beta", "beta/web")
+        assert registry.owners() == {
+            "acme/web": "acme",
+            "acme/db": "acme",
+            "beta/web": "beta",
+        }
