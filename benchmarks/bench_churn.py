@@ -131,6 +131,7 @@ def _sweep(sweep) -> ExperimentResult:
     rows = []
     inc_rebuilds, full_rebuilds = [], []
     inc_scans, full_scans = [], []
+    wall_inc = []
     for n_vmis, n_families in sweep:
         m = _run_one(n_vmis, n_families)
         rows.append(
@@ -153,6 +154,7 @@ def _sweep(sweep) -> ExperimentResult:
         full_rebuilds.append(float(m["full_rebuilds"]))
         inc_scans.append(float(m["inc_scans"]))
         full_scans.append(float(m["full_scans"]))
+        wall_inc.append(round(m["inc_wall_s"], 4))
     return ExperimentResult(
         experiment_id="bench-churn",
         title="Churn-round GC work, incremental vs full mark-and-sweep",
@@ -176,6 +178,7 @@ def _sweep(sweep) -> ExperimentResult:
             Series("full-graph-rebuilds", tuple(full_rebuilds)),
             Series("inc-records-scanned", tuple(inc_scans)),
             Series("full-records-scanned", tuple(full_scans)),
+            Series("wall-inc-gc-s", tuple(wall_inc)),
         ),
         notes=(
             "one family-clustered churn round (~10% of the corpus) per "
@@ -183,6 +186,8 @@ def _sweep(sweep) -> ExperimentResult:
             "identical repositories (asserted, plus clean fsck) — only "
             "the work differs: the incremental pass touches the dirty "
             "bases, the full pass rescans the repository",
+            "wall-inc-gc-s = real seconds for the incremental GC pass "
+            "per sweep point (wallclock gate tier; machine-dependent)",
         ),
     )
 

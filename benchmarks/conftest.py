@@ -12,10 +12,19 @@ writes each result as a machine-readable ``BENCH_<name>.json`` summary
 — the perf-trajectory artifacts CI uploads per run, so the numbers the
 benches compute accumulate across the project's history instead of
 vanishing with the job log.
+
+With ``BENCH_PROFILE=1`` each bench test additionally runs under
+:mod:`cProfile` and drops ``<test name>.prof`` beside the JSON (or in
+the CWD without ``BENCH_JSON_DIR``) — the artifact the profiling
+workflow in DESIGN.md §15 starts from, produced by the exact same code
+path locally and in CI's warmup pass.  Profiled runs are slower and
+must never feed the wall-clock gate; CI keeps the flag off for timed
+runs.
 """
 
 from __future__ import annotations
 
+import cProfile
 import json
 import os
 from pathlib import Path
@@ -23,6 +32,45 @@ from pathlib import Path
 import pytest
 
 from repro.experiments.reporting import ExperimentResult
+
+
+@pytest.fixture(autouse=True)
+def bench_profile(request):
+    """Opt-in cProfile wrapper around any bench test (BENCH_PROFILE=1).
+
+    Writes ``<test name>.prof`` into ``$BENCH_JSON_DIR`` (falling back
+    to the current directory), ready for ``pstats`` or ``snakeviz``.
+
+    The profiler wraps the *benchmarked target* by shimming
+    ``benchmark.pedantic``, not the whole test: pytest-benchmark pauses
+    any profiler installed before the timed run (and cannot restore a
+    C-level ``cProfile`` hook through ``sys.setprofile``), so a
+    test-scoped profiler would crash the run and record nothing of the
+    sweep.  Enabling inside the target captures the real call tree —
+    at the price of profiler overhead in the reported wall numbers,
+    which is why profiled runs must never feed the wall-clock gate.
+    """
+    if os.environ.get("BENCH_PROFILE") != "1":
+        yield
+        return
+    benchmark = request.getfixturevalue("benchmark")
+    original = benchmark.pedantic
+    profiler = cProfile.Profile()
+
+    def profiled_pedantic(target, *args, **kwargs):
+        def wrapped(*t_args, **t_kwargs):
+            return profiler.runcall(target, *t_args, **t_kwargs)
+
+        return original(wrapped, *args, **kwargs)
+
+    benchmark.pedantic = profiled_pedantic
+    try:
+        yield
+    finally:
+        benchmark.pedantic = original
+        out_dir = Path(os.environ.get("BENCH_JSON_DIR") or ".")
+        out_dir.mkdir(parents=True, exist_ok=True)
+        profiler.dump_stats(out_dir / f"{request.node.name}.prof")
 
 
 @pytest.fixture

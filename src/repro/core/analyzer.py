@@ -27,7 +27,7 @@ from repro.repository.master_graphs import MasterGraph
 from repro.repository.repo import Repository
 from repro.sim.clock import SimulatedClock
 from repro.sim.costmodel import CostModel
-from repro.similarity.graph import graph_similarity
+from repro.similarity.graph import graph_similarity_maps
 
 __all__ = ["AnalysisResult", "SemanticAnalyzer"]
 
@@ -67,11 +67,20 @@ class SemanticAnalyzer:
 
         best_master: MasterGraph | None = None
         best_similarity = 0.0
+        upload_map = {p.name: p for p in graph.packages()}
         for master in repo.masters_with_attrs(vmi.base.attrs):
             self.clock.advance(
                 self.cost.similarity_computation(), "similarity"
             )
-            sim = graph_similarity(graph, master.full_graph())
+            # SimG reads a graph only through its name→package map and
+            # base attrs; the master's incrementally maintained map
+            # replaces the per-comparison full_graph() copy+union
+            sim = graph_similarity_maps(
+                upload_map,
+                graph.base_attrs,
+                master.full_package_map(),
+                master.base.attrs,
+            )
             if best_master is None or sim > best_similarity:
                 best_master = master
                 best_similarity = sim

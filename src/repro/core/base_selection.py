@@ -38,9 +38,17 @@ touches only bases sharing the upload's quadruple family instead of
 scanning the whole store; ``use_index=False`` keeps the paper-literal
 full scan, and both paths return identical selections.  A
 :class:`SelectionMemo` carried across publishes caches base subgraphs,
-base-package footprints, extracted member subgraphs and compatibility
+base-package footprints, precomputed base score vectors (name→package
+maps), per-homonym similarity verdicts and whole-pair compatibility
 verdicts, all keyed by content (blob keys, master-graph revisions) so
 hits are always sound.
+
+Replaceability against a *stored* base is answered from its master
+graph's package-population fingerprint
+(:meth:`~repro.repository.master_graphs.MasterGraph.package_population`)
+instead of extracting every member's primary subgraph: the two
+predicates are provably equal (see :meth:`SelectionMemo.can_replace`),
+and the fingerprint path costs O(shared package names) per pair.
 """
 
 from __future__ import annotations
@@ -50,11 +58,13 @@ import threading
 from dataclasses import dataclass
 
 from repro.model.graph import SemanticGraph
+from repro.model.package import Package
 from repro.model.vmi import BaseImage
 from repro.repository.master_graphs import MasterGraph, base_subgraph_of
 from repro.repository.repo import Repository
 from repro.similarity.base import same_base_attrs
 from repro.similarity.compatibility import is_compatible
+from repro.similarity.package import package_similarity
 
 __all__ = [
     "BaseSelection",
@@ -66,11 +76,13 @@ __all__ = [
 
 @dataclass(frozen=True)
 class _Candidate:
-    """One base image under consideration, with its member subgraphs."""
+    """One base image under consideration, with its member population."""
 
     base: BaseImage
     base_subgraph: SemanticGraph
-    #: the primary subgraphs this base must keep serving
+    #: the primary subgraphs this base must keep serving — populated
+    #: only for the upload's own candidate (its single GI[PS]); stored
+    #: candidates carry their aggregate ``population`` instead
     primary_subgraphs: tuple[SemanticGraph, ...]
     #: True when this is the freshly decomposed (not yet stored) base
     is_new: bool
@@ -78,6 +90,11 @@ class _Candidate:
     #: the upload's own candidate, whose primaries are not cacheable by
     #: blob key (same base blob, different upload, different primaries)
     member_revision: int | None = None
+    #: package-population fingerprint of the candidate's master graph
+    #: (name → member package vertices); ``None`` when the candidate has
+    #: no master — the upload's own candidate and first-member stored
+    #: bases fall back to the subgraph compatibility path
+    population: dict[str, list[Package]] | None = None
 
     @property
     def key(self) -> int:
@@ -161,6 +178,14 @@ class SelectionMemo:
         self._member_subgraphs: dict[
             int, tuple[int, tuple[SemanticGraph, ...]]
         ] = {}
+        #: blob key -> the base's score vector: its name→package map,
+        #: precomputed once per base so every compatibility test against
+        #: it is a dict probe per shared name
+        self._base_maps: dict[int, dict[str, Package]] = {}
+        #: (base package blob key, member package blob key) -> whether
+        #: simP == 1 for the homonym pair; package payloads are
+        #: content-addressed, so the verdict is valid forever
+        self._pair_compat: dict[tuple[int, int], bool] = {}
 
     def clear(self) -> None:
         with self._mutex:
@@ -168,6 +193,8 @@ class SelectionMemo:
             self._base_pkg_sizes.clear()
             self._compat.clear()
             self._member_subgraphs.clear()
+            self._base_maps.clear()
+            self._pair_compat.clear()
 
     def forget_base(self, key: int) -> None:
         """Drop everything derived from a removed base blob."""
@@ -175,6 +202,7 @@ class SelectionMemo:
             self._base_subgraphs.pop(key, None)
             self._base_pkg_sizes.pop(key, None)
             self._member_subgraphs.pop(key, None)
+            self._base_maps.pop(key, None)
             for pair in [p for p in self._compat if key in p]:
                 del self._compat[pair]
 
@@ -216,8 +244,30 @@ class SelectionMemo:
             )
             return subs
 
+    def base_map(self, cand: "_Candidate") -> dict[str, Package]:
+        """The candidate base's precomputed name→package score vector."""
+        with self._mutex:
+            base_map = self._base_maps.get(cand.key)
+            if base_map is None:
+                base_map = {
+                    p.name: p for p in cand.base_subgraph.packages()
+                }
+                self._base_maps[cand.key] = base_map
+            return base_map
+
     def can_replace(self, cand: "_Candidate", other: "_Candidate") -> bool:
-        """Is ``cand``'s base compatible with all of ``other``'s members?"""
+        """Is ``cand``'s base compatible with all of ``other``'s members?
+
+        Candidates carrying a master-graph population answer through the
+        aggregate fingerprint: every member subgraph is a subset of the
+        master's package vertices and every vertex belongs to some
+        member's (only-growing) closure, so "compatible with each member
+        subgraph" is exactly "every homonym between the base and the
+        package population has ``simP == 1``" — O(shared names) with no
+        subgraph extraction.  Candidates without a master (the upload
+        itself, first-member bases) keep the literal per-subgraph check;
+        both paths compute the same predicate.
+        """
         with self._mutex:
             self.stats.compat_checks += 1
             cache_key = None
@@ -227,13 +277,55 @@ class SelectionMemo:
                 if hit is not None and hit[0] == other.member_revision:
                     self.stats.compat_cache_hits += 1
                     return hit[1]
-            verdict = all(
-                is_compatible(cand.base_subgraph, sub)
-                for sub in other.primary_subgraphs
-            )
+            if other.population is not None:
+                verdict = self._population_compatible(
+                    cand, other.population
+                )
+            else:
+                verdict = all(
+                    is_compatible(cand.base_subgraph, sub)
+                    for sub in other.primary_subgraphs
+                )
             if cache_key is not None:
                 self._compat[cache_key] = (other.member_revision, verdict)
             return verdict
+
+    def _population_compatible(
+        self,
+        cand: "_Candidate",
+        population: dict[str, list[Package]],
+    ) -> bool:
+        """``comp == 1`` of the base against an aggregate population.
+
+        Caller holds the mutex.  Per-homonym verdicts are memoised by
+        content (blob-key pairs), so repeated candidate pairings across
+        publishes reduce to int-keyed dict probes.
+        """
+        base_map = self._base_maps.get(cand.key)
+        if base_map is None:
+            base_map = {p.name: p for p in cand.base_subgraph.packages()}
+            self._base_maps[cand.key] = base_map
+        pair_compat = self._pair_compat
+        # probe through the smaller side: shared names are the
+        # intersection either way
+        names = base_map if len(base_map) <= len(population) else population
+        for name in names:
+            counterpart = base_map.get(name)
+            if counterpart is None:
+                continue
+            members = population.get(name)
+            if not members:
+                continue
+            ckey = counterpart.blob_key()
+            for pkg in members:
+                pair = (ckey, pkg.blob_key())
+                ok = pair_compat.get(pair)
+                if ok is None:
+                    ok = package_similarity(counterpart, pkg) == 1.0
+                    pair_compat[pair] = ok
+                if not ok:
+                    return False
+        return True
 
 
 def select_base_image(
@@ -278,22 +370,23 @@ def select_base_image(
                 matching.append(stored)
     for stored in matching:
         stored_key = stored.blob_key()
+        population = None
         if repo.has_master_graph(stored_key):
             master = repo.get_master_graph(stored_key)
-            subs = memo.member_subgraphs(master)
+            population = master.package_population()
             base_sub = master.base_subgraph
             revision = master.revision
         else:
-            subs = ()
             base_sub = memo.base_subgraph(stored, stored_key)
             revision = 0
         candidates.append(
             _Candidate(
                 base=stored,
                 base_subgraph=base_sub,
-                primary_subgraphs=subs,
+                primary_subgraphs=(),
                 is_new=False,
                 member_revision=revision,
+                population=population,
             )
         )
     memo.stats.candidates += len(candidates)

@@ -105,7 +105,7 @@ class VMIPublisher:
             PublishError: when the VMI name was already published (names
                 identify uploads in the repository index).
         """
-        if vmi.name in {r.name for r in self.repo.vmi_records()}:
+        if self.repo.has_vmi(vmi.name):
             raise PublishError(f"VMI {vmi.name!r} already published")
 
         bytes_before = self.repo.total_bytes()

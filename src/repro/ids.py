@@ -15,9 +15,17 @@ deterministic.
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable
+import threading
+from typing import Hashable, Iterable
 
-__all__ = ["content_id", "content_ids", "hex_id", "combine"]
+__all__ = [
+    "content_id",
+    "content_ids",
+    "hex_id",
+    "combine",
+    "Interner",
+    "intern_identity",
+]
 
 _MASK64 = (1 << 64) - 1
 
@@ -51,3 +59,49 @@ def combine(*parts: object) -> int:
     """
     seed = "\x1f".join(str(p) for p in parts)
     return content_id(seed)
+
+
+class Interner:
+    """Map hashable composite identities to small process-local ints.
+
+    Hot paths that key caches by identity *tuples* (package identities,
+    primary-set signatures) pay tuple hashing — several string hashes
+    plus tuple combination — on every lookup.  Interning collapses each
+    distinct identity to one small ``int`` whose hash is itself, so the
+    caches hash ints instead of tuples.
+
+    Interned ids are **process-local** (assignment order dependent) and
+    must never be persisted or journaled — unlike :func:`content_id`,
+    which is stable across processes.  Content that crosses a process
+    boundary keeps using content ids.
+    """
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._ids: dict[Hashable, int] = {}
+
+    def intern(self, key: Hashable) -> int:
+        """The stable (within this process) small int for ``key``."""
+        ids = self._ids
+        found = ids.get(key)
+        if found is not None:
+            return found
+        with self._mutex:
+            # re-check under the lock: another thread may have won
+            found = ids.get(key)
+            if found is None:
+                found = len(ids)
+                ids[key] = found
+            return found
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+
+#: process-wide interner for package identity tuples (name, version, arch)
+_IDENTITIES = Interner()
+
+
+def intern_identity(key: Hashable) -> int:
+    """Intern one identity tuple in the process-wide table."""
+    return _IDENTITIES.intern(key)

@@ -58,7 +58,16 @@ def _base_key(attrs: BaseImageAttrs) -> str:
 
 
 def _pkg_key(pkg: Package) -> str:
-    return f"pkg!{pkg.name}={pkg.version}:{pkg.arch}"
+    # cached per (frozen) instance: the same payload is added to many
+    # graphs — every publish builds the VMI graph, two subgraphs and a
+    # master union from the same Package objects — and str formatting a
+    # Version dominates the add path otherwise.  Python strings cache
+    # their own hash, so repeated node lookups hash once.
+    key = pkg.__dict__.get("_node_key")
+    if key is None:
+        key = f"pkg!{pkg.name}={pkg.version}:{pkg.arch}"
+        object.__setattr__(pkg, "_node_key", key)
+    return key
 
 
 class SemanticGraph:
@@ -266,9 +275,17 @@ class SemanticGraph:
             data = self._g.nodes[key]
             if data["kind"] is NodeKind.PACKAGE:
                 sub.add_package(data["package"], data["role"])
-        for u, v in self._g.edges():
-            if u in keep and v in keep and u in sub._g and v in sub._g:
-                sub._g.add_edge(u, v)
+        # walk only the kept nodes' incident edges instead of every edge
+        # of the host graph: extraction from a large master graph is
+        # O(edges touching the closure), not O(all master edges)
+        adj = self._g.adj
+        sub_g = sub._g
+        for u in keep:
+            if u not in sub_g:
+                continue
+            for v in adj[u]:
+                if v in keep and v in sub_g:
+                    sub_g.add_edge(u, v)
         return sub
 
     # ------------------------------------------------------------------

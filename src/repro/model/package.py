@@ -17,7 +17,7 @@ from __future__ import annotations
 import operator
 from dataclasses import dataclass
 
-from repro.ids import combine
+from repro.ids import combine, intern_identity
 from repro.model.attributes import ARCH_ALL, PackageAttrs
 from repro.model.versions import Version
 
@@ -110,11 +110,45 @@ class Package:
     @property
     def identity(self) -> tuple[str, str, str]:
         """Hashable identity: (name, version string, arch)."""
-        return (self.name, str(self.version), self.arch)
+        cached = self.__dict__.get("_identity")
+        if cached is None:
+            cached = (self.name, str(self.version), self.arch)
+            object.__setattr__(self, "_identity", cached)
+        return cached
+
+    def identity_id(self) -> int:
+        """Process-local interned int for :attr:`identity`.
+
+        Caches that key work by package identity hash this int instead
+        of the three-string tuple.  Never persist it — interned ids are
+        assignment-order dependent (see :class:`repro.ids.Interner`);
+        :meth:`blob_key` is the cross-process identity.
+        """
+        cached = self.__dict__.get("_identity_id")
+        if cached is None:
+            cached = intern_identity(self.identity)
+            object.__setattr__(self, "_identity_id", cached)
+        return cached
 
     def blob_key(self) -> int:
-        """Deterministic content id of the packaged ``.deb`` archive."""
-        return combine("pkg", self.name, self.version, self.arch)
+        """Deterministic content id of the packaged ``.deb`` archive.
+
+        Computed once per instance: the blake2b digest is pure in the
+        frozen fields, and publish-path caches key almost everything by
+        this value.
+        """
+        cached = self.__dict__.get("_blob_key")
+        if cached is None:
+            cached = combine("pkg", self.name, self.version, self.arch)
+            object.__setattr__(self, "_blob_key", cached)
+        return cached
+
+    def __getstate__(self) -> dict:
+        # interned ids are process-local: a pickled cache entry restored
+        # into another process would collide with that process's table
+        state = dict(self.__dict__)
+        state.pop("_identity_id", None)
+        return state
 
     def is_portable(self) -> bool:
         """True for ``Architecture: all`` packages."""

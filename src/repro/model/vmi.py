@@ -58,9 +58,15 @@ class BaseImage:
 
         Two bases are the same stored object iff they have the same
         attribute quadruple *and* the same package population.
+        Computed once per instance — Algorithm 2 keys its candidate
+        caches by this value on every publish.
         """
-        pkgs = ",".join(sorted(str(p) for p in self.packages))
-        return combine("base", self.attrs.key(), pkgs)
+        cached = self.__dict__.get("_blob_key")
+        if cached is None:
+            pkgs = ",".join(sorted(str(p) for p in self.packages))
+            cached = combine("base", self.attrs.key(), pkgs)
+            object.__setattr__(self, "_blob_key", cached)
+        return cached
 
     def package_names(self) -> frozenset[str]:
         return frozenset(p.name for p in self.packages)

@@ -10,7 +10,10 @@ database is the durable index the algorithms query by name.
 from __future__ import annotations
 
 import sqlite3
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import Iterator
 
 from repro.errors import DuplicateEntryError, NotInRepositoryError
 
@@ -94,9 +97,50 @@ class MetadataDatabase:
         self._conn.execute("PRAGMA foreign_keys = ON")
         self._conn.executescript(_SCHEMA)
         self._seq = 0
+        #: open :meth:`batch` scopes; while > 0, per-statement commits
+        #: are deferred to the outermost scope exit.  Guarded by its own
+        #: mutex because concurrent publish shards may nest batches from
+        #: several pool threads (statements themselves stay serialized
+        #: by the repository lock).
+        self._batch_depth = 0
+        self._batch_mutex = threading.Lock()
 
     def close(self) -> None:
         self._conn.close()
+
+    # ------------------------------------------------------------------
+    # transaction batching
+    # ------------------------------------------------------------------
+
+    def _commit(self) -> None:
+        """Commit now, unless a batch scope is deferring commits."""
+        with self._batch_mutex:
+            if self._batch_depth > 0:
+                return
+        self._conn.commit()
+
+    @contextmanager
+    def batch(self) -> Iterator[None]:
+        """Defer per-statement commits to one commit at scope exit.
+
+        Batch publish otherwise pays one SQLite transaction round-trip
+        per inserted row; under a batch scope the implicit transaction
+        sqlite3 opens on the first DML statement stays open across the
+        whole pipeline and commits once.  Scopes nest (and may overlap
+        across threads): the last scope to close performs the commit.
+        Durability is unaffected — the metadata database is an index
+        rebuilt from the write-ahead op-log, never the recovery source.
+        """
+        with self._batch_mutex:
+            self._batch_depth += 1
+        try:
+            yield
+        finally:
+            with self._batch_mutex:
+                self._batch_depth -= 1
+                outermost = self._batch_depth == 0
+            if outermost:
+                self._conn.commit()
 
     # ------------------------------------------------------------------
     # base images
@@ -120,7 +164,7 @@ class MetadataDatabase:
             raise DuplicateEntryError(
                 f"base image {row.blob_key:#x} already indexed"
             ) from None
-        self._conn.commit()
+        self._commit()
 
     def delete_base_image(self, blob_key: int) -> None:
         cur = self._conn.execute(
@@ -129,7 +173,7 @@ class MetadataDatabase:
         )
         if cur.rowcount == 0:
             raise NotInRepositoryError("base image", blob_key)
-        self._conn.commit()
+        self._commit()
 
     def base_images(self) -> list[BaseImageRow]:
         rows = self._conn.execute(
@@ -195,7 +239,7 @@ class MetadataDatabase:
             raise DuplicateEntryError(
                 f"package {row.name} {row.version} already indexed"
             ) from None
-        self._conn.commit()
+        self._commit()
 
     def has_package(self, blob_key: int) -> bool:
         row = self._conn.execute(
@@ -246,7 +290,7 @@ class MetadataDatabase:
             "INSERT OR IGNORE INTO vmi_packages VALUES (?,?)",
             [(name, _signed(k)) for k in package_keys],
         )
-        self._conn.commit()
+        self._commit()
         return VMIRow(name, base_key, data_label, self._seq)
 
     def update_vmi_base(self, name: str, base_key: int) -> None:
@@ -257,7 +301,7 @@ class MetadataDatabase:
         )
         if cur.rowcount == 0:
             raise NotInRepositoryError("VMI", name)
-        self._conn.commit()
+        self._commit()
 
     def get_vmi(self, name: str) -> VMIRow:
         row = self._conn.execute(
@@ -297,7 +341,7 @@ class MetadataDatabase:
         self._conn.execute(
             "DELETE FROM vmi_packages WHERE vmi_name = ?", (name,)
         )
-        self._conn.commit()
+        self._commit()
 
     def delete_package(self, blob_key: int) -> None:
         cur = self._conn.execute(
@@ -306,7 +350,7 @@ class MetadataDatabase:
         )
         if cur.rowcount == 0:
             raise NotInRepositoryError("package", blob_key)
-        self._conn.commit()
+        self._commit()
 
     def vmi_package_keys(self, name: str) -> list[int]:
         rows = self._conn.execute(
@@ -314,6 +358,21 @@ class MetadataDatabase:
             (name,),
         ).fetchall()
         return [_unsigned(r[0]) for r in rows]
+
+    def all_vmi_package_keys(self) -> dict[str, list[int]]:
+        """Every VMI's join rows in one query (refcount rebuilds).
+
+        One table scan instead of one indexed query per record — the
+        full-GC verification anchor and fsck call this over the whole
+        store.
+        """
+        rows = self._conn.execute(
+            "SELECT vmi_name, pkg_key FROM vmi_packages"
+        ).fetchall()
+        grouped: dict[str, list[int]] = {}
+        for name, key in rows:
+            grouped.setdefault(name, []).append(_unsigned(key))
+        return grouped
 
     def replace_vmi_packages(self, name: str, package_keys: list[int]) -> None:
         """Overwrite a VMI's package join rows (GC re-derivation)."""
@@ -324,7 +383,7 @@ class MetadataDatabase:
             "INSERT OR IGNORE INTO vmi_packages VALUES (?,?)",
             [(name, _signed(k)) for k in package_keys],
         )
-        self._conn.commit()
+        self._commit()
 
 
 def _signed(key: int) -> int:

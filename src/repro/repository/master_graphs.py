@@ -91,6 +91,7 @@ def master_from_state(base: BaseImage, state: dict) -> "MasterGraph":
     """
     master = MasterGraph.for_base(base)
     master.package_graph = state["package_graph"]
+    master.invalidate_fingerprints()
     master.member_vmis = list(state["member_vmis"])
     master.revision = state.get("revision", 0)
     ensure_revision_floor(master.revision)
@@ -131,6 +132,29 @@ class MasterGraph:
     #: results (extracted member subgraphs, compatibility verdicts) are
     #: cached under this pair and invalidate when members change.
     revision: int = 0
+    #: package-population fingerprint: name -> every package vertex of
+    #: ``package_graph`` bearing that name, in vertex insertion order.
+    #: Maintained incrementally by :meth:`add_primary_subgraph`, built
+    #: lazily on objects whose ``package_graph`` was assigned directly
+    #: (snapshot restore).  Backs the O(shared-names) compatibility
+    #: check of Algorithm 2 — see :meth:`package_population`.
+    _population: dict[str, list[Package]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    #: incrementally maintained ``{p.name: p}`` over ``full_graph()``
+    #: iteration order — the exact map ``SimG`` consumes, without the
+    #: per-comparison copy+union.  See :meth:`full_package_map`.
+    _full_map: dict[str, Package] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    #: ``len(package_graph)`` when the fingerprints were last synced;
+    #: a mismatch means someone mutated the graph without going through
+    #: :meth:`add_primary_subgraph` (tests poking internals, restores),
+    #: and the maps rebuild lazily.  Vertices are never removed in
+    #: place, so the node count detects every population change.
+    _fingerprint_nodes: int = field(
+        default=-1, init=False, repr=False, compare=False
+    )
 
     @classmethod
     def for_base(cls, base: BaseImage) -> "MasterGraph":
@@ -163,7 +187,33 @@ class MasterGraph:
                 "primary subgraph is incompatible with master-graph base "
                 f"{self.base.attrs}"
             )
+        self._sync_fingerprints()
+        fresh: list[Package] | None = None
+        if self._population is not None or self._full_map is not None:
+            # packages the union is about to add as new vertices, in the
+            # subgraph's iteration order — exactly how union_update adds
+            # them, so the incremental fingerprints mirror a from-scratch
+            # rebuild bit for bit
+            pg = self.package_graph
+            fresh = [
+                p
+                for p in subgraph.packages()
+                if pg.package_key(p) not in pg
+            ]
         self.package_graph.union_update(subgraph)
+        if fresh:
+            base_g = self.base_subgraph
+            for pkg in fresh:
+                if self._population is not None:
+                    self._population.setdefault(pkg.name, []).append(pkg)
+                if self._full_map is not None and (
+                    base_g.package_key(pkg) not in base_g
+                ):
+                    # a vertex the base already provides adds no node to
+                    # full_graph(), so it cannot shift the name→package
+                    # map either
+                    self._full_map[pkg.name] = pkg
+        self._fingerprint_nodes = len(self.package_graph)
         self.revision = _REVISIONS.advance()
         if vmi_name is not None and vmi_name not in self.member_vmis:
             self.member_vmis.append(vmi_name)
@@ -213,15 +263,75 @@ class MasterGraph:
         g.union_update(self.package_graph)
         return g
 
+    # ------------------------------------------------------------------
+    # fingerprints (profile-driven publish fast paths)
+    # ------------------------------------------------------------------
+
+    def _sync_fingerprints(self) -> None:
+        """Drop the maps if the package graph changed behind our back."""
+        nodes = len(self.package_graph)
+        if nodes != self._fingerprint_nodes:
+            self._population = None
+            self._full_map = None
+            self._fingerprint_nodes = nodes
+
+    def package_population(self) -> dict[str, list[Package]]:
+        """Name → all package vertices of the merged package graph.
+
+        Because every vertex of ``package_graph`` entered through some
+        member's primary subgraph and dependency closures only ever
+        grow, the union of the current members' subgraph populations is
+        exactly this vertex set.  Algorithm 2's replaceability test —
+        "is base X compatible with *every* member subgraph of Y" —
+        therefore reduces to checking X against this aggregate
+        population, with no per-member subgraph extraction at all
+        (see :meth:`SelectionMemo.can_replace`).  Treat as read-only.
+        """
+        self._sync_fingerprints()
+        if self._population is None:
+            population: dict[str, list[Package]] = {}
+            for pkg in self.package_graph.packages():
+                population.setdefault(pkg.name, []).append(pkg)
+            self._population = population
+        return self._population
+
+    def full_package_map(self) -> dict[str, Package]:
+        """``{p.name: p for p in full_graph().packages()}``, maintained
+        incrementally.
+
+        ``SimG`` reads a graph only through this map (plus base attrs),
+        so the analyzer can score an upload against a master without
+        materialising the copy+union ``full_graph()`` builds.  Treat as
+        read-only.
+        """
+        self._sync_fingerprints()
+        if self._full_map is None:
+            full_map = {
+                p.name: p for p in self.base_subgraph.packages()
+            }
+            base_g = self.base_subgraph
+            for pkg in self.package_graph.packages():
+                if base_g.package_key(pkg) not in base_g:
+                    full_map[pkg.name] = pkg
+            self._full_map = full_map
+        return self._full_map
+
+    def invalidate_fingerprints(self) -> None:
+        """Drop the lazily maintained maps (direct graph replacement)."""
+        self._population = None
+        self._full_map = None
+        self._fingerprint_nodes = -1
+
     def has_package(self, name: str) -> bool:
-        return self.package_graph.has_package(name)
+        return name in self.package_population()
 
     def find_package(self, name: str) -> Package | None:
         """A package by name, checking members first, then the base."""
-        pkg = self.package_graph.find_package(name)
-        if pkg is None:
-            pkg = self.base.find_package(name)
-        return pkg
+        hits = self.package_population().get(name)
+        if hits:
+            # graph iteration finds the earliest-inserted vertex first
+            return hits[0]
+        return self.base.find_package(name)
 
     def check_invariant(self) -> bool:
         """Is every member primary subgraph compatible with the base?"""

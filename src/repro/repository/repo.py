@@ -159,6 +159,18 @@ class Repository:
         if self._journal is not None:
             self._journal.append(op, args)
 
+    def metadata_batch(self):
+        """Defer metadata-database commits across a multi-write scope.
+
+        Context manager.  Services wrap whole pipelines (batch publish,
+        bulk delete, GC sweeps) in one scope so SQLite commits once per
+        pipeline instead of once per row; see
+        :meth:`~repro.repository.database.MetadataDatabase.batch`.
+        Crash safety is unchanged: recovery replays the write-ahead
+        op-log, never the SQLite index.
+        """
+        return self.db.batch()
+
     # ------------------------------------------------------------------
     # revision hooks (cache invalidation)
     # ------------------------------------------------------------------
@@ -296,12 +308,13 @@ class Repository:
         self._base_refs = {
             row.blob_key: 0 for row in self.db.base_images()
         }
+        join_rows = self.db.all_vmi_package_keys()
         for record in self.vmi_records():
             if record.base_key in self._base_refs:
                 self._base_refs[record.base_key] += 1
             if record.data_label in self._data_refs:
                 self._data_refs[record.data_label] += 1
-            for key in set(self.db.vmi_package_keys(record.name)):
+            for key in set(join_rows.get(record.name, ())):
                 if key in self._pkg_refs:
                     self._pkg_refs[key] += 1
         self._zero_packages = {
@@ -614,6 +627,12 @@ class Repository:
             return self._vmi_records[name]
         except KeyError:
             raise NotInRepositoryError("VMI", name) from None
+
+    def has_vmi(self, name: str) -> bool:
+        """Is ``name`` a published VMI?  O(1) against the live index —
+        the publish-path duplicate check must not read the whole VMI
+        table per upload."""
+        return name in self._vmi_records
 
     def vmi_records(self) -> list[VMIRecord]:
         return [self._vmi_records[r.name] for r in self.db.vmis()]

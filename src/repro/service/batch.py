@@ -219,22 +219,25 @@ class BatchPublisher:
         stats_before = self.publisher.selection_memo.stats.snapshot()
 
         results: list[BatchItemResult] = []
-        for position, vmi in enumerate(batch):
-            try:
-                report = self.publisher.publish(vmi)
-            except ReproError as exc:
-                if on_error == "raise":
-                    raise
-                item = BatchItemResult(
-                    position=position, name=vmi.name, error=str(exc)
-                )
-            else:
-                item = BatchItemResult(
-                    position=position, name=vmi.name, report=report
-                )
-            results.append(item)
-            if progress is not None:
-                progress(len(results), len(batch), item)
+        # one SQLite commit for the whole pipeline instead of one per
+        # inserted row; recovery durability lives in the op-log
+        with repo.metadata_batch():
+            for position, vmi in enumerate(batch):
+                try:
+                    report = self.publisher.publish(vmi)
+                except ReproError as exc:
+                    if on_error == "raise":
+                        raise
+                    item = BatchItemResult(
+                        position=position, name=vmi.name, error=str(exc)
+                    )
+                else:
+                    item = BatchItemResult(
+                        position=position, name=vmi.name, report=report
+                    )
+                results.append(item)
+                if progress is not None:
+                    progress(len(results), len(batch), item)
 
         stats_after = self.publisher.selection_memo.stats
         return BatchPublishReport(

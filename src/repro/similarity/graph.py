@@ -28,17 +28,19 @@ attrs of whichever graphs carry one (identical attrs -> factor 1).
 
 from __future__ import annotations
 
+from repro.model.attributes import BaseImageAttrs
 from repro.model.graph import SemanticGraph
 from repro.model.package import Package
 from repro.similarity.base import base_similarity
 from repro.similarity.package import package_similarity
 from repro.similarity.size import max_package_size, size_similarity
 
-__all__ = ["graph_similarity"]
+__all__ = ["graph_similarity", "graph_similarity_maps"]
 
 
-def _base_factor(g1: SemanticGraph, g2: SemanticGraph) -> float:
-    b1, b2 = g1.base_attrs, g2.base_attrs
+def _attrs_factor(
+    b1: BaseImageAttrs | None, b2: BaseImageAttrs | None
+) -> float:
     if b1 is None or b2 is None:
         # subgraph-vs-master comparisons: base compatibility is the
         # caller's job (master graphs are already keyed by base attrs)
@@ -57,8 +59,30 @@ def graph_similarity(g1: SemanticGraph, g2: SemanticGraph) -> float:
     Two empty graphs score 0 (no shared semantics to speak of), matching
     Table II where the first uploaded image reports similarity 0.
     """
-    pkgs1: dict[str, Package] = {p.name: p for p in g1.packages()}
-    pkgs2: dict[str, Package] = {p.name: p for p in g2.packages()}
+    return graph_similarity_maps(
+        {p.name: p for p in g1.packages()},
+        g1.base_attrs,
+        {p.name: p for p in g2.packages()},
+        g2.base_attrs,
+    )
+
+
+def graph_similarity_maps(
+    pkgs1: dict[str, Package],
+    attrs1: BaseImageAttrs | None,
+    pkgs2: dict[str, Package],
+    attrs2: BaseImageAttrs | None,
+) -> float:
+    """``SimG`` over prebuilt name→package maps.
+
+    ``SimG`` depends on a graph only through its name→package map (last
+    version wins on duplicate names, as graph iteration order yields)
+    and its base attributes — edges never enter the formula.  Callers
+    that maintain the map incrementally (the analyzer scoring uploads
+    against master graphs) skip rebuilding a full union graph per
+    comparison; :func:`graph_similarity` is the graph-argument wrapper
+    and both compute bit-identical values.
+    """
     if not pkgs1 and not pkgs2:
         return 0.0
 
@@ -72,7 +96,9 @@ def graph_similarity(g1: SemanticGraph, g2: SemanticGraph) -> float:
             for n in pkgs1.keys() & pkgs2.keys()
         )
         union = len(pkgs1.keys() | pkgs2.keys())
-        return _base_factor(g1, g2) * (matched / union if union else 0.0)
+        return _attrs_factor(attrs1, attrs2) * (
+            matched / union if union else 0.0
+        )
 
     numerator = 0.0
     denominator = 0.0
@@ -90,4 +116,4 @@ def graph_similarity(g1: SemanticGraph, g2: SemanticGraph) -> float:
 
     if denominator == 0.0:
         return 0.0
-    return _base_factor(g1, g2) * (numerator / denominator)
+    return _attrs_factor(attrs1, attrs2) * (numerator / denominator)

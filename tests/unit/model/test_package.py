@@ -94,3 +94,37 @@ class TestPackage:
             depends=(DependencySpec("b"), DependencySpec("a")),
         )
         assert pkg.dependency_names() == ("b", "a")
+
+
+class TestIdentityInterning:
+    def test_identity_id_stable_and_shared(self):
+        a = make_package("redis-server", "3.0.6", installed_size=1000)
+        b = make_package("redis-server", "3.0.6", installed_size=9999)
+        # the interned id keys the identity (name, version, arch), not
+        # the payload — two builds of the same package share it
+        assert a.identity_id() == a.identity_id()
+        assert a.identity_id() == b.identity_id()
+        assert a.identity_id() != make_package(
+            "redis-server", "3.0.7"
+        ).identity_id()
+
+    def test_identity_id_never_pickled(self):
+        import pickle
+
+        pkg = make_package("redis-server", "3.0.6", installed_size=1000)
+        pkg.identity_id()  # populate the process-local cache
+        assert "_identity_id" in pkg.__dict__
+        clone = pickle.loads(pickle.dumps(pkg))
+        # interned ids are assignment-order dependent: a restored
+        # object must re-intern in its own process, never trust ours
+        assert "_identity_id" not in clone.__dict__
+        assert clone == pkg
+        assert clone.identity_id() == pkg.identity_id()
+
+    def test_blob_key_cache_survives_pickle(self):
+        import pickle
+
+        pkg = make_package("redis-server", "3.0.6", installed_size=1000)
+        key = pkg.blob_key()  # content-stable, safe to carry across
+        clone = pickle.loads(pickle.dumps(pkg))
+        assert clone.blob_key() == key

@@ -141,3 +141,61 @@ class TestBaseImageAttrsIndex:
         assert db.base_image_count() == 3
         db.delete_base_image(2)
         assert db.base_image_count() == 2
+
+
+class TestBatching:
+    """The batch() scope: one commit per pipeline, not per statement."""
+
+    def test_commit_deferred_until_scope_exit(self, db):
+        with db.batch():
+            db.insert_base_image(base_row())
+            # the implicit transaction stays open across the scope
+            assert db._conn.in_transaction
+        assert not db._conn.in_transaction
+        assert db.base_image_count() == 1
+
+    def test_nested_scopes_commit_once_at_outermost_exit(self, db):
+        with db.batch():
+            with db.batch():
+                db.insert_base_image(base_row())
+            assert db._conn.in_transaction
+        assert not db._conn.in_transaction
+        assert db.base_image_count() == 1
+
+    def test_scope_commits_even_when_the_pipeline_raises(self, db):
+        # rows written before the failure are index state the op-log
+        # already journaled; the batch scope must not hold them hostage
+        with pytest.raises(RuntimeError):
+            with db.batch():
+                db.insert_base_image(base_row())
+                raise RuntimeError("pipeline died mid-batch")
+        assert not db._conn.in_transaction
+        assert db.base_image_count() == 1
+
+    def test_without_a_scope_commits_per_statement(self, db):
+        db.insert_base_image(base_row())
+        assert not db._conn.in_transaction
+
+
+class TestAllVmiPackageKeys:
+    def test_grouped_with_unsigned_round_trip(self, db):
+        big = 2**63 + 7  # uint64 key crossing the signed boundary
+        db.insert_package(pkg_row(key=big, name="redis"))
+        db.insert_package(pkg_row(key=12, name="mongo"))
+        db.insert_vmi("vmi-a", 0, None, [big, 12])
+        db.insert_vmi("vmi-b", 0, None, [12])
+        grouped = db.all_vmi_package_keys()
+        assert grouped == {"vmi-a": [big, 12], "vmi-b": [12]}
+
+    def test_matches_per_record_queries(self, db):
+        db.insert_package(pkg_row(key=11, name="redis"))
+        db.insert_vmi("vmi-a", 0, None, [11])
+        db.insert_vmi("vmi-empty", 0, None, [])
+        grouped = db.all_vmi_package_keys()
+        for row in db.vmis():
+            assert grouped.get(row.name, []) == db.vmi_package_keys(
+                row.name
+            )
+
+    def test_empty_database(self, db):
+        assert db.all_vmi_package_keys() == {}

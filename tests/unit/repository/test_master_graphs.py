@@ -101,3 +101,106 @@ class TestQueries:
 
     def test_base_key(self, master, base):
         assert master.base_key == base.blob_key()
+
+
+def rebuilt_population(master):
+    """The from-scratch definition the incremental maps must match."""
+    population = {}
+    for pkg in master.package_graph.packages():
+        population.setdefault(pkg.name, []).append(pkg)
+    return population
+
+
+def rebuilt_full_map(master):
+    return {p.name: p for p in master.full_graph().packages()}
+
+
+class TestFingerprints:
+    """The incrementally maintained population / full-map caches must
+    be indistinguishable from a from-scratch rebuild, whatever path
+    mutated the graph."""
+
+    def _add(self, master, mini_builder, *primaries, name=None):
+        from repro.image.builder import BuildRecipe
+
+        vmi = mini_builder.build(
+            BuildRecipe(
+                name=name or f"{primaries[0]}-vm", primaries=primaries
+            )
+        )
+        master.add_primary_subgraph(ps_subgraph(vmi), vmi.name)
+
+    def test_incremental_population_matches_rebuild(
+        self, master, mini_builder
+    ):
+        # prime the lazy maps, then grow incrementally
+        master.package_population()
+        master.full_package_map()
+        self._add(master, mini_builder, "redis-server")
+        self._add(master, mini_builder, "nginx")
+        assert master.package_population() == rebuilt_population(master)
+        assert master.full_package_map() == rebuilt_full_map(master)
+
+    def test_lazy_build_matches_rebuild(self, master, mini_builder):
+        # maps never primed before the mutations: pure lazy path
+        self._add(master, mini_builder, "redis-server")
+        assert master.package_population() == rebuilt_population(master)
+        assert master.full_package_map() == rebuilt_full_map(master)
+
+    def test_full_map_last_wins_order(self, master, mini_builder):
+        self._add(master, mini_builder, "redis-server")
+        full_map = master.full_package_map()
+        # base-provided names resolve to the base vertices: full_graph()
+        # starts from the base subgraph and union_update skips existing
+        # keys, so the base's bash wins over any member copy
+        assert full_map["bash"] is rebuilt_full_map(master)["bash"]
+
+    def test_merge_from_keeps_maps_consistent(
+        self, master, base, mini_builder
+    ):
+        master.package_population()
+        master.full_package_map()
+        other = MasterGraph.for_base(base)
+        self._add(other, mini_builder, "nginx")
+        master.merge_from(other)
+        assert master.package_population() == rebuilt_population(master)
+        assert master.full_package_map() == rebuilt_full_map(master)
+        assert master.has_package("nginx")
+
+    def test_out_of_band_mutation_detected(self, master, mini_builder):
+        """Poking package_graph directly (tests, restores) must not
+        leave stale maps behind — the node-count guard rebuilds."""
+        from repro.image.builder import BuildRecipe
+
+        master.package_population()
+        vmi = mini_builder.build(
+            BuildRecipe(name="sneaky-vm", primaries=("nginx",))
+        )
+        master.package_graph.union_update(ps_subgraph(vmi))
+        assert master.has_package("nginx")
+        assert master.package_population() == rebuilt_population(master)
+        assert master.full_package_map() == rebuilt_full_map(master)
+
+    def test_state_round_trip_rebuilds_maps(self, master, mini_builder):
+        from repro.repository.master_graphs import (
+            master_from_state,
+            master_state,
+        )
+
+        self._add(master, mini_builder, "redis-server")
+        master.package_population()
+        restored = master_from_state(master.base, master_state(master))
+        assert restored.package_population() == rebuilt_population(
+            restored
+        )
+        assert restored.full_package_map() == rebuilt_full_map(restored)
+
+    def test_find_package_prefers_earliest_member_vertex(
+        self, master, mini_builder
+    ):
+        self._add(master, mini_builder, "redis-server")
+        found = master.find_package("redis-server")
+        assert found is rebuilt_population(master)["redis-server"][0]
+        # base-only names still resolve through the base
+        assert master.find_package("bash") is not None
+        assert master.find_package("ghost") is None

@@ -44,3 +44,53 @@ class TestCombine:
 
     def test_separator_prevents_ambiguity(self):
         assert combine("ab", "c") != combine("a", "bc")
+
+
+class TestInterner:
+    def test_same_key_same_id(self):
+        from repro.ids import Interner
+
+        table = Interner()
+        a = table.intern(("redis", "3.0.6", "amd64"))
+        assert table.intern(("redis", "3.0.6", "amd64")) == a
+
+    def test_distinct_keys_distinct_sequential_ids(self):
+        from repro.ids import Interner
+
+        table = Interner()
+        ids = [table.intern(("pkg", i)) for i in range(100)]
+        assert ids == list(range(100))
+        assert len(table) == 100
+
+    def test_thread_safety(self):
+        import threading
+
+        from repro.ids import Interner
+
+        table = Interner()
+        keys = [("pkg", i % 50) for i in range(500)]
+        results: dict[int, list[int]] = {}
+
+        def worker(tid):
+            results[tid] = [table.intern(k) for k in keys]
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # every thread observed the identical key -> id assignment
+        assert len(set(map(tuple, results.values()))) == 1
+        assert len(table) == 50
+
+    def test_process_wide_identity_interner(self):
+        from repro.ids import intern_identity
+
+        assert intern_identity(("a", "1", "x")) == intern_identity(
+            ("a", "1", "x")
+        )
+        assert intern_identity(("a", "1", "x")) != intern_identity(
+            ("a", "2", "x")
+        )
