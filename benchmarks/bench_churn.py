@@ -195,12 +195,16 @@ def _sweep(sweep) -> ExperimentResult:
 def _assert_churn_proportional(result: ExperimentResult) -> None:
     series = {s.label: s.values for s in result.series}
     for inc, full in zip(
-        series["inc-graph-rebuilds"], series["full-graph-rebuilds"]
+        series["inc-graph-rebuilds"],
+        series["full-graph-rebuilds"],
+        strict=True,
     ):
         # the incremental pass rebuilds only dirty-base master graphs
         assert full >= 5 * inc
     for inc, full in zip(
-        series["inc-records-scanned"], series["full-records-scanned"]
+        series["inc-records-scanned"],
+        series["full-records-scanned"],
+        strict=True,
     ):
         assert full >= 5 * inc
 

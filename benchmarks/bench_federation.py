@@ -196,7 +196,9 @@ def _sweep(
 
 def _assert_scaling(result: ExperimentResult, shard_levels) -> None:
     series = {s.label: s.values for s in result.series}
-    speedups = dict(zip(shard_levels, series["federation-speedup"]))
+    speedups = dict(
+        zip(shard_levels, series["federation-speedup"], strict=True)
+    )
     assert speedups[4] >= MIN_SPEEDUP_AT_4, speedups
     # sharding never makes the critical path longer than sequential
     assert all(

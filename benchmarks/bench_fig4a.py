@@ -13,4 +13,4 @@ def test_fig4a(benchmark, report_result):
     attach_series(benchmark, result)
     exp = result.series_by_label("Expelliarmus").values
     mirage = result.series_by_label("Mirage").values
-    assert all(e < m for e, m in zip(exp, mirage))
+    assert all(e < m for e, m in zip(exp, mirage, strict=True))

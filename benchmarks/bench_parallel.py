@@ -144,8 +144,8 @@ def _sweep(n_vmis: int, n_families: int, levels) -> ExperimentResult:
 
 def _assert_overlap(result: ExperimentResult, levels) -> None:
     series = {s.label: s.values for s in result.series}
-    speedups = dict(zip(levels, series["publish-speedup"]))
-    retrieval = dict(zip(levels, series["retrieve-speedup"]))
+    speedups = dict(zip(levels, series["publish-speedup"], strict=True))
+    retrieval = dict(zip(levels, series["retrieve-speedup"], strict=True))
     # the acceptance floor: >= 2x critical-path speedup at parallelism
     # 4 against the sequential anchor, on both pipelines
     assert speedups[4] >= MIN_SPEEDUP_AT_4, speedups

@@ -194,6 +194,7 @@ def _assert_replay_scales_with_ops(result: ExperimentResult) -> None:
         series["snapshot-reopen-s"],
         series["replay-marginal-s"],
         series["rebuild-s"],
+        strict=True,
     ):
         assert snap + marginal < rebuild
 

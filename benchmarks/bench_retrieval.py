@@ -149,7 +149,7 @@ def _assert_amortized(result: ExperimentResult) -> None:
     cold_copy = series["cold-base-copy-seconds"]
     warm_copy = series["warm-base-copy-seconds"]
     derived = series["plans-derived-per-request"]
-    for cold, warm in zip(cold_copy, warm_copy):
+    for cold, warm in zip(cold_copy, warm_copy, strict=True):
         # the warm cache must cut charged base-copy work measurably
         assert warm < 0.5 * cold
     # plan sharing within one round: strictly fewer derivations than

@@ -142,7 +142,7 @@ def _queue_replay(events, service_s, workers: int) -> dict:
     heapq.heapify(free_at)
     latencies = []
     makespan = 0.0
-    for ev, service in zip(events, service_s):
+    for ev, service in zip(events, service_s, strict=True):
         start = max(ev.arrival_s, heapq.heappop(free_at))
         done = start + service
         heapq.heappush(free_at, done)

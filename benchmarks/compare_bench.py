@@ -247,7 +247,7 @@ def compare_dirs(
         current_paths = [d / baseline_path.name for d in current_dirs]
         missing = [
             str(d)
-            for d, p in zip(current_dirs, current_paths)
+            for d, p in zip(current_dirs, current_paths, strict=True)
             if not p.exists()
         ]
         if missing:

@@ -41,6 +41,10 @@ __all__ = ["FixedBlockStore", "VariableBlockStore", "chunk_counts"]
 
 _MIX = np.uint64(0x9E3779B97F4A7C15)
 
+#: the classic content-store block size (evaluated once at import so
+#: the default is not a call expression)
+_DEFAULT_CHUNK_SIZE = kb(4)
+
 
 def _chunk_ids_fixed(
     manifest: FileManifest, chunk_size: int
@@ -58,7 +62,7 @@ def _chunk_ids_fixed(
     out_sizes = np.empty(n_chunks, dtype=np.int64)
     pos = 0
     for cid, n_full, tail_len in zip(
-        manifest.content_ids, full, tail
+        manifest.content_ids, full, tail, strict=True
     ):
         if n_full:
             idx = np.arange(n_full, dtype=np.uint64)
@@ -86,7 +90,9 @@ def _chunk_ids_variable(
     ids_out: list[np.ndarray] = []
     sizes_out: list[np.ndarray] = []
     lo, hi = target_size // 2, target_size * 2
-    for cid, size in zip(manifest.content_ids, manifest.sizes):
+    for cid, size in zip(
+        manifest.content_ids, manifest.sizes, strict=True
+    ):
         if size == 0:
             continue
         rng = np.random.default_rng(int(cid) & 0x7FFFFFFF)
@@ -123,7 +129,9 @@ class _BlockStoreBase(StorageScheme):
     #: override: chunker function
     _variable = False
 
-    def __init__(self, params=None, *, chunk_size: int = kb(4)) -> None:
+    def __init__(
+        self, params=None, *, chunk_size: int = _DEFAULT_CHUNK_SIZE
+    ) -> None:
         super().__init__(params)
         if chunk_size <= 0:
             raise ValueError("chunk_size must be positive")

@@ -290,6 +290,8 @@ class SelectionMemo:
                 self._compat[cache_key] = (other.member_revision, verdict)
             return verdict
 
+    # reprolint: unguarded — caller-holds-the-mutex helper (see
+    # docstring); every call site is inside 'with self._mutex'
     def _population_compatible(
         self,
         cand: "_Candidate",

@@ -1,0 +1,24 @@
+"""Repo-specific static analysis (DESIGN.md §16).
+
+``reprolint`` turns the cross-cutting conventions PRs 4-8 introduced —
+lock discipline, journal/replay closure, repository encapsulation,
+guarded caches, cost-label accounting, and error-taxonomy closure —
+from reviewer folklore into machine-checkable rules.  Run it as::
+
+    python -m repro.devtools.reprolint [--rule ID] [--format text|json] [paths]
+
+The package is pure stdlib (``ast`` + ``tokenize``): it must be
+importable in every environment the test suite runs in, including
+containers where no third-party linter is installed.
+"""
+
+from repro.devtools.findings import Finding, render_json, render_text
+from repro.devtools.project import Project, SourceFile
+
+__all__ = [
+    "Finding",
+    "Project",
+    "SourceFile",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,96 @@
+"""Small AST predicates shared by the reprolint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = [
+    "MUTATING_CONTAINER_METHODS",
+    "call_name",
+    "is_self_attr",
+    "iter_methods",
+    "string_elements",
+    "terminal_name",
+]
+
+#: method names that mutate a dict / set / list in place
+MUTATING_CONTAINER_METHODS = frozenset({
+    "add",
+    "append",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "pop",
+    "popitem",
+    "remove",
+    "setdefault",
+    "update",
+})
+
+
+def terminal_name(node: ast.expr) -> str | None:
+    """The last name segment of a Name / Attribute chain, else None.
+
+    ``repo`` -> "repo", ``self.clock`` -> "clock", ``a.b.clock`` ->
+    "clock" — what receiver-based rules match on.
+    """
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def is_self_attr(node: ast.expr, prefix: str = "_") -> bool:
+    """Is ``node`` an ``self.<attr>`` access with ``attr`` starting
+    ``prefix`` (dunders excluded)?"""
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and node.attr.startswith(prefix)
+        and not node.attr.startswith("__")
+    )
+
+
+def call_name(call: ast.Call) -> str | None:
+    """The called name: ``f(...)`` -> "f", ``a.b.f(...)`` -> "f"."""
+    return terminal_name(call.func)
+
+
+def iter_methods(
+    cls: ast.ClassDef,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for stmt in cls.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield stmt
+
+
+def string_elements(node: ast.expr) -> list[str] | None:
+    """The string literals of a tuple/list/set/frozenset literal.
+
+    Resolves ``("a", "b")``, ``{"a", "b"}``, ``["a"]`` and
+    ``frozenset({"a", "b"})``; returns None when the node is anything
+    else (a comprehension, a name, a computed value).
+    """
+    if isinstance(node, ast.Call) and call_name(node) in (
+        "frozenset",
+        "set",
+        "tuple",
+    ):
+        if len(node.args) == 1:
+            return string_elements(node.args[0])
+        return None
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        out: list[str] = []
+        for elt in node.elts:
+            if isinstance(elt, ast.Constant) and isinstance(
+                elt.value, str
+            ):
+                out.append(elt.value)
+            else:
+                return None
+        return out
+    return None

@@ -1,0 +1,190 @@
+"""RL004 — guarded-cache discipline in concurrent modules.
+
+The planner/memo caches and the service registries are mutated by many
+threads under the repository *read* lock, so each class guards its own
+``self._*`` containers with a private mutex (DESIGN.md §12).  This rule
+enforces the pairing: inside the concurrent modules, any class that
+owns a lock attribute must perform dict/set/list mutations on its
+``self._*`` attributes lexically inside a ``with self.<lock>`` block.
+
+A mutation outside the block is exactly the planner-cache race PR 5
+fixed by hand; the rule keeps it fixed.  Escape hatch:
+``# reprolint: unguarded`` on the mutation line or in the enclosing
+method's header, for "caller holds the mutex" helpers.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.devtools._astutil import (
+    MUTATING_CONTAINER_METHODS,
+    call_name,
+    is_self_attr,
+    iter_methods,
+)
+from repro.devtools.findings import Finding
+from repro.devtools.project import Project, SourceFile
+
+RULE_ID = "RL004"
+TITLE = "cache mutations must hold the owning class's lock"
+
+#: the modules declared concurrent (DESIGN.md §12): path suffixes, plus
+#: every module under service/
+CONCURRENT_SUFFIXES = (
+    "core/assembly_plan.py",
+    "core/base_selection.py",
+    "repository/master_graphs.py",
+)
+SERVICE_COMPONENT = "service/"
+#: constructors whose result makes an attribute a lock
+LOCK_FACTORIES = frozenset({
+    "Lock",
+    "RLock",
+    "Condition",
+    "Semaphore",
+    "BoundedSemaphore",
+})
+PRAGMA = "unguarded"
+
+
+def _is_concurrent(path: str) -> bool:
+    if any(
+        path == s or path.endswith("/" + s) for s in CONCURRENT_SUFFIXES
+    ):
+        return True
+    return SERVICE_COMPONENT in path and path.endswith(".py")
+
+
+def check(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    for source in project.files:
+        if not _is_concurrent(source.path):
+            continue
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(_check_class(source, node))
+    return findings
+
+
+def _lock_attrs(cls: ast.ClassDef) -> frozenset[str]:
+    """Attributes of ``cls`` assigned a lock constructor anywhere."""
+    attrs: set[str] = set()
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not (
+            isinstance(node.value, ast.Call)
+            and call_name(node.value) in LOCK_FACTORIES
+        ):
+            continue
+        for target in node.targets:
+            if is_self_attr(target):
+                attrs.add(target.attr)
+    return frozenset(attrs)
+
+
+def _check_class(
+    source: SourceFile, cls: ast.ClassDef
+) -> list[Finding]:
+    locks = _lock_attrs(cls)
+    if not locks:
+        return []
+    findings: list[Finding] = []
+    for method in iter_methods(cls):
+        if method.name == "__init__":
+            continue
+        if source.has_pragma_in_header(PRAGMA, method):
+            continue
+        for stmt in method.body:
+            _visit(source, cls, method, locks, stmt, False, findings)
+    return findings
+
+
+def _guards(node: ast.With | ast.AsyncWith, locks: frozenset[str]) -> bool:
+    """Does one with-statement acquire one of the class's locks?"""
+    for item in node.items:
+        for sub in ast.walk(item.context_expr):
+            if is_self_attr(sub, prefix="") and sub.attr in locks:
+                return True
+    return False
+
+
+def _visit(
+    source: SourceFile,
+    cls: ast.ClassDef,
+    method: ast.FunctionDef | ast.AsyncFunctionDef,
+    locks: frozenset[str],
+    node: ast.AST,
+    guarded: bool,
+    findings: list[Finding],
+) -> None:
+    if isinstance(node, (ast.With, ast.AsyncWith)):
+        inner = guarded or _guards(node, locks)
+        for child in node.body:
+            _visit(source, cls, method, locks, child, inner, findings)
+        return
+    if not guarded:
+        mutated = _mutated_attr(node)
+        if mutated is not None and not source.has_pragma(
+            PRAGMA, node.lineno
+        ):
+            lock = sorted(locks)[0]
+            findings.append(
+                Finding(
+                    rule=RULE_ID,
+                    path=source.path,
+                    line=node.lineno,
+                    message=(
+                        f"{cls.name}.{method.name} mutates "
+                        f"self.{mutated} outside 'with self.{lock}'"
+                    ),
+                    hint=(
+                        f"wrap the mutation in 'with self.{lock}:', "
+                        "or waive a caller-holds-the-lock helper with "
+                        f"'# reprolint: {PRAGMA} — <reason>'"
+                    ),
+                )
+            )
+    for child in ast.iter_child_nodes(node):
+        _visit(source, cls, method, locks, child, guarded, findings)
+
+
+#: statements a mutation can hide in without child statements of their
+#: own — compound statements are handled by recursion instead, so the
+#: walk below can never double-report
+_SIMPLE_STMTS = (
+    ast.Assign,
+    ast.AnnAssign,
+    ast.AugAssign,
+    ast.Expr,
+    ast.Return,
+    ast.Delete,
+)
+
+
+def _mutated_attr(node: ast.AST) -> str | None:
+    """The ``self._x`` attribute this simple statement mutates, if any."""
+    if not isinstance(node, _SIMPLE_STMTS):
+        return None
+    targets: list[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    elif isinstance(node, ast.Delete):
+        targets = list(node.targets)
+    for target in targets:
+        if isinstance(target, ast.Subscript) and is_self_attr(
+            target.value
+        ):
+            return target.value.attr
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr in MUTATING_CONTAINER_METHODS
+            and is_self_attr(sub.func.value)
+        ):
+            return sub.func.value.attr
+    return None

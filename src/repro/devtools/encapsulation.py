@@ -1,0 +1,69 @@
+"""RL003 — repository encapsulation.
+
+No code outside ``repository/repo.py`` may read or write ``_``-prefixed
+attributes of a repository object (``repo._packages``,
+``repository._vmi_records``, ...).  The public iteration API exists
+precisely so fsck, persistence and services survive internal refactors;
+an underscore reach-through silently desynchronises the first time the
+internals change shape.
+
+The receiver is matched by name: any ``repo`` / ``repository`` name or
+attribute (``self.repo``, ``shard.repository``) counts.  Escape hatch:
+``# reprolint: internal-access`` on the offending line, for white-box
+test helpers and the snapshot writer if it ever needs one.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.devtools._astutil import terminal_name
+from repro.devtools.findings import Finding
+from repro.devtools.project import Project
+
+RULE_ID = "RL003"
+TITLE = "no repo._* access outside repository/repo.py"
+
+#: the only file allowed to touch repository internals
+REPO_SUFFIX = "repository/repo.py"
+#: receiver names treated as repository objects
+RECEIVER_NAMES = frozenset({"repo", "repository"})
+PRAGMA = "internal-access"
+
+
+def check(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    for source in project.files:
+        if source.path.endswith(REPO_SUFFIX):
+            continue
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if not node.attr.startswith("_") or node.attr.startswith(
+                "__"
+            ):
+                continue
+            if terminal_name(node.value) not in RECEIVER_NAMES:
+                continue
+            if source.has_pragma(PRAGMA, node.lineno):
+                continue
+            receiver = terminal_name(node.value)
+            findings.append(
+                Finding(
+                    rule=RULE_ID,
+                    path=source.path,
+                    line=node.lineno,
+                    message=(
+                        f"{receiver}.{node.attr} reaches into "
+                        "repository internals outside "
+                        f"{REPO_SUFFIX}"
+                    ),
+                    hint=(
+                        "use the public Repository API (packages(), "
+                        "get_base_image(), has_user_data(), ...) or "
+                        "extend it with a read-only view; waive with "
+                        f"'# reprolint: {PRAGMA} — <reason>'"
+                    ),
+                )
+            )
+    return findings

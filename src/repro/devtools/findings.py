@@ -1,0 +1,65 @@
+"""The machine-readable finding model shared by every reprolint rule.
+
+A finding is one rule violation at one source location.  Findings are
+plain frozen data so rules stay side-effect free, the driver can sort
+and deduplicate them, and the JSON renderer is a trivial projection —
+the CI job uploads that JSON as an artifact, so its shape is a small
+contract (:data:`JSON_SCHEMA_VERSION` bumps on incompatible change).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+__all__ = [
+    "JSON_SCHEMA_VERSION",
+    "Finding",
+    "render_json",
+    "render_text",
+]
+
+#: bumped when the JSON payload shape changes incompatibly
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    #: rule identifier ("RL001" ... "RL006"; "RL000" = unparseable file)
+    rule: str
+    #: path of the offending file, as scanned
+    path: str
+    #: 1-based source line the finding anchors to
+    line: int
+    #: what is wrong, in one sentence
+    message: str
+    #: how to fix it (or how to suppress it with a pragma)
+    hint: str
+
+    def __str__(self) -> str:  # pragma: no cover - convenience alias
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+def render_text(findings: list[Finding]) -> str:
+    """Human-readable report: one location line + indented hint each."""
+    lines: list[str] = []
+    for f in findings:
+        lines.append(f"{f.path}:{f.line}: {f.rule} {f.message}")
+        if f.hint:
+            lines.append(f"    hint: {f.hint}")
+    lines.append(
+        f"{len(findings)} finding{'s' if len(findings) != 1 else ''}"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: list[Finding]) -> str:
+    """The artifact payload: schema version, count, finding objects."""
+    payload = {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "count": len(findings),
+        "findings": [asdict(f) for f in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,143 @@
+"""RL002 — journal/replay closure.
+
+Every op name the repository journals (``self._log("op", ...)`` in
+``repository/repo.py``) must have a replay handler — an entry in the
+``_REPLAYABLE_OPS`` table of ``repository/oplog.py`` — and vice versa.
+A journaled op without a handler is silent data loss on crash
+recovery: the write-ahead log records it, replay refuses it, the
+workspace reopens without the mutation.  A handler without a journal
+site is dead code that hides exactly that bug the next time the
+surfaces drift.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.devtools._astutil import string_elements
+from repro.devtools.findings import Finding
+from repro.devtools.project import Project
+
+RULE_ID = "RL002"
+TITLE = "journaled ops and replay handlers must match exactly"
+
+REPO_SUFFIX = "repository/repo.py"
+OPLOG_SUFFIX = "repository/oplog.py"
+#: the journaling helper primitives call
+LOG_METHOD = "_log"
+#: the journal sink's append method (direct appends are journal sites
+#: too)
+JOURNAL_ATTR = "_journal"
+#: the replay dispatch table in oplog.py
+REPLAY_TABLE = "_REPLAYABLE_OPS"
+
+
+def check(project: Project) -> list[Finding]:
+    repo = project.find(REPO_SUFFIX)
+    oplog = project.find(OPLOG_SUFFIX)
+    if repo is None or oplog is None:
+        return []
+    journaled = _journaled_ops(repo.tree)
+    table = _replay_table(oplog.tree)
+    if table is None:
+        return [
+            Finding(
+                rule=RULE_ID,
+                path=oplog.path,
+                line=1,
+                message=(
+                    f"no literal {REPLAY_TABLE} table found — the "
+                    "replay surface is not statically checkable"
+                ),
+                hint=(
+                    f"define {REPLAY_TABLE} as a frozenset of string "
+                    "literals at module level"
+                ),
+            )
+        ]
+    replayable, table_line = table
+    findings: list[Finding] = []
+    for op in sorted(set(journaled) - replayable):
+        findings.append(
+            Finding(
+                rule=RULE_ID,
+                path=repo.path,
+                line=min(journaled[op]),
+                message=(
+                    f"journaled op {op!r} has no replay handler in "
+                    f"{REPLAY_TABLE} — unreplayable on crash recovery"
+                ),
+                hint=(
+                    f"add {op!r} to {REPLAY_TABLE} in {OPLOG_SUFFIX} "
+                    "and teach apply_op to replay it"
+                ),
+            )
+        )
+    for op in sorted(replayable - set(journaled)):
+        findings.append(
+            Finding(
+                rule=RULE_ID,
+                path=oplog.path,
+                line=table_line,
+                message=(
+                    f"replay handler for {op!r} is dead — no journal "
+                    f"site in {REPO_SUFFIX} emits it"
+                ),
+                hint=(
+                    f"remove {op!r} from {REPLAY_TABLE} or restore "
+                    "the journaling call in the primitive"
+                ),
+            )
+        )
+    return findings
+
+
+def _journaled_ops(tree: ast.Module) -> dict[str, list[int]]:
+    """Op name -> lines where repo.py journals it (literal sites)."""
+    ops: dict[str, list[int]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or not isinstance(
+            node.func, ast.Attribute
+        ):
+            continue
+        func = node.func
+        is_log = (
+            isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+            and func.attr == LOG_METHOD
+        )
+        is_append = (
+            func.attr == "append"
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == JOURNAL_ATTR
+        )
+        if not (is_log or is_append):
+            continue
+        if not node.args:
+            continue
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and isinstance(
+            first.value, str
+        ):
+            ops.setdefault(first.value, []).append(node.lineno)
+        # a non-literal op (the _log forwarder itself) is not a
+        # journal site — the literal callers are
+    return ops
+
+
+def _replay_table(
+    tree: ast.Module,
+) -> tuple[frozenset[str], int] | None:
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id == REPLAY_TABLE
+            ):
+                elements = string_elements(node.value)
+                if elements is None:
+                    return None
+                return frozenset(elements), node.lineno
+    return None

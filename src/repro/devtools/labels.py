@@ -1,0 +1,250 @@
+"""RL005 — cost-label and wall-series accounting closure.
+
+Two registries keep the accounting surfaces honest:
+
+* every simulated-time charge (``clock.advance(seconds, "label")``)
+  must use a label from :data:`repro.sim.costmodel.COST_LABELS` — an
+  unregistered label silently opens a new bucket in every per-label
+  breakdown and the figures stop adding up;
+* every wall-clock series a bench emits (``Series("wall-*", ...)``)
+  must be registered in ``compare_bench.WALLCLOCK_METRICS`` — an
+  unregistered series is real-seconds data the wallclock CI gate
+  silently never checks.
+
+Dynamic labels (a variable, ``self._label``) are out of static reach
+and skipped; the registry covers the literal call sites, which is all
+of them today.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.devtools._astutil import string_elements, terminal_name
+from repro.devtools.findings import Finding
+from repro.devtools.project import Project
+
+RULE_ID = "RL005"
+TITLE = "cost labels and wall series must be registered"
+
+REGISTRY_SUFFIX = "sim/costmodel.py"
+REGISTRY_NAME = "COST_LABELS"
+COMPARE_SUFFIX = "compare_bench.py"
+WALL_TABLE = "WALLCLOCK_METRICS"
+WALL_PREFIX = "wall-"
+
+
+def check(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    findings.extend(_check_cost_labels(project))
+    findings.extend(_check_wall_series(project))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# clock.advance labels vs COST_LABELS
+# ---------------------------------------------------------------------------
+
+
+def _check_cost_labels(project: Project) -> list[Finding]:
+    registry_file = project.find(REGISTRY_SUFFIX)
+    if registry_file is None:
+        return []
+    registry = _module_string_set(registry_file.tree, REGISTRY_NAME)
+    if registry is None:
+        return [
+            Finding(
+                rule=RULE_ID,
+                path=registry_file.path,
+                line=1,
+                message=(
+                    f"no literal {REGISTRY_NAME} registry found in "
+                    f"{REGISTRY_SUFFIX}"
+                ),
+                hint=(
+                    f"define {REGISTRY_NAME} as a frozenset of string "
+                    "literals at module level"
+                ),
+            )
+        ]
+    findings: list[Finding] = []
+    for source in project.files:
+        for node in ast.walk(source.tree):
+            label = _advance_label(node)
+            if label is None:
+                continue
+            text, line = label
+            if text not in registry:
+                findings.append(
+                    Finding(
+                        rule=RULE_ID,
+                        path=source.path,
+                        line=line,
+                        message=(
+                            f"clock charge uses unregistered cost "
+                            f"label {text!r}"
+                        ),
+                        hint=(
+                            f"add {text!r} to {REGISTRY_NAME} in "
+                            f"{REGISTRY_SUFFIX} or reuse a registered "
+                            "label"
+                        ),
+                    )
+                )
+    return findings
+
+
+def _advance_label(node: ast.AST) -> tuple[str, int] | None:
+    """The literal label of one ``<clock>.advance(...)`` call site.
+
+    None for non-advance calls, non-clock receivers, and dynamic
+    labels.  A call with no label argument charges the registered
+    default bucket and needs no check.
+    """
+    if not (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "advance"
+    ):
+        return None
+    receiver = terminal_name(node.func.value)
+    if receiver is None or "clock" not in receiver.lower():
+        return None
+    label: ast.expr | None = None
+    if len(node.args) >= 2:
+        label = node.args[1]
+    for kw in node.keywords:
+        if kw.arg == "label":
+            label = kw.value
+    if isinstance(label, ast.Constant) and isinstance(label.value, str):
+        return label.value, node.lineno
+    return None
+
+
+# ---------------------------------------------------------------------------
+# bench wall series vs WALLCLOCK_METRICS
+# ---------------------------------------------------------------------------
+
+
+def _check_wall_series(project: Project) -> list[Finding]:
+    compare = project.find(COMPARE_SUFFIX)
+    if compare is None:
+        return []
+    registered = _wall_table(compare.tree)
+    if registered is None:
+        return [
+            Finding(
+                rule=RULE_ID,
+                path=compare.path,
+                line=1,
+                message=(
+                    f"no literal {WALL_TABLE} table found in "
+                    f"{COMPARE_SUFFIX}"
+                ),
+                hint=(
+                    f"keep {WALL_TABLE} a dict literal of "
+                    "(series, direction) tuples"
+                ),
+            )
+        ]
+    findings: list[Finding] = []
+    for source in project.files:
+        if source is compare:
+            continue
+        for node in ast.walk(source.tree):
+            series = _wall_series_literal(node)
+            if series is None:
+                continue
+            name, line = series
+            if name not in registered:
+                findings.append(
+                    Finding(
+                        rule=RULE_ID,
+                        path=source.path,
+                        line=line,
+                        message=(
+                            f"wall series {name!r} is not registered "
+                            f"in {WALL_TABLE} — the wallclock gate "
+                            "never checks it"
+                        ),
+                        hint=(
+                            f"register {name!r} for this bench in "
+                            f"{WALL_TABLE} (benchmarks/"
+                            "compare_bench.py)"
+                        ),
+                    )
+                )
+    return findings
+
+
+def _wall_series_literal(node: ast.AST) -> tuple[str, int] | None:
+    if not (
+        isinstance(node, ast.Call)
+        and terminal_name(node.func) == "Series"
+    ):
+        return None
+    name: ast.expr | None = node.args[0] if node.args else None
+    for kw in node.keywords:
+        if kw.arg == "label":
+            name = kw.value
+    if (
+        isinstance(name, ast.Constant)
+        and isinstance(name.value, str)
+        and name.value.startswith(WALL_PREFIX)
+    ):
+        return name.value, node.lineno
+    return None
+
+
+def _wall_table(tree: ast.Module) -> frozenset[str] | None:
+    """Every series name registered in the WALLCLOCK_METRICS literal."""
+    for node in tree.body:
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        targets = (
+            node.targets
+            if isinstance(node, ast.Assign)
+            else [node.target]
+        )
+        if not any(
+            isinstance(t, ast.Name) and t.id == WALL_TABLE
+            for t in targets
+        ):
+            continue
+        value = node.value
+        if not isinstance(value, ast.Dict):
+            return None
+        names: set[str] = set()
+        for entry in value.values:
+            if not isinstance(entry, (ast.Tuple, ast.List)):
+                return None
+            for pair in entry.elts:
+                elements = string_elements(pair)
+                if not elements:
+                    return None
+                names.add(elements[0])
+        return frozenset(names)
+    return None
+
+
+def _module_string_set(
+    tree: ast.Module, name: str
+) -> frozenset[str] | None:
+    for node in tree.body:
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        targets = (
+            node.targets
+            if isinstance(node, ast.Assign)
+            else [node.target]
+        )
+        if any(
+            isinstance(t, ast.Name) and t.id == name for t in targets
+        ):
+            if node.value is None:
+                return None
+            elements = string_elements(node.value)
+            if elements is None:
+                return None
+            return frozenset(elements)
+    return None

@@ -1,0 +1,204 @@
+"""Source loading and pragma parsing for reprolint.
+
+A :class:`Project` is the set of parsed Python files one analyzer run
+looks at.  Rules never read the filesystem themselves — they receive a
+project and locate their anchor files by *path suffix* (for example
+``repository/repo.py``), so the same rule runs unchanged against the
+real tree and against a seeded-violation fixture directory whose layout
+mirrors the suffixes.
+
+Suppression pragmas are comments of the form::
+
+    # reprolint: <tag>            — optional free-text reason
+
+where ``<tag>`` names the escape hatch a specific rule honours
+(``unlocked`` for RL001, ``internal-access`` for RL003, ``unguarded``
+for RL004, ``generic`` for RL006).  A pragma applies to the line it is
+written on and to the statement directly below it; RL001 and RL004
+additionally accept a pragma anywhere in a function's decorator/def
+header.  Pragmas are deliberate, reviewable waivers — the reason text
+is for the human reader, the tag is the machine contract.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = ["PRAGMA_RE", "Project", "SourceFile"]
+
+#: ``# reprolint: tag`` with an optional free-text reason after the tag
+PRAGMA_RE = re.compile(r"#\s*reprolint:\s*([A-Za-z0-9_-]+)")
+
+
+def _parse_pragmas(
+    source: str,
+) -> tuple[dict[int, set[str]], set[int]]:
+    """Pragma tags by line, plus the lines that are standalone comments.
+
+    A *trailing* pragma (after code) waives only its own line; a
+    *standalone* comment line waives the statement directly below it
+    too.
+    """
+    pragmas: dict[int, set[str]] = {}
+    standalone: set[int] = set()
+    reader = io.StringIO(source).readline
+    try:
+        for tok in tokenize.generate_tokens(reader):
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = PRAGMA_RE.search(tok.string)
+            if not match:
+                continue
+            line = tok.start[0]
+            pragmas.setdefault(line, set()).add(match.group(1))
+            if tok.line.lstrip().startswith("#"):
+                standalone.add(line)
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        # the driver reports unparseable files as RL000 findings from
+        # the ast parse; partial pragma data is fine here
+        pass
+    return pragmas, standalone
+
+
+@dataclass
+class SourceFile:
+    """One parsed source file plus its suppression pragmas."""
+
+    #: the path as scanned (what findings report)
+    path: str
+    source: str
+    tree: ast.Module
+    #: line -> pragma tags on that line
+    pragmas: dict[int, set[str]] = field(default_factory=dict)
+    #: pragma lines that are standalone comments (no code before them)
+    standalone: set[int] = field(default_factory=set)
+
+    @classmethod
+    def parse(cls, path: Path, display: str) -> "SourceFile":
+        source = path.read_text(encoding="utf-8")
+        # parse first: a syntax error must surface as the loader's
+        # RL000 path, not as a tokenize crash during pragma scanning
+        tree = ast.parse(source, filename=display)
+        pragmas, standalone = _parse_pragmas(source)
+        return cls(
+            path=display,
+            source=source,
+            tree=tree,
+            pragmas=pragmas,
+            standalone=standalone,
+        )
+
+    def has_pragma(self, tag: str, line: int) -> bool:
+        """Is ``line`` waived by a ``tag`` pragma?
+
+        Either a pragma on the line itself, or a standalone pragma
+        comment on the line directly above it.
+        """
+        if tag in self.pragmas.get(line, ()):
+            return True
+        return line - 1 in self.standalone and tag in self.pragmas.get(
+            line - 1, ()
+        )
+
+    def has_pragma_in_header(
+        self, tag: str, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> bool:
+        """Is a ``tag`` pragma in the function's decorator/def header?
+
+        The header spans the contiguous comment block directly above
+        the first decorator (or the ``def`` itself) through the line
+        before the first body statement — every place a reviewer would
+        naturally write the waiver.
+        """
+        start = min(
+            [func.lineno, *(d.lineno for d in func.decorator_list)]
+        )
+        end = func.body[0].lineno if func.body else func.lineno + 1
+        lines = set(range(start, end))
+        source_lines = self.source.splitlines()
+        above = start - 1
+        while (
+            above >= 1
+            and above <= len(source_lines)
+            and source_lines[above - 1].lstrip().startswith("#")
+        ):
+            lines.add(above)
+            above -= 1
+        return any(
+            tag in self.pragmas.get(line, ()) for line in lines
+        )
+
+
+class Project:
+    """Every parsed file of one analyzer run."""
+
+    def __init__(self, files: list[SourceFile]) -> None:
+        self.files = files
+        #: files that could not be parsed: (path, lineno, message)
+        self.broken: list[tuple[str, int, str]] = []
+
+    @classmethod
+    def load(cls, paths: Iterable[str | Path]) -> "Project":
+        """Parse every ``*.py`` under ``paths`` (files or directories).
+
+        Unparseable files never abort the run — they are recorded on
+        :attr:`broken` and the driver reports them as RL000 findings,
+        because an analyzer that crashes on bad input cannot gate CI.
+        """
+        project = cls([])
+        seen: set[Path] = set()
+        for path in _walk(paths):
+            if path in seen:
+                continue
+            seen.add(path)
+            display = _display_path(path)
+            try:
+                project.files.append(SourceFile.parse(path, display))
+            except SyntaxError as exc:
+                project.broken.append(
+                    (display, exc.lineno or 1, exc.msg or "syntax error")
+                )
+        project.files.sort(key=lambda f: f.path)
+        return project
+
+    def find(self, suffix: str) -> SourceFile | None:
+        """The unique file whose path ends with ``suffix`` (None if absent)."""
+        for f in self.files:
+            if f.path == suffix or f.path.endswith("/" + suffix):
+                return f
+        return None
+
+    def matching(self, *suffixes: str) -> Iterator[SourceFile]:
+        """Every file whose path ends with one of ``suffixes``."""
+        for f in self.files:
+            for suffix in suffixes:
+                if f.path == suffix or f.path.endswith("/" + suffix):
+                    yield f
+                    break
+
+
+def _walk(paths: Iterable[str | Path]) -> Iterator[Path]:
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            yield from sorted(
+                p
+                for p in path.rglob("*.py")
+                if "__pycache__" not in p.parts
+            )
+        elif path.suffix == ".py":
+            yield path
+
+
+def _display_path(path: Path) -> str:
+    """The path findings report: relative to cwd when possible."""
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()

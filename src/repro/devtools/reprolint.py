@@ -1,0 +1,111 @@
+"""The reprolint driver: run the rule families, report, gate.
+
+Usage::
+
+    python -m repro.devtools.reprolint [--rule ID] [--format text|json]
+                                       [--output FILE] [paths...]
+
+Paths default to ``src`` and ``benchmarks`` when run from the repo
+root.  Exit status: 0 when clean, 1 when findings exist, 2 on usage
+errors — so CI can gate on it exactly like a compiler.  ``--output``
+additionally writes the JSON payload to a file regardless of the
+chosen display format (the CI job uploads it as an artifact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.devtools import (
+    caches,
+    encapsulation,
+    journal,
+    labels,
+    locks,
+    taxonomy,
+)
+from repro.devtools.findings import Finding, render_json, render_text
+from repro.devtools.project import Project
+
+__all__ = ["RULES", "main", "run"]
+
+#: every rule family, in id order; each module exposes RULE_ID, TITLE
+#: and check(project) -> list[Finding]
+RULES = (locks, journal, encapsulation, caches, labels, taxonomy)
+
+
+def run(
+    paths: Sequence[str | Path], rule_ids: Sequence[str] | None = None
+) -> list[Finding]:
+    """Load ``paths`` and run the selected rules (default: all)."""
+    project = Project.load(paths)
+    findings = [
+        Finding(
+            rule="RL000",
+            path=path,
+            line=line,
+            message=f"file does not parse: {message}",
+            hint="fix the syntax error; unparseable files are unchecked",
+        )
+        for path, line, message in project.broken
+    ]
+    for rule in RULES:
+        if rule_ids is not None and rule.RULE_ID not in rule_ids:
+            continue
+        findings.extend(rule.check(project))
+    return sorted(findings)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="repo-specific invariant analyzer (DESIGN.md §16)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        metavar="ID",
+        choices=sorted(rule.RULE_ID for rule in RULES),
+        help="run only this rule id (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format on stdout (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="also write the JSON payload to FILE (CI artifact)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to scan (default: src benchmarks)",
+    )
+    args = parser.parse_args(argv)
+
+    paths: list[str] = args.paths
+    if not paths:
+        paths = [p for p in ("src", "benchmarks") if Path(p).exists()]
+        if not paths:
+            paths = ["."]
+
+    findings = run(paths, args.rule)
+    if args.output:
+        Path(args.output).write_text(
+            render_json(findings) + "\n", encoding="utf-8"
+        )
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

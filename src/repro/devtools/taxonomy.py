@@ -1,0 +1,307 @@
+"""RL006 — error-taxonomy closure of the wire protocol.
+
+``service/protocol.py`` maps exceptions to wire error codes
+(:func:`error_payload`) and codes back to typed exceptions
+(:func:`exception_from_payload`).  The two directions drift
+independently — a new exception gets a code but no client-side
+constructor, a renamed code strands the old comparison — so the rule
+checks the mapping is closed:
+
+* every code the client recognises is one the server can emit;
+* every code the server emits is either recognised by the client or
+  declared generic (``GENERIC_CODES`` — deliberately degraded to
+  :class:`RemoteError` on the wire's far side);
+* dynamically emitted codes (``code=exc.code``) are declared in the
+  ``ADMISSION_CODES`` registry so they stay statically enumerable;
+* every class the server dispatches on and every class the client
+  constructs is defined in the ``errors.py`` taxonomy;
+* server-dispatched classes the client never reconstructs carry an
+  explicit ``# reprolint: generic`` pragma on their ``isinstance``
+  line (the one-way mappings are a choice, not an accident).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.devtools._astutil import string_elements
+from repro.devtools.findings import Finding
+from repro.devtools.project import Project
+
+RULE_ID = "RL006"
+TITLE = "protocol error codes and the exception taxonomy must close"
+
+PROTOCOL_SUFFIX = "service/protocol.py"
+ERRORS_SUFFIX = "repro/errors.py"
+ENCODER = "error_payload"
+DECODER = "exception_from_payload"
+#: codes emitted through dynamic ``code=exc.code`` sites
+ADMISSION_TABLE = "ADMISSION_CODES"
+#: emitted codes the client deliberately maps to RemoteError
+GENERIC_TABLE = "GENERIC_CODES"
+PRAGMA = "generic"
+
+
+def check(project: Project) -> list[Finding]:
+    protocol = project.find(PROTOCOL_SUFFIX)
+    if protocol is None:
+        return []
+    encoder = _function(protocol.tree, ENCODER)
+    decoder = _function(protocol.tree, DECODER)
+    if encoder is None or decoder is None:
+        return []
+    findings: list[Finding] = []
+
+    admission = _module_table(protocol.tree, ADMISSION_TABLE)
+    generic = _module_table(protocol.tree, GENERIC_TABLE) or frozenset()
+
+    emitted, dynamic_sites = _emitted_codes(encoder)
+    checked_classes = _isinstance_classes(encoder)
+    recognized = _recognized_codes(decoder, admission)
+    constructed = _constructed_classes(decoder)
+
+    if dynamic_sites and admission is None:
+        findings.append(
+            Finding(
+                rule=RULE_ID,
+                path=protocol.path,
+                line=dynamic_sites[0],
+                message=(
+                    f"{ENCODER} emits a dynamic error code with no "
+                    f"{ADMISSION_TABLE} registry to enumerate it"
+                ),
+                hint=(
+                    f"declare the dynamic codes in a literal "
+                    f"{ADMISSION_TABLE} tuple at module level"
+                ),
+            )
+        )
+    if admission is not None:
+        emitted = emitted | admission
+
+    for code in sorted(recognized - emitted):
+        findings.append(
+            Finding(
+                rule=RULE_ID,
+                path=protocol.path,
+                line=decoder.lineno,
+                message=(
+                    f"{DECODER} recognises code {code!r} that "
+                    f"{ENCODER} never emits (dead client mapping)"
+                ),
+                hint=(
+                    f"emit {code!r} server-side or drop the client "
+                    "branch"
+                ),
+            )
+        )
+    for code in sorted(emitted - recognized - generic):
+        findings.append(
+            Finding(
+                rule=RULE_ID,
+                path=protocol.path,
+                line=encoder.lineno,
+                message=(
+                    f"{ENCODER} emits code {code!r} the client cannot "
+                    "map back to a typed exception"
+                ),
+                hint=(
+                    f"handle {code!r} in {DECODER}, or declare it in "
+                    f"{GENERIC_TABLE} if RemoteError is the intended "
+                    "client-side type"
+                ),
+            )
+        )
+
+    taxonomy = _taxonomy_classes(project)
+    if taxonomy is not None:
+        for name, line in sorted(
+            checked_classes.items() | constructed.items()
+        ):
+            if name not in taxonomy:
+                findings.append(
+                    Finding(
+                        rule=RULE_ID,
+                        path=protocol.path,
+                        line=line,
+                        message=(
+                            f"protocol maps class {name} that is not "
+                            f"defined in the {ERRORS_SUFFIX} taxonomy"
+                        ),
+                        hint=(
+                            f"define {name} in {ERRORS_SUFFIX} or fix "
+                            "the reference"
+                        ),
+                    )
+                )
+
+    for name, line in sorted(checked_classes.items()):
+        if name in constructed:
+            continue
+        if protocol.has_pragma(PRAGMA, line):
+            continue
+        findings.append(
+            Finding(
+                rule=RULE_ID,
+                path=protocol.path,
+                line=line,
+                message=(
+                    f"{ENCODER} dispatches on {name} but {DECODER} "
+                    "never reconstructs it (one-way mapping)"
+                ),
+                hint=(
+                    f"reconstruct {name} client-side, or mark the "
+                    "isinstance line with '# reprolint: "
+                    f"{PRAGMA} — <reason>' if degrading to "
+                    "RemoteError is intended"
+                ),
+            )
+        )
+    for name, line in sorted(constructed.items()):
+        if name not in checked_classes:
+            findings.append(
+                Finding(
+                    rule=RULE_ID,
+                    path=protocol.path,
+                    line=line,
+                    message=(
+                        f"{DECODER} constructs {name} but {ENCODER} "
+                        "never dispatches on it"
+                    ),
+                    hint=(
+                        f"add an isinstance({name}) branch to "
+                        f"{ENCODER} or drop the client constructor"
+                    ),
+                )
+            )
+    return findings
+
+
+def _function(tree: ast.Module, name: str) -> ast.FunctionDef | None:
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    return None
+
+
+def _module_table(
+    tree: ast.Module, name: str
+) -> frozenset[str] | None:
+    for node in tree.body:
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        targets = (
+            node.targets
+            if isinstance(node, ast.Assign)
+            else [node.target]
+        )
+        if any(
+            isinstance(t, ast.Name) and t.id == name for t in targets
+        ):
+            if node.value is None:
+                return None
+            elements = string_elements(node.value)
+            return None if elements is None else frozenset(elements)
+    return None
+
+
+def _emitted_codes(
+    encoder: ast.FunctionDef,
+) -> tuple[frozenset[str], list[int]]:
+    """Literal ``code=`` emissions and the lines of dynamic ones."""
+    literal: set[str] = set()
+    dynamic: list[int] = []
+    for node in ast.walk(encoder):
+        if not isinstance(node, ast.Call):
+            continue
+        for kw in node.keywords:
+            if kw.arg != "code":
+                continue
+            if isinstance(kw.value, ast.Constant) and isinstance(
+                kw.value.value, str
+            ):
+                literal.add(kw.value.value)
+            else:
+                dynamic.append(node.lineno)
+    return frozenset(literal), dynamic
+
+
+def _isinstance_classes(encoder: ast.FunctionDef) -> dict[str, int]:
+    """Exception class -> line of its isinstance dispatch."""
+    classes: dict[str, int] = {}
+    for node in ast.walk(encoder):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "isinstance"
+            and len(node.args) == 2
+        ):
+            continue
+        spec = node.args[1]
+        names = (
+            spec.elts if isinstance(spec, ast.Tuple) else [spec]
+        )
+        for name in names:
+            if isinstance(name, ast.Name):
+                classes.setdefault(name.id, node.lineno)
+    return classes
+
+
+def _recognized_codes(
+    decoder: ast.FunctionDef, admission: frozenset[str] | None
+) -> frozenset[str]:
+    """Codes the decoder branches on (==, in-tuple, in-ADMISSION_CODES)."""
+    codes: set[str] = set()
+    for node in ast.walk(decoder):
+        if not isinstance(node, ast.Compare):
+            continue
+        if not (
+            isinstance(node.left, ast.Name)
+            and node.left.id == "code"
+            and len(node.ops) == 1
+        ):
+            continue
+        comparator = node.comparators[0]
+        if isinstance(node.ops[0], ast.Eq):
+            if isinstance(comparator, ast.Constant) and isinstance(
+                comparator.value, str
+            ):
+                codes.add(comparator.value)
+        elif isinstance(node.ops[0], ast.In):
+            elements = string_elements(comparator)
+            if elements is not None:
+                codes.update(elements)
+            elif (
+                isinstance(comparator, ast.Name)
+                and comparator.id == ADMISSION_TABLE
+                and admission is not None
+            ):
+                codes.update(admission)
+    return frozenset(codes)
+
+
+def _constructed_classes(decoder: ast.FunctionDef) -> dict[str, int]:
+    """Exception class -> line where the decoder constructs it."""
+    classes: dict[str, int] = {}
+    for node in ast.walk(decoder):
+        if not (
+            isinstance(node, ast.Return)
+            and isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Name)
+        ):
+            continue
+        name = node.value.func.id
+        if name and name[0].isupper():
+            classes.setdefault(name, node.lineno)
+    return classes
+
+
+def _taxonomy_classes(project: Project) -> frozenset[str] | None:
+    errors = project.find(ERRORS_SUFFIX)
+    if errors is None:
+        return None
+    return frozenset(
+        node.name
+        for node in errors.tree.body
+        if isinstance(node, ast.ClassDef)
+    )

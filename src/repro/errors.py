@@ -8,6 +8,8 @@ repository, and the semantic management core.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 __all__ = [
     "ReproError",
     "CatalogError",
@@ -131,7 +133,7 @@ class WorkspaceLockedError(WorkspaceError):
     interleaving two processes' journals over one op-log.
     """
 
-    def __init__(self, path, holder_pid: int) -> None:
+    def __init__(self, path: str | Path, holder_pid: int) -> None:
         super().__init__(
             f"workspace {path} is locked by running process "
             f"{holder_pid} — wait for it to finish (the lock is "

@@ -39,11 +39,15 @@ RELATED_WORK_NAMES: tuple[str, ...] = (
     "Jenkins",
 )
 
+#: target chunk size for both block stores (evaluated once at import
+#: so the default is not a call expression)
+_DEFAULT_CHUNK_SIZE = kb(8)
+
 
 def run_related_work(
     corpus: Corpus | None = None,
     params: CostParams | None = None,
-    chunk_size: int = kb(8),
+    chunk_size: int = _DEFAULT_CHUNK_SIZE,
 ) -> ExperimentResult:
     """Repository size across all related-work generations."""
     corpus = corpus or standard_corpus()

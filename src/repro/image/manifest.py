@@ -75,7 +75,7 @@ class FileManifest:
         rows = list(records)
         if not rows:
             return cls.empty()
-        ids, sizes, ratios = zip(*rows)
+        ids, sizes, ratios = zip(*rows, strict=True)
         return cls(
             np.array(ids, dtype=np.uint64),
             np.array(sizes, dtype=np.int64),

@@ -63,7 +63,7 @@ def _pkg_key(pkg: Package) -> str:
     # master union from the same Package objects — and str formatting a
     # Version dominates the add path otherwise.  Python strings cache
     # their own hash, so repeated node lookups hash once.
-    key = pkg.__dict__.get("_node_key")
+    key: str | None = pkg.__dict__.get("_node_key")
     if key is None:
         key = f"pkg!{pkg.name}={pkg.version}:{pkg.arch}"
         object.__setattr__(pkg, "_node_key", key)
@@ -141,20 +141,21 @@ class SemanticGraph:
         """Attributes of the base-image vertex, if present."""
         if self._base_node is None:
             return None
-        return self._g.nodes[self._base_node]["attrs"]
+        attrs: BaseImageAttrs = self._g.nodes[self._base_node]["attrs"]
+        return attrs
 
     @property
     def base_node(self) -> str | None:
         return self._base_node
 
     def __len__(self) -> int:
-        return self._g.number_of_nodes()
+        return int(self._g.number_of_nodes())
 
     def __contains__(self, key: str) -> bool:
         return key in self._g
 
     def n_edges(self) -> int:
-        return self._g.number_of_edges()
+        return int(self._g.number_of_edges())
 
     def has_package(self, name: str) -> bool:
         """Is any version of package ``name`` a vertex of this graph?"""
@@ -311,7 +312,7 @@ class SemanticGraph:
             )
         if other._base_node is not None and self._base_node is None:
             self.add_base_image(other._g.nodes[other._base_node]["attrs"])
-        for key, data in other._g.nodes(data=True):
+        for _key, data in other._g.nodes(data=True):
             if data["kind"] is NodeKind.PACKAGE:
                 self.add_package(data["package"], data["role"])
         for u, v in other._g.edges():

@@ -55,7 +55,7 @@ class DependencySpec:
         """Does ``version`` of the named package satisfy this constraint?"""
         if self.op is None or self.version is None:
             return True
-        return _OPS[self.op](version, self.version)
+        return bool(_OPS[self.op](version, self.version))
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         if self.op is None:
@@ -110,7 +110,7 @@ class Package:
     @property
     def identity(self) -> tuple[str, str, str]:
         """Hashable identity: (name, version string, arch)."""
-        cached = self.__dict__.get("_identity")
+        cached: tuple[str, str, str] | None = self.__dict__.get("_identity")
         if cached is None:
             cached = (self.name, str(self.version), self.arch)
             object.__setattr__(self, "_identity", cached)
@@ -124,7 +124,7 @@ class Package:
         assignment-order dependent (see :class:`repro.ids.Interner`);
         :meth:`blob_key` is the cross-process identity.
         """
-        cached = self.__dict__.get("_identity_id")
+        cached: int | None = self.__dict__.get("_identity_id")
         if cached is None:
             cached = intern_identity(self.identity)
             object.__setattr__(self, "_identity_id", cached)
@@ -137,13 +137,13 @@ class Package:
         frozen fields, and publish-path caches key almost everything by
         this value.
         """
-        cached = self.__dict__.get("_blob_key")
+        cached: int | None = self.__dict__.get("_blob_key")
         if cached is None:
             cached = combine("pkg", self.name, self.version, self.arch)
             object.__setattr__(self, "_blob_key", cached)
         return cached
 
-    def __getstate__(self) -> dict:
+    def __getstate__(self) -> dict[str, object]:
         # interned ids are process-local: a pickled cache entry restored
         # into another process would collide with that process's table
         state = dict(self.__dict__)

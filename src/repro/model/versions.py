@@ -35,7 +35,7 @@ def _char_order(c: str) -> int:
 
 def _compare_nondigit(a: str, b: str) -> int:
     """Compare two non-digit runs under Debian character ordering."""
-    for ca, cb in zip(a, b):
+    for ca, cb in zip(a, b, strict=False):
         oa, ob = _char_order(ca), _char_order(cb)
         if oa != ob:
             return -1 if oa < ob else 1
@@ -220,7 +220,7 @@ def version_component_similarity(v1: Version, v2: Version) -> float:
         return 0.0
     depth = max(len(c1), len(c2))
     matched = 0
-    for a, b in zip(c1, c2):
+    for a, b in zip(c1, c2, strict=False):
         if a != b:
             break
         matched += 1

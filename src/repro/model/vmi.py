@@ -61,7 +61,7 @@ class BaseImage:
         Computed once per instance — Algorithm 2 keys its candidate
         caches by this value on every publish.
         """
-        cached = self.__dict__.get("_blob_key")
+        cached: int | None = self.__dict__.get("_blob_key")
         if cached is None:
             pkgs = ",".join(sorted(str(p) for p in self.packages))
             cached = combine("base", self.attrs.key(), pkgs)

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import GraphModelError
+from repro.errors import GraphModelError, NotInRepositoryError
 from repro.repository.blobstore import BlobKind
 from repro.repository.repo import Repository, base_image_qcow2
 
@@ -90,7 +90,9 @@ def check_repository(repo: Repository) -> FsckReport:
                 f"blob holds {blob.size} B, index claims "
                 f"{row.deb_size} B",
             ))
-        if row.blob_key not in repo._packages:
+        try:
+            repo.get_package(row.blob_key)
+        except NotInRepositoryError:
             findings.append(Inconsistency(
                 "missing-object", row.name,
                 "package blob present but object cache lost it",
@@ -112,7 +114,10 @@ def check_repository(repo: Repository) -> FsckReport:
                 "base image indexed but blob absent",
             ))
             continue
-        base = repo._bases.get(row.blob_key)
+        try:
+            base = repo.get_base_image(row.blob_key)
+        except NotInRepositoryError:
+            base = None
         if base is None:
             findings.append(Inconsistency(
                 "missing-object", f"base {row.blob_key:#x}",
@@ -196,7 +201,7 @@ def check_repository(repo: Repository) -> FsckReport:
                     "is not stored",
                 ))
         if record.data_label is not None:
-            if record.data_label not in repo._data:
+            if not repo.has_user_data(record.data_label):
                 findings.append(Inconsistency(
                     "missing-data", record.name,
                     f"user data {record.data_label!r} not stored",

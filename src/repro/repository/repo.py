@@ -155,6 +155,9 @@ class Repository:
         """Stop journaling (snapshot load / op-log replay run bare)."""
         self._journal = None
 
+    # reprolint: unlocked — only called inside locked primitives; the
+    # append order is the application order because both happen under
+    # the same write-lock hold
     def _log(self, op: str, *args) -> None:
         if self._journal is not None:
             self._journal.append(op, args)
@@ -185,6 +188,8 @@ class Repository:
         """
         return self._mutations
 
+    # reprolint: unlocked — only called inside locked primitives,
+    # paired with their journal append under one write-lock hold
     def _mutated(self) -> None:
         self._mutations += 1
 
@@ -431,6 +436,12 @@ class Repository:
             self._zero_data.add(data.label)
         return True
 
+    def has_user_data(self, label: str) -> bool:
+        """Is a user-data payload stored under ``label``?  The public
+        probe fsck and services use — reaching into the object cache
+        is an RL003 violation."""
+        return label in self._data
+
     def get_user_data(self, label: str) -> UserData:
         """Raises NotInRepositoryError for unknown labels."""
         try:
@@ -540,6 +551,9 @@ class Repository:
             matching.append(self._bases[row.blob_key])
         return matching
 
+    # reprolint: unlocked — benign-race memo of a pure function: two
+    # racing writers store the same value, and dict item assignment is
+    # atomic under the GIL
     def _same_release(self, stored: str, query: str) -> bool:
         if stored == query:
             return True

@@ -134,10 +134,10 @@ class Workspace:
         if fcntl is not None:
             try:
                 fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
-            except OSError:
+            except OSError as exc:
                 holder = self.lock_holder()
                 os.close(fd)
-                raise WorkspaceLockedError(self.path, holder or 0)
+                raise WorkspaceLockedError(self.path, holder or 0) from exc
         os.ftruncate(fd, 0)
         os.write(fd, f"{os.getpid()}\n".encode())
         self._lock_token = object()

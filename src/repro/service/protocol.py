@@ -54,6 +54,8 @@ from repro.errors import (
 )
 
 __all__ = [
+    "ADMISSION_CODES",
+    "GENERIC_CODES",
     "MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
     "REQUEST_OPS",
@@ -76,6 +78,17 @@ PROTOCOL_VERSION = 1
 MAX_FRAME_BYTES = 8 * 1024 * 1024
 
 _HEADER = struct.Struct("!I")
+
+#: every reason code an :class:`AdmissionRejectedError` may carry —
+#: the one branch of :func:`error_payload` whose code is dynamic
+#: (``exc.code``), enumerated here so the code <-> exception mapping
+#: stays statically checkable (reprolint RL006, DESIGN.md §16)
+ADMISSION_CODES = ("overloaded", "tenant-busy", "draining")
+
+#: emitted codes the client deliberately degrades to
+#: :class:`RemoteError`: the server-side class carries no diagnostics
+#: worth a dedicated client-side constructor
+GENERIC_CODES = ("workspace-error", "repro-error", "internal")
 
 #: every operation the server understands; "tenant" column of the
 #: dispatch — namespaced ops require one, admin ops may omit it
@@ -264,9 +277,9 @@ def error_payload(exc: BaseException) -> dict:
             path=str(exc.path),
             retriable=True,
         )
-    elif isinstance(exc, WorkspaceError):
+    elif isinstance(exc, WorkspaceError):  # reprolint: generic
         error.update(code="workspace-error")
-    elif isinstance(exc, LockTimeoutError):
+    elif isinstance(exc, LockTimeoutError):  # reprolint: generic
         error.update(code="lock-timeout", retriable=True)
     elif isinstance(exc, NotInRepositoryError):
         error.update(
@@ -276,7 +289,7 @@ def error_payload(exc: BaseException) -> dict:
         error.update(code="bad-request")
     elif isinstance(exc, RemoteError):
         error.update(code=exc.code)
-    elif isinstance(exc, ReproError):
+    elif isinstance(exc, ReproError):  # reprolint: generic
         error.update(code="repro-error")
     else:
         error.update(code="internal")
@@ -292,7 +305,7 @@ def exception_from_payload(error: dict) -> ReproError:
     """
     code = error.get("code", "internal")
     message = error.get("message", "server error")
-    if code in ("overloaded", "tenant-busy", "draining"):
+    if code in ADMISSION_CODES:
         return AdmissionRejectedError(
             code, message, tenant=error.get("tenant")
         )

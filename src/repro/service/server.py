@@ -232,6 +232,8 @@ class ImageServer:
     # lifecycle
     # ------------------------------------------------------------------
 
+    # reprolint: unguarded — start() runs once on the owning thread
+    # before any worker exists; _threads is never touched concurrently
     def start(self) -> tuple[str, int]:
         """Bind, spawn the accept loop and workers; returns the
         endpoint.  Idempotent once started."""
@@ -436,7 +438,7 @@ class ImageServer:
             return self._handle_inner(message)
         except ReproError as exc:
             return error_payload(exc)
-        except Exception as exc:  # noqa: BLE001 - the wire boundary
+        except Exception as exc:  # the wire boundary catches everything
             return error_payload(exc)
         finally:
             with self._inflight_lock:

@@ -245,6 +245,8 @@ class TenantRegistry:
                 quota
             )
 
+    # reprolint: unguarded — caller-holds-the-lock helper (see
+    # docstring); every call site is inside 'with self._lock'
     def _state(self, tenant: str) -> _TenantState:
         """Look up (or, when open, auto-register) a tenant.
 

@@ -60,9 +60,12 @@ class SimulatedClock:
     @property
     def _windows(self) -> list[dict[str, float]]:
         """This thread's stack of open measurement windows."""
-        stack = getattr(self._local, "windows", None)
+        stack: list[dict[str, float]] | None = getattr(
+            self._local, "windows", None
+        )
         if stack is None:
-            stack = self._local.windows = []
+            stack = []
+            self._local.windows = stack
         return stack
 
     @property

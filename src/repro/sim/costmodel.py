@@ -28,7 +28,46 @@ from dataclasses import dataclass
 from repro.model.package import Package
 from repro.units import MB
 
-__all__ = ["CostParams", "CostModel"]
+__all__ = ["COST_LABELS", "CostParams", "CostModel"]
+
+#: every label a simulated-time charge may be attributed to.  The
+#: per-label breakdowns (figure stacking, measure windows) group by
+#: these strings, so an unregistered spelling silently opens a new
+#: bucket and the columns stop adding up — reprolint rule RL005 checks
+#: every literal ``clock.advance(seconds, label)`` site against this
+#: registry (DESIGN.md §16).  Keep the set literal: the check is
+#: static.
+COST_LABELS = frozenset({
+    # Expelliarmus publish/retrieve (core/)
+    "export",       # dpkg-repack + ship one package to the repo
+    "import",       # copy + install one package on the guest
+    "remove",       # purge one package during decomposition
+    "select-base",  # Algorithm 2 base-selection metadata probes
+    "store-base",   # writing a new base qcow2 to the repository
+    "base-copy",    # materialising a base copy (cold read or warm clone)
+    "reset",        # virt-sysprep reset of the base copy
+    "handle",       # guestfs appliance launch
+    "similarity",   # SimG scoring against one master graph
+    "metadata",     # SQLite graph/record metadata updates
+    # deletion / garbage collection
+    "delete",       # dropping a published-VMI record
+    "gc",           # sweep + master-graph rebuild work
+    # baseline schemes (baselines/)
+    "write",        # raw repository write bandwidth
+    "read",         # raw repository read bandwidth
+    "gzip",         # compressing a qcow2 (gzip baseline)
+    "gunzip",       # decompressing a qcow2 (gzip baseline)
+    "index",        # per-file hash+index on publish (Mirage/Hemera)
+    "lookup",       # block-store dedup lookups
+    # containerize pipeline
+    "mount",        # mounting the VMI for layer extraction
+    "compress",     # compressing one layer tarball
+    "upload",       # pushing layers to the registry
+    "download",     # pulling layers from the registry
+    "extract",      # unpacking layers into a rootfs
+    # fallback bucket for uncategorised charges
+    "other",
+})
 
 
 @dataclass(frozen=True)

@@ -97,7 +97,7 @@ def restart_schedule(
             )
             ranked = sorted(
                 live,
-                key=lambda name: content_id(
+                key=lambda name, s=s: content_id(
                     f"{config.seed}/session{s}/{name}"
                 ),
             )

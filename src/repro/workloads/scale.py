@@ -389,7 +389,7 @@ def churn_schedule(
         if config.mode == "uniform":
             ranked = sorted(
                 range(n),
-                key=lambda i: content_id(
+                key=lambda i, r=r: content_id(
                     f"{config.seed}/round{r}/vmi{i}"
                 ),
             )
@@ -402,7 +402,7 @@ def churn_schedule(
             ranked_by_family = {
                 family: sorted(
                     by_family[family],
-                    key=lambda i: content_id(
+                    key=lambda i, r=r: content_id(
                         f"{config.seed}/round{r}/vmi{i}"
                     ),
                 )

@@ -21,6 +21,10 @@ from repro.units import mb
 
 __all__ = ["VMISpec", "TABLE_II_ORDER", "FOUR_VMI_NAMES", "spec_for"]
 
+#: default user payload per image (evaluated once at import so the
+#: dataclass default is not a call expression)
+_DEFAULT_USER_DATA_SIZE = mb(6)
+
 
 @dataclass(frozen=True)
 class VMISpec:
@@ -28,7 +32,7 @@ class VMISpec:
 
     name: str
     primaries: tuple[str, ...]
-    user_data_size: int = mb(6)
+    user_data_size: int = _DEFAULT_USER_DATA_SIZE
     user_data_files: int = 120
     #: Table II reference values (paper column -> reproduction target)
     paper_mounted_gb: float = 0.0

@@ -101,7 +101,7 @@ def test_concurrent_clients_then_sigterm_drain(tmp_path):
                 result = client.retrieve_many()
                 assert result["n_failed"] == 0, result
                 assert result["n_retrieved"] == len(names)
-        except Exception as exc:  # noqa: BLE001 - collected and raised
+        except Exception as exc:  # collected and raised below
             errors.append((tenant, exc))
 
     threads = [
@@ -166,7 +166,7 @@ def test_sigkill_mid_workload_recovers_from_oplog(tmp_path):
                     "PostgreSql",
                 ):
                     client.publish(table2_source(), name)
-        except Exception as exc:  # noqa: BLE001 - checked below
+        except Exception as exc:  # checked below
             # the kill lands mid-stream by design; only errors seen
             # *before* the plug was pulled are real failures
             if not killed.is_set():

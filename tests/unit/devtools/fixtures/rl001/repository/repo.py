@@ -1,0 +1,35 @@
+"""RL001 fixture: a Repository with seeded lock-discipline violations."""
+
+
+def _exclusive(method):
+    return method
+
+
+class Repository:
+    def __init__(self):
+        self.db = None
+        self._items = {}
+        self._count = 0
+
+    @_exclusive
+    def locked_store(self, key, value):
+        self._items[key] = value
+
+    def naked_store(self, key, value):
+        # seeded violation: assigns self._* without @_exclusive
+        self._items[key] = value
+
+    def naked_counter(self):
+        # seeded violation: augmented assignment to self._* state
+        self._count += 1
+
+    def naked_db_write(self, row):
+        # seeded violation: mutating MetadataDatabase call
+        self.db.insert_row(row)
+
+    # reprolint: unlocked — fixture waiver: caller holds the lock
+    def waived_store(self, key, value):
+        self._items[key] = value
+
+    def reader(self, key):
+        return self._items.get(key)

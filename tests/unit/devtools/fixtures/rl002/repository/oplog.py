@@ -1,0 +1,7 @@
+"""RL002 fixture: the replay dispatch table (deliberately drifted)."""
+
+#: "orphan_op" is a seeded violation: a handler no primitive journals
+_REPLAYABLE_OPS = frozenset({
+    "store_thing",
+    "orphan_op",
+})

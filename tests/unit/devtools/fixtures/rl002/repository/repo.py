@@ -1,0 +1,23 @@
+"""RL002 fixture: a journal surface that drifted from the replay table."""
+
+
+class Repository:
+    def __init__(self):
+        self._journal = None
+        self._things = {}
+
+    # reprolint: unlocked — fixture forwarder
+    def _log(self, op, *args):
+        if self._journal is not None:
+            self._journal.append(op, args)
+
+    # reprolint: unlocked — fixture primitive
+    def store_thing(self, thing):
+        self._log("store_thing", thing)
+        self._things[thing] = True
+
+    # reprolint: unlocked — fixture primitive; seeded violation: the
+    # replay table below has no handler for "drop_thing"
+    def drop_thing(self, name):
+        self._log("drop_thing", name)
+        self._things.pop(name, None)

@@ -1,0 +1,21 @@
+"""RL003 fixture: underscore reach-throughs into a repository object."""
+
+
+class Auditor:
+    def __init__(self, repository):
+        self.repository = repository
+
+    def peek(self):
+        # seeded violation: attribute receiver named "repository"
+        return self.repository._masters
+
+
+def audit(repo):
+    # seeded violations: two underscore reads on a "repo" name
+    bad = repo._packages
+    n = len(repo._bases)
+    # clean: the public API
+    ok = repo.packages()
+    # waived reach-through
+    waived = repo._data  # reprolint: internal-access — fixture waiver
+    return bad, n, ok, waived

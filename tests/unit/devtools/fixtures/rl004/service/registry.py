@@ -1,0 +1,48 @@
+"""RL004 fixture: guarded and unguarded cache mutations."""
+
+import threading
+
+
+class GuardedRegistry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}
+        self._seen = set()
+
+    def good_store(self, key, value):
+        with self._lock:
+            self._entries[key] = value
+
+    def bad_store(self, key, value):
+        # seeded violation: subscript store outside the lock
+        self._entries[key] = value
+
+    def bad_add(self, key):
+        # seeded violation: set mutation outside the lock
+        self._seen.add(key)
+
+    def bad_pop(self, key):
+        # seeded violation: mutating call in an assignment
+        value = self._entries.pop(key, None)
+        return value
+
+    # reprolint: unguarded — fixture waiver: caller holds the lock
+    def waived_delete(self, key):
+        del self._entries[key]
+
+    def line_waived(self, key):
+        self._seen.add(key)  # reprolint: unguarded — fixture waiver
+
+    def reader(self, key):
+        with self._lock:
+            return self._entries.get(key)
+
+
+class Unlocked:
+    """No lock attribute: the rule does not apply to this class."""
+
+    def __init__(self):
+        self._cache = {}
+
+    def store(self, key, value):
+        self._cache[key] = value

@@ -1,0 +1,16 @@
+"""RL005 fixture: a bench emitting wall series, registered and not."""
+
+
+def Series(label, values):
+    return (label, values)
+
+
+def emit():
+    return [
+        # clean: registered in the fixture WALLCLOCK_METRICS
+        Series("wall-demo-s", (1.0,)),
+        # seeded violation: a wall series the gate never checks
+        Series("wall-rogue-s", (2.0,)),
+        # clean: simulated series are not the wallclock tier's concern
+        Series("sim-total-s", (3.0,)),
+    ]

@@ -1,0 +1,20 @@
+"""RL005 fixture: clock charge sites, registered and not."""
+
+
+class Store:
+    def __init__(self, clock, cost):
+        self.clock = clock
+        self.cost = cost
+        self.label = "write"
+
+    def put(self, n):
+        # clean: registered label
+        self.clock.advance(self.cost.write_bytes(n), "write")
+        # seeded violation: typo of a registered label
+        self.clock.advance(0.1, "wrte")
+        # seeded violation: unregistered keyword label
+        self.clock.advance(0.2, label="mystery")
+        # clean: default label (the registered "other" bucket)
+        self.clock.advance(0.3)
+        # clean: dynamic labels are out of static reach
+        self.clock.advance(0.4, self.label)

@@ -1,0 +1,5 @@
+"""RL005 fixture: the wallclock gate registry."""
+
+WALLCLOCK_METRICS = {
+    "bench-demo": (("wall-demo-s", "lower"),),
+}

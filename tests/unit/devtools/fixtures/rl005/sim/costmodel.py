@@ -1,0 +1,6 @@
+"""RL005 fixture: the cost-label registry."""
+
+COST_LABELS = frozenset({
+    "write",
+    "other",
+})

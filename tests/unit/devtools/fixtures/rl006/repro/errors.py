@@ -1,0 +1,23 @@
+"""RL006 fixture: a miniature exception taxonomy."""
+
+
+class ReproError(Exception):
+    pass
+
+
+class AlphaError(ReproError):
+    pass
+
+
+class BetaError(ReproError):
+    pass
+
+
+class DeltaError(ReproError):
+    pass
+
+
+class RemoteError(ReproError):
+    def __init__(self, code, message):
+        super().__init__(message)
+        self.code = code

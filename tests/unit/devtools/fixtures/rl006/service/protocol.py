@@ -1,0 +1,39 @@
+"""RL006 fixture: an error-code mapping with seeded closure breaks."""
+
+from repro.errors import AlphaError, BetaError, DeltaError, RemoteError
+
+GENERIC_CODES = ("internal", "delta")
+
+
+def error_payload(exc):
+    error = {"message": str(exc)}
+    if isinstance(exc, AlphaError):
+        error.update(code="alpha")
+    elif isinstance(exc, BetaError):
+        # seeded violation: "beta" is emitted but the client neither
+        # maps it back nor declares it generic, and BetaError is a
+        # one-way mapping without a pragma
+        error.update(code="beta")
+    elif isinstance(exc, GhostError):  # noqa: F821
+        # seeded violation: GhostError is not in the errors taxonomy
+        error.update(code="ghost")
+    elif isinstance(exc, DeltaError):  # reprolint: generic
+        error.update(code="delta")
+    elif isinstance(exc, RemoteError):
+        # seeded violation: dynamic code with no ADMISSION_CODES
+        # registry to enumerate it
+        error.update(code=exc.code)
+    else:
+        error.update(code="internal")
+    return {"ok": False, "error": error}
+
+
+def exception_from_payload(error):
+    code = error.get("code", "internal")
+    message = error.get("message", "")
+    if code == "alpha":
+        return AlphaError(message)
+    if code == "stale":
+        # seeded violation: a code the server never emits
+        return AlphaError(message)
+    return RemoteError(code, message)

@@ -1,0 +1,385 @@
+"""Unit tests for the reprolint analyzer (DESIGN.md §16).
+
+Each rule family runs against a fixture package with seeded
+violations (the rule must fire) and pragma'd/clean code (the rule must
+stay quiet); the live-tree gate asserts the real ``src`` and
+``benchmarks`` trees are clean, which is what the static-analysis CI
+job enforces.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.devtools import (
+    caches,
+    encapsulation,
+    journal,
+    labels,
+    locks,
+    taxonomy,
+)
+from repro.devtools.findings import (
+    JSON_SCHEMA_VERSION,
+    Finding,
+    render_json,
+    render_text,
+)
+from repro.devtools.project import Project
+from repro.devtools.reprolint import RULES, main, run
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+
+def load(rule_dir: str) -> Project:
+    return Project.load([FIXTURES / rule_dir])
+
+
+def lines(findings: list[Finding]) -> set[int]:
+    return {f.line for f in findings}
+
+
+def messages(findings: list[Finding]) -> str:
+    return "\n".join(f.message for f in findings)
+
+
+# ---------------------------------------------------------------------------
+# RL001 — lock discipline
+# ---------------------------------------------------------------------------
+
+
+class TestLockDiscipline:
+    @pytest.fixture(scope="class")
+    def findings(self):
+        return locks.check(load("rl001"))
+
+    def test_fires_on_seeded_violations(self, findings):
+        text = messages(findings)
+        assert "naked_store" in text
+        assert "naked_counter" in text
+        assert "naked_db_write" in text
+        assert len(findings) == 3
+
+    def test_decorated_and_waived_methods_are_clean(self, findings):
+        text = messages(findings)
+        assert "locked_store" not in text
+        assert "waived_store" not in text
+        assert "reader" not in text
+        assert "__init__" not in text
+
+    def test_finding_shape(self, findings):
+        f = findings[0]
+        assert f.rule == "RL001"
+        assert f.path.endswith("repository/repo.py")
+        assert "@_exclusive" in f.message
+        assert "reprolint: unlocked" in f.hint
+
+
+# ---------------------------------------------------------------------------
+# RL002 — journal/replay closure
+# ---------------------------------------------------------------------------
+
+
+class TestJournalClosure:
+    @pytest.fixture(scope="class")
+    def findings(self):
+        return journal.check(load("rl002"))
+
+    def test_missing_handler_fires(self, findings):
+        missing = [f for f in findings if "drop_thing" in f.message]
+        assert len(missing) == 1
+        assert missing[0].path.endswith("repository/repo.py")
+        assert "no replay handler" in missing[0].message
+
+    def test_dead_handler_fires(self, findings):
+        dead = [f for f in findings if "orphan_op" in f.message]
+        assert len(dead) == 1
+        assert dead[0].path.endswith("repository/oplog.py")
+        assert "dead" in dead[0].message
+
+    def test_matched_op_is_clean(self, findings):
+        assert "store_thing" not in messages(findings)
+        assert len(findings) == 2
+
+    def test_skips_when_anchor_files_absent(self):
+        assert journal.check(load("rl003")) == []
+
+
+# ---------------------------------------------------------------------------
+# RL003 — encapsulation
+# ---------------------------------------------------------------------------
+
+
+class TestEncapsulation:
+    @pytest.fixture(scope="class")
+    def findings(self):
+        return encapsulation.check(load("rl003"))
+
+    def test_fires_on_name_and_attribute_receivers(self, findings):
+        text = messages(findings)
+        assert "repo._packages" in text
+        assert "repo._bases" in text
+        assert "repository._masters" in text
+        assert len(findings) == 3
+
+    def test_public_api_and_pragma_are_clean(self, findings):
+        text = messages(findings)
+        assert "_data" not in text  # pragma'd line
+
+    def test_repo_py_itself_is_exempt(self):
+        findings = encapsulation.check(load("rl001"))
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# RL004 — guarded caches
+# ---------------------------------------------------------------------------
+
+
+class TestGuardedCaches:
+    @pytest.fixture(scope="class")
+    def findings(self):
+        return caches.check(load("rl004"))
+
+    def test_fires_on_unguarded_mutations(self, findings):
+        text = messages(findings)
+        assert "bad_store" in text
+        assert "bad_add" in text
+        assert "bad_pop" in text
+        assert len(findings) == 3
+
+    def test_guarded_waived_and_lockless_are_clean(self, findings):
+        text = messages(findings)
+        assert "good_store" not in text
+        assert "waived_delete" not in text
+        assert "line_waived" not in text
+        assert "Unlocked" not in text
+        assert "reader" not in text
+
+    def test_only_concurrent_modules_are_checked(self):
+        # the rl003 fixture is not under a concurrent suffix
+        assert caches.check(load("rl003")) == []
+
+
+# ---------------------------------------------------------------------------
+# RL005 — cost labels and wall series
+# ---------------------------------------------------------------------------
+
+
+class TestAccountingRegistries:
+    @pytest.fixture(scope="class")
+    def findings(self):
+        return labels.check(load("rl005"))
+
+    def test_unregistered_labels_fire(self, findings):
+        text = messages(findings)
+        assert "'wrte'" in text
+        assert "'mystery'" in text
+
+    def test_registered_default_and_dynamic_are_clean(self, findings):
+        text = messages(findings)
+        assert "'write'" not in text
+
+    def test_unregistered_wall_series_fires(self, findings):
+        rogue = [f for f in findings if "wall-rogue-s" in f.message]
+        assert len(rogue) == 1
+        assert "wallclock gate" in rogue[0].message
+
+    def test_registered_and_simulated_series_are_clean(self, findings):
+        text = messages(findings)
+        assert "wall-demo-s" not in text
+        assert "sim-total-s" not in text
+        assert len(findings) == 3
+
+    def test_missing_registry_is_itself_a_finding(self, tmp_path):
+        (tmp_path / "sim").mkdir()
+        (tmp_path / "sim" / "costmodel.py").write_text(
+            "COST_LABELS = build_labels()\n"
+        )
+        findings = labels.check(Project.load([tmp_path]))
+        assert len(findings) == 1
+        assert "no literal COST_LABELS" in findings[0].message
+
+
+# ---------------------------------------------------------------------------
+# RL006 — error-taxonomy closure
+# ---------------------------------------------------------------------------
+
+
+class TestTaxonomyClosure:
+    @pytest.fixture(scope="class")
+    def findings(self):
+        return taxonomy.check(load("rl006"))
+
+    def test_unmappable_emitted_codes_fire(self, findings):
+        text = messages(findings)
+        assert "'beta'" in text
+        assert "'ghost'" in text
+
+    def test_dead_client_mapping_fires(self, findings):
+        stale = [f for f in findings if "'stale'" in f.message]
+        assert len(stale) == 1
+        assert "never emits" in stale[0].message
+
+    def test_dynamic_code_without_registry_fires(self, findings):
+        dynamic = [
+            f for f in findings if "ADMISSION_CODES" in f.message
+        ]
+        assert len(dynamic) == 1
+
+    def test_unknown_class_fires(self, findings):
+        assert "GhostError" in messages(findings)
+
+    def test_one_way_mapping_without_pragma_fires(self, findings):
+        one_way = [f for f in findings if "one-way" in f.message]
+        assert len(one_way) == 2
+        text = messages(one_way)
+        assert "BetaError" in text
+        assert "GhostError" in text
+
+    def test_generic_pragma_and_closed_codes_are_clean(self, findings):
+        text = messages(findings)
+        assert "DeltaError" not in text
+        assert "'delta'" not in text
+        assert "'alpha'" not in text
+        assert "AlphaError" not in text
+        assert len(findings) == 7
+
+    def test_skips_without_protocol_file(self):
+        assert taxonomy.check(load("rl001")) == []
+
+
+# ---------------------------------------------------------------------------
+# pragma mechanics
+# ---------------------------------------------------------------------------
+
+
+class TestPragmas:
+    def test_line_pragma_covers_line_and_next(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "# reprolint: internal-access\n"
+            "x = repo._hidden\n"
+            "y = repo._hidden  # reprolint: internal-access\n"
+            "z = repo._hidden\n"
+        )
+        findings = encapsulation.check(Project.load([tmp_path]))
+        assert lines(findings) == {4}
+
+    def test_unknown_tag_does_not_suppress(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "x = repo._hidden  # reprolint: unlocked\n"
+        )
+        findings = encapsulation.check(Project.load([tmp_path]))
+        assert lines(findings) == {1}
+
+
+# ---------------------------------------------------------------------------
+# output formats
+# ---------------------------------------------------------------------------
+
+
+class TestOutput:
+    @pytest.fixture(scope="class")
+    def findings(self):
+        return encapsulation.check(load("rl003"))
+
+    def test_json_schema(self, findings):
+        payload = json.loads(render_json(findings))
+        assert payload["schema_version"] == JSON_SCHEMA_VERSION
+        assert payload["count"] == len(findings) == 3
+        for entry in payload["findings"]:
+            assert set(entry) == {
+                "rule",
+                "path",
+                "line",
+                "message",
+                "hint",
+            }
+            assert entry["rule"] == "RL003"
+            assert isinstance(entry["line"], int)
+
+    def test_text_report_names_location_and_hint(self, findings):
+        text = render_text(findings)
+        assert "RL003" in text
+        assert "hint:" in text
+        assert text.endswith("3 findings")
+
+    def test_text_report_counts_zero(self):
+        assert render_text([]) == "0 findings"
+
+
+# ---------------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------------
+
+
+class TestDriver:
+    def test_rule_ids_are_unique_and_ordered(self):
+        ids = [rule.RULE_ID for rule in RULES]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)
+
+    def test_run_filters_by_rule_id(self):
+        all_findings = run([FIXTURES / "rl003"])
+        only_rl001 = run([FIXTURES / "rl003"], ["RL001"])
+        assert {f.rule for f in all_findings} == {"RL003"}
+        assert only_rl001 == []
+
+    def test_unparseable_file_reports_rl000(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def broken(:\n")
+        findings = run([tmp_path])
+        assert [f.rule for f in findings] == ["RL000"]
+        assert "does not parse" in findings[0].message
+
+    def test_main_exit_one_and_json_output(self, tmp_path, capsys):
+        out = tmp_path / "findings.json"
+        code = main(
+            [
+                "--rule",
+                "RL003",
+                "--format",
+                "json",
+                "--output",
+                str(out),
+                str(FIXTURES / "rl003"),
+            ]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 3
+        assert json.loads(out.read_text())["count"] == 3
+
+    def test_main_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        (tmp_path / "clean.py").write_text("x = 1\n")
+        assert main([str(tmp_path)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# the gate: the live tree is clean
+# ---------------------------------------------------------------------------
+
+
+class TestLiveTree:
+    def test_src_and_benchmarks_are_clean(self):
+        findings = run(
+            [REPO_ROOT / "src", REPO_ROOT / "benchmarks"]
+        )
+        assert findings == [], render_text(findings)
+
+    def test_every_rule_found_its_anchors(self):
+        """The clean verdict must come from real checks, not from
+        anchor files silently missing after a refactor."""
+        project = Project.load([REPO_ROOT / "src", REPO_ROOT / "benchmarks"])
+        assert project.find("repository/repo.py") is not None
+        assert project.find("repository/oplog.py") is not None
+        assert project.find("sim/costmodel.py") is not None
+        assert project.find("compare_bench.py") is not None
+        assert project.find("service/protocol.py") is not None
+        assert project.find("repro/errors.py") is not None

@@ -28,7 +28,8 @@ class TestFig3aShape:
     def test_monotone_growth(self, fig3a_result):
         for s in fig3a_result.series:
             assert all(
-                a <= b + 1e-9 for a, b in zip(s.values, s.values[1:])
+                a <= b + 1e-9
+                for a, b in zip(s.values, s.values[1:], strict=False)
             ), s.label
 
 

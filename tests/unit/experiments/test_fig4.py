@@ -31,7 +31,8 @@ class TestFig4bShape:
         Expelliarmus followed by Elastic Stack'."""
         exp = fig4b_result.series_by_label("Expelliarmus")
         by_time = sorted(
-            zip(exp.values, fig4b_result.x_labels), reverse=True
+            zip(exp.values, fig4b_result.x_labels, strict=True),
+            reverse=True,
         )
         top2 = [name for _, name in by_time[:2]]
         assert top2[0] == "Desktop"
@@ -52,6 +53,6 @@ class TestFig4bShape:
         extra cost over Expelliarmus is larger late than early."""
         exp = fig4b_result.series_by_label("Expelliarmus").values
         variant = fig4b_result.series_by_label("Semantic").values
-        gaps = [v - e for v, e in zip(variant, exp)]
+        gaps = [v - e for v, e in zip(variant, exp, strict=True)]
         # Mini exports nothing either way; Redis onward the gap exists
         assert sum(gaps[10:]) > sum(gaps[:10])

@@ -82,6 +82,8 @@ class TestFig5bShape:
         exp = fig5b_result.series_by_label("Expelliarmus").values
         hemera = fig5b_result.series_by_label("Hemera").values
         close = sum(
-            1 for e, h in zip(exp, hemera) if abs(e - h) < 80
+            1
+            for e, h in zip(exp, hemera, strict=True)
+            if abs(e - h) < 80
         )
         assert close >= 15

@@ -8,7 +8,8 @@ def rows(table2_result):
     """name -> row dict for convenient lookups."""
     cols = table2_result.columns
     return {
-        row[1]: dict(zip(cols, row)) for row in table2_result.rows
+        row[1]: dict(zip(cols, row, strict=True))
+        for row in table2_result.rows
     }
 
 

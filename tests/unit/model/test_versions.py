@@ -66,7 +66,7 @@ class TestOrdering:
     def test_total_order_consistency(self):
         versions = [v(s) for s in ("2.0", "1.0", "1:0.1", "2.0~rc1", "2.0-1")]
         ordered = sorted(versions)
-        for a, b in zip(ordered, ordered[1:]):
+        for a, b in zip(ordered, ordered[1:], strict=False):
             assert a.compare(b) <= 0
 
     def test_compare_three_way(self):

@@ -16,7 +16,7 @@ def run_thread(fn):
     def wrapper():
         try:
             box["result"] = fn()
-        except BaseException as exc:  # noqa: BLE001 - test relay
+        except BaseException as exc:  # test relay
             box["error"] = exc
 
     t = threading.Thread(target=wrapper)

@@ -77,7 +77,7 @@ class TestSchedule:
         events = traffic_schedule(self.CONFIG)
         assert all(
             a.arrival_s < b.arrival_s
-            for a, b in zip(events, events[1:])
+            for a, b in zip(events, events[1:], strict=False)
         )
         assert events[0].arrival_s > 0
         assert [ev.index for ev in events] == list(
