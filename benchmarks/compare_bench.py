@@ -32,12 +32,12 @@ silently skipped or crashed), a fresh file with no committed baseline
 (a new bench that nobody anchored), or a tracked series missing from
 either side all exit non-zero with a message naming the file.
 
-Refreshing baselines after an *intentional* perf change (the seven
+Refreshing baselines after an *intentional* perf change (the eight
 tracked bench files are named explicitly — pytest's default collection
 skips ``bench_*.py`` when handed a bare directory)::
 
     BENCH_JSON_DIR=benchmarks/baselines PYTHONPATH=src \
-        python -m pytest -q benchmarks/bench_{scale,retrieval,churn,persistence,parallel,server,federation}.py -k smoke
+        python -m pytest -q benchmarks/bench_{scale,retrieval,churn,persistence,parallel,server,federation,mining}.py -k smoke
 
 then commit the updated JSON together with the change that explains it
 (README "Perf-regression gate" documents the workflow; wall-clock
@@ -102,6 +102,17 @@ TRACKED_METRICS: dict[str, tuple[tuple[str, str], ...]] = {
         ("federation-speedup", "higher"),
         ("stored-bytes-ratio", "lower"),
     ),
+    "bench-mining": (
+        # the storage payoff of mine+re-base on the churned split
+        # corpus: bases removed / bytes reclaimed must not shrink,
+        # the post-re-base footprint and warm critical path must not
+        # grow — all bit-stable functions of the corpus
+        ("mining-bases-removed", "higher"),
+        ("mining-migrated-vmis", "higher"),
+        ("mining-reclaimed-gb", "higher"),
+        ("stored-bytes-after-gb", "lower"),
+        ("warm-after-s", "lower"),
+    ),
     "bench-server": (
         # simulated-time service quality of the image server under
         # the deterministic open-loop traffic schedule (the final
@@ -121,6 +132,7 @@ WALLCLOCK_METRICS: dict[str, tuple[tuple[str, str], ...]] = {
     "bench-retrieval": (("wall-warm-batch-s", "lower"),),
     "bench-churn": (("wall-inc-gc-s", "lower"),),
     "bench-parallel": (("wall-critical-path-s", "lower"),),
+    "bench-mining": (("wall-rebase-s", "lower"),),
 }
 
 #: per-tier registry, default relative threshold, default absolute
@@ -377,7 +389,7 @@ def main(argv=None) -> int:
             "  BENCH_JSON_DIR=benchmarks/baselines PYTHONPATH=src "
             "python -m pytest -q "
             "benchmarks/bench_{scale,retrieval,churn,persistence,"
-            "parallel,server,federation}.py -k smoke\n"
+            "parallel,server,federation,mining}.py -k smoke\n"
             "and commit the updated JSON with an explanation.",
             file=sys.stderr,
         )

@@ -14,6 +14,13 @@ from repro.analysis.clustering import (
     k_medoids,
     similarity_matrix,
 )
+from repro.analysis.mining import (
+    BaseMiner,
+    MiningCandidate,
+    MiningReport,
+    manifest_digest,
+    vmi_digest,
+)
 from repro.analysis.storage_report import (
     PackageUsage,
     StorageReport,
@@ -21,9 +28,14 @@ from repro.analysis.storage_report import (
 )
 
 __all__ = [
+    "BaseMiner",
     "ClusterResult",
+    "MiningCandidate",
+    "MiningReport",
     "k_medoids",
+    "manifest_digest",
     "similarity_matrix",
+    "vmi_digest",
     "PackageUsage",
     "StorageReport",
     "storage_report",

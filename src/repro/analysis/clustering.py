@@ -4,8 +4,10 @@ Distances are ``1 - SimG`` over semantic graphs.  k-medoids (PAM-style
 alternating assignment/update) is used instead of k-means because SimG
 is a similarity on graphs, not a vector-space embedding — only medoids
 (actual images) make sense as cluster centres.  Everything is
-deterministic: initial medoids are the k most dissimilar images picked
-greedily from the first image, and ties break by index.
+deterministic: the first seed is the medoid of the whole matrix (the
+item minimising total distance, so the result does not depend on
+corpus insertion order), the rest follow by farthest-point traversal,
+and ties break by index.
 """
 
 from __future__ import annotations
@@ -61,8 +63,13 @@ class ClusterResult:
 
 
 def _greedy_init(distance: np.ndarray, k: int) -> list[int]:
-    """k spread-out seeds: start at 0, then farthest-point traversal."""
-    medoids = [0]
+    """k spread-out seeds: the matrix medoid, then farthest-point.
+
+    Seeding from the global medoid (minimum total distance to all
+    items) keeps the clustering invariant under corpus permutation;
+    seeding from item 0 made quality depend on insertion order.
+    """
+    medoids = [int(np.argmin(distance.sum(axis=1)))]
     while len(medoids) < k:
         d_to_nearest = np.min(distance[:, medoids], axis=1)
         d_to_nearest[medoids] = -1.0  # never re-pick a medoid

@@ -1,0 +1,387 @@
+"""Mining stored master graphs for mergeable base-image families.
+
+The paper treats base images as *inputs*: Algorithm 2 picks the best
+stored base for an upload but never asks whether the stored population
+itself is any good.  At sprawl scale it rarely is — CI pipelines and
+marketplace imports mint near-identical bases that differ only in a
+few packages every VMI on them imports anyway.  Each such sibling
+duplicates a skeleton and an essential-package payload that one shared
+base could serve.
+
+This module finds those merge opportunities.  The miner walks the
+stored bases family by family (same attribute quadruple, same
+skeleton), pre-groups large families with the SimG k-medoids machinery
+from :mod:`repro.analysis.clustering` over their master graphs, and
+then greedily accretes bases into a candidate union, admitting a base
+only while the *byte-identity condition* holds for every member VMI:
+
+    every package the union would bake into a member's base that the
+    member's old base lacked must already be in that member's primary
+    dependency closure — same name **and** same content identity.
+
+Under that condition re-basing a member merely moves packages between
+"base-baked" and "imported on retrieval": the retrieved filesystem is
+unchanged to the byte (the assembler imports exactly the closure
+packages whose names the base lacks — see
+:meth:`~repro.core.assembler.ImageAssembler`).  Identity matters, not
+just name: two stored versions of one library must not be conflated,
+so name collisions with different content reject the base outright.
+
+The result is a :class:`MiningReport` of scored
+:class:`MiningCandidate` proposals — consumed by
+:class:`~repro.service.rebase.RebaseService`, which publishes the
+winning bases and migrates the member VMIs under an intent journal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.clustering import k_medoids, similarity_matrix
+from repro.image.manifest import FileManifest
+from repro.model.attributes import BaseImageAttrs
+from repro.model.package import Package
+from repro.model.vmi import BaseImage, VirtualMachineImage
+from repro.repository.repo import Repository, base_image_qcow2
+from repro.sim.clock import SimulatedClock
+from repro.sim.costmodel import CostModel
+
+__all__ = [
+    "BaseMiner",
+    "MiningCandidate",
+    "MiningReport",
+    "manifest_digest",
+    "vmi_digest",
+]
+
+#: pre-group families larger than this with k-medoids over SimG
+_CLUSTER_THRESHOLD = 3
+
+
+def manifest_digest(manifest: FileManifest) -> tuple[bytes, bytes]:
+    """Order-insensitive content digest of a file manifest.
+
+    :class:`FileManifest` equality is order-sensitive (concatenation
+    order is an artifact of assembly, not of content); re-basing moves
+    packages between base-baked and imported, which reorders the very
+    manifests it must leave byte-identical.  Compare the file
+    *multiset* instead.
+    """
+    order = np.lexsort((manifest.sizes, manifest.content_ids))
+    return (
+        manifest.content_ids[order].tobytes(),
+        manifest.sizes[order].tobytes(),
+    )
+
+
+def vmi_digest(vmi: VirtualMachineImage) -> tuple:
+    """What "retrieves byte-identically" means for a whole VMI."""
+    return (
+        vmi.mounted_size,
+        manifest_digest(vmi.full_manifest()),
+    )
+
+
+@dataclass(frozen=True)
+class MiningCandidate:
+    """One proposed merge: donors collapse onto a (possibly new) base.
+
+    When ``reuses_winner`` the union equals the largest sibling's
+    package set, so no new blob is stored — the donors' VMIs simply
+    repoint at the winner.  Otherwise the union is *synthetic*: a new
+    base is published (skeleton taken from the winner) and the winner
+    itself becomes a donor.
+    """
+
+    attrs: BaseImageAttrs
+    #: largest accepted sibling: merge target, or skeleton source
+    winner_key: int
+    #: content identity of the merged base (= ``winner_key`` when
+    #: reusing; the synthetic union's blob key otherwise) — recovery
+    #: resolves the base by this, never by name matching
+    merged_key: int
+    #: sorted package names of the merged base
+    package_names: tuple[str, ...]
+    #: bases removed after migration (includes the winner iff synthetic)
+    donor_keys: tuple[int, ...]
+    #: VMI records the merge migrates
+    n_vmis: int
+    #: donor qcow bytes freed, net of any new synthetic blob stored
+    est_saved_bytes: int
+    reuses_winner: bool
+
+
+@dataclass(frozen=True)
+class MiningReport:
+    """Everything one mining pass found."""
+
+    candidates: tuple[MiningCandidate, ...]
+    #: (attrs, skeleton) families with at least two live bases
+    groups_examined: int
+    #: live bases the pass considered
+    bases_examined: int
+    #: simulated seconds the pass charged
+    mining_seconds: float
+
+    @property
+    def est_saved_bytes(self) -> int:
+        return sum(c.est_saved_bytes for c in self.candidates)
+
+    def render(self) -> str:
+        lines = [
+            f"mined {self.bases_examined} base(s) in "
+            f"{self.groups_examined} family group(s): "
+            f"{len(self.candidates)} merge candidate(s), "
+            f"est. {self.est_saved_bytes / 1e9:.3f} GB reclaimable "
+            f"({self.mining_seconds:.2f} simulated s)"
+        ]
+        for c in self.candidates:
+            kind = "reuse" if c.reuses_winner else "synthetic"
+            lines.append(
+                f"  {c.attrs}: {len(c.donor_keys)} donor(s) -> "
+                f"{kind} base of {len(c.package_names)} package(s), "
+                f"{c.n_vmis} VMI(s), est. "
+                f"{c.est_saved_bytes / 1e9:.3f} GB"
+            )
+        return "\n".join(lines)
+
+
+class BaseMiner:
+    """Propose base merges that provably preserve retrieved bytes."""
+
+    def __init__(
+        self,
+        repo: Repository,
+        clock: SimulatedClock | None = None,
+        cost: CostModel | None = None,
+    ) -> None:
+        self.repo = repo
+        self.clock = clock or SimulatedClock()
+        self.cost = cost or CostModel()
+
+    def mine(self) -> MiningReport:
+        """One full pass over the stored base population."""
+        with self.clock.measure() as breakdown:
+            candidates, groups, examined = self._mine()
+        return MiningReport(
+            candidates=tuple(candidates),
+            groups_examined=groups,
+            bases_examined=examined,
+            mining_seconds=breakdown.total,
+        )
+
+    def _charge(self, seconds: float) -> None:
+        self.clock.advance(seconds, "mine")
+
+    # -- family grouping --------------------------------------------------
+
+    def _live_bases(self) -> list[BaseImage]:
+        """Bases with member VMIs and a master graph.
+
+        Zero-reference bases are the garbage collector's business, and
+        a base without a master cannot prove anything about its
+        members' closures — both are skipped, never merged.
+        """
+        return [
+            base
+            for base in self.repo.base_images()
+            if self.repo.base_refs(base.blob_key()) > 0
+            and self.repo.has_master_graph(base.blob_key())
+        ]
+
+    def _family_groups(
+        self, bases: list[BaseImage]
+    ) -> list[list[BaseImage]]:
+        """Mergeable pools: same attribute quadruple, same skeleton."""
+        groups: dict[tuple, list[BaseImage]] = {}
+        for base in bases:
+            key = (base.attrs.key(), manifest_digest(base.skeleton))
+            groups.setdefault(key, []).append(base)
+        return [g for g in groups.values() if len(g) >= 2]
+
+    def _clusters(
+        self, group: list[BaseImage]
+    ) -> list[list[BaseImage]]:
+        """Split a large family by master-graph similarity.
+
+        Greedy accretion is quadratic in pool size; for big families
+        the SimG pre-grouping keeps each pool to bases whose software
+        stacks actually overlap, the same way Algorithm 2's candidate
+        index keeps base selection sublinear.
+        """
+        if len(group) <= _CLUSTER_THRESHOLD:
+            return [group]
+        graphs = [
+            self.repo.get_master_graph(b.blob_key()).full_graph()
+            for b in group
+        ]
+        n = len(graphs)
+        self._charge(
+            self.cost.similarity_computation() * (n * (n - 1) // 2)
+        )
+        result = k_medoids(similarity_matrix(graphs), max(1, n // 3))
+        clusters = [
+            [group[i] for i in result.members(c)]
+            for c in range(result.k)
+        ]
+        return [c for c in clusters if len(c) >= 2]
+
+    # -- the byte-identity condition --------------------------------------
+
+    def _member_coverage(self, base: BaseImage) -> dict[str, int] | None:
+        """name -> content key every member's closure agrees on.
+
+        A package may be baked into this base's replacement iff every
+        member VMI's primary closure contains it with exactly one
+        content identity — the map returned here.  ``None`` when a
+        member's closure cannot be derived (stale master), which makes
+        the base unmergeable.
+        """
+        key = base.blob_key()
+        master = self.repo.get_master_graph(key)
+        records = self.repo.vmi_records_for_base(key)
+        covered: dict[str, int] | None = None
+        for record in records:
+            self._charge(self.cost.gc_record_scan())
+            by_name: dict[str, set[int]] = {}
+            for pname in record.primary_names:
+                if not master.has_package(pname):
+                    return None
+                subgraph = master.extract_primary_subgraph(
+                    pname, record.primary_version(pname)
+                )
+                for pkg in subgraph.packages():
+                    by_name.setdefault(pkg.name, set()).add(
+                        pkg.blob_key()
+                    )
+            unique = {
+                name: keys.pop()
+                for name, keys in by_name.items()
+                if len(keys) == 1
+            }
+            if covered is None:
+                covered = unique
+            else:
+                covered = {
+                    name: k
+                    for name, k in covered.items()
+                    if unique.get(name) == k
+                }
+        return covered if records else None
+
+    @staticmethod
+    def _union_safe(
+        union: dict[str, Package],
+        accepted: list[tuple[BaseImage, dict[str, int]]],
+    ) -> bool:
+        """Does the union keep every accepted base's members identical?"""
+        for base, covered in accepted:
+            names = base.package_names()
+            for pkg in union.values():
+                if pkg.name in names:
+                    continue
+                if covered.get(pkg.name) != pkg.blob_key():
+                    return False
+        return True
+
+    # -- greedy accretion -------------------------------------------------
+
+    def _mine_cluster(
+        self, cluster: list[BaseImage]
+    ) -> MiningCandidate | None:
+        ranked = sorted(
+            cluster,
+            key=lambda b: (-len(b.packages), b.blob_key()),
+        )
+        coverage: dict[int, dict[str, int]] = {}
+        for base in ranked:
+            cov = self._member_coverage(base)
+            if cov is not None:
+                coverage[base.blob_key()] = cov
+        ranked = [b for b in ranked if b.blob_key() in coverage]
+        if len(ranked) < 2:
+            return None
+
+        winner = ranked[0]
+        union: dict[str, Package] = {
+            p.name: p for p in winner.packages
+        }
+        accepted = [(winner, coverage[winner.blob_key()])]
+        for base in ranked[1:]:
+            tentative = dict(union)
+            conflict = False
+            for pkg in base.packages:
+                held = tentative.get(pkg.name)
+                if held is not None and held.blob_key() != pkg.blob_key():
+                    conflict = True  # two identities, one name: never
+                    break
+                tentative[pkg.name] = pkg
+            if conflict:
+                continue
+            trial = accepted + [(base, coverage[base.blob_key()])]
+            if self._union_safe(tentative, trial):
+                union = tentative
+                accepted = trial
+        if len(accepted) < 2:
+            return None
+        return self._score(winner, union, accepted)
+
+    def _score(
+        self,
+        winner: BaseImage,
+        union: dict[str, Package],
+        accepted: list[tuple[BaseImage, dict[str, int]]],
+    ) -> MiningCandidate | None:
+        union_keys = {p.blob_key() for p in union.values()}
+        winner_keys = {p.blob_key() for p in winner.packages}
+        reuses_winner = union_keys == winner_keys
+        donors = [
+            base
+            for base, _ in accepted
+            if not (reuses_winner and base is winner)
+        ]
+        saved = sum(
+            self.repo.base_image_size(b.blob_key()) for b in donors
+        )
+        merged_key = winner.blob_key()
+        if not reuses_winner:
+            synthetic = BaseImage(
+                attrs=winner.attrs,
+                packages=tuple(
+                    sorted(union.values(), key=lambda p: p.name)
+                ),
+                skeleton=winner.skeleton,
+            )
+            merged_key = synthetic.blob_key()
+            saved -= base_image_qcow2(synthetic).size
+        if saved <= 0:
+            return None
+        n_vmis = sum(
+            self.repo.base_refs(b.blob_key()) for b in donors
+        )
+        return MiningCandidate(
+            attrs=winner.attrs,
+            winner_key=winner.blob_key(),
+            merged_key=merged_key,
+            package_names=tuple(sorted(union)),
+            donor_keys=tuple(b.blob_key() for b in donors),
+            n_vmis=n_vmis,
+            est_saved_bytes=saved,
+            reuses_winner=reuses_winner,
+        )
+
+    def _mine(
+        self,
+    ) -> tuple[list[MiningCandidate], int, int]:
+        bases = self._live_bases()
+        groups = self._family_groups(bases)
+        candidates = []
+        for group in groups:
+            for cluster in self._clusters(group):
+                candidate = self._mine_cluster(cluster)
+                if candidate is not None:
+                    candidates.append(candidate)
+        candidates.sort(key=lambda c: -c.est_saved_bytes)
+        return candidates, len(groups), len(bases)

@@ -205,6 +205,18 @@ def build_parser() -> argparse.ArgumentParser:
     corpus_flags.add_argument(
         "--seed", default="scale", help="generator seed (with --scale)"
     )
+    corpus_flags.add_argument(
+        "--split-pct",
+        type=int,
+        default=0,
+        metavar="PCT",
+        help=(
+            "with --scale: put PCT percent of builds on the "
+            "generation-B base template, the rest on generation A "
+            "(the two-generation regime base mining targets; "
+            "implies a fat-free corpus)"
+        ),
+    )
 
     many = sub.add_parser(
         "publish-many",
@@ -314,6 +326,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print one line per deleted image",
     )
+    delete.add_argument(
+        "--legacy",
+        action="store_true",
+        help=(
+            "delete the split regime's version-pinned legacy builds "
+            "(needs --scale and --split-pct) — the churn that leaves "
+            "mergeable generation pairs for 'mine'"
+        ),
+    )
 
     gc = sub.add_parser(
         "gc",
@@ -346,6 +367,38 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "percent of published VMIs to delete (and GC) before "
             "checking, to exercise the lifecycle (default: 0)"
+        ),
+    )
+
+    mine = sub.add_parser(
+        "mine",
+        help="propose mergeable base-image sets (read-only analysis)",
+        parents=[corpus_flags, workspace_flags, remote_flags],
+    )
+    mine.add_argument(
+        "--keep-legacy",
+        action="store_true",
+        help=(
+            "fresh-corpus mode: keep the split regime's version-pinned "
+            "legacy builds (default: delete them first, the churn that "
+            "makes the generation pairs mergeable)"
+        ),
+    )
+
+    rebase = sub.add_parser(
+        "rebase",
+        help=(
+            "mine and apply base merges as a journaled, "
+            "crash-recoverable maintenance operation"
+        ),
+        parents=[corpus_flags, workspace_flags, remote_flags],
+    )
+    rebase.add_argument(
+        "--keep-legacy",
+        action="store_true",
+        help=(
+            "fresh-corpus mode: keep the version-pinned legacy builds "
+            "instead of deleting them before the re-base"
         ),
     )
 
@@ -544,9 +597,20 @@ def _resolve_corpus(args):
     from repro.workloads.vmi_specs import TABLE_II_ORDER
 
     if args.scale is not None:
+        overrides = {}
+        if getattr(args, "split_pct", 0):
+            # the split regime needs the fat flavour off: a fat base
+            # conflicts with neither generation and would absorb both
+            overrides = {
+                "split_base_pct": args.split_pct,
+                "fat_base_pct": 0,
+            }
         try:
             corpus = scale_corpus(
-                args.scale, n_families=args.families, seed=args.seed
+                args.scale,
+                n_families=args.families,
+                seed=args.seed,
+                **overrides,
             )
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -756,7 +820,12 @@ def _cmd_delete(args) -> int:
     if getattr(args, "workspace", None) is not None:
         system = _make_system(args)
         names = system.published_names()
-        if args.names:
+        if args.legacy:
+            victims = _legacy_victims(args)
+            if isinstance(victims, int):
+                _finish(system, args)
+                return victims
+        elif args.names:
             # explicit victims; unknown names surface as per-item
             # failures through the pipeline's isolation
             victims = list(args.names)
@@ -782,7 +851,13 @@ def _cmd_delete(args) -> int:
         if isinstance(prepared, int):
             return prepared
         system, names = prepared
-        victims = _churn_victims(names, args.churn, args.seed)
+        if args.legacy:
+            victims = _legacy_victims(args)
+            if isinstance(victims, int):
+                _finish(system, args)
+                return victims
+        else:
+            victims = _churn_victims(names, args.churn, args.seed)
         print(
             f"published {len(names)} VMIs "
             f"({system.repository_size / 1e9:.3f} GB); deleting "
@@ -902,6 +977,81 @@ def _print_fsck_report(report) -> int:
     for finding in report.findings:
         print(f"  {finding}", file=sys.stderr)
     return 1
+
+
+def _legacy_victims(args):
+    """The split regime's version-pinned legacy builds, or exit 2."""
+    from repro.workloads.generator import scale_corpus
+
+    if args.scale is None or not getattr(args, "split_pct", 0):
+        print(
+            "error: --legacy selects the generated corpus's "
+            "version-pinned builds; it needs --scale and --split-pct",
+            file=sys.stderr,
+        )
+        return 2
+    corpus = scale_corpus(
+        args.scale,
+        n_families=args.families,
+        seed=args.seed,
+        split_base_pct=args.split_pct,
+        fat_base_pct=0,
+    )
+    return list(corpus.legacy_names())
+
+
+def _maintenance_system(args):
+    """The system mine/rebase operates on, or an exit code.
+
+    Workspace mode opens the existing store exactly as earlier
+    invocations left it.  Otherwise the selected corpus is published
+    fresh and, in the split regime, its version-pinned legacy builds
+    are deleted first — the churn that strands mergeable generation
+    pairs for the miner to find.
+    """
+    if getattr(args, "workspace", None) is not None:
+        return _make_system(args)
+    prepared = _published_system(args)
+    if isinstance(prepared, int):
+        return prepared
+    system, names = prepared
+    if (
+        args.scale is not None
+        and getattr(args, "split_pct", 0)
+        and not args.keep_legacy
+    ):
+        victims = _legacy_victims(args)
+        assert not isinstance(victims, int)
+        deleted = system.delete_many(victims)
+        print(
+            f"published {len(names)} VMIs, deleted "
+            f"{deleted.n_deleted} legacy build(s)"
+        )
+    return system
+
+
+def _cmd_mine(args) -> int:
+    prepared = _maintenance_system(args)
+    if isinstance(prepared, int):
+        return prepared
+    system = prepared
+    try:
+        print(system.mine_bases().render())
+        return 0
+    finally:
+        _finish(system, args)
+
+
+def _cmd_rebase(args) -> int:
+    prepared = _maintenance_system(args)
+    if isinstance(prepared, int):
+        return prepared
+    system = prepared
+    try:
+        print(system.rebase().render())
+        return 0
+    finally:
+        _finish(system, args)
 
 
 def _cmd_corpus() -> int:
@@ -1367,11 +1517,12 @@ def _dispatch_remote(args) -> int:
             file=sys.stderr,
         )
         return 2
-    for flag in ("parallel", "cold", "scan", "shards"):
+    for flag in ("parallel", "cold", "scan", "shards", "split_pct"):
         if getattr(args, flag, None):
             print(
-                f"error: --{flag} is a local-execution flag; the "
-                "server decides its own execution strategy",
+                f"error: --{flag.replace('_', '-')} is a "
+                "local-execution flag; the server decides its own "
+                "execution strategy",
                 file=sys.stderr,
             )
             return 2
@@ -1422,6 +1573,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "delete": _cmd_delete,
         "gc": _cmd_gc,
         "fsck": _cmd_fsck,
+        "mine": _cmd_mine,
+        "rebase": _cmd_rebase,
         "stats": _cmd_stats,
         "snapshot": _cmd_snapshot,
         "compact": _cmd_compact,

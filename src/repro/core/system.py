@@ -327,6 +327,42 @@ class Expelliarmus:
             self.repo, self.clock, self.cost
         ).collect(full=full)
 
+    def mine_bases(self):
+        """Mine stored master graphs for mergeable base families.
+
+        Groups the live bases by attribute quadruple and skeleton,
+        pre-clusters large families with SimG k-medoids, and proposes
+        candidate merged package-sets whose publication provably keeps
+        every member VMI byte-identical.  Read-only; returns the
+        :class:`~repro.analysis.mining.MiningReport` ranked by
+        estimated bytes saved.
+        """
+        from repro.analysis.mining import BaseMiner
+
+        return BaseMiner(self.repo, self.clock, self.cost).mine()
+
+    def rebase(self, mining=None):
+        """Apply mined base merges as a crash-recoverable maintenance op.
+
+        Publishes each winning merged base, merges the donor master
+        graphs, repoints and reassigns every member VMI and removes the
+        obsoleted donors — journaled through a ``rebase.json`` intent
+        file on workspace-backed systems so a crash at any point is
+        recovered (and completed) by the next ``rebase()`` call.  Pass
+        a :class:`~repro.analysis.mining.MiningReport` to apply a plan
+        already mined; otherwise mines first.  Returns the
+        :class:`~repro.service.rebase.RebaseReport`.
+        """
+        from repro.service.rebase import RebaseService
+
+        return RebaseService(
+            self.repo,
+            self.clock,
+            self.cost,
+            workspace=self.workspace,
+            selection_memo=self.publisher.selection_memo,
+        ).run(mining)
+
     def fsck(self):
         """Run every repository consistency check (read-only).
 

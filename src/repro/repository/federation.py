@@ -53,6 +53,7 @@ from dataclasses import dataclass, fields, replace
 from pathlib import Path
 from typing import Sequence
 
+from repro.analysis.mining import MiningReport
 from repro.core.system import Expelliarmus
 from repro.errors import (
     NotInRepositoryError,
@@ -69,6 +70,7 @@ from repro.repository.locking import RepositoryLock
 from repro.repository.master_graphs import master_from_state, master_state
 from repro.service.batch import BatchItemResult
 from repro.service.maintenance import DeleteItemResult, MaintenanceReport
+from repro.service.rebase import RebaseReport
 from repro.service.parallel import (
     ParallelPublishReport,
     ParallelRetrieveReport,
@@ -800,6 +802,67 @@ class FederatedRepository:
                 records_scanned=sum(r.records_scanned for r in reports),
                 graph_rebuilds=sum(r.graph_rebuilds for r in reports),
                 gc_seconds=sum(r.gc_seconds for r in reports),
+            )
+
+    def mine_bases(self) -> MiningReport:
+        """Mine every shard's base population; merged report.
+
+        Families never span shards (federation fsck flags a split as
+        ``federation-split-family``), so shard-local mining sees every
+        mergeable pool a single repository would.  Candidates come
+        back globally re-ranked by estimated bytes saved.
+        """
+        with self.lock.read():
+            reports = [system.mine_bases() for system in self.systems]
+            candidates = [
+                c for report in reports for c in report.candidates
+            ]
+            candidates.sort(key=lambda c: -c.est_saved_bytes)
+            return MiningReport(
+                candidates=tuple(candidates),
+                groups_examined=sum(
+                    r.groups_examined for r in reports
+                ),
+                bases_examined=sum(r.bases_examined for r in reports),
+                mining_seconds=sum(r.mining_seconds for r in reports),
+            )
+
+    def rebase(self, mining: MiningReport | None = None) -> RebaseReport:
+        """Run the journaled re-base on every shard; merged report.
+
+        Each shard recovers and applies its own ``rebase.json`` intent
+        (kept in the shard workspace, like its op-log), so a crash
+        mid-federation-rebase leaves each shard individually
+        recoverable.  A candidate from a federated ``mining`` report is
+        applied by the one shard holding its donor bases — the others
+        resolve it as stale and skip it.
+        """
+        with self.lock.write():
+            reports = [
+                system.rebase(mining) for system in self.systems
+            ]
+            self._rebuild_routing()
+            return RebaseReport(
+                candidates_applied=sum(
+                    r.candidates_applied for r in reports
+                ),
+                bases_published=sum(
+                    r.bases_published for r in reports
+                ),
+                bases_removed=sum(r.bases_removed for r in reports),
+                migrated_vmis=sum(r.migrated_vmis for r in reports),
+                migrated_names=tuple(
+                    name
+                    for report in reports
+                    for name in report.migrated_names
+                ),
+                bytes_before=sum(r.bytes_before for r in reports),
+                bytes_after=sum(r.bytes_after for r in reports),
+                reclaimable_after=sum(
+                    r.reclaimable_after for r in reports
+                ),
+                recovered=any(r.recovered for r in reports),
+                rebase_seconds=sum(r.rebase_seconds for r in reports),
             )
 
     def fsck(self, *, registry=None) -> FsckReport:

@@ -55,6 +55,16 @@ and reclamation half an operator runs against a churning repository:
   accounting: per-item outcomes, interleaved GC reports, exact byte
   movement and the charged delete/GC seconds.
 
+:mod:`repro.service.rebase` is the heavyweight maintenance half:
+:class:`~repro.service.rebase.RebaseService` takes the candidate
+base package-sets proposed by :class:`~repro.analysis.mining.BaseMiner`
+and applies them — publishing the merged base, merging master graphs,
+repointing every member VMI and removing the obsoleted donor bases —
+as an oplog-journaled, crash-recoverable operation (``rebase.json``
+intent journal, recovered on the next run), with
+:class:`~repro.service.rebase.RebaseReport` accounting the bytes
+reclaimed and the VMIs migrated.
+
 :mod:`repro.service.server` / :mod:`repro.service.client` put the
 whole thing behind a socket — a long-running multi-tenant daemon
 (:class:`~repro.service.server.ImageServer`) that owns a durable
@@ -91,6 +101,10 @@ from repro.service.parallel import (
     ShardAccount,
     plan_shards,
 )
+from repro.service.rebase import (
+    RebaseReport,
+    RebaseService,
+)
 from repro.service.retrieval import (
     BatchRetrieveReport,
     BatchRetriever,
@@ -121,6 +135,8 @@ __all__ = [
     "ImageServer",
     "ParallelRetrieveReport",
     "ParallelRetriever",
+    "RebaseReport",
+    "RebaseService",
     "RemoteClient",
     "RetrieveItemResult",
     "ServerConfig",

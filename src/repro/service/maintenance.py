@@ -19,6 +19,11 @@ and without letting garbage pile up unboundedly either.
   ``gc_threshold_bytes`` — mid-batch if the batch is large — instead of
   guessing on a timer.  ``gc_threshold_bytes=None`` defers collection
   entirely; ``0`` collects after every delete that strands bytes.
+* **Re-base scheduling.**  With ``rebase_threshold_bytes`` set,
+  :meth:`~MaintenanceService.maybe_rebase` runs the base miner
+  (read-only) and applies the journaled re-base only when the mined
+  candidates' estimated savings clear the threshold — heavyweight
+  base-population maintenance gated by its own predicted payoff.
 * **Checkpoint scheduling.**  On a workspace-backed repository the
   write-ahead op-log grows with every delete and GC sweep; reopen cost
   is O(ops since the last checkpoint).  With ``checkpoint_every_ops``
@@ -156,6 +161,7 @@ class MaintenanceService:
         full_gc: bool = False,
         workspace=None,
         checkpoint_every_ops: int | None = None,
+        rebase_threshold_bytes: int | None = None,
     ) -> None:
         self.repo = repo
         self.clock = clock
@@ -165,6 +171,7 @@ class MaintenanceService:
         #: the durable workspace journaling ``repo`` (checkpoint target)
         self.workspace = workspace
         self.checkpoint_every_ops = checkpoint_every_ops
+        self.rebase_threshold_bytes = rebase_threshold_bytes
         self._collector = GarbageCollector(repo, clock, cost)
 
     # ------------------------------------------------------------------
@@ -182,6 +189,31 @@ class MaintenanceService:
         if self.repo.reclaimable_bytes() < max(self.gc_threshold_bytes, 1):
             return None
         return self.collect()
+
+    def maybe_rebase(self):
+        """Mine, and re-base iff enough bytes would be reclaimed.
+
+        Mining is read-only and cheap relative to a re-base, so the
+        scheduling decision uses the miner's own estimate: when the
+        ranked candidates promise at least ``rebase_threshold_bytes``
+        of savings, the journaled re-base runs on the mined plan and
+        its :class:`~repro.service.rebase.RebaseReport` is returned;
+        otherwise (or with no threshold configured) ``None``.
+        """
+        if self.rebase_threshold_bytes is None:
+            return None
+        from repro.analysis.mining import BaseMiner
+        from repro.service.rebase import RebaseService
+
+        mining = BaseMiner(self.repo, self.clock, self.cost).mine()
+        if mining.est_saved_bytes < max(self.rebase_threshold_bytes, 1):
+            return None
+        return RebaseService(
+            self.repo,
+            self.clock,
+            self.cost,
+            workspace=self.workspace,
+        ).run(mining)
 
     def maybe_checkpoint(self) -> bool:
         """Checkpoint iff the op-log crossed the op-count threshold."""

@@ -52,6 +52,9 @@ COST_LABELS = frozenset({
     # deletion / garbage collection
     "delete",       # dropping a published-VMI record
     "gc",           # sweep + master-graph rebuild work
+    # base mining / re-base maintenance (analysis/ + service/)
+    "mine",         # SimG pre-grouping + coverage proofs over masters
+    "rebase",       # merged-base store, master merge, record migration
     # baseline schemes (baselines/)
     "write",        # raw repository write bandwidth
     "read",         # raw repository read bandwidth

@@ -15,6 +15,18 @@ quadruple with its own package namespace:
   (extra base-baked packages), producing multiple distinct stored bases
   per quadruple — the situation Algorithm 2's replacement machinery and
   the base-attribute index exist for;
+* ``split_base_pct`` (default off) switches a family onto *two
+  generations* of base template — generation A bakes ``libtls``,
+  generation B bakes ``libzip``, both at their newest version — and
+  plants a fraction of *legacy* builds whose single primary pins the
+  *other* generation's library at an old version.  While the legacy
+  builds live, each base's member population conflicts with the other
+  base's baked packages, so Algorithm 2's publish-time replacement
+  cannot consolidate them and the two bases coexist stably.  Deleting
+  the legacy builds (the natural churn victims) removes the conflict
+  and leaves a provably mergeable base pair: exactly the situation the
+  mining pass (:mod:`repro.analysis.mining`) and the re-base operation
+  (:mod:`repro.service.rebase`) exist for;
 * everything is a pure function of ``(seed, index)`` via
   :func:`~repro.ids.content_id`, so corpora are fully deterministic and
   two generators with equal config build byte-identical images.
@@ -34,6 +46,7 @@ from repro.ids import content_id
 from repro.image.builder import BaseTemplate, BuildRecipe, ImageBuilder
 from repro.model.attributes import BaseImageAttrs
 from repro.model.package import DependencySpec, Package, make_package
+from repro.model.versions import Version
 from repro.model.vmi import VirtualMachineImage
 from repro.units import mb
 
@@ -76,6 +89,11 @@ class ScaleConfig:
     max_primaries: int = 3
     #: percent of builds on a fattened base template (0-100)
     fat_base_pct: int = 20
+    #: percent of builds on the generation-B base template (0-100);
+    #: any non-zero value enables the two-generation split regime the
+    #: mining pass targets (and excludes the fat flavour — a fat base
+    #: conflicts with nothing and would absorb both generations)
+    split_base_pct: int = 0
     #: determinism root for every generated choice
     seed: str = "scale"
 
@@ -86,11 +104,19 @@ class ScaleConfig:
             raise ValueError("n_families must be positive")
         if not 0 <= self.fat_base_pct <= 100:
             raise ValueError("fat_base_pct must be in [0, 100]")
+        if not 0 <= self.split_base_pct <= 100:
+            raise ValueError("split_base_pct must be in [0, 100]")
+        if self.split_base_pct and self.fat_base_pct:
+            raise ValueError(
+                "split_base_pct requires fat_base_pct=0: a fat base "
+                "conflicts with neither generation's members, so "
+                "Algorithm 2 would consolidate both onto it at publish"
+            )
 
 
 @dataclass(frozen=True)
 class ScaleFamily:
-    """One OS family: a quadruple, its catalog and its two templates."""
+    """One OS family: a quadruple, its catalog and its templates."""
 
     index: int
     attrs: BaseImageAttrs
@@ -98,6 +124,16 @@ class ScaleFamily:
     lean: BaseTemplate
     fat: BaseTemplate
     app_names: tuple[str, ...]
+    #: split-regime templates: lean plus the newest libtls / libzip
+    #: respectively (``None`` unless ``split_base_pct`` is enabled)
+    gen_a: BaseTemplate | None = None
+    gen_b: BaseTemplate | None = None
+    #: the legacy pin app a generation-A member carries: it pins the
+    #: *other* generation's library (libzip) at the old version, which
+    #: is what blocks the generation-B base from replacing generation A
+    pin_gen_a: str | None = None
+    #: mirror image: pins libtls old, blocks generation A replacing B
+    pin_gen_b: str | None = None
 
 
 def _family_attrs(index: int) -> BaseImageAttrs:
@@ -129,10 +165,11 @@ def _build_family(config: ScaleConfig, index: int) -> ScaleFamily:
         *,
         essential: bool = False,
         section: str = "misc",
+        version: str = "1.0",
     ) -> Package:
         return make_package(
             name,
-            "1.0",
+            version,
             arch=attrs.arch,
             installed_size=size,
             n_files=8 + content_id(f"{seed}/files/{name}") % 40,
@@ -187,6 +224,20 @@ def _build_family(config: ScaleConfig, index: int) -> ScaleFamily:
                 (d(core),), section="libs")
         )
 
+    # split-regime library pair: two versions each, the newest baked
+    # into one generation's base, the old one only ever reachable
+    # through a legacy pin app (gated so split-off corpora stay
+    # byte-identical to the historical generator)
+    libtls = f"libtls-{tag}"
+    libzip = f"libzip-{tag}"
+    if config.split_base_pct:
+        for lib in (libtls, libzip):
+            for ver in ("1.0", "1.1"):
+                packages.append(
+                    pkg(lib, _sized(f"{seed}/split/{lib}/{ver}", 1, 3),
+                        (d(core),), section="libs", version=ver)
+                )
+
     # application layer: each app pulls a deterministic slice of libs
     apps = tuple(
         f"app{j}-{tag}" for j in range(config.apps_per_family)
@@ -199,6 +250,12 @@ def _build_family(config: ScaleConfig, index: int) -> ScaleFamily:
         if h % 5 == 0:
             deps.append(d(runtime))
         deps.append(d(core))
+        if config.split_base_pct:
+            # bare constraints resolve to the newest (1.1) identity on
+            # either generation's base, so shared app vertices carry
+            # one consistent closure across both masters
+            deps.append(d(libtls))
+            deps.append(d(libzip))
         # dedup while preserving draw order
         seen: dict[str, DependencySpec] = {}
         for spec in deps:
@@ -206,6 +263,26 @@ def _build_family(config: ScaleConfig, index: int) -> ScaleFamily:
         packages.append(
             pkg(name, _sized(f"{seed}/app/{name}", 2, 45),
                 tuple(seen.values()), section="apps")
+        )
+
+    # legacy pin apps: each generation's legacy members carry exactly
+    # one of these as their sole primary, pinning the *other*
+    # generation's library at the old version.  The old identity then
+    # lives only in isolated pin-app subgraphs — shared app vertices
+    # never see it — so deleting the legacy members leaves every
+    # surviving closure on the 1.1 identities, merge-clean.
+    pin_gen_a = f"zippin-{tag}"
+    pin_gen_b = f"tlspin-{tag}"
+    gen_a = gen_b = None
+    if config.split_base_pct:
+        old = Version.parse("1.0")
+        packages.append(
+            pkg(pin_gen_a, _sized(f"{seed}/pin/{pin_gen_a}", 2, 6),
+                (d(libzip, "=", old), d(core)), section="apps")
+        )
+        packages.append(
+            pkg(pin_gen_b, _sized(f"{seed}/pin/{pin_gen_b}", 2, 6),
+                (d(libtls, "=", old), d(core)), section="apps")
         )
 
     catalog = Catalog(packages)
@@ -221,6 +298,22 @@ def _build_family(config: ScaleConfig, index: int) -> ScaleFamily:
         skeleton_files=lean.skeleton_files,
         skeleton_size=lean.skeleton_size,
     )
+    if config.split_base_pct:
+        # identical skeleton and attrs keep both generations in one
+        # family group; the baked library is the only delta, so the
+        # union candidate's savings are the whole shared payload
+        gen_a = BaseTemplate(
+            attrs=attrs,
+            package_names=base_names + (libtls,),
+            skeleton_files=lean.skeleton_files,
+            skeleton_size=lean.skeleton_size,
+        )
+        gen_b = BaseTemplate(
+            attrs=attrs,
+            package_names=base_names + (libzip,),
+            skeleton_files=lean.skeleton_files,
+            skeleton_size=lean.skeleton_size,
+        )
     return ScaleFamily(
         index=index,
         attrs=attrs,
@@ -228,6 +321,10 @@ def _build_family(config: ScaleConfig, index: int) -> ScaleFamily:
         lean=lean,
         fat=fat,
         app_names=apps,
+        gen_a=gen_a,
+        gen_b=gen_b,
+        pin_gen_a=pin_gen_a if config.split_base_pct else None,
+        pin_gen_b=pin_gen_b if config.split_base_pct else None,
     )
 
 
@@ -240,6 +337,12 @@ class ScaleVMISpec:
     family: int
     fat_base: bool
     primaries: tuple[str, ...]
+    #: built on the generation-B split template (generation A when
+    #: false and the split regime is on; lean otherwise)
+    gen_b_base: bool = False
+    #: a legacy build: sole primary is the generation's pin app, whose
+    #: old-version library is what keeps the two bases from merging
+    legacy_pin: bool = False
 
 
 class ScaleCorpus:
@@ -253,7 +356,7 @@ class ScaleCorpus:
             for i in range(self.config.n_families)
         ]
         # one builder per (family, flavour): bases resolve once each
-        self._builders: dict[tuple[int, bool], ImageBuilder] = {}
+        self._builders: dict[tuple[int, str], ImageBuilder] = {}
 
     def __len__(self) -> int:
         return self.config.n_vmis
@@ -269,7 +372,25 @@ class ScaleCorpus:
         cfg = self.config
         h = content_id(f"{cfg.seed}/vmi/{index}")
         family = self.families[h % len(self.families)]
-        fat = (h >> 16) % 100 < cfg.fat_base_pct
+        roll = (h >> 16) % 100
+        fat = roll < cfg.fat_base_pct
+        gen_b = bool(cfg.split_base_pct) and roll < cfg.split_base_pct
+        legacy = bool(cfg.split_base_pct) and (h >> 8) % 5 == 0
+        if legacy:
+            # sole primary = the generation's pin app, so the old
+            # library identity stays in a subgraph no surviving VMI
+            # shares — deleting legacy builds leaves merge-clean masters
+            pin = family.pin_gen_b if gen_b else family.pin_gen_a
+            assert pin is not None
+            return ScaleVMISpec(
+                index=index,
+                name=f"vmi-{index:05d}",
+                family=family.index,
+                fat_base=False,
+                primaries=(pin,),
+                gen_b_base=gen_b,
+                legacy_pin=True,
+            )
         n_primaries = 1 + (h >> 24) % cfg.max_primaries
         chosen: dict[str, None] = {}
         for i in range(n_primaries):
@@ -283,17 +404,24 @@ class ScaleCorpus:
             family=family.index,
             fat_base=fat,
             primaries=tuple(chosen),
+            gen_b_base=gen_b,
         )
 
     def build(self, index: int) -> VirtualMachineImage:
         """Build VMI ``index`` fresh (publishing mutates images)."""
         spec = self.spec(index)
         family = self.families[spec.family]
-        builder = self._builders.get((spec.family, spec.fat_base))
+        if spec.fat_base:
+            flavour = "fat"
+        elif self.config.split_base_pct:
+            flavour = "gen_b" if spec.gen_b_base else "gen_a"
+        else:
+            flavour = "lean"
+        builder = self._builders.get((spec.family, flavour))
         if builder is None:
-            template = family.fat if spec.fat_base else family.lean
+            template = getattr(family, flavour)
             builder = ImageBuilder(family.catalog, template)
-            self._builders[(spec.family, spec.fat_base)] = builder
+            self._builders[(spec.family, flavour)] = builder
         h = content_id(f"{self.config.seed}/payload/{index}")
         return builder.build(
             BuildRecipe(
@@ -310,6 +438,21 @@ class ScaleCorpus:
         """Every corpus image, in index order."""
         for index in range(self.config.n_vmis):
             yield self.build(index)
+
+    def legacy_names(self) -> tuple[str, ...]:
+        """Names of the version-pinned legacy builds, in index order.
+
+        These are the natural churn victims of the split regime:
+        deleting them removes the old-version library identities from
+        every live population, which is what makes the generation pair
+        mineable.  Empty unless ``split_base_pct`` is enabled.
+        """
+        return tuple(
+            spec.name
+            for index in range(self.config.n_vmis)
+            for spec in (self.spec(index),)
+            if spec.legacy_pin
+        )
 
 
 # ---------------------------------------------------------------------------

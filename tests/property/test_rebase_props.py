@@ -1,0 +1,304 @@
+"""Properties of the journaled re-base maintenance operation.
+
+Three suites pin ``Expelliarmus.rebase()`` to its contract:
+
+* **identity** — for any generated corpus (split regime on or off,
+  legacy builds churned or still live), re-base never changes what a
+  user retrieves: every published VMI keeps a byte-identical manifest,
+  fsck stays clean, stored bytes never grow, and a second run is a
+  no-op.  The property holds whether or not the miner found anything.
+* **crash matrix** — a deterministic sweep that kills the operation at
+  *every* checkpoint the journal distinguishes ("intent-written",
+  "base-stored", …, "intent-cleared"), reopens the workspace, and
+  requires (a) the mid-crash state already passes fsck — the op-log
+  replays each primitive atomically — and (b) re-running ``rebase()``
+  converges to the exact repository an uncrashed run produces.
+* **federation** — re-base over N shards ≡ re-base on one repository:
+  same candidates applied, same migrated set, identical union blob
+  set, bytes, refcounts and retrieved manifests.
+
+The CI ``mining-gate`` job re-runs this file; raise the hypothesis
+budget with ``REBASE_PROP_EXAMPLES``.
+"""
+
+import os
+import shutil
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.mining import vmi_digest
+from repro.core.system import Expelliarmus
+from repro.repository.federation import FederatedRepository
+from repro.service.rebase import INTENT_NAME, RebaseService
+from repro.workloads.scale import scale_corpus
+
+#: per-test example budget; mining-gate raises it
+_EXAMPLES = int(os.environ.get("REBASE_PROP_EXAMPLES", "6"))
+
+_SEEDS = ("scale", "intent", "stale", "prop-a", "prop-b")
+
+
+class _Crash(RuntimeError):
+    """Injected failure at a chosen checkpoint."""
+
+
+def _publish(corpus, store=None):
+    store = store if store is not None else Expelliarmus()
+    report = store.publish_many(
+        list(corpus.build_all()), order="given"
+    )
+    assert report.n_failed == 0, report.render()
+    return store
+
+
+def _digests(store) -> dict:
+    """(mounted size, manifest digest) for every published VMI."""
+    return {
+        name: vmi_digest(store.retrieve(name).vmi)
+        for name in store.published_names()
+    }
+
+
+def _fingerprint(store, *, masters: bool = True) -> dict:
+    """Everything two equivalent repositories must agree on.
+
+    The federation repo view unions blobs, records and refcounts but
+    does not expose master graphs — pass ``masters=False`` there; the
+    manifest digests cover graph content from the outside.
+    """
+    repo = store.repo
+    state = {
+        "blobs": {
+            (r.key, r.kind.value, r.size) for r in repo.blobs.records()
+        },
+        "bytes": repo.bytes_by_kind(),
+        "records": {r.name for r in repo.vmi_records()},
+        "refcounts": repo.refcounts(),
+    }
+    if masters:
+        state["masters"] = {
+            m.base_key: (
+                frozenset(
+                    (p.name, str(p.version))
+                    for p in m.primary_packages()
+                ),
+                frozenset(m.member_vmis),
+            )
+            for m in repo.master_graphs()
+        }
+    return state
+
+
+class TestRebaseIsIdentity:
+    @settings(max_examples=_EXAMPLES, deadline=None)
+    @given(data=st.data())
+    def test_rebase_preserves_every_retrieved_image(self, data):
+        n = data.draw(st.integers(24, 48), label="n_vmis")
+        families = data.draw(st.integers(1, 3), label="families")
+        seed = data.draw(st.sampled_from(_SEEDS), label="seed")
+        split = data.draw(
+            st.sampled_from([0, 30, 50, 70]), label="split_pct"
+        )
+        churn = data.draw(st.booleans(), label="churn")
+
+        corpus = scale_corpus(
+            n,
+            n_families=families,
+            seed=seed,
+            split_base_pct=split,
+            fat_base_pct=0,
+        )
+        system = _publish(corpus)
+        if churn:
+            system.delete_many(list(corpus.legacy_names()))
+
+        digests = _digests(system)
+        bytes_before = system.repo.total_bytes()
+
+        report = system.rebase()
+
+        assert report.bytes_after <= bytes_before
+        assert system.repo.total_bytes() == report.bytes_after
+        fsck = system.fsck()
+        assert fsck.clean, [str(f) for f in fsck.findings]
+        assert _digests(system) == digests
+
+        again = system.rebase()
+        assert again.candidates_applied == 0
+        assert again.reclaimed_bytes == 0
+        assert _digests(system) == digests
+
+
+@pytest.fixture(scope="module")
+def crash_baseline(tmp_path_factory):
+    """Baseline workspace + uncrashed reference + checkpoint schedule.
+
+    Built once: a churned split corpus saved to disk, the repository
+    state an uncrashed re-base produces, and the ordered checkpoint
+    names one full run emits.  Crash tests copy the baseline instead
+    of republishing — a file-level copy is exactly what a crash leaves
+    behind.
+    """
+    root = tmp_path_factory.mktemp("rebase-crash")
+    corpus = scale_corpus(
+        30,
+        n_families=2,
+        seed="scale",
+        split_base_pct=50,
+        fat_base_pct=0,
+    )
+    system = _publish(corpus)
+    system.delete_many(list(corpus.legacy_names()))
+    system.save(root / "baseline")
+    assert system.mine_bases().candidates
+    system.close()
+
+    ref_ws = root / "reference"
+    shutil.copytree(root / "baseline", ref_ws)
+    reference = Expelliarmus.open(ref_ws)
+    assert reference.rebase().candidates_applied > 0
+    assert reference.fsck().clean
+    expected = {
+        "digests": _digests(reference),
+        "fingerprint": _fingerprint(reference),
+    }
+    reference.close()
+
+    sched_ws = root / "schedule"
+    shutil.copytree(root / "baseline", sched_ws)
+    probe = Expelliarmus.open(sched_ws)
+    schedule: list[str] = []
+    RebaseService(
+        probe.repo,
+        probe.clock,
+        probe.cost,
+        workspace=probe.workspace,
+        checkpoint_hook=schedule.append,
+    ).run()
+    probe.close()
+    assert schedule[0] == "intent-written"
+    assert schedule[-1] == "intent-cleared"
+    assert "master-merged" in schedule
+    return root, tuple(schedule), expected
+
+
+class TestCrashMatrix:
+    def crash_at(self, index):
+        calls = [0]
+
+        def hook(checkpoint):
+            if calls[0] == index:
+                raise _Crash(checkpoint)
+            calls[0] += 1
+
+        return hook
+
+    def test_recovery_at_every_checkpoint(self, crash_baseline):
+        root, schedule, expected = crash_baseline
+        for index, checkpoint in enumerate(schedule):
+            ws = root / f"crash-{index:03d}"
+            shutil.copytree(root / "baseline", ws)
+            system = Expelliarmus.open(ws)
+            service = RebaseService(
+                system.repo,
+                system.clock,
+                system.cost,
+                workspace=system.workspace,
+                checkpoint_hook=self.crash_at(index),
+            )
+            with pytest.raises(_Crash, match=checkpoint.split(":")[0]):
+                service.run()
+            system.close()
+
+            reopened = Expelliarmus.open(ws)
+            mid = reopened.fsck()
+            assert mid.clean, (
+                checkpoint,
+                [str(f) for f in mid.findings],
+            )
+            report = reopened.rebase()
+            if checkpoint != "intent-cleared":
+                # the intent survived the crash and drove recovery
+                assert report.recovered, checkpoint
+            assert not (ws / INTENT_NAME).exists()
+            post = reopened.fsck()
+            assert post.clean, (
+                checkpoint,
+                [str(f) for f in post.findings],
+            )
+            assert _digests(reopened) == expected["digests"], checkpoint
+            assert (
+                _fingerprint(reopened) == expected["fingerprint"]
+            ), checkpoint
+            reopened.close()
+            shutil.rmtree(ws)
+
+    def test_double_crash_still_converges(self, crash_baseline):
+        """Crashing the *recovery* run too must not lose the plan."""
+        root, schedule, expected = crash_baseline
+        ws = root / "double-crash"
+        shutil.copytree(root / "baseline", ws)
+
+        for index in (2, len(schedule) // 2):
+            system = Expelliarmus.open(ws)
+            service = RebaseService(
+                system.repo,
+                system.clock,
+                system.cost,
+                workspace=system.workspace,
+                checkpoint_hook=self.crash_at(index),
+            )
+            with pytest.raises(_Crash):
+                service.run()
+            system.close()
+
+        final = Expelliarmus.open(ws)
+        assert final.rebase().recovered
+        assert final.fsck().clean
+        assert _digests(final) == expected["digests"]
+        assert _fingerprint(final) == expected["fingerprint"]
+        final.close()
+        shutil.rmtree(ws)
+
+
+class TestFederatedRebaseEquivalence:
+    @settings(max_examples=_EXAMPLES, deadline=None)
+    @given(data=st.data())
+    def test_federated_rebase_equals_single(self, data):
+        shards = data.draw(st.sampled_from([1, 2, 4]), label="shards")
+        seed = data.draw(st.sampled_from(_SEEDS), label="seed")
+        families = data.draw(st.integers(2, 3), label="families")
+
+        corpus = scale_corpus(
+            48,
+            n_families=families,
+            seed=seed,
+            split_base_pct=50,
+            fat_base_pct=0,
+        )
+        legacy = list(corpus.legacy_names())
+
+        single = _publish(corpus)
+        single.delete_many(legacy)
+        single_report = single.rebase()
+
+        fed = _publish(corpus, FederatedRepository(shards=shards))
+        fed.delete_many(legacy)
+        fed_report = fed.rebase()
+
+        assert (
+            fed_report.candidates_applied
+            == single_report.candidates_applied
+        )
+        assert sorted(fed_report.migrated_names) == sorted(
+            single_report.migrated_names
+        )
+        assert _fingerprint(fed, masters=False) == _fingerprint(
+            single, masters=False
+        )
+        assert _digests(fed) == _digests(single)
+        assert fed.total_bytes() == single.repo.total_bytes()
+        fsck = fed.fsck()
+        assert fsck.clean, [str(f) for f in fsck.findings]

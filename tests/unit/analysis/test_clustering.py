@@ -32,6 +32,46 @@ class TestSimilarityMatrix:
         assert min(java_pairs) > max(mongo_pairs)
 
 
+class TestGreedyInit:
+    def test_first_seed_is_global_medoid(self):
+        """Regression: seeding from item 0 made clustering depend on
+        corpus insertion order; the first seed must be the matrix
+        medoid (minimum total distance)."""
+        from repro.analysis.clustering import _greedy_init
+
+        distance = 1.0 - np.array(
+            [
+                [1.0, 0.2, 0.1],
+                [0.2, 1.0, 0.9],
+                [0.1, 0.9, 1.0],
+            ]
+        )
+        assert _greedy_init(distance, 1)[0] == 1
+        seeds = _greedy_init(distance, 3)
+        assert sorted(seeds) == [0, 1, 2]
+
+    def test_clustering_invariant_under_permutation(self):
+        rng = np.random.default_rng(7)
+        m = np.full((6, 6), 0.1)
+        for group in ((0, 1, 2), (3, 4, 5)):
+            for i in group:
+                for j in group:
+                    m[i, j] = 0.8 + 0.01 * (i + j)
+        m = (m + m.T) / 2
+        np.fill_diagonal(m, 1.0)
+        base = k_medoids(m, k=2)
+        base_groups = {
+            frozenset(base.members(c)) for c in range(base.k)
+        }
+        perm = rng.permutation(6)
+        permuted = k_medoids(m[np.ix_(perm, perm)], k=2)
+        mapped = {
+            frozenset(int(perm[i]) for i in permuted.members(c))
+            for c in range(permuted.k)
+        }
+        assert mapped == base_groups
+
+
 class TestKMedoids:
     def block_matrix(self):
         """Two obvious blocks: {0,1,2} and {3,4}."""

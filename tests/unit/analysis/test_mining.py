@@ -1,0 +1,205 @@
+"""Unit tests for base mining over stored master graphs."""
+
+import pytest
+
+from repro.analysis.mining import (
+    BaseMiner,
+    MiningCandidate,
+    MiningReport,
+    manifest_digest,
+    vmi_digest,
+)
+from repro.core.system import Expelliarmus
+from repro.image.manifest import FileManifest
+from repro.workloads.scale import scale_corpus
+
+
+def split_corpus(n=80, families=4, seed="scale"):
+    """A corpus in the two-generation split regime."""
+    return scale_corpus(
+        n,
+        n_families=families,
+        seed=seed,
+        split_base_pct=50,
+        fat_base_pct=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def churned_split_system():
+    """A published split corpus with its legacy builds deleted.
+
+    The post-churn state: every family's generation pair has lost the
+    version-pinned members that kept it apart, so the miner should
+    find one merge candidate per family.  Module-scoped — the tests
+    here only read.
+    """
+    corpus = split_corpus()
+    system = Expelliarmus()
+    for vmi in corpus.build_all():
+        system.publish(vmi)
+    system.delete_many(list(corpus.legacy_names()))
+    return system, corpus
+
+
+class TestDigests:
+    def records(self):
+        return [(7, 100, 0.5), (3, 50, 0.9), (7, 25, 0.1)]
+
+    def test_manifest_digest_order_insensitive(self):
+        a = FileManifest.from_records(self.records())
+        b = FileManifest.from_records(list(reversed(self.records())))
+        assert manifest_digest(a) == manifest_digest(b)
+
+    def test_manifest_digest_sees_content(self):
+        a = FileManifest.from_records(self.records())
+        changed = [(7, 100, 0.5), (3, 51, 0.9), (7, 25, 0.1)]
+        b = FileManifest.from_records(changed)
+        assert manifest_digest(a) != manifest_digest(b)
+
+    def test_vmi_digest_deterministic_across_builds(self):
+        corpus = split_corpus(10, 2)
+        assert vmi_digest(corpus.build(3)) == vmi_digest(corpus.build(3))
+        assert vmi_digest(corpus.build(3)) != vmi_digest(corpus.build(4))
+
+
+class TestBaseMiner:
+    def test_churned_split_corpus_yields_candidates(
+        self, churned_split_system
+    ):
+        system, corpus = churned_split_system
+        report = system.mine_bases()
+        assert report.candidates
+        assert report.groups_examined >= 1
+        assert report.bases_examined >= 2
+        assert report.est_saved_bytes > 0
+        for c in report.candidates:
+            # the union bakes both generations' libraries, so it is a
+            # new blob and both generation bases become donors
+            assert not c.reuses_winner
+            assert c.merged_key != c.winner_key
+            assert len(c.donor_keys) >= 2
+            assert c.n_vmis > 0
+            assert c.est_saved_bytes > 0
+            assert list(c.package_names) == sorted(c.package_names)
+        # ranked by estimated savings, best first
+        saved = [c.est_saved_bytes for c in report.candidates]
+        assert saved == sorted(saved, reverse=True)
+
+    def test_no_candidates_while_legacy_builds_live(self):
+        """The version pins are exactly what blocks merging."""
+        corpus = split_corpus(40, 2, seed="pins")
+        system = Expelliarmus()
+        for vmi in corpus.build_all():
+            system.publish(vmi)
+        report = system.mine_bases()
+        assert report.candidates == ()
+
+    def test_no_candidates_on_fat_lean_population(self):
+        """Fat bases bake packages their members never import, so a
+        fat/lean merge would change retrieved bytes — refused."""
+        corpus = scale_corpus(40, n_families=2, fat_base_pct=40)
+        system = Expelliarmus()
+        for vmi in corpus.build_all():
+            system.publish(vmi)
+        report = system.mine_bases()
+        assert report.candidates == ()
+
+    def test_zero_ref_bases_are_not_examined(self, churned_split_system):
+        system, corpus = churned_split_system
+        miner = BaseMiner(system.repo)
+        live = miner._live_bases()
+        assert all(
+            system.repo.base_refs(b.blob_key()) > 0 for b in live
+        )
+        assert len(live) <= len(system.repo.base_images())
+
+    def test_mining_charges_simulated_time(self, churned_split_system):
+        system, _ = churned_split_system
+        with system.clock.measure() as breakdown:
+            system.mine_bases()
+        assert breakdown.component("mine") > 0
+
+    def test_render_mentions_candidates(self, churned_split_system):
+        system, _ = churned_split_system
+        text = system.mine_bases().render()
+        assert "merge candidate(s)" in text
+        assert "synthetic base" in text
+        assert "reclaimable" in text
+
+    def test_empty_repository_mines_nothing(self):
+        report = Expelliarmus().mine_bases()
+        assert report == MiningReport(
+            candidates=(),
+            groups_examined=0,
+            bases_examined=0,
+            mining_seconds=report.mining_seconds,
+        )
+        assert report.est_saved_bytes == 0
+
+
+class TestCandidateScoring:
+    def test_union_safe_rejects_uncovered_package(
+        self, churned_split_system
+    ):
+        system, _ = churned_split_system
+        miner = BaseMiner(system.repo)
+        bases = miner._live_bases()
+        base = bases[0]
+        covered = miner._member_coverage(base)
+        assert covered is not None
+        # every baked package of the base itself is trivially safe
+        union = {p.name: p for p in base.packages}
+        assert miner._union_safe(union, [(base, covered)])
+        # a foreign package no member closure covers is not
+        other = next(
+            p
+            for b in bases
+            for p in b.packages
+            if p.name not in union and p.name not in covered
+        )
+        union[other.name] = other
+        assert not miner._union_safe(union, [(base, covered)])
+
+    def test_member_coverage_intersects_live_records(
+        self, churned_split_system
+    ):
+        system, _ = churned_split_system
+        miner = BaseMiner(system.repo)
+        base = miner._live_bases()[0]
+        covered = miner._member_coverage(base)
+        assert covered
+        for record in system.repo.vmi_records_for_base(base.blob_key()):
+            closure = set()
+            master = system.repo.get_master_graph(base.blob_key())
+            for pname in record.primary_names:
+                closure.update(
+                    p.name
+                    for p in master.extract_primary_subgraph(
+                        pname, record.primary_version(pname)
+                    ).packages()
+                )
+            assert set(covered) <= closure
+
+
+class TestMiningCandidate:
+    def test_report_totals_sum_candidates(self):
+        def candidate(saved):
+            return MiningCandidate(
+                attrs=None,
+                winner_key=1,
+                merged_key=2,
+                package_names=("a",),
+                donor_keys=(1, 3),
+                n_vmis=2,
+                est_saved_bytes=saved,
+                reuses_winner=False,
+            )
+
+        report = MiningReport(
+            candidates=(candidate(10), candidate(5)),
+            groups_examined=1,
+            bases_examined=2,
+            mining_seconds=0.0,
+        )
+        assert report.est_saved_bytes == 15

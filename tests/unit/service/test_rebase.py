@@ -1,0 +1,237 @@
+"""Unit tests for the journaled re-base maintenance operation."""
+
+import pytest
+
+from repro.analysis.mining import (
+    MiningCandidate,
+    MiningReport,
+    vmi_digest,
+)
+from repro.core.system import Expelliarmus
+from repro.model.attributes import BaseImageAttrs
+from repro.service.maintenance import MaintenanceService
+from repro.service.rebase import INTENT_NAME, RebaseService
+from repro.workloads.scale import scale_corpus
+
+
+class Crash(RuntimeError):
+    """Injected mid-operation failure."""
+
+
+def publish_split(n=60, families=3, seed="scale", churn=True):
+    """A published split-regime system, legacy builds deleted."""
+    corpus = scale_corpus(
+        n,
+        n_families=families,
+        seed=seed,
+        split_base_pct=50,
+        fat_base_pct=0,
+    )
+    system = Expelliarmus()
+    for vmi in corpus.build_all():
+        system.publish(vmi)
+    if churn:
+        system.delete_many(list(corpus.legacy_names()))
+    return system, corpus
+
+
+def survivor_digests(system):
+    return {
+        name: vmi_digest(system.retrieve(name).vmi)
+        for name in system.published_names()
+    }
+
+
+class TestRebase:
+    def test_rebase_reclaims_and_preserves_bytes(self):
+        system, _ = publish_split()
+        digests = survivor_digests(system)
+        bases_before = len(system.repo.base_images())
+        bytes_before = system.repo.total_bytes()
+
+        report = system.rebase()
+
+        assert report.candidates_applied > 0
+        assert report.bases_published > 0
+        assert report.bases_removed > 0
+        assert report.migrated_vmis == len(report.migrated_names)
+        assert report.migrated_vmis > 0
+        assert report.bytes_after < bytes_before
+        assert report.reclaimed_bytes > 0
+        assert not report.recovered
+        assert report.rebase_seconds > 0
+        assert len(system.repo.base_images()) < bases_before
+        assert system.fsck().clean
+        assert survivor_digests(system) == digests
+
+    def test_rebase_is_idempotent(self):
+        system, _ = publish_split()
+        first = system.rebase()
+        assert first.candidates_applied > 0
+        again = system.rebase()
+        assert again.candidates_applied == 0
+        assert again.migrated_vmis == 0
+        assert again.reclaimed_bytes == 0
+
+    def test_rebase_accepts_precomputed_mining(self):
+        system, _ = publish_split()
+        mining = system.mine_bases()
+        report = system.rebase(mining)
+        assert report.candidates_applied == len(mining.candidates)
+
+    def test_migrated_members_keep_their_refcounts(self):
+        system, _ = publish_split()
+        report = system.rebase()
+        for name in report.migrated_names:
+            record = system.repo.get_vmi_record(name)
+            assert system.repo.base_refs(record.base_key) > 0
+
+    def test_render_is_operator_readable(self):
+        system, _ = publish_split()
+        text = system.rebase().render()
+        assert "candidate(s) applied" in text
+        assert "migrated" in text
+        assert "GB freed" in text
+
+
+class TestStaleCandidates:
+    def fake_candidate(self):
+        return MiningCandidate(
+            attrs=BaseImageAttrs("linux", "ubuntu", "16.04", "amd64"),
+            winner_key=11,
+            merged_key=22,
+            package_names=("ghost",),
+            donor_keys=(11, 33),
+            n_vmis=1,
+            est_saved_bytes=1,
+            reuses_winner=False,
+        )
+
+    def fake_report(self):
+        return MiningReport(
+            candidates=(self.fake_candidate(),),
+            groups_examined=1,
+            bases_examined=2,
+            mining_seconds=0.0,
+        )
+
+    def test_vanished_donors_are_skipped(self):
+        system, _ = publish_split(20, 1, seed="stale")
+        report = system.rebase(self.fake_report())
+        assert report.candidates_applied == 0
+        assert report.bases_published == 0
+        assert system.fsck().clean
+
+    def test_vanished_winner_of_reuse_candidate_is_skipped(self):
+        system, _ = publish_split(20, 1, seed="stale2")
+        candidate = MiningCandidate(
+            attrs=BaseImageAttrs("linux", "ubuntu", "16.04", "amd64"),
+            winner_key=11,
+            merged_key=11,
+            package_names=("ghost",),
+            donor_keys=(33,),
+            n_vmis=1,
+            est_saved_bytes=1,
+            reuses_winner=True,
+        )
+        report = system.rebase(
+            MiningReport(
+                candidates=(candidate,),
+                groups_examined=1,
+                bases_examined=2,
+                mining_seconds=0.0,
+            )
+        )
+        assert report.candidates_applied == 0
+
+
+class TestIntentJournal:
+    def test_intent_roundtrip(self, tmp_path):
+        system, _ = publish_split(40, 2, seed="intent")
+        system.save(tmp_path / "ws")
+        mining = system.mine_bases()
+        assert mining.candidates
+        service = RebaseService(
+            system.repo, workspace=system.workspace
+        )
+        service._write_intent(list(mining.candidates))
+        assert (tmp_path / "ws" / INTENT_NAME).exists()
+        loaded = service._load_intent()
+        assert len(loaded) == len(mining.candidates)
+        for got, want in zip(loaded, mining.candidates):
+            assert got.attrs == want.attrs
+            assert got.winner_key == want.winner_key
+            assert got.merged_key == want.merged_key
+            assert got.package_names == want.package_names
+            assert got.donor_keys == want.donor_keys
+            assert got.reuses_winner == want.reuses_winner
+        service._clear_intent()
+        assert not (tmp_path / "ws" / INTENT_NAME).exists()
+        assert service._load_intent() is None
+
+    def test_no_workspace_means_no_journal(self):
+        system, _ = publish_split(20, 1, seed="nojournal")
+        service = RebaseService(system.repo)
+        assert service._intent_path() is None
+        service._write_intent([])  # no-op, must not raise
+        assert service._load_intent() is None
+
+    def test_crash_after_master_merge_recovers(self, tmp_path):
+        system, _ = publish_split()
+        system.save(tmp_path / "ws")
+        assert system.mine_bases().candidates
+        digests = survivor_digests(system)
+
+        def explode(checkpoint):
+            if checkpoint == "master-merged":
+                raise Crash(checkpoint)
+
+        service = RebaseService(
+            system.repo,
+            system.clock,
+            system.cost,
+            workspace=system.workspace,
+            checkpoint_hook=explode,
+        )
+        with pytest.raises(Crash):
+            service.run()
+        assert (tmp_path / "ws" / INTENT_NAME).exists()
+        system.close()
+
+        reopened = Expelliarmus.open(tmp_path / "ws")
+        report = reopened.rebase()
+        assert report.recovered
+        assert report.candidates_applied > 0
+        assert not (tmp_path / "ws" / INTENT_NAME).exists()
+        assert reopened.fsck().clean
+        assert survivor_digests(reopened) == digests
+
+
+class TestMaintenanceScheduling:
+    def test_threshold_unset_never_rebases(self):
+        system, _ = publish_split(20, 1, seed="sched")
+        service = MaintenanceService(system.repo)
+        assert service.maybe_rebase() is None
+
+    def test_threshold_above_estimate_defers(self):
+        system, _ = publish_split(40, 2, seed="sched2")
+        service = MaintenanceService(
+            system.repo,
+            system.clock,
+            system.cost,
+            rebase_threshold_bytes=10**15,
+        )
+        assert service.maybe_rebase() is None
+
+    def test_threshold_below_estimate_rebases(self):
+        system, _ = publish_split(40, 2, seed="sched3")
+        service = MaintenanceService(
+            system.repo,
+            system.clock,
+            system.cost,
+            rebase_threshold_bytes=1,
+        )
+        report = service.maybe_rebase()
+        assert report is not None
+        assert report.candidates_applied > 0
+        assert system.fsck().clean

@@ -228,6 +228,63 @@ class TestLifecycleCommands:
         assert "unknown corpus image" in capsys.readouterr().err
 
 
+class TestMaintenanceVerbs:
+    """The mine/rebase pair over fresh corpora and workspaces."""
+
+    SPLIT = ["--scale", "40", "--families", "2", "--split-pct", "50"]
+
+    def test_mine_fresh_split_corpus(self, capsys):
+        assert main(["mine", *self.SPLIT]) == 0
+        out = capsys.readouterr().out
+        # fresh split mode deletes the legacy builds first — the
+        # churn that makes the generation pairs mergeable
+        assert "legacy build(s)" in out
+        assert "merge candidate(s)" in out
+        assert "0 merge candidate(s)" not in out
+
+    def test_mine_keep_legacy_finds_nothing(self, capsys):
+        assert main(
+            ["mine", *self.SPLIT, "--seed", "pins", "--keep-legacy"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "legacy build(s)" not in out
+        assert "0 merge candidate(s)" in out
+
+    def test_rebase_fresh_corpus_reclaims(self, capsys):
+        assert main(
+            ["rebase", "--scale", "60", "--families", "3",
+             "--split-pct", "50"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "candidate(s) applied" in out
+        assert "rebase: 0 candidate(s)" not in out
+        assert "GB freed" in out
+
+    def test_legacy_delete_requires_split_corpus(self, capsys):
+        assert main(["delete", "--legacy", "--scale", "40"]) == 2
+        assert "--split-pct" in capsys.readouterr().err
+
+    def test_workspace_mine_rebase_lifecycle(self, capsys, tmp_path):
+        """Each step is its own invocation — its own process."""
+        ws = str(tmp_path / "store")
+        assert main(["publish-many", "--workspace", ws, *self.SPLIT]) == 0
+        assert main(
+            ["delete", "--workspace", ws, "--legacy", *self.SPLIT]
+        ) == 0
+        capsys.readouterr()
+        assert main(["mine", "--workspace", ws]) == 0
+        assert "merge candidate(s)" in capsys.readouterr().out
+        assert main(["rebase", "--workspace", ws]) == 0
+        out = capsys.readouterr().out
+        assert "candidate(s) applied" in out
+        assert "rebase: 0 candidate(s)" not in out
+        assert main(["fsck", "--workspace", ws]) == 0
+        capsys.readouterr()
+        # idempotent: the follow-up invocation finds nothing left
+        assert main(["rebase", "--workspace", ws]) == 0
+        assert "rebase: 0 candidate(s) applied" in capsys.readouterr().out
+
+
 class TestWorkspace:
     """Cross-invocation durability through the --workspace flag.
 

@@ -89,6 +89,113 @@ class TestScaleCorpus:
             assert result.vmi.has_package(primary)
 
 
+class TestSplitRegime:
+    def split(self, n=30, families=2, **overrides):
+        overrides.setdefault("split_base_pct", 50)
+        overrides.setdefault("fat_base_pct", 0)
+        return scale_corpus(n, n_families=families, **overrides)
+
+    def test_split_requires_fat_free_corpus(self):
+        with pytest.raises(ValueError, match="fat_base_pct=0"):
+            ScaleConfig(split_base_pct=50, fat_base_pct=20)
+        with pytest.raises(ValueError):
+            ScaleConfig(split_base_pct=101, fat_base_pct=0)
+
+    def test_split_off_leaves_regime_dormant(self):
+        corpus = scale_corpus(20, n_families=2)
+        family = corpus.families[0]
+        assert family.gen_a is None
+        assert family.gen_b is None
+        assert family.pin_gen_a is None
+        assert family.pin_gen_b is None
+        assert corpus.legacy_names() == ()
+        for i in range(20):
+            spec = corpus.spec(i)
+            assert not spec.gen_b_base
+            assert not spec.legacy_pin
+
+    def test_generation_templates_bake_newest_library(self):
+        corpus = self.split()
+        for family in corpus.families:
+            tag = f"f{family.index}"
+            libtls, libzip = f"libtls-{tag}", f"libzip-{tag}"
+            assert set(family.gen_a.package_names) == (
+                set(family.lean.package_names) | {libtls}
+            )
+            assert set(family.gen_b.package_names) == (
+                set(family.lean.package_names) | {libzip}
+            )
+            # both libraries carry two catalog versions; templates and
+            # bare app constraints resolve to the newest
+            for lib in (libtls, libzip):
+                versions = [
+                    str(p.version)
+                    for p in family.catalog.versions_of(lib)
+                ]
+                assert versions == ["1.0", "1.1"]
+
+    def test_legacy_builds_pin_the_other_generation(self):
+        corpus = self.split(60, 3)
+        legacy = corpus.legacy_names()
+        assert legacy
+        for i in range(60):
+            spec = corpus.spec(i)
+            family = corpus.families[spec.family]
+            if spec.legacy_pin:
+                expected = (
+                    family.pin_gen_b
+                    if spec.gen_b_base
+                    else family.pin_gen_a
+                )
+                assert spec.primaries == (expected,)
+                assert spec.name in legacy
+            else:
+                assert spec.name not in legacy
+                assert set(spec.primaries) <= set(family.app_names)
+
+    def test_legacy_build_installs_old_library_version(self):
+        corpus = self.split(60, 3)
+        legacy_index = next(
+            i for i in range(60) if corpus.spec(i).legacy_pin
+        )
+        spec = corpus.spec(legacy_index)
+        family = corpus.families[spec.family]
+        tag = f"f{family.index}"
+        pinned_lib = (
+            f"libtls-{tag}" if spec.gen_b_base else f"libzip-{tag}"
+        )
+        vmi = corpus.build(legacy_index)
+        pkg = next(
+            p
+            for p in vmi.semantic_graph().packages()
+            if p.name == pinned_lib
+        )
+        assert str(pkg.version) == "1.0"
+
+    def test_split_corpus_is_deterministic(self):
+        a, b = self.split(20), self.split(20)
+        for i in (0, 9, 19):
+            assert a.spec(i) == b.spec(i)
+            assert (
+                a.build(i).base.blob_key() == b.build(i).base.blob_key()
+            )
+
+    def test_generation_pair_coexists_under_publish(self):
+        """While legacy pins live, Algorithm 2 cannot consolidate the
+        two generation bases of a family."""
+        from repro.core.system import Expelliarmus
+
+        corpus = self.split(60, 2)
+        system = Expelliarmus()
+        for vmi in corpus.build_all():
+            system.publish(vmi)
+        by_family = {}
+        for base in system.repo.base_images():
+            if system.repo.base_refs(base.blob_key()) > 0:
+                by_family.setdefault(base.attrs.key(), []).append(base)
+        assert any(len(bases) >= 2 for bases in by_family.values())
+
+
 class TestChurnSchedule:
     def test_deterministic(self):
         corpus = scale_corpus(40, n_families=4)
